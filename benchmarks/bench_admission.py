@@ -1,0 +1,61 @@
+"""Ablation D1 — class size as admitted concurrency.
+
+DESIGN.md calls out the central design claim behind every Section-4
+extension: a richer correctness class = more admissible interleavings
+= fewer scheduler-imposed waits/aborts.  This benchmark measures it
+directly: over every interleaving of Example 1's programs, count what
+strict 2PL and basic TO would actually admit, and what each class
+would permit a clairvoyant scheduler to admit.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import (
+    admission_report,
+    example1_programs,
+    text_table,
+)
+
+from conftest import report
+
+
+def test_d1_admission_ladder(benchmark):
+    programs = example1_programs()
+
+    def run_report():
+        return admission_report(programs, [{"x"}, {"y"}])
+
+    result = benchmark(run_report)
+    counts = result.counts
+    # The ladder the paper's Section 4 climbs, rung by rung.
+    assert counts["s2pl"] <= counts["CSR"]
+    assert counts["to"] <= counts["CSR"]
+    assert counts["CSR"] <= counts["SR"] <= counts["MVSR"] <= counts["PC"]
+    assert counts["CSR"] <= counts["PWCSR"] <= counts["CPC"] <= counts["PC"]
+    assert counts["CPC"] > counts["CSR"]  # a real gain
+    report(
+        "D1: interleavings admitted per criterion "
+        f"(Example 1's programs, {result.total} interleavings)",
+        text_table(result.rows()),
+    )
+
+
+def test_d1_wider_programs(benchmark):
+    """Same ladder on a 3-transaction program set (more interleavings)."""
+    from repro.schedules import Schedule
+
+    programs = Schedule.parse(
+        "r1(x) w1(x) r2(y) w2(y) r3(x) r3(y)"
+    ).programs()
+
+    def run_report():
+        return admission_report(programs, [{"x"}, {"y"}])
+
+    result = benchmark.pedantic(run_report, rounds=1, iterations=1)
+    counts = result.counts
+    assert result.total == 90  # 6! / (2! 2! 2!)
+    assert counts["s2pl"] <= counts["CSR"] <= counts["PC"]
+    report(
+        "D1b: admission ladder on a 3-transaction mixed program set",
+        text_table(result.rows()),
+    )

@@ -1,0 +1,119 @@
+"""Experiment F2 — Figure 2, regenerated (§4.3).
+
+Three reproductions of the figure:
+
+* the paper's nine region examples each land in exactly the region the
+  figure claims (assertions);
+* an exhaustive census over Example 1's 35 interleavings, timed, with
+  region populations printed;
+* containment laws verified on every schedule the census touches.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import (
+    blind_write_programs,
+    census_of_programs,
+    example1_programs,
+    region_report,
+)
+from repro.classes import FIGURE2_EXAMPLES, classify, figure2_region
+
+from conftest import report
+
+
+def test_f2_region_examples(benchmark):
+    def classify_all():
+        return [
+            (example.claimed_region, example.region())
+            for example in FIGURE2_EXAMPLES
+        ]
+
+    pairs = benchmark(classify_all)
+    for claimed, computed in pairs:
+        assert claimed == computed
+    assert sorted(computed for _, computed in pairs) == list(
+        range(1, 10)
+    )
+
+
+def test_f2_exhaustive_census(benchmark):
+    programs = example1_programs()
+
+    def run_census():
+        return census_of_programs(programs, [{"x"}, {"y"}])
+
+    result = benchmark(run_census)
+    assert result.total == 35
+    assert result.containment_failures == 0
+    # The census must populate the regions the example-1 programs can
+    # reach, including the paper's target region 4.
+    assert result.by_region.get(4, 0) >= 1
+    assert result.by_region.get(9, 0) >= 1
+    report(
+        "F2: Figure-2 region populations "
+        "(all 35 interleavings of Example 1)",
+        region_report(result.by_region)
+        + f"\nstrict gains: {result.strict_gains()}",
+    )
+
+
+def test_f2_blind_write_census(benchmark):
+    """The region-5/7 family: blind writes separate SR from CSR."""
+    programs = blind_write_programs()
+
+    def run_census():
+        return census_of_programs(programs, [{"x"}])
+
+    result = benchmark(run_census)
+    assert result.total == 12
+    assert result.containment_failures == 0
+    # Blind writes populate the regions Example 1 cannot reach.
+    assert result.by_region.get(5, 0) >= 1  # SR − PWCSR
+    assert result.by_region.get(7, 0) >= 1  # MVCSR − PWCSR
+    report(
+        "F2c: blind-write program family (regions 5/7/9)",
+        region_report(result.by_region),
+    )
+
+
+def test_f2_nonemptiness_by_exhaustion(benchmark):
+    """Every Figure-2 region is populated by some interleaving of the
+    five program families — the figure's structural claim, proved by
+    exhaustive enumeration."""
+    from repro.analysis import figure2_reachability
+
+    merged = benchmark.pedantic(
+        figure2_reachability, rounds=1, iterations=1
+    )
+    for region in range(1, 10):
+        assert merged.get(region, 0) > 0
+    report(
+        "F2d: region reachability across all program families",
+        region_report(merged),
+    )
+
+
+def test_f2_containments_on_random_population(benchmark):
+    from repro.analysis import census_of_random_schedules
+
+    def run_census():
+        return census_of_random_schedules(
+            300,
+            num_transactions=3,
+            ops_per_transaction=3,
+            entities=("x", "y"),
+            objects=[{"x"}, {"y"}],
+            seed=42,
+        )
+
+    result = benchmark(run_census)
+    assert result.containment_failures == 0
+    assert result.by_class.get("PC", 0) >= result.by_class.get("CPC", 0)
+    report(
+        "F2b: class populations over 300 random schedules",
+        "\n".join(
+            f"  {name:6s} {count:4d}"
+            for name, count in sorted(result.by_class.items())
+        ),
+    )

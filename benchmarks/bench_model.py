@@ -1,0 +1,142 @@
+"""Experiments F1, L2, L3 — the model itself.
+
+F1: Figure 1's nested transaction tree, built and solo-executed.
+L2: every view serializable schedule induces a correct execution
+    (checked over random schedules; the bench times the pipeline).
+L3: the chained execution of a serial witness satisfies Lemma 3.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import (
+    execution_from_serial_order,
+    leaf_transactions_from_programs,
+    schedule_to_execution,
+)
+from repro.classes import (
+    lemma3_view_serialization,
+    view_serialization_order,
+)
+from repro.core import (
+    BinOp,
+    Const,
+    DatabaseState,
+    Domain,
+    Effect,
+    LeafTransaction,
+    NestedTransaction,
+    Predicate,
+    Ref,
+    Schema,
+    Spec,
+    TxnName,
+    UniqueState,
+    VersionState,
+    check_execution,
+)
+from repro.schedules import random_schedule
+
+CONSTRAINT = Predicate.parse("x >= 0 & y >= 0")
+
+
+def _effects(txn: str, entity: str):
+    return BinOp("+", Ref(entity), Const(int(txn)))
+
+
+def _figure1_tree():
+    """The shape of Figure 1: t with children t.0 (3 leaves),
+    t.1 (two nested subtransactions), and t.2 (one leaf)."""
+    schema = Schema.of("x", "y", domain=Domain.interval(0, 10_000))
+    root = TxnName.root()
+
+    def leaf(name, entity):
+        return LeafTransaction(
+            name, schema, Spec.trivial(),
+            Effect({entity: BinOp("+", Ref(entity), Const(1))}),
+        )
+
+    t0 = NestedTransaction(
+        root.child(0), schema, Spec.trivial(),
+        [leaf(root.child(0).child(i), "x") for i in range(3)],
+    )
+    t10 = NestedTransaction(
+        root.child(1).child(0), schema, Spec.trivial(),
+        [leaf(root.child(1).child(0).child(i), "y") for i in range(2)],
+    )
+    t11 = NestedTransaction(
+        root.child(1).child(1), schema, Spec.trivial(),
+        [leaf(root.child(1).child(1).child(i), "y") for i in range(3)],
+    )
+    t1 = NestedTransaction(
+        root.child(1), schema, Spec.trivial(), [t10, t11]
+    )
+    t2 = NestedTransaction(
+        root.child(2), schema, Spec.trivial(),
+        [leaf(root.child(2).child(0), "x")],
+    )
+    return NestedTransaction(
+        root, schema, Spec.trivial(), [t0, t1, t2]
+    ), schema
+
+
+def test_f1_nested_tree(benchmark):
+    tree, schema = _figure1_tree()
+
+    def build_and_run():
+        state = VersionState(schema, {"x": 0, "y": 0})
+        return tree.apply(state)
+
+    result = benchmark(build_and_run)
+    # 4 leaf increments of x (3 in t.0, 1 in t.2), 5 of y.
+    assert result["x"] == 4
+    assert result["y"] == 5
+    leaves = list(tree.leaves())
+    assert len(leaves) == 9
+    assert max(leaf.name.depth for leaf in leaves) == 3
+
+
+def test_l2_vsr_schedules_are_correct_executions(benchmark):
+    schema = Schema.of("x", "y", domain=Domain.interval(0, 10_000))
+    initial = UniqueState(schema, {"x": 5, "y": 6})
+
+    schedules = [
+        random_schedule(3, 3, ["x", "y"], seed=seed)
+        for seed in range(200)
+    ]
+
+    def verify_lemma2():
+        checked = 0
+        for schedule in schedules:
+            order = view_serialization_order(schedule)
+            if order is None:
+                continue
+            execution = schedule_to_execution(
+                schema, schedule, CONSTRAINT, initial,
+                _effects, list(order),
+            )
+            assert check_execution(
+                execution, DatabaseState.single(initial)
+            ).ok
+            checked += 1
+        return checked
+
+    checked = benchmark(verify_lemma2)
+    assert checked >= 25  # a healthy VSR population
+
+
+def test_l3_chained_executions_satisfy_lemma3(benchmark):
+    schema = Schema.of("x", "y", domain=Domain.interval(0, 10_000))
+    initial = UniqueState(schema, {"x": 5, "y": 6})
+    programs = random_schedule(3, 3, ["x", "y"], seed=7).programs()
+    root = leaf_transactions_from_programs(
+        schema, programs, CONSTRAINT, _effects
+    )
+
+    def chain_and_check():
+        execution = execution_from_serial_order(
+            root, initial, list(root.child_names)
+        )
+        return lemma3_view_serialization(execution)
+
+    witness = benchmark(chain_and_check)
+    assert witness is not None

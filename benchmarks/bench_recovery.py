@@ -1,0 +1,130 @@
+"""Experiment R1 — §1's recovery remark, quantified.
+
+The paper's first criticism of serializability-as-correctness:
+"included among the serializable schedules are schedules that present
+several obstacles to crash recovery (allowance of cascading rollbacks
+and non-recoverable schedules)."
+
+The benchmark measures, over an exhaustive interleaving population,
+what fraction of *serializable* schedules are unrecoverable / cascade-
+prone / non-strict under the natural finish-order commit sequence —
+plus the RC ⊇ ACA ⊇ ST chain on the same population.
+"""
+
+from __future__ import annotations
+
+from repro.classes import is_view_serializable
+from repro.schedules import Schedule, interleavings, recovery_profile
+
+from conftest import report
+
+
+def _finish_order(schedule: Schedule) -> list[str]:
+    """Commit order = order of last operations (natural finish order)."""
+    last = {}
+    for index, op in enumerate(schedule.operations):
+        last[op.txn] = index
+    return sorted(last, key=lambda txn: last[txn])
+
+
+def test_r1_serializable_but_recovery_hazardous(benchmark):
+    from itertools import permutations
+
+    programs = Schedule.parse(
+        "w1(x) r1(y) w2(y) r2(x) w2(x)"
+    ).programs()
+
+    def census():
+        totals = {
+            "schedules": 0,
+            "SR": 0,
+            # "allows" = some legal commit order exhibits the hazard.
+            "SR allowing ¬RC": 0,
+            "SR allowing ¬ACA": 0,
+            "SR allowing ¬ST": 0,
+            # finish-order commits: the well-behaved baseline.
+            "RC@finish": 0,
+            "ACA@finish": 0,
+            "ST@finish": 0,
+        }
+        for schedule in interleavings(programs):
+            totals["schedules"] += 1
+            finish = recovery_profile(
+                schedule, _finish_order(schedule)
+            )
+            for name in ("RC", "ACA", "ST"):
+                if finish[name]:
+                    totals[f"{name}@finish"] += 1
+            if not is_view_serializable(schedule):
+                continue
+            totals["SR"] += 1
+            profiles = [
+                recovery_profile(schedule, list(order))
+                for order in permutations(schedule.transactions)
+            ]
+            for name in ("RC", "ACA", "ST"):
+                if any(not profile[name] for profile in profiles):
+                    totals[f"SR allowing ¬{name}"] += 1
+        return totals
+
+    totals = benchmark(census)
+    # The hierarchy must hold on the whole population…
+    assert totals["ST@finish"] <= totals["ACA@finish"]
+    assert totals["ACA@finish"] <= totals["RC@finish"]
+    # …and the paper's §1 claim must be witnessed: serializability
+    # *allows* non-recoverable behaviour.
+    assert totals["SR allowing ¬RC"] > 0
+    assert totals["SR allowing ¬ST"] >= totals["SR allowing ¬RC"]
+    report(
+        "R1: recovery hazards among serializable schedules "
+        f"({totals['schedules']} interleavings)",
+        "\n".join(
+            f"  {key:18s} {value}" for key, value in totals.items()
+        ),
+    )
+
+
+def test_r1_strictness_of_protocol_histories(benchmark):
+    """The Section-5 protocol's mono-version *shadow* is RC by design:
+    committed readers always follow their writers (commit requires all
+    partial-order predecessors committed, and re-eval aborts stale
+    readers)."""
+    from repro.core import Domain, Predicate, Schema, Spec
+    from repro.protocol import Outcome, TransactionManager
+    from repro.storage import Database
+
+    def run_session():
+        schema = Schema.of("x", "y", domain=Domain.interval(0, 1000))
+        db = Database(
+            schema,
+            Predicate.parse("x >= 0 & y >= 0"),
+            {"x": 1, "y": 1},
+        )
+        tm = TransactionManager(db)
+        writer = tm.define(
+            tm.root,
+            Spec(Predicate.parse("x >= 0"), Predicate.true()),
+            {"x"},
+        )
+        reader = tm.define(
+            tm.root,
+            Spec(Predicate.parse("x >= 0"), Predicate.true()),
+            set(),
+            predecessors=[writer],
+        )
+        tm.validate(writer)
+        tm.validate(reader)
+        tm.read(writer, "x")
+        tm.write(writer, "x", 5)
+        tm.read(reader, "x")
+        # The reader cannot commit before its writer (RC enforced by
+        # the predecessor rule).
+        blocked = tm.commit(reader)
+        committed = tm.commit(writer)
+        finished = tm.commit(reader)
+        return blocked, committed, finished
+
+    blocked, committed, finished = benchmark(run_session)
+    assert blocked.outcome is Outcome.FAILED
+    assert committed.outcome is Outcome.OK
+    assert finished.outcome is Outcome.OK

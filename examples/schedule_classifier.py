@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Classify schedules into the Section-4 lattice; regenerate Figure 2.
+
+Three parts:
+
+1. every worked example from the paper, classified and checked against
+   its claimed region;
+2. an exhaustive census of all 35 interleavings of Example 1's
+   programs, with the population of each Figure-2 region;
+3. a random-schedule census quantifying how much each extended class
+   gains over its base (the point of Section 4).
+
+Run:  python examples/schedule_classifier.py
+"""
+
+from repro.analysis import (
+    census_of_programs,
+    census_of_random_schedules,
+    example1_programs,
+    region_report,
+    text_table,
+)
+from repro.classes import ALL_EXAMPLES, REGION_LABELS
+
+
+def paper_examples() -> None:
+    print("=== The paper's worked examples ===")
+    rows = []
+    for example in ALL_EXAMPLES:
+        failures = example.check()
+        rows.append(
+            {
+                "example": example.name[:46],
+                "schedule": str(example.schedule)[:44],
+                "region": example.region(),
+                "classes": ",".join(
+                    example.membership().member_classes()
+                )
+                or "(none)",
+                "claims": "OK" if not failures else "; ".join(failures),
+            }
+        )
+    print(text_table(rows))
+    print()
+
+
+def figure2_census() -> None:
+    print("=== Figure 2 census: all interleavings of Example 1 ===")
+    result = census_of_programs(example1_programs(), [{"x"}, {"y"}])
+    print(region_report(result.by_region))
+    print(f"\ntotal interleavings: {result.total}")
+    print(f"containment-law violations: {result.containment_failures}")
+    print()
+
+
+def random_census() -> None:
+    print("=== Random census: class gains (500 schedules) ===")
+    result = census_of_random_schedules(
+        500,
+        num_transactions=3,
+        ops_per_transaction=3,
+        entities=("x", "y"),
+        objects=[{"x"}, {"y"}],
+        seed=42,
+    )
+    rows = [
+        {"class": name, "members": count,
+         "fraction": f"{count / result.total:.0%}"}
+        for name, count in sorted(result.by_class.items())
+    ]
+    print(text_table(rows))
+    print()
+    print("strict gains (schedules admitted beyond the base class):")
+    for label, gain in result.strict_gains().items():
+        print(f"  {label:14s} {gain}")
+    print()
+    print("region labels:")
+    for region, label in REGION_LABELS.items():
+        print(f"  {region}: {label}")
+
+
+if __name__ == "__main__":
+    paper_examples()
+    figure2_census()
+    random_census()

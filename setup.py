@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The canonical metadata lives in pyproject.toml; this file exists so the
+package can be installed on machines without the `wheel` package (pip's
+PEP-517 editable path requires bdist_wheel).
+"""
+
+from setuptools import setup
+
+setup()

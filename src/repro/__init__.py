@@ -1,0 +1,51 @@
+"""repro — *Formal Model of Correctness Without Serializability*.
+
+A complete, executable reproduction of Korth & Speegle (SIGMOD 1988):
+the formal model (versions, nested transactions, pre/postconditions),
+the correctness-class lattice of Section 4 with membership testers and
+the paper's worked examples, the Section-5 concurrency-control protocol
+as a runnable transaction manager, classical baselines, and a
+discrete-event simulator for long-duration workloads.
+
+Quickstart::
+
+    from repro.schedules import Schedule
+    from repro.classes import classify, figure2_region
+
+    schedule = Schedule.parse("r1(x) w1(x) r2(x) r2(y) w2(y) r1(y) w1(y)")
+    membership = classify(schedule, [{"x"}, {"y"}])
+    print(membership)                 # MVSR but not SR, PWSR, ...
+    print(figure2_region(membership)) # 4
+
+See ``examples/`` for protocol-level walkthroughs and ``benchmarks/``
+for the experiment suite (DESIGN.md maps experiments to modules).
+"""
+
+from . import (
+    analysis,
+    baselines,
+    classes,
+    core,
+    protocol,
+    sat,
+    schedules,
+    sim,
+    storage,
+)
+from .errors import ReproError
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ReproError",
+    "__version__",
+    "analysis",
+    "baselines",
+    "classes",
+    "core",
+    "protocol",
+    "sat",
+    "schedules",
+    "sim",
+    "storage",
+]

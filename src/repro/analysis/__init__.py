@@ -1,0 +1,42 @@
+"""Census, admission analysis, schedule↔model bridging, reporting."""
+
+from .admission import (
+    AdmissionReport,
+    admission_report,
+    admitted_by_s2pl,
+    admitted_by_to,
+)
+from .bridge import (
+    execution_from_serial_order,
+    leaf_transactions_from_programs,
+    schedule_to_execution,
+)
+from .census import (
+    REGION_FAMILIES,
+    CensusResult,
+    blind_write_programs,
+    census_of_programs,
+    census_of_random_schedules,
+    example1_programs,
+    figure2_reachability,
+)
+from .reporting import region_report, text_table
+
+__all__ = [
+    "AdmissionReport",
+    "REGION_FAMILIES",
+    "CensusResult",
+    "admission_report",
+    "admitted_by_s2pl",
+    "admitted_by_to",
+    "blind_write_programs",
+    "census_of_programs",
+    "census_of_random_schedules",
+    "example1_programs",
+    "execution_from_serial_order",
+    "figure2_reachability",
+    "leaf_transactions_from_programs",
+    "region_report",
+    "schedule_to_execution",
+    "text_table",
+]

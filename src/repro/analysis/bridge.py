@@ -1,0 +1,146 @@
+"""Bridge: classical schedules → model executions (Lemmas 2 and 3).
+
+Section 4.1 embeds the standard model into the paper's model: each
+read/write transaction becomes a leaf with ``I = O = C`` (the database
+consistency constraint), and a schedule induces an execution ``(R, X)``.
+This module makes that embedding executable so Lemma 2 ("all view
+serializable schedules are correct executions") and Lemma 3 can be
+*tested*, not just cited:
+
+* :func:`leaf_transactions_from_programs` builds concrete leaf
+  transactions whose effects realize the programs' writes;
+* :func:`execution_from_serial_order` builds the chained execution a
+  view-serialization witness induces (Lemma 3's conditions 2–4 hold by
+  construction);
+* the Lemma-2 test then checks such executions are *correct* whenever
+  the effects preserve the constraint.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping, Sequence
+
+from ..core.entities import Schema
+from ..core.execution import Execution
+from ..core.naming import TxnName
+from ..core.predicates import Predicate
+from ..core.states import DatabaseState, UniqueState, VersionState
+from ..core.transactions import (
+    Effect,
+    Expr,
+    LeafTransaction,
+    NestedTransaction,
+    Spec,
+)
+from ..errors import ScheduleError
+from ..schedules.operations import Operation
+from ..schedules.schedule import Schedule
+
+EffectBuilder = Callable[[str, str], Expr]
+"""(txn, entity) → the expression that txn's write of entity installs."""
+
+
+def leaf_transactions_from_programs(
+    schema: Schema,
+    programs: Mapping[str, Sequence[Operation]],
+    constraint: Predicate,
+    effect_builder: EffectBuilder,
+    root: TxnName | None = None,
+) -> NestedTransaction:
+    """The standard-model embedding of a set of programs (§4.1).
+
+    Every transaction becomes a leaf with ``I = O = C``; its effect
+    writes each entity its program writes, with the expression supplied
+    by ``effect_builder``.  Reads are declared via ``extra_reads`` so
+    the model's "every entity read appears in I_t" rule is honoured
+    (``C`` must mention every entity — the standard model's constraint
+    is over the whole database).
+    """
+    root_name = root if root is not None else TxnName.root()
+    children = []
+    for txn in sorted(programs, key=str):
+        ops = programs[txn]
+        writes = {
+            op.entity: effect_builder(txn, op.entity)
+            for op in ops
+            if op.is_write
+        }
+        reads = {op.entity for op in ops if op.is_read}
+        undeclared = reads - constraint.entities()
+        if undeclared and not constraint.is_true:
+            raise ScheduleError(
+                f"standard-model embedding needs C to mention every "
+                f"read entity; missing {sorted(undeclared)}"
+            )
+        children.append(
+            LeafTransaction(
+                root_name.child(int(txn) if txn.isdigit() else 0),
+                schema,
+                Spec.invariant(constraint),
+                Effect(writes),
+                extra_reads=reads,
+            )
+        )
+    return NestedTransaction(
+        root_name, schema, Spec.invariant(constraint), children
+    )
+
+
+def execution_from_serial_order(
+    root: NestedTransaction,
+    initial: UniqueState,
+    order: Sequence[TxnName],
+) -> Execution:
+    """The chained execution induced by a serial order (Lemma 3).
+
+    ``X`` chains: the first transaction reads the initial state, each
+    next transaction reads its predecessor's result, and the final
+    state is the last result — satisfying Lemma 3's conditions 2–4 by
+    construction (``R`` is the successor relation of the order).
+    """
+    if set(order) != set(root.child_names):
+        raise ScheduleError("order must cover exactly the children")
+    schema = root.schema
+    current = VersionState(schema, initial.as_dict())
+    assignment: dict[TxnName, VersionState] = {}
+    reads_from = set()
+    previous: TxnName | None = None
+    for name in order:
+        assignment[name] = current
+        if previous is not None:
+            reads_from.add((previous, name))
+        result = root.child(name).apply(current)
+        current = VersionState(schema, result.as_dict())
+        previous = name
+    return Execution(
+        root,
+        DatabaseState.single(initial),
+        reads_from,
+        assignment,
+        current,
+    )
+
+
+def schedule_to_execution(
+    schema: Schema,
+    schedule: Schedule,
+    constraint: Predicate,
+    initial: UniqueState,
+    effect_builder: EffectBuilder,
+    serial_order: Sequence[str],
+) -> Execution:
+    """End-to-end: schedule + witness order → model execution.
+
+    This is the computational content of Lemma 2: take a schedule, a
+    view-serialization witness ``serial_order``, embed the programs as
+    leaves, and build the chained execution, which the caller can then
+    check for correctness.
+    """
+    root = leaf_transactions_from_programs(
+        schema, schedule.programs(), constraint, effect_builder
+    )
+    name_of = {
+        str(child.name.leaf_index): child.name for child in root.children
+    }
+    order = [name_of[txn] for txn in serial_order]
+    return execution_from_serial_order(root, initial, order)

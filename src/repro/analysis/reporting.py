@@ -1,0 +1,48 @@
+"""Plain-text reporting used by the benchmarks and examples."""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+
+def text_table(
+    rows: Sequence[Mapping[str, object]],
+    columns: Sequence[str] | None = None,
+) -> str:
+    """Format dict rows as an aligned text table."""
+    if not rows:
+        return "(no rows)"
+    chosen = list(columns) if columns is not None else list(rows[0])
+    widths = {
+        column: max(
+            len(column),
+            *(len(str(row.get(column, ""))) for row in rows),
+        )
+        for column in chosen
+    }
+    header = "  ".join(column.ljust(widths[column]) for column in chosen)
+    divider = "  ".join("-" * widths[column] for column in chosen)
+    lines = [header, divider]
+    for row in rows:
+        lines.append(
+            "  ".join(
+                str(row.get(column, "")).ljust(widths[column])
+                for column in chosen
+            )
+        )
+    return "\n".join(lines)
+
+
+def region_report(by_region: Mapping[int, int]) -> str:
+    """Figure-2 region populations as a table."""
+    from ..classes.hierarchy import REGION_LABELS
+
+    rows = [
+        {
+            "region": region,
+            "label": REGION_LABELS.get(region, "?"),
+            "schedules": by_region.get(region, 0),
+        }
+        for region in sorted(REGION_LABELS)
+    ]
+    return text_table(rows, ["region", "label", "schedules"])

@@ -1,0 +1,114 @@
+"""Common interface for every concurrency-control implementation.
+
+The simulator drives the Section-5 protocol and the classical baselines
+through one interface, so the long-duration benchmarks compare like
+with like.  The interface is synchronous and event-friendly:
+
+* steps return an :class:`AccessResult` whose status is ``OK``,
+  ``BLOCKED`` (the caller parks until the transaction appears in some
+  later result's ``unblocked`` list) or ``ABORTED`` (the caller
+  restarts the transaction under a fresh identity);
+* every result carries the transactions a step unblocked or aborted as
+  side effects, so the engine never polls.
+"""
+
+from __future__ import annotations
+
+import enum
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Sequence
+
+
+class AccessStatus(enum.Enum):
+    OK = "ok"
+    BLOCKED = "blocked"
+    ABORTED = "aborted"
+
+
+@dataclass
+class AccessResult:
+    """Outcome of one scheduler step (see module docstring)."""
+
+    status: AccessStatus
+    value: int | None = None
+    blocked_on: str | None = None
+    unblocked: list[str] = field(default_factory=list)
+    aborted: list[str] = field(default_factory=list)
+    reason: str | None = None
+
+    @classmethod
+    def ok(cls, value: int | None = None) -> "AccessResult":
+        return cls(AccessStatus.OK, value=value)
+
+    @classmethod
+    def blocked(cls, entity: str) -> "AccessResult":
+        return cls(AccessStatus.BLOCKED, blocked_on=entity)
+
+    @classmethod
+    def abort(cls, reason: str) -> "AccessResult":
+        return cls(AccessStatus.ABORTED, reason=reason)
+
+
+@dataclass(frozen=True)
+class PlannedAccess:
+    """One declared step of a transaction's access plan."""
+
+    kind: str  # "read" | "write"
+    entity: str
+
+    @property
+    def is_write(self) -> bool:
+        return self.kind == "write"
+
+
+class ConcurrencyControl(ABC):
+    """Abstract scheduler driven by the simulator.
+
+    ``begin`` receives the transaction's full access *plan* (the
+    declared reads/writes).  The Section-5 protocol needs it to build
+    the input constraint and update set; predicate-wise 2PL needs it
+    for per-conjunct early release; pure dynamic schedulers may ignore
+    it.
+    """
+
+    name: str = "abstract"
+
+    @abstractmethod
+    def begin(
+        self, txn: str, plan: Sequence[PlannedAccess] | None = None
+    ) -> AccessResult:
+        """Register a transaction (and pass its declared plan)."""
+
+    @abstractmethod
+    def read(self, txn: str, entity: str) -> AccessResult:
+        """Request a read of the entity's (scheduler-chosen) value."""
+
+    @abstractmethod
+    def write(self, txn: str, entity: str, value: int) -> AccessResult:
+        """Request a write installing ``value``."""
+
+    @abstractmethod
+    def commit(self, txn: str) -> AccessResult:
+        """Attempt to commit; may block (waiting on predecessors) or
+        fail."""
+
+    @abstractmethod
+    def abort(self, txn: str, reason: str = "requested") -> AccessResult:
+        """Abort a transaction; the result lists cascade victims."""
+
+    def supports_split_writes(self) -> bool:
+        """Does the scheduler expose write_begin/write_end?
+
+        The Section-5 protocol holds its ``W`` lock only for the write
+        operation's duration; exposing the split lets the simulator
+        model that window.  Schedulers without the split are driven via
+        atomic :meth:`write`.
+        """
+        return False
+
+    def write_begin(self, txn: str, entity: str) -> AccessResult:
+        raise NotImplementedError
+
+    def write_end(self, txn: str, entity: str, value: int) -> AccessResult:
+        raise NotImplementedError

@@ -1,0 +1,252 @@
+"""Predicate-wise two-phase locking (from [Korth et al. 1988]).
+
+The protocol behind the PWSR class (Section 4.2): if the consistency
+constraint is CNF, it suffices to be two-phase *per conjunct*.  A
+transaction acquires locks in every conjunct an entity belongs to, but
+may release a conjunct's locks as soon as its declared plan has no
+remaining accesses in that conjunct — long before commit.  Conjuncts
+therefore stop blocking each other, shortening waits relative to
+strict 2PL while still guaranteeing PWSR (hence consistency).
+
+The paper names this protocol as representable in its model; it serves
+as the intermediate baseline between strict 2PL and the Section-5
+protocol in the long-transaction benchmarks.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..storage.database import Database
+from .base import AccessResult, ConcurrencyControl, PlannedAccess
+
+
+class _Mode(enum.Enum):
+    S = "S"
+    X = "X"
+
+
+@dataclass
+class _ScopeLock:
+    """Lock state for one (conjunct, entity) scope."""
+
+    shared: set[str] = field(default_factory=set)
+    exclusive: str | None = None
+    queue: list[tuple[str, _Mode]] = field(default_factory=list)
+
+
+class PredicatewiseTwoPhaseLocking(ConcurrencyControl):
+    """2PL applied independently within each constraint conjunct."""
+
+    name = "pw2pl"
+
+    def __init__(self, database: Database) -> None:
+        self._db = database
+        objects = [set(obj) for obj in database.objects() if obj]
+        if not objects:
+            objects = [set(database.schema.names)]
+        self._conjuncts: list[set[str]] = objects
+        self._membership: dict[str, list[int]] = {}
+        for entity in database.schema.names:
+            self._membership[entity] = [
+                index
+                for index, obj in enumerate(self._conjuncts)
+                if entity in obj
+            ] or [-1]
+        self._locks: dict[tuple[int, str], _ScopeLock] = {}
+        # txn -> conjunct -> remaining declared accesses
+        self._remaining: dict[str, dict[int, int]] = {}
+        self._active: dict[str, int] = {}
+        self._sequence = 0
+        self._waiting_on: dict[str, tuple[int, str]] = {}
+        self.deadlocks_detected = 0
+
+    def _scope(self, conjunct: int, entity: str) -> _ScopeLock:
+        return self._locks.setdefault((conjunct, entity), _ScopeLock())
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def begin(
+        self, txn: str, plan: Sequence[PlannedAccess] | None = None
+    ) -> AccessResult:
+        self._sequence += 1
+        self._active[txn] = self._sequence
+        remaining: dict[int, int] = {}
+        for access in plan or ():
+            for conjunct in self._membership.get(access.entity, [-1]):
+                remaining[conjunct] = remaining.get(conjunct, 0) + 1
+        self._remaining[txn] = remaining
+        return AccessResult.ok()
+
+    def commit(self, txn: str) -> AccessResult:
+        unblocked = self._release_everything(txn)
+        result = AccessResult.ok()
+        result.unblocked = unblocked
+        return result
+
+    def abort(self, txn: str, reason: str = "requested") -> AccessResult:
+        self._db.store.expunge_author(txn)
+        unblocked = self._release_everything(txn)
+        result = AccessResult(status=AccessResult.ok().status, reason=reason)
+        result.unblocked = unblocked
+        return result
+
+    # -- accesses --------------------------------------------------------------
+
+    def read(self, txn: str, entity: str) -> AccessResult:
+        grant = self._acquire(txn, entity, _Mode.S)
+        if grant is not None:
+            return grant
+        result = AccessResult.ok(self._db.store.latest(entity).value)
+        result.unblocked = self._account_access(txn, entity)
+        return result
+
+    def write(self, txn: str, entity: str, value: int) -> AccessResult:
+        grant = self._acquire(txn, entity, _Mode.X)
+        if grant is not None:
+            return grant
+        self._db.write(entity, value, txn)
+        result = AccessResult.ok(value)
+        result.unblocked = self._account_access(txn, entity)
+        return result
+
+    def _acquire(
+        self, txn: str, entity: str, mode: _Mode
+    ) -> AccessResult | None:
+        """Take the lock in every conjunct scope; None means granted."""
+        scopes = self._membership.get(entity, [-1])
+        for conjunct in scopes:
+            scope = self._scope(conjunct, entity)
+            if mode is _Mode.S:
+                blocked = scope.exclusive not in (None, txn)
+            else:
+                blocked = (
+                    scope.exclusive not in (None, txn)
+                    or bool(scope.shared - {txn})
+                )
+            if blocked:
+                scope.queue.append((txn, mode))
+                self._waiting_on[txn] = (conjunct, entity)
+                victim = self._detect_deadlock(txn)
+                if victim is not None:
+                    self.deadlocks_detected += 1
+                    if victim == txn:
+                        self._unqueue(txn)
+                        self._waiting_on.pop(txn, None)
+                        inner = self.abort(txn, reason="deadlock victim")
+                        result = AccessResult.abort("deadlock victim")
+                        result.unblocked = inner.unblocked
+                        return result
+                    inner = self.abort(victim, reason="deadlock victim")
+                    result = AccessResult.blocked(entity)
+                    result.aborted = [victim]
+                    result.unblocked = inner.unblocked
+                    return result
+                return AccessResult.blocked(entity)
+        for conjunct in scopes:
+            scope = self._scope(conjunct, entity)
+            if mode is _Mode.S:
+                scope.shared.add(txn)
+            else:
+                scope.shared.discard(txn)
+                scope.exclusive = txn
+        self._waiting_on.pop(txn, None)
+        return None
+
+    def _account_access(self, txn: str, entity: str) -> list[str]:
+        """Early release: free conjuncts with no remaining accesses."""
+        unblocked: list[str] = []
+        remaining = self._remaining.get(txn)
+        if remaining is None:
+            return unblocked
+        for conjunct in self._membership.get(entity, [-1]):
+            if conjunct not in remaining:
+                continue
+            remaining[conjunct] -= 1
+            if remaining[conjunct] <= 0:
+                del remaining[conjunct]
+                unblocked.extend(self._release_conjunct(txn, conjunct))
+        return unblocked
+
+    # -- release ----------------------------------------------------------------
+
+    def _release_conjunct(self, txn: str, conjunct: int) -> list[str]:
+        unblocked: list[str] = []
+        for (scope_conjunct, entity), scope in self._locks.items():
+            if scope_conjunct != conjunct:
+                continue
+            scope.shared.discard(txn)
+            if scope.exclusive == txn:
+                scope.exclusive = None
+            unblocked.extend(self._drain(scope))
+        return unblocked
+
+    def _release_everything(self, txn: str) -> list[str]:
+        unblocked: list[str] = []
+        for scope in self._locks.values():
+            scope.shared.discard(txn)
+            if scope.exclusive == txn:
+                scope.exclusive = None
+            scope.queue = [w for w in scope.queue if w[0] != txn]
+        for scope in self._locks.values():
+            unblocked.extend(self._drain(scope))
+        self._active.pop(txn, None)
+        self._remaining.pop(txn, None)
+        self._waiting_on.pop(txn, None)
+        return unblocked
+
+    def _drain(self, scope: _ScopeLock) -> list[str]:
+        granted: list[str] = []
+        while scope.queue:
+            waiter, mode = scope.queue[0]
+            if mode is _Mode.S:
+                if scope.exclusive not in (None, waiter):
+                    break
+            else:
+                if scope.exclusive not in (None, waiter) or (
+                    scope.shared - {waiter}
+                ):
+                    break
+            # Lock is re-requested when the engine re-executes the step.
+            scope.queue.pop(0)
+            self._waiting_on.pop(waiter, None)
+            granted.append(waiter)
+        return granted
+
+    def _unqueue(self, txn: str) -> None:
+        for scope in self._locks.values():
+            scope.queue = [w for w in scope.queue if w[0] != txn]
+
+    def _detect_deadlock(self, start: str) -> str | None:
+        edges: dict[str, set[str]] = {}
+        for scope in self._locks.values():
+            holders = set(scope.shared)
+            if scope.exclusive is not None:
+                holders.add(scope.exclusive)
+            for waiter_txn, __ in scope.queue:
+                edges.setdefault(waiter_txn, set()).update(
+                    holders - {waiter_txn}
+                )
+        path: list[str] = []
+        visited: set[str] = set()
+
+        def dfs(node: str) -> list[str] | None:
+            if node in path:
+                return path[path.index(node) :]
+            if node in visited:
+                return None
+            visited.add(node)
+            path.append(node)
+            for neighbour in sorted(edges.get(node, ())):
+                cycle = dfs(neighbour)
+                if cycle is not None:
+                    return cycle
+            path.pop()
+            return None
+
+        cycle = dfs(start)
+        if not cycle:
+            return None
+        return max(cycle, key=lambda txn: self._active.get(txn, 0))

@@ -1,0 +1,73 @@
+"""Serial execution — the zero-concurrency reference point.
+
+One transaction at a time, in arrival order.  Trivially correct and
+trivially deadlock/abort-free; its makespan is the upper bound every
+concurrent scheduler should beat, which makes it the natural
+denominator for the benchmarks' concurrency-gain numbers.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..storage.database import Database
+from .base import AccessResult, ConcurrencyControl, PlannedAccess
+
+
+class SerialExecution(ConcurrencyControl):
+    """Admit one active transaction; queue the rest at ``begin``."""
+
+    name = "serial"
+
+    def __init__(self, database: Database) -> None:
+        self._db = database
+        self._current: str | None = None
+        self._queue: list[str] = []
+
+    def begin(
+        self, txn: str, plan: Sequence[PlannedAccess] | None = None
+    ) -> AccessResult:
+        if self._current is None or self._current == txn:
+            # Second case: a parked transaction re-executing its begin
+            # after its turn arrived.
+            self._current = txn
+            return AccessResult.ok()
+        if txn not in self._queue:
+            self._queue.append(txn)
+        return AccessResult.blocked("<serial-turn>")
+
+    def read(self, txn: str, entity: str) -> AccessResult:
+        self._require_turn(txn)
+        return AccessResult.ok(self._db.store.latest(entity).value)
+
+    def write(self, txn: str, entity: str, value: int) -> AccessResult:
+        self._require_turn(txn)
+        self._db.write(entity, value, txn)
+        return AccessResult.ok(value)
+
+    def commit(self, txn: str) -> AccessResult:
+        self._require_turn(txn)
+        return self._advance()
+
+    def abort(self, txn: str, reason: str = "requested") -> AccessResult:
+        self._db.store.expunge_author(txn)
+        if self._current == txn:
+            result = self._advance()
+            result.reason = reason
+            return result
+        if txn in self._queue:
+            self._queue.remove(txn)
+        return AccessResult(status=AccessResult.ok().status, reason=reason)
+
+    def _advance(self) -> AccessResult:
+        result = AccessResult.ok()
+        self._current = self._queue.pop(0) if self._queue else None
+        if self._current is not None:
+            result.unblocked = [self._current]
+        return result
+
+    def _require_turn(self, txn: str) -> None:
+        if self._current != txn:
+            raise RuntimeError(
+                f"{txn} acted out of turn under serial execution"
+            )

@@ -1,0 +1,161 @@
+"""Basic timestamp ordering — the abort-happy comparator (Section 2.4).
+
+The paper: "Alternatives to two-phase locking based on timestamps lead
+either to long-duration delays (conservative TO) or to aborts of
+transactions.  Aborts are undesirable when transactions are of long
+duration since a substantial amount of work is undone."
+
+Two variants:
+
+* :class:`TimestampOrdering` — basic TO: every entity carries a read
+  and a write timestamp; accesses arriving "too late" abort the
+  transaction immediately (no blocking, many aborts under contention);
+* :class:`ConservativeTimestampOrdering` — never aborts, but an access
+  must wait until no older active transaction could still access the
+  entity — modelled by blocking any access while an older transaction
+  is active on a conflicting plan entity (long-duration delays).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..storage.database import Database
+from .base import AccessResult, ConcurrencyControl, PlannedAccess
+
+
+@dataclass
+class _Stamps:
+    read_ts: int = 0
+    write_ts: int = 0
+
+
+class TimestampOrdering(ConcurrencyControl):
+    """Basic TO: late reads/writes abort, nothing ever blocks."""
+
+    name = "to"
+
+    def __init__(self, database: Database) -> None:
+        self._db = database
+        self._clock = itertools.count(1)
+        self._timestamps: dict[str, int] = {}
+        self._stamps: dict[str, _Stamps] = {}
+
+    def _stamp(self, entity: str) -> _Stamps:
+        return self._stamps.setdefault(entity, _Stamps())
+
+    def begin(
+        self, txn: str, plan: Sequence[PlannedAccess] | None = None
+    ) -> AccessResult:
+        self._timestamps[txn] = next(self._clock)
+        return AccessResult.ok()
+
+    def read(self, txn: str, entity: str) -> AccessResult:
+        ts = self._timestamps[txn]
+        stamp = self._stamp(entity)
+        if ts < stamp.write_ts:
+            return self._too_late(txn, "read", entity)
+        stamp.read_ts = max(stamp.read_ts, ts)
+        return AccessResult.ok(self._db.store.latest(entity).value)
+
+    def write(self, txn: str, entity: str, value: int) -> AccessResult:
+        ts = self._timestamps[txn]
+        stamp = self._stamp(entity)
+        if ts < stamp.read_ts or ts < stamp.write_ts:
+            return self._too_late(txn, "write", entity)
+        stamp.write_ts = ts
+        self._db.write(entity, value, txn)
+        return AccessResult.ok(value)
+
+    def _too_late(self, txn: str, kind: str, entity: str) -> AccessResult:
+        self.abort(txn, reason=f"late {kind} of {entity}")
+        return AccessResult.abort(f"late {kind} of {entity}")
+
+    def commit(self, txn: str) -> AccessResult:
+        self._timestamps.pop(txn, None)
+        return AccessResult.ok()
+
+    def abort(self, txn: str, reason: str = "requested") -> AccessResult:
+        self._db.store.expunge_author(txn)
+        self._timestamps.pop(txn, None)
+        return AccessResult(status=AccessResult.ok().status, reason=reason)
+
+
+class ConservativeTimestampOrdering(ConcurrencyControl):
+    """Conservative TO: no aborts, long waits.
+
+    An access by transaction ``t`` must wait while any *older* active
+    transaction's declared plan still conflicts on the entity — the
+    scheduler refuses to act out of timestamp order.  This models the
+    long-duration-delay horn of the paper's dilemma.
+    """
+
+    name = "conservative-to"
+
+    def __init__(self, database: Database) -> None:
+        self._db = database
+        self._clock = itertools.count(1)
+        self._timestamps: dict[str, int] = {}
+        self._plans: dict[str, dict[str, bool]] = {}  # entity -> writes?
+        self._waiters: dict[str, str] = {}  # txn -> entity
+
+    def begin(
+        self, txn: str, plan: Sequence[PlannedAccess] | None = None
+    ) -> AccessResult:
+        self._timestamps[txn] = next(self._clock)
+        remaining: dict[str, bool] = {}
+        for access in plan or ():
+            remaining[access.entity] = (
+                remaining.get(access.entity, False) or access.is_write
+            )
+        self._plans[txn] = remaining
+        return AccessResult.ok()
+
+    def _older_conflict(self, txn: str, entity: str, writing: bool) -> bool:
+        ts = self._timestamps[txn]
+        for other, other_ts in self._timestamps.items():
+            if other == txn or other_ts >= ts:
+                continue
+            plan = self._plans.get(other, {})
+            if entity in plan and (writing or plan[entity]):
+                return True
+        return False
+
+    def read(self, txn: str, entity: str) -> AccessResult:
+        if self._older_conflict(txn, entity, writing=False):
+            self._waiters[txn] = entity
+            return AccessResult.blocked(entity)
+        self._waiters.pop(txn, None)
+        return AccessResult.ok(self._db.store.latest(entity).value)
+
+    def write(self, txn: str, entity: str, value: int) -> AccessResult:
+        if self._older_conflict(txn, entity, writing=True):
+            self._waiters[txn] = entity
+            return AccessResult.blocked(entity)
+        self._waiters.pop(txn, None)
+        self._db.write(entity, value, txn)
+        plan = self._plans.get(txn)
+        if plan is not None and entity in plan:
+            # One fewer pending conflicting access (approximation: a
+            # write retires the entity from the declared plan).
+            del plan[entity]
+        return AccessResult.ok(value)
+
+    def _release(self, txn: str) -> list[str]:
+        self._timestamps.pop(txn, None)
+        self._plans.pop(txn, None)
+        self._waiters.pop(txn, None)
+        return sorted(self._waiters)
+
+    def commit(self, txn: str) -> AccessResult:
+        result = AccessResult.ok()
+        result.unblocked = self._release(txn)
+        return result
+
+    def abort(self, txn: str, reason: str = "requested") -> AccessResult:
+        self._db.store.expunge_author(txn)
+        result = AccessResult(status=AccessResult.ok().status, reason=reason)
+        result.unblocked = self._release(txn)
+        return result

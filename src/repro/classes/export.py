@@ -1,0 +1,116 @@
+"""Graphviz (DOT) export of the theory's graphs.
+
+Renders the objects the paper reasons about — conflict graphs,
+read-before-write (multiversion) graphs, the per-conjunct CPC graphs,
+and nested transaction trees — as DOT source for inspection with any
+Graphviz viewer.  Pure string generation; no external dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from ..core.predicates import Predicate
+from ..core.transactions import NestedTransaction, Transaction
+from ..schedules.schedule import Schedule
+from .conflict import conflict_graph
+from .multiversion import mv_conflict_graph
+from .predicate_correct import cpc_graphs
+
+
+def _quote(name: str) -> str:
+    return '"' + name.replace('"', '\\"') + '"'
+
+
+def _digraph(
+    name: str,
+    adjacency: Mapping[str, set[str]],
+    label: str | None = None,
+) -> str:
+    lines = [f"digraph {_quote(name)} {{"]
+    if label:
+        lines.append(f"  label={_quote(label)};")
+        lines.append("  labelloc=t;")
+    lines.append("  node [shape=circle];")
+    for node in sorted(adjacency):
+        lines.append(f"  {_quote('t' + node)};")
+    for node in sorted(adjacency):
+        for target in sorted(adjacency[node]):
+            lines.append(
+                f"  {_quote('t' + node)} -> {_quote('t' + target)};"
+            )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def conflict_graph_dot(schedule: Schedule) -> str:
+    """The classical precedence graph as DOT."""
+    return _digraph(
+        "conflict_graph",
+        conflict_graph(schedule),
+        label=f"conflict graph of {schedule}",
+    )
+
+
+def mv_conflict_graph_dot(schedule: Schedule) -> str:
+    """The read-before-write (MVCSR) graph as DOT."""
+    return _digraph(
+        "mv_conflict_graph",
+        mv_conflict_graph(schedule),
+        label=f"read-before-write graph of {schedule}",
+    )
+
+
+def cpc_graphs_dot(
+    schedule: Schedule,
+    constraint: "Predicate | Iterable[Iterable[str]]",
+) -> str:
+    """The per-conjunct CPC graphs as one DOT file with clusters."""
+    graphs = cpc_graphs(schedule, constraint)
+    lines = ['digraph "cpc_graphs" {', "  node [shape=circle];"]
+    for index, (obj, adjacency) in enumerate(
+        sorted(graphs.items(), key=lambda item: sorted(item[0]))
+    ):
+        obj_label = "{" + ", ".join(sorted(obj)) + "}"
+        lines.append(f"  subgraph cluster_{index} {{")
+        lines.append(f"    label={_quote('conjunct ' + obj_label)};")
+        for node in sorted(adjacency):
+            lines.append(f"    {_quote(f'c{index}_t{node}')} "
+                         f"[label={_quote('t' + node)}];")
+        for node in sorted(adjacency):
+            for target in sorted(adjacency[node]):
+                lines.append(
+                    f"    {_quote(f'c{index}_t{node}')} -> "
+                    f"{_quote(f'c{index}_t{target}')};"
+                )
+        lines.append("  }")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def transaction_tree_dot(root: Transaction) -> str:
+    """A nested transaction tree (Figure 1) as DOT."""
+    lines = ['digraph "transaction_tree" {', "  node [shape=box];"]
+
+    def walk(node: Transaction) -> None:
+        shape = "ellipse" if node.is_leaf else "box"
+        lines.append(
+            f"  {_quote(str(node.name))} [shape={shape}];"
+        )
+        if isinstance(node, NestedTransaction):
+            for child in node.children:
+                lines.append(
+                    f"  {_quote(str(node.name))} -> "
+                    f"{_quote(str(child.name))};"
+                )
+                walk(child)
+            for before, after in node.order.pairs:
+                lines.append(
+                    f"  {_quote(str(before))} -> {_quote(str(after))} "
+                    "[style=dashed, constraint=false, "
+                    'label="P"];'
+                )
+
+    walk(root)
+    lines.append("}")
+    return "\n".join(lines)

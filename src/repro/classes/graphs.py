@@ -1,0 +1,73 @@
+"""Small directed-graph helpers shared by the class testers.
+
+Every polynomial tester in Section 4 reduces to acyclicity of some
+transaction-level precedence graph; this module keeps the graph code in
+one place (adjacency as ``dict[str, set[str]]``).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Mapping
+
+
+def has_cycle(adjacency: Mapping[str, set[str]]) -> bool:
+    """Does the directed graph contain a cycle?  Iterative DFS."""
+    WHITE, GRAY, BLACK = 0, 1, 2
+    color = {node: WHITE for node in adjacency}
+    for root in adjacency:
+        if color[root] != WHITE:
+            continue
+        stack: list[tuple[str, Iterator[str]]] = [
+            (root, iter(sorted(adjacency[root])))
+        ]
+        color[root] = GRAY
+        while stack:
+            node, neighbours = stack[-1]
+            advanced = False
+            for neighbour in neighbours:
+                if neighbour not in color:
+                    continue
+                if color[neighbour] == GRAY:
+                    return True
+                if color[neighbour] == WHITE:
+                    color[neighbour] = GRAY
+                    stack.append(
+                        (neighbour, iter(sorted(adjacency[neighbour])))
+                    )
+                    advanced = True
+                    break
+            if not advanced:
+                color[node] = BLACK
+                stack.pop()
+    return False
+
+
+def topological_order(
+    adjacency: Mapping[str, set[str]]
+) -> list[str] | None:
+    """A topological order, or ``None`` if the graph is cyclic."""
+    in_degree = {node: 0 for node in adjacency}
+    for node in adjacency:
+        for neighbour in adjacency[node]:
+            if neighbour in in_degree:
+                in_degree[neighbour] += 1
+    ready = sorted(
+        node for node, degree in in_degree.items() if degree == 0
+    )
+    result: list[str] = []
+    while ready:
+        node = ready.pop(0)
+        result.append(node)
+        changed = False
+        for neighbour in sorted(adjacency[node]):
+            if neighbour not in in_degree:
+                continue
+            in_degree[neighbour] -= 1
+            if in_degree[neighbour] == 0:
+                ready.append(neighbour)
+                changed = True
+        if changed:
+            ready.sort()
+    if len(result) != len(adjacency):
+        return None
+    return result

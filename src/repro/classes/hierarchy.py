@@ -1,0 +1,200 @@
+"""The class lattice and the Figure-2 region classifier (Section 4.3).
+
+:func:`classify` computes one schedule's membership in every class the
+paper discusses, given the consistency constraint's conjunct structure;
+:func:`figure2_region` maps a membership vector to the numbered region
+of Figure 2; :func:`containment_violations` checks the lattice's
+inclusion laws (used as a property test and by the census).
+
+Inclusions enforced (all from Section 4 or classical theory):
+
+* ``CSR ⊆ SR ⊆ MVSR`` and ``CSR ⊆ MVCSR ⊆ MVSR``
+* ``CSR ⊆ PWCSR ⊆ CPC`` and ``SR ⊆ PWSR ⊆ PC`` (projections of a
+  serializable schedule are serializable)
+* ``MVCSR ⊆ CPC``, ``MVSR ⊆ PC``, ``PWCSR ⊆ PWSR``, ``CPC ⊆ PC``
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from ..core.predicates import Predicate
+from ..schedules.schedule import Schedule
+from .conflict import is_conflict_serializable
+from .multiversion import (
+    is_mv_conflict_serializable,
+    is_mv_view_serializable,
+)
+from .predicate_correct import (
+    is_conflict_predicate_correct,
+    is_predicate_correct,
+)
+from .predicatewise import (
+    is_predicatewise_conflict_serializable,
+    is_predicatewise_serializable,
+    normalize_objects,
+)
+from .view import is_view_serializable
+
+Constraint = "Predicate | Iterable[Iterable[str]]"
+
+
+@dataclass(frozen=True)
+class ClassMembership:
+    """One schedule's membership in every Section-4 class."""
+
+    csr: bool
+    vsr: bool
+    mvcsr: bool
+    mvsr: bool
+    pwcsr: bool
+    pwsr: bool
+    cpc: bool
+    pc: bool
+
+    def as_dict(self) -> dict[str, bool]:
+        return {
+            "CSR": self.csr,
+            "SR": self.vsr,
+            "MVCSR": self.mvcsr,
+            "MVSR": self.mvsr,
+            "PWCSR": self.pwcsr,
+            "PWSR": self.pwsr,
+            "CPC": self.cpc,
+            "PC": self.pc,
+        }
+
+    def member_classes(self) -> tuple[str, ...]:
+        return tuple(
+            name for name, member in self.as_dict().items() if member
+        )
+
+    def __str__(self) -> str:
+        body = ", ".join(
+            f"{name}={'✓' if member else '✗'}"
+            for name, member in self.as_dict().items()
+        )
+        return f"ClassMembership({body})"
+
+
+def classify(
+    schedule: Schedule,
+    constraint: "Predicate | Iterable[Iterable[str]] | None" = None,
+) -> ClassMembership:
+    """Membership of ``schedule`` in every class of Section 4.
+
+    ``constraint`` supplies the conjunct structure for the
+    predicate-wise classes; ``None`` means a single conjunct covering
+    every entity the schedule touches (under which the predicate-wise
+    classes collapse onto their base classes).
+    """
+    if constraint is None:
+        objects: "Predicate | Iterable[Iterable[str]]" = [
+            set(schedule.entities)
+        ]
+    else:
+        objects = constraint
+    normalized = normalize_objects(objects)
+    return ClassMembership(
+        csr=is_conflict_serializable(schedule),
+        vsr=is_view_serializable(schedule),
+        mvcsr=is_mv_conflict_serializable(schedule),
+        mvsr=is_mv_view_serializable(schedule),
+        pwcsr=is_predicatewise_conflict_serializable(schedule, normalized),
+        pwsr=is_predicatewise_serializable(schedule, normalized),
+        cpc=is_conflict_predicate_correct(schedule, normalized),
+        pc=is_predicate_correct(schedule, normalized),
+    )
+
+
+_CONTAINMENTS: tuple[tuple[str, str], ...] = (
+    ("csr", "vsr"),
+    ("vsr", "mvsr"),
+    ("csr", "mvcsr"),
+    ("mvcsr", "mvsr"),
+    ("csr", "pwcsr"),
+    ("pwcsr", "cpc"),
+    ("vsr", "pwsr"),
+    ("pwsr", "pc"),
+    ("mvcsr", "cpc"),
+    ("mvsr", "pc"),
+    ("pwcsr", "pwsr"),
+    ("cpc", "pc"),
+)
+
+
+def containment_violations(
+    membership: ClassMembership,
+) -> list[tuple[str, str]]:
+    """Inclusion laws violated by a membership vector (should be none).
+
+    Returns pairs ``(smaller, larger)`` where the schedule is in the
+    smaller class but not the larger — impossible if the testers are
+    correct, which is exactly what the property tests assert.
+    """
+    violations: list[tuple[str, str]] = []
+    values = {
+        "csr": membership.csr,
+        "vsr": membership.vsr,
+        "mvcsr": membership.mvcsr,
+        "mvsr": membership.mvsr,
+        "pwcsr": membership.pwcsr,
+        "pwsr": membership.pwsr,
+        "cpc": membership.cpc,
+        "pc": membership.pc,
+    }
+    for smaller, larger in _CONTAINMENTS:
+        if values[smaller] and not values[larger]:
+            violations.append((smaller, larger))
+    return violations
+
+
+def figure2_region(membership: ClassMembership) -> int:
+    """The Figure-2 region (1–9) a membership vector falls in.
+
+    The figure partitions schedules by {CSR, SR, MVCSR, PWCSR, CPC}
+    membership; precedence below makes the nine regions total and
+    disjoint:
+
+    9. CSR
+    8. (SR ∩ MVCSR ∩ PWCSR) − CSR
+    5. (SR ∩ MVCSR) − PWCSR
+    6. SR − MVCSR
+    4. (PWCSR ∩ MVCSR) − SR
+    3. PWCSR − (MVCSR ∪ SR)
+    7. MVCSR − (PWCSR ∪ SR)
+    2. CPC − (PWCSR ∪ MVCSR ∪ SR)
+    1. outside CPC
+    """
+    if membership.csr:
+        return 9
+    if membership.vsr and membership.mvcsr and membership.pwcsr:
+        return 8
+    if membership.vsr and membership.mvcsr:
+        return 5
+    if membership.vsr:
+        return 6
+    if membership.pwcsr and membership.mvcsr:
+        return 4
+    if membership.pwcsr:
+        return 3
+    if membership.mvcsr:
+        return 7
+    if membership.cpc:
+        return 2
+    return 1
+
+
+REGION_LABELS: dict[int, str] = {
+    1: "non-CPC",
+    2: "CPC − (PWCSR ∪ MVCSR ∪ ≺CSR ∪ SR)",
+    3: "PWCSR − (MVCSR ∪ ≺CSR ∪ SR)",
+    4: "(PWCSR ∩ MVCSR) − SR",
+    5: "SR − PWCSR",
+    6: "SR − MVCSR",
+    7: "MVCSR − PWCSR",
+    8: "(SR ∩ MVCSR) − CSR",
+    9: "CSR",
+}
+"""The paper's own labels for Figure 2's nine example regions."""

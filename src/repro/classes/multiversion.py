@@ -1,0 +1,133 @@
+"""Multiversion serializability — MVSR and MVCSR (Sections 4.2, 4.3).
+
+**MVSR.**  With multiple versions, a read may be served *any* retained
+version, so a mono-version schedule belongs to MVSR when some serial
+order π can be realized by a version function: every read of ``e`` by
+``t`` is served the version the serial schedule π would give it — the
+last π-predecessor writer of ``e`` (or ``t``'s own latest earlier
+write, or the initial version) — **provided that version already exists
+when the read occurs**.  The final state needs no check: all versions
+are retained, so the final read simply selects the serial order's last
+version (the paper's region-7 note — "if the final read is of the
+version created by t₂ …" — relies on exactly this).
+
+**MVCSR.**  The paper (following [Papadimitriou 1986]) notes the only
+remaining conflicts under multiple versions are *reads before writes*
+on the same item.  The test is acyclicity of the read-before-write
+graph; a transaction's reads of its own later-written entities impose
+no inter-transaction edge.
+"""
+
+from __future__ import annotations
+
+from itertools import permutations
+
+from ..schedules.schedule import Schedule
+from .graphs import has_cycle, topological_order
+
+
+def mv_conflict_graph(schedule: Schedule) -> dict[str, set[str]]:
+    """Read-before-write graph: edge ``A → B`` when ``A`` reads ``e``
+    and ``B`` later writes ``e`` (``A ≠ B``)."""
+    adjacency: dict[str, set[str]] = {
+        txn: set() for txn in schedule.transactions
+    }
+    ops = schedule.operations
+    for i, first in enumerate(ops):
+        if not first.is_read:
+            continue
+        for j in range(i + 1, len(ops)):
+            second = ops[j]
+            if (
+                second.is_write
+                and second.entity == first.entity
+                and second.txn != first.txn
+            ):
+                adjacency[first.txn].add(second.txn)
+    return adjacency
+
+
+def is_mv_conflict_serializable(schedule: Schedule) -> bool:
+    """MVCSR membership: the read-before-write graph is acyclic."""
+    return not has_cycle(mv_conflict_graph(schedule))
+
+
+def mv_conflict_serialization_order(
+    schedule: Schedule,
+) -> tuple[str, ...] | None:
+    """A serial order witnessing MVCSR membership, or ``None``."""
+    order = topological_order(mv_conflict_graph(schedule))
+    if order is None:
+        return None
+    return tuple(order)
+
+
+def _serial_read_ok(
+    schedule: Schedule,
+    order_position: dict[str, int],
+    read_index: int,
+) -> bool:
+    """Can the read at ``read_index`` be served its serial version?
+
+    The serial order is given by ``order_position``.  The required
+    *writer* is: the reader itself if it wrote the entity earlier;
+    otherwise the reader's closest serial predecessor writing the
+    entity; otherwise the initial pseudo-transaction.  Availability
+    means **some** version authored by that writer already exists when
+    the read occurs — view equivalence is at transaction granularity
+    (a read "from t₁" may observe any of t₁'s versions of the item),
+    so the version function may serve any retained one.
+    """
+    ops = schedule.operations
+    read = ops[read_index]
+    # Own earlier write?  Serial semantics read it; it trivially exists.
+    for i in range(read_index - 1, -1, -1):
+        op = ops[i]
+        if op.txn == read.txn and op.is_write and op.entity == read.entity:
+            return True
+    # Closest serial predecessor writing the entity.
+    reader_pos = order_position[read.txn]
+    best_txn: str | None = None
+    best_pos = -1
+    for txn, pos in order_position.items():
+        if txn == read.txn or pos >= reader_pos:
+            continue
+        if any(
+            op.is_write and op.entity == read.entity
+            for op in schedule.program(txn)
+        ):
+            if pos > best_pos:
+                best_pos = pos
+                best_txn = txn
+    if best_txn is None:
+        return True  # initial version, always available
+    # Some version by the required writer must exist by read time.
+    return any(
+        op.txn == best_txn and op.is_write and op.entity == read.entity
+        for op in ops[:read_index]
+    )
+
+
+def mv_view_serialization_order(
+    schedule: Schedule,
+) -> tuple[str, ...] | None:
+    """A serial order realizable by some version function, or ``None``.
+
+    Exhaustive over serial orders (the polynomial test for general
+    MVSR does not exist unless P = NP; recognition is NP-complete).
+    """
+    ops = schedule.operations
+    read_indices = [i for i, op in enumerate(ops) if op.is_read]
+    for order in permutations(schedule.transactions):
+        order_position = {txn: pos for pos, txn in enumerate(order)}
+        if all(
+            _serial_read_ok(schedule, order_position, index)
+            for index in read_indices
+        ):
+            return order
+    return None
+
+
+def is_mv_view_serializable(schedule: Schedule) -> bool:
+    """MVSR membership (exhaustive)."""
+    return mv_view_serialization_order(schedule) is not None

@@ -1,0 +1,195 @@
+"""Partial-order serializability — ≺SR and ≺CSR (Section 4.2).
+
+In the standard model each transaction is a *total* order of
+operations.  Partial-order serializability lets a transaction's
+implementation be a partial order on its operations: the transaction
+executes correctly under **any** linearization of that order, so the
+transaction manager may choose among linearizations (e.g. touch an
+unlocked item first).
+
+Two consequences matter, both implemented here:
+
+* **Membership of an observed schedule.**  An observed (totally
+  ordered) schedule is in ≺CSR iff it is conflict equivalent to a
+  serial schedule whose per-transaction operation orders linearize the
+  declared partial orders.  Since the observed schedule already ran
+  each transaction in one such linearization, over totally-ordered
+  observations ≺CSR coincides with CSR — the class is *larger as a set
+  of partial-order schedules*, not as a filter on a fixed interleaving.
+  :func:`is_partial_order_conflict_serializable` checks both the
+  conflict-graph condition and that the observation really linearizes
+  the declared orders.
+
+* **The concurrency gain.**  The enlargement is the set of
+  *admissible* interleavings: each transaction contributes every
+  linearization of its DAG.  :func:`admissible_interleavings` and
+  :func:`admissibility_gain` quantify this (used by the ≺SR census
+  benchmark).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import factorial
+from typing import Iterator, Mapping, Sequence
+
+from ..core.orders import PartialOrder
+from ..errors import ScheduleError
+from ..schedules.generator import interleavings
+from ..schedules.operations import Operation
+from ..schedules.schedule import Schedule
+from .conflict import is_conflict_serializable
+from .view import is_view_serializable
+
+
+@dataclass(frozen=True)
+class PartialOrderProgram:
+    """A transaction whose operations form a DAG, not a sequence.
+
+    ``order`` relates operation *indices* into ``operations``.
+    """
+
+    txn: str
+    operations: tuple[Operation, ...]
+    order: PartialOrder[int]
+
+    def __post_init__(self) -> None:
+        if not self.operations:
+            raise ScheduleError(f"transaction {self.txn} has no operations")
+        if self.order.elements != frozenset(range(len(self.operations))):
+            raise ScheduleError(
+                f"transaction {self.txn}: order must cover exactly the "
+                "operation indices"
+            )
+        for op in self.operations:
+            if op.txn != self.txn:
+                raise ScheduleError(
+                    f"operation {op} does not belong to {self.txn}"
+                )
+
+    @classmethod
+    def sequential(
+        cls, txn: str, operations: Sequence[Operation]
+    ) -> "PartialOrderProgram":
+        """A standard totally-ordered program."""
+        ops = tuple(operations)
+        return cls(txn, ops, PartialOrder.total(range(len(ops))))
+
+    @classmethod
+    def unordered(
+        cls, txn: str, operations: Sequence[Operation]
+    ) -> "PartialOrderProgram":
+        """A fully parallel program (empty order)."""
+        ops = tuple(operations)
+        return cls(txn, ops, PartialOrder.empty(range(len(ops))))
+
+    def linearizations(self) -> Iterator[tuple[Operation, ...]]:
+        """All admissible sequential forms of this transaction."""
+        for indices in self.order.linearizations():
+            yield tuple(self.operations[i] for i in indices)
+
+    def linearization_count(self) -> int:
+        return sum(1 for _ in self.order.linearizations())
+
+    def admits(self, sequence: Sequence[Operation]) -> bool:
+        """Is ``sequence`` a linearization of this program?
+
+        Handles repeated identical operations by matching positions
+        greedily.
+        """
+        if len(sequence) != len(self.operations):
+            return False
+        used: set[int] = set()
+        chosen: list[int] = []
+        for op in sequence:
+            match = next(
+                (
+                    i
+                    for i, candidate in enumerate(self.operations)
+                    if i not in used and candidate == op
+                ),
+                None,
+            )
+            if match is None:
+                return False
+            used.add(match)
+            chosen.append(match)
+        return self.order.is_linearized_by(chosen)
+
+
+def observed_linearizes(
+    schedule: Schedule, programs: Mapping[str, PartialOrderProgram]
+) -> bool:
+    """Does the observed schedule run each txn in an admissible order?"""
+    for txn in schedule.transactions:
+        program = programs.get(txn)
+        if program is None:
+            return False
+        if not program.admits(schedule.program(txn)):
+            return False
+    return True
+
+
+def is_partial_order_conflict_serializable(
+    schedule: Schedule, programs: Mapping[str, PartialOrderProgram]
+) -> bool:
+    """≺CSR membership of an observed schedule.
+
+    The observation must linearize every declared partial order, and
+    its transaction-level conflict graph must be acyclic.
+    """
+    return observed_linearizes(schedule, programs) and (
+        is_conflict_serializable(schedule)
+    )
+
+
+def is_partial_order_view_serializable(
+    schedule: Schedule, programs: Mapping[str, PartialOrderProgram]
+) -> bool:
+    """≺SR membership of an observed schedule (exhaustive)."""
+    return observed_linearizes(schedule, programs) and (
+        is_view_serializable(schedule)
+    )
+
+
+def admissible_interleavings(
+    programs: Mapping[str, PartialOrderProgram],
+) -> Iterator[Schedule]:
+    """Every interleaving of every linearization combination.
+
+    This is the admissible-schedule set of a partial-order transaction
+    system — the quantity ≺SR enlarges relative to the standard model.
+    Exponential; intended for census-scale inputs.
+    """
+    txns = sorted(programs)
+
+    def expand(index: int, chosen: dict[str, tuple[Operation, ...]]) -> Iterator[Schedule]:
+        if index == len(txns):
+            yield from interleavings(dict(chosen))
+            return
+        txn = txns[index]
+        for linear in programs[txn].linearizations():
+            chosen[txn] = linear
+            yield from expand(index + 1, chosen)
+            del chosen[txn]
+
+    return expand(0, {})
+
+
+def admissibility_gain(
+    programs: Mapping[str, PartialOrderProgram],
+) -> tuple[int, int]:
+    """(partial-order admissible count, totally-ordered count).
+
+    The totally-ordered count fixes each transaction to one arbitrary
+    linearization — the standard model's view of the same workload.
+    The ratio is the concurrency enlargement ≺SR provides.
+    """
+    total_ops = sum(len(p.operations) for p in programs.values())
+    base = factorial(total_ops)
+    for program in programs.values():
+        base //= factorial(len(program.operations))
+    combos = 1
+    for program in programs.values():
+        combos *= program.linearization_count()
+    return combos * base, base

@@ -1,0 +1,88 @@
+"""The combined classes PC and CPC (Sections 4.2, 4.3).
+
+**CPC (conflict predicate correct)** combines every extension at the
+*conflict* level: multiple versions shrink conflicts to
+read-before-write pairs, and the predicate decomposes the schedule per
+conjunct.  The paper's efficient test, implemented literally: build one
+read-before-write graph per conjunct (an arc ``A → B`` only when the
+shared item is in that conjunct) and require all graphs acyclic —
+"testing for acyclicity is efficient for 1 graph, it remains efficient
+for n graphs".
+
+**PC (predicate correct)** is the view-level analogue: every conjunct
+projection must be multiversion *view* serializable.  Its recognition
+problem is NP-complete (the paper notes this), and the implementation
+is accordingly exhaustive per conjunct.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..core.predicates import Predicate
+from ..schedules.schedule import Schedule
+from .graphs import has_cycle
+from .multiversion import is_mv_view_serializable
+from .predicatewise import conjunct_projections, normalize_objects
+
+
+def cpc_graphs(
+    schedule: Schedule,
+    constraint: "Predicate | Iterable[Iterable[str]]",
+) -> dict[frozenset[str], dict[str, set[str]]]:
+    """One read-before-write graph per conjunct (the CPC test graphs).
+
+    Nodes are all transactions of the schedule; an arc ``A → B`` is
+    drawn when ``A`` reads an item, ``B`` later writes that item, and
+    the item belongs to the conjunct.
+    """
+    graphs: dict[frozenset[str], dict[str, set[str]]] = {}
+    ops = schedule.operations
+    for obj in normalize_objects(constraint):
+        adjacency: dict[str, set[str]] = {
+            txn: set() for txn in schedule.transactions
+        }
+        for i, first in enumerate(ops):
+            if not first.is_read or first.entity not in obj:
+                continue
+            for j in range(i + 1, len(ops)):
+                second = ops[j]
+                if (
+                    second.is_write
+                    and second.entity == first.entity
+                    and second.txn != first.txn
+                ):
+                    adjacency[first.txn].add(second.txn)
+        graphs[obj] = adjacency
+    return graphs
+
+
+def is_conflict_predicate_correct(
+    schedule: Schedule,
+    constraint: "Predicate | Iterable[Iterable[str]]",
+) -> bool:
+    """CPC membership: every per-conjunct rw-graph is acyclic.
+
+    This is the paper's polynomial recognition procedure for its
+    broadest efficient class.
+    """
+    return all(
+        not has_cycle(adjacency)
+        for adjacency in cpc_graphs(schedule, constraint).values()
+    )
+
+
+def is_predicate_correct(
+    schedule: Schedule,
+    constraint: "Predicate | Iterable[Iterable[str]]",
+) -> bool:
+    """PC membership: every conjunct projection is in MVSR.
+
+    NP-complete in general — exhaustive over serial orders per
+    conjunct, usable on paper-scale schedules only (which is the
+    point; CPC is the efficient restriction).
+    """
+    return all(
+        is_mv_view_serializable(projected)
+        for _, projected in conjunct_projections(schedule, constraint)
+    )

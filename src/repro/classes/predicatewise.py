@@ -1,0 +1,91 @@
+"""Predicate-wise serializability — PWSR and PWCSR (Sections 4.2, 4.3).
+
+If the database consistency constraint is in CNF, consistency is
+preserved by enforcing serializability **only among data items sharing
+a conjunct** — the serialization orders of different conjuncts need not
+agree (the paper's Example 2 / 3.a / 3.b).  Formally, for each object
+``x_i`` (the entity set of one conjunct), project the schedule onto
+operations on ``x_i`` and require the projection to be serializable:
+view serializability for PWSR, conflict serializability for PWCSR.
+
+Entities mentioned by no conjunct are unconstrained: the consistency
+constraint says nothing about them, so operations on them are dropped.
+The paper explicitly assumes a non-empty constraint ("for such a
+database, any schedule would preserve consistency").
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from ..core.predicates import Predicate
+from ..errors import ScheduleError
+from ..schedules.schedule import Schedule
+from .conflict import is_conflict_serializable
+from .view import is_view_serializable
+
+Objects = Sequence[frozenset[str]]
+"""The constraint's objects: one entity set per conjunct."""
+
+
+def normalize_objects(
+    constraint: "Predicate | Iterable[Iterable[str]]",
+) -> tuple[frozenset[str], ...]:
+    """Extract objects from a predicate or raw entity-set collection.
+
+    Accepts either a CNF :class:`Predicate` (objects are its conjunct
+    entity sets) or an explicit iterable of entity sets, which is
+    convenient in tests and the census where only the *shape* of the
+    constraint matters.
+    """
+    if isinstance(constraint, Predicate):
+        objects = tuple(
+            obj for obj in constraint.objects() if obj
+        )
+    else:
+        objects = tuple(frozenset(group) for group in constraint)
+    if not objects:
+        raise ScheduleError(
+            "predicate-wise classes need a non-empty constraint "
+            "(the paper assumes every database has one)"
+        )
+    return objects
+
+
+def conjunct_projections(
+    schedule: Schedule,
+    constraint: "Predicate | Iterable[Iterable[str]]",
+) -> list[tuple[frozenset[str], Schedule]]:
+    """The per-conjunct projections of a schedule (Examples 3.a/3.b)."""
+    projections: list[tuple[frozenset[str], Schedule]] = []
+    for obj in normalize_objects(constraint):
+        projected = schedule.project_entities(obj)
+        if projected is not None:
+            projections.append((obj, projected))
+    return projections
+
+
+def is_predicatewise_serializable(
+    schedule: Schedule,
+    constraint: "Predicate | Iterable[Iterable[str]]",
+) -> bool:
+    """PWSR: every conjunct projection is view serializable.
+
+    Exponential per projection (view serializability is NP-complete);
+    the polynomial workhorse is :func:`is_predicatewise_conflict_serializable`.
+    """
+    return all(
+        is_view_serializable(projected)
+        for _, projected in conjunct_projections(schedule, constraint)
+    )
+
+
+def is_predicatewise_conflict_serializable(
+    schedule: Schedule,
+    constraint: "Predicate | Iterable[Iterable[str]]",
+) -> bool:
+    """PWCSR: every conjunct projection is conflict serializable."""
+    return all(
+        is_conflict_serializable(projected)
+        for _, projected in conjunct_projections(schedule, constraint)
+    )

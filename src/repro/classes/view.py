@@ -1,0 +1,111 @@
+"""View serializability — the class SR (Sections 4 and 4.1).
+
+A schedule is view serializable when it is view equivalent to some
+serial schedule: same transactions, every read observes the same
+writer, and every entity has the same final writer.  Recognition is
+NP-complete [Papadimitriou 1979], and the implementation here is the
+honest exhaustive test over all serial orders — fine for the ≤ 8
+transaction schedules the paper's examples and our census use.
+
+The module also implements Lemma 3: the four conditions under which an
+execution ``(R, X)`` of the paper's model is view serializable.
+"""
+
+from __future__ import annotations
+
+from itertools import permutations
+
+from ..core.execution import Execution
+from ..core.states import VersionState
+from ..schedules.schedule import Schedule
+
+
+def is_view_serializable(schedule: Schedule) -> bool:
+    """SR membership by exhaustive comparison with serial schedules."""
+    return view_serialization_order(schedule) is not None
+
+
+def view_serialization_order(
+    schedule: Schedule,
+) -> tuple[str, ...] | None:
+    """A serial order the schedule is view equivalent to, or ``None``."""
+    for order, serial in schedule.serializations():
+        if schedule.view_equivalent(serial):
+            return order
+    return None
+
+
+def count_view_serial_orders(schedule: Schedule) -> int:
+    """How many serial orders the schedule is view equivalent to.
+
+    Used by the census to distinguish "rigid" schedules (exactly one
+    witnessing order) from flexible ones.
+    """
+    return sum(
+        1
+        for _, serial in schedule.serializations()
+        if schedule.view_equivalent(serial)
+    )
+
+
+# ---------------------------------------------------------------------------
+# Lemma 3 — view serializability of model executions
+# ---------------------------------------------------------------------------
+
+
+def lemma3_view_serialization(
+    execution: Execution,
+) -> tuple[str, ...] | None:
+    """Find a Lemma-3 witness order for an execution, or ``None``.
+
+    Lemma 3's conditions, checked literally:
+
+    1. the database system conforms to the standard model — callers are
+       responsible for building standard-model executions (the function
+       itself only needs conditions 2–4);
+    2. every transaction participates in ``R`` (has some successor and
+       some predecessor);
+    3. there is a bijection ``f : T → {0, …, |T|−1}`` such that
+       ``f(t_i) < f(t_j)`` implies ``(t_j, t_i) ∉ R``;
+    4. consecutive transactions chain their states:
+       ``f(t_i) = f(t_j) + 1`` implies ``X(t_i) = t_j(X(t_j))``.
+
+    Returns the witnessing order of transaction names.
+    """
+    children = list(execution.transaction.child_names)
+    relation = execution.reads_from
+
+    # Condition 2: no isolated transactions.
+    for child in children:
+        has_successor = any(a == child for (a, b) in relation)
+        has_predecessor = any(b == child for (a, b) in relation)
+        if not (has_successor or has_predecessor) and len(children) > 1:
+            return None
+
+    results = execution.results()
+    for order in permutations(children):
+        # Condition 3: f must not order any R pair backwards.
+        position = {name: index for index, name in enumerate(order)}
+        if any(
+            position[a] > position[b]
+            for (a, b) in relation
+            if a in position and b in position
+        ):
+            continue
+        # Condition 4: consecutive chaining of version states.
+        chained = True
+        for index in range(len(order) - 1):
+            previous, current = order[index], order[index + 1]
+            expected = results[previous]
+            actual: VersionState = execution.input_state(current)
+            if actual.as_dict() != expected.as_dict():
+                chained = False
+                break
+        if chained:
+            return tuple(str(name) for name in order)
+    return None
+
+
+def execution_is_view_serializable(execution: Execution) -> bool:
+    """Does the execution satisfy Lemma 3's conditions for some ``f``?"""
+    return lemma3_view_serialization(execution) is not None

@@ -1,0 +1,222 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Subcommands:
+
+* ``classify`` — classify a schedule into the Section-4 classes;
+* ``examples`` — verify the paper's worked examples;
+* ``census`` — the Figure-2 census (exhaustive or random);
+* ``admission`` — the admitted-interleavings ladder (D1);
+* ``showdown`` — the P1 scheduler comparison on a CAD workload;
+* ``dot`` — export a schedule's precedence graphs as Graphviz DOT.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+
+def _parse_objects(text: str | None, schedule) -> list[set[str]]:
+    """Parse ``"x,y;z"`` into conjunct objects; default = one conjunct."""
+    if not text:
+        return [set(schedule.entities)]
+    groups = []
+    for chunk in text.split(";"):
+        names = {name.strip() for name in chunk.split(",") if name.strip()}
+        if names:
+            groups.append(names)
+    return groups or [set(schedule.entities)]
+
+
+def _cmd_classify(args: argparse.Namespace) -> int:
+    from .analysis import text_table
+    from .classes import REGION_LABELS, classify, figure2_region
+    from .schedules import Schedule
+
+    schedule = Schedule.parse(args.schedule)
+    objects = _parse_objects(args.objects, schedule)
+    membership = classify(schedule, objects)
+    region = figure2_region(membership)
+    print(f"schedule:  {schedule}")
+    print(f"objects:   {[sorted(group) for group in objects]}")
+    rows = [
+        {"class": name, "member": "yes" if member else "no"}
+        for name, member in membership.as_dict().items()
+    ]
+    print(text_table(rows))
+    print(f"Figure-2 region: {region} ({REGION_LABELS[region]})")
+    return 0
+
+
+def _cmd_examples(args: argparse.Namespace) -> int:
+    from .analysis import text_table
+    from .classes import ALL_EXAMPLES
+
+    rows = []
+    failures = 0
+    for example in ALL_EXAMPLES:
+        bad = example.check()
+        failures += len(bad)
+        rows.append(
+            {
+                "example": example.name,
+                "region": example.region(),
+                "status": "OK" if not bad else "; ".join(bad),
+            }
+        )
+    print(text_table(rows))
+    return 1 if failures else 0
+
+
+def _cmd_census(args: argparse.Namespace) -> int:
+    from .analysis import (
+        census_of_programs,
+        census_of_random_schedules,
+        example1_programs,
+        region_report,
+    )
+
+    if args.random:
+        result = census_of_random_schedules(
+            args.random,
+            num_transactions=args.transactions,
+            ops_per_transaction=args.ops,
+            entities=("x", "y"),
+            objects=[{"x"}, {"y"}],
+            seed=args.seed,
+        )
+        print(
+            f"random census: {result.total} schedules "
+            f"({args.transactions} txns x {args.ops} ops)"
+        )
+    else:
+        result = census_of_programs(
+            example1_programs(), [{"x"}, {"y"}]
+        )
+        print("exhaustive census of Example 1's programs")
+    print(region_report(result.by_region))
+    print(f"containment violations: {result.containment_failures}")
+    print("strict gains:")
+    for label, gain in result.strict_gains().items():
+        print(f"  {label:14s} {gain}")
+    return 1 if result.containment_failures else 0
+
+
+def _cmd_admission(args: argparse.Namespace) -> int:
+    from .analysis import admission_report, example1_programs, text_table
+
+    result = admission_report(example1_programs(), [{"x"}, {"y"}])
+    print(
+        f"admitted interleavings per criterion "
+        f"({result.total} interleavings of Example 1's programs)"
+    )
+    print(text_table(result.rows()))
+    return 0
+
+
+def _cmd_showdown(args: argparse.Namespace) -> int:
+    from .sim import cad_workload, compare_schedulers, metrics_table
+
+    workload = cad_workload(
+        num_designers=args.designers,
+        think_time=args.think,
+        seed=args.seed,
+    )
+    print(f"workload: {workload.name}")
+    print(metrics_table(compare_schedulers(workload, seed=args.seed)))
+    return 0
+
+
+def _cmd_dot(args: argparse.Namespace) -> int:
+    from .classes.export import (
+        conflict_graph_dot,
+        cpc_graphs_dot,
+        mv_conflict_graph_dot,
+    )
+    from .schedules import Schedule
+
+    schedule = Schedule.parse(args.schedule)
+    if args.graph == "conflict":
+        print(conflict_graph_dot(schedule))
+    elif args.graph == "mv":
+        print(mv_conflict_graph_dot(schedule))
+    else:
+        objects = _parse_objects(args.objects, schedule)
+        print(cpc_graphs_dot(schedule, objects))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Korth & Speegle (SIGMOD 1988), 'Formal Model of "
+            "Correctness Without Serializability' — reproduction tools"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    classify = sub.add_parser(
+        "classify", help="classify a schedule into the Section-4 classes"
+    )
+    classify.add_argument(
+        "schedule", help='e.g. "r1(x) w1(x) r2(x) r2(y) w2(y)"'
+    )
+    classify.add_argument(
+        "--objects",
+        help='conjunct objects, e.g. "x;y" or "x,y;z" (default: one conjunct)',
+    )
+    classify.set_defaults(func=_cmd_classify)
+
+    examples = sub.add_parser(
+        "examples", help="verify the paper's worked examples"
+    )
+    examples.set_defaults(func=_cmd_examples)
+
+    census = sub.add_parser("census", help="the Figure-2 census")
+    census.add_argument(
+        "--random", type=int, default=0,
+        help="classify N random schedules instead of the exhaustive census",
+    )
+    census.add_argument("--transactions", type=int, default=3)
+    census.add_argument("--ops", type=int, default=3)
+    census.add_argument("--seed", type=int, default=0)
+    census.set_defaults(func=_cmd_census)
+
+    admission = sub.add_parser(
+        "admission", help="the admitted-interleavings ladder (D1)"
+    )
+    admission.set_defaults(func=_cmd_admission)
+
+    showdown = sub.add_parser(
+        "showdown", help="the P1 scheduler comparison"
+    )
+    showdown.add_argument("--designers", type=int, default=6)
+    showdown.add_argument("--think", type=float, default=100.0)
+    showdown.add_argument("--seed", type=int, default=3)
+    showdown.set_defaults(func=_cmd_showdown)
+
+    dot = sub.add_parser(
+        "dot", help="export precedence graphs as Graphviz DOT"
+    )
+    dot.add_argument("schedule")
+    dot.add_argument(
+        "--graph",
+        choices=("conflict", "mv", "cpc"),
+        default="conflict",
+    )
+    dot.add_argument("--objects")
+    dot.set_defaults(func=_cmd_dot)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

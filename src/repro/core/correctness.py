@@ -1,0 +1,270 @@
+"""Deciding and constructing correct executions (Sections 3.1–3.2).
+
+Two problems from the paper live here:
+
+* **checking** — given a complete execution ``(R, X)``, is it valid,
+  parent-based, and correct?  (Polynomial; see
+  :func:`check_execution`.)
+* **searching** — given a transaction and an initial state, does a
+  correct ``(R, X)`` *exist*?  Theorem 1 proves this NP-complete, and
+  :func:`find_correct_execution` is the honest exponential search:
+  it enumerates linearizations of the children consistent with ``P``
+  and, along each, backtracks over version assignments satisfying each
+  child's input constraint.
+
+The search maintains a *version pool*: for each entity, the values
+available so far (the parent's input value plus the outputs of the
+children already placed), with the authoring children recorded so the
+resulting ``R`` edges witness parent-basedness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+from .execution import Execution, ParentSource, source_provides
+from .naming import TxnName
+from .states import DatabaseState, UniqueState, VersionState
+from .transactions import NestedTransaction
+
+
+@dataclass(frozen=True)
+class CheckReport:
+    """Outcome of checking one execution against the model's rules."""
+
+    valid: bool
+    parent_based: bool
+    correct: bool
+    reasons: tuple[str, ...]
+
+    @property
+    def ok(self) -> bool:
+        """All three properties hold."""
+        return self.valid and self.parent_based and self.correct
+
+
+def check_execution(
+    execution: Execution, parent_input: ParentSource
+) -> CheckReport:
+    """Check validity, parent-basedness, and correctness in one pass.
+
+    This is the polynomial *verification* side of Theorem 1: a given
+    ``(R, X)`` certificate is easy to check even though finding one is
+    NP-complete.
+    """
+    reasons: list[str] = []
+    valid = execution.is_valid()
+    if not valid:
+        reasons.append("R reverses a pair of P+ (invalid execution)")
+    violations = execution.parent_based_violations(parent_input)
+    parent_based = not violations
+    for child, entity in violations:
+        reasons.append(
+            f"X({child})({entity}) comes from neither the parent "
+            "nor an R-predecessor"
+        )
+    final_bad = execution.final_state_violations(parent_input)
+    if final_bad:
+        parent_based = False
+        reasons.append(
+            f"final state entities {sorted(final_bad)} have no provenance"
+        )
+    correct = execution.is_correct()
+    reasons.extend(execution.incorrectness_witnesses())
+    return CheckReport(valid, parent_based, correct, tuple(reasons))
+
+
+class _VersionPool:
+    """Per-entity available values with their authors, during search.
+
+    The pool is seeded from the parent source: a single version state
+    for nested executions, or every retained initial version for the
+    root (the pseudo-transaction ``t_0`` authors them all).
+    """
+
+    def __init__(self, source: ParentSource) -> None:
+        # entity -> value -> list of authoring children (None = parent)
+        self._authors: dict[str, dict[int, list[TxnName | None]]] = {}
+        if isinstance(source, DatabaseState):
+            for entity in source.schema.names:
+                self._authors[entity] = {
+                    value: [None] for value in source.versions_of(entity)
+                }
+        else:
+            for entity in source:
+                self._authors[entity] = {source[entity]: [None]}
+
+    def candidates(self, entity: str) -> list[int]:
+        return sorted(self._authors[entity])
+
+    def authors_of(self, entity: str, value: int) -> list[TxnName | None]:
+        return list(self._authors[entity].get(value, ()))
+
+    def add_result(self, child: TxnName, result: UniqueState) -> None:
+        for entity in result:
+            self._authors[entity].setdefault(result[entity], []).append(
+                child
+            )
+
+    def remove_result(self, child: TxnName, result: UniqueState) -> None:
+        for entity in result:
+            authors = self._authors[entity][result[entity]]
+            authors.remove(child)
+            if not authors:
+                del self._authors[entity][result[entity]]
+
+    def candidate_map(
+        self, entities: Sequence[str]
+    ) -> dict[str, list[int]]:
+        return {entity: self.candidates(entity) for entity in entities}
+
+
+def _reads_from_edges(
+    child: TxnName,
+    state: VersionState,
+    source: ParentSource,
+    pool: _VersionPool,
+) -> set[tuple[TxnName, TxnName]]:
+    """R edges witnessing that ``child``'s state is parent-based."""
+    edges: set[tuple[TxnName, TxnName]] = set()
+    for entity in state:
+        value = state[entity]
+        if source_provides(source, entity, value):
+            continue
+        authors = [
+            author
+            for author in pool.authors_of(entity, value)
+            if author is not None
+        ]
+        # The pool only ever offers parent or prior-child values, so a
+        # non-parent value always has at least one child author.
+        edges.add((authors[0], child))
+    return edges
+
+
+def iter_correct_executions(
+    transaction: NestedTransaction,
+    initial: DatabaseState,
+    parent_input: VersionState | None = None,
+) -> Iterator[Execution]:
+    """Enumerate correct, parent-based executions (exponential search).
+
+    For every linearization of the children consistent with ``P``, the
+    search assigns each child a version state drawn from the current
+    version pool and satisfying its input constraint, backtracking over
+    the (possibly many) satisfying assignments.  After placing all
+    children it looks for a final state satisfying ``O_t``.
+
+    When ``parent_input`` is ``None`` the transaction is treated as the
+    **root**: children may read any retained version of ``initial``
+    (the pseudo-transaction ``t_0`` is everyone's R-predecessor).  Pass
+    an explicit parent version state when embedding this execution
+    under a larger one.
+    """
+    schema = transaction.schema
+    source: ParentSource
+    if parent_input is None:
+        if not transaction.input_constraint.is_satisfiable_over(initial):
+            return
+        source = initial
+    else:
+        source = parent_input
+
+    def default_value(name: str) -> int:
+        if isinstance(source, DatabaseState):
+            return min(source.versions_of(name))
+        return source[name]
+
+    children = list(transaction.child_names)
+    entity_names = list(schema.names)
+
+    for linearization in transaction.order.linearizations():
+        pool = _VersionPool(source)
+        assignment: dict[TxnName, VersionState] = {}
+        edges: dict[TxnName, set[tuple[TxnName, TxnName]]] = {}
+        results: dict[TxnName, UniqueState] = {}
+
+        def place(index: int) -> Iterator[Execution]:
+            if index == len(children):
+                yield from finish()
+                return
+            child_name = linearization[index]
+            child = transaction.child(child_name)
+            relevant = sorted(child.input_constraint.entities())
+            candidates = pool.candidate_map(relevant)
+            for partial in child.input_constraint.iter_satisfying_assignments(
+                candidates
+            ):
+                # Entities the input constraint does not mention read
+                # a parent-provided value, which is always available
+                # and trivially parent-based.
+                values = {
+                    name: default_value(name) for name in entity_names
+                }
+                values.update(partial)
+                state = VersionState(schema, values)
+                assignment[child_name] = state
+                edges[child_name] = _reads_from_edges(
+                    child_name, state, source, pool
+                )
+                result = child.apply(state)
+                results[child_name] = result
+                pool.add_result(child_name, result)
+                yield from place(index + 1)
+                pool.remove_result(child_name, result)
+                del results[child_name]
+                del edges[child_name]
+                del assignment[child_name]
+
+        def finish() -> Iterator[Execution]:
+            output_entities = sorted(
+                transaction.output_condition.entities()
+            )
+            final_partial = (
+                transaction.output_condition.find_satisfying_assignment(
+                    pool.candidate_map(output_entities)
+                )
+            )
+            if final_partial is None:
+                return
+            final_values = {
+                name: default_value(name) for name in entity_names
+            }
+            final_values.update(final_partial)
+            final_state = VersionState(schema, final_values)
+            reads_from: set[tuple[TxnName, TxnName]] = set()
+            for edge_set in edges.values():
+                reads_from |= edge_set
+            yield Execution(
+                transaction,
+                initial,
+                reads_from,
+                dict(assignment),
+                final_state,
+            )
+
+        yield from place(0)
+
+
+def find_correct_execution(
+    transaction: NestedTransaction,
+    initial: DatabaseState,
+    parent_input: VersionState | None = None,
+) -> Execution | None:
+    """First correct execution found, or ``None`` (Theorem 1 search)."""
+    return next(
+        iter_correct_executions(transaction, initial, parent_input), None
+    )
+
+
+def has_correct_execution(
+    transaction: NestedTransaction,
+    initial: DatabaseState,
+    parent_input: VersionState | None = None,
+) -> bool:
+    """Decision form of the Theorem-1 problem."""
+    return (
+        find_correct_execution(transaction, initial, parent_input)
+        is not None
+    )

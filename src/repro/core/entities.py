@@ -1,0 +1,203 @@
+"""Entities, domains, and database schemas (paper Section 3.1).
+
+The paper starts from a set ``E`` of *entities*, each with a *domain*
+``dom(e)`` of permissible values.  This module provides:
+
+* :class:`Domain` — an immutable description of a value domain, either a
+  finite enumeration or an integer interval.
+* :class:`Entity` — a named entity bound to a domain.
+* :class:`Schema` — the set ``E``: an immutable collection of entities,
+  the universe over which states, predicates, and transactions operate.
+
+Domains are deliberately first-class: the NP-completeness reduction of
+Lemma 1 relies on binary domains ``{0, 1}``, while the CAD-style
+examples use larger integer ranges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Mapping
+
+from ..errors import DomainError, SchemaError, UnknownEntityError
+
+Value = int
+"""Entity values are integers throughout the library.
+
+The paper's model is agnostic to the value type; integers keep states
+hashable and make predicate atoms (comparisons) total.  Design-style
+payloads can be modelled as integer surrogate keys.
+"""
+
+
+@dataclass(frozen=True)
+class Domain:
+    """An immutable domain of permissible integer values.
+
+    A domain is either a *finite enumeration* (``values`` is non-None)
+    or an *interval* ``[low, high]`` (inclusive).  The classic boolean
+    domain used by the SAT reduction is :meth:`Domain.boolean`.
+    """
+
+    low: int | None = None
+    high: int | None = None
+    values: frozenset[int] | None = None
+
+    def __post_init__(self) -> None:
+        if self.values is None:
+            if self.low is None or self.high is None:
+                raise DomainError("interval domain requires low and high")
+            if self.low > self.high:
+                raise DomainError(
+                    f"empty interval domain [{self.low}, {self.high}]"
+                )
+        elif not self.values:
+            raise DomainError("enumerated domain must be non-empty")
+
+    @classmethod
+    def boolean(cls) -> "Domain":
+        """The two-valued domain {0, 1} used in the Lemma-1 reduction."""
+        return cls(values=frozenset({0, 1}))
+
+    @classmethod
+    def interval(cls, low: int, high: int) -> "Domain":
+        """All integers in ``[low, high]`` inclusive."""
+        return cls(low=low, high=high)
+
+    @classmethod
+    def enumerated(cls, values: Iterable[int]) -> "Domain":
+        """An explicit finite set of values."""
+        return cls(values=frozenset(values))
+
+    def __contains__(self, value: object) -> bool:
+        if not isinstance(value, int) or isinstance(value, bool):
+            return False
+        if self.values is not None:
+            return value in self.values
+        assert self.low is not None and self.high is not None
+        return self.low <= value <= self.high
+
+    def __len__(self) -> int:
+        if self.values is not None:
+            return len(self.values)
+        assert self.low is not None and self.high is not None
+        return self.high - self.low + 1
+
+    def __iter__(self) -> Iterator[int]:
+        if self.values is not None:
+            return iter(sorted(self.values))
+        assert self.low is not None and self.high is not None
+        return iter(range(self.low, self.high + 1))
+
+    def sample(self) -> int:
+        """An arbitrary (smallest) member, useful as a default value."""
+        return next(iter(self))
+
+
+@dataclass(frozen=True)
+class Entity:
+    """A named database entity with its domain ``dom(e)``."""
+
+    name: str
+    domain: Domain = field(default_factory=Domain.boolean)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SchemaError("entity name must be non-empty")
+
+    def validate(self, value: int) -> None:
+        """Raise :class:`DomainError` unless ``value`` is in the domain."""
+        if value not in self.domain:
+            raise DomainError(
+                f"value {value!r} outside dom({self.name})"
+            )
+
+
+class Schema(Mapping[str, Entity]):
+    """The entity universe ``E`` — an immutable name → entity mapping.
+
+    A :class:`Schema` behaves as a read-only mapping from entity names
+    to :class:`Entity` objects and is hashable, so it can key caches.
+
+    Examples
+    --------
+    >>> schema = Schema.of("x", "y")          # boolean entities
+    >>> schema = Schema([Entity("x", Domain.interval(0, 100))])
+    """
+
+    __slots__ = ("_entities", "_hash")
+
+    def __init__(self, entities: Iterable[Entity]) -> None:
+        by_name: dict[str, Entity] = {}
+        for entity in entities:
+            if entity.name in by_name:
+                raise SchemaError(f"duplicate entity {entity.name!r}")
+            by_name[entity.name] = entity
+        if not by_name:
+            raise SchemaError("schema must contain at least one entity")
+        self._entities: dict[str, Entity] = dict(sorted(by_name.items()))
+        self._hash: int | None = None
+
+    @classmethod
+    def of(cls, *names: str, domain: Domain | None = None) -> "Schema":
+        """Build a schema of same-domain entities from bare names.
+
+        The default domain is boolean, matching the paper's SAT
+        reduction and the small worked examples.
+        """
+        dom = domain if domain is not None else Domain.boolean()
+        return cls(Entity(name, dom) for name in names)
+
+    def __getitem__(self, name: str) -> Entity:
+        try:
+            return self._entities[name]
+        except KeyError:
+            raise UnknownEntityError(f"unknown entity {name!r}") from None
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._entities)
+
+    def __len__(self) -> int:
+        return len(self._entities)
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            object.__setattr__(
+                self, "_hash", hash(tuple(self._entities.items()))
+            )
+        assert self._hash is not None
+        return self._hash
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Schema):
+            return NotImplemented
+        return self._entities == other._entities
+
+    def __repr__(self) -> str:
+        names = ", ".join(self._entities)
+        return f"Schema({names})"
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        """Entity names in sorted order."""
+        return tuple(self._entities)
+
+    def validate_assignment(self, assignment: Mapping[str, int]) -> None:
+        """Check a full entity → value assignment against the schema.
+
+        Every entity must be present and every value must lie in its
+        entity's domain; this is the well-formedness condition on
+        unique states.
+        """
+        missing = set(self._entities) - set(assignment)
+        if missing:
+            raise SchemaError(f"missing entities: {sorted(missing)}")
+        extra = set(assignment) - set(self._entities)
+        if extra:
+            raise UnknownEntityError(f"unknown entities: {sorted(extra)}")
+        for name, value in assignment.items():
+            self._entities[name].validate(value)
+
+    def restrict(self, names: Iterable[str]) -> "Schema":
+        """A sub-schema containing only the named entities."""
+        return Schema(self[name] for name in names)

@@ -1,0 +1,116 @@
+"""Hierarchical transaction names (paper Section 2.2, Figure 1).
+
+The paper names subtransactions by appending an index to the parent's
+name: the root ``t`` has children ``t.0``, ``t.1``, …, whose children
+are ``t.0.0``, ``t.1.1.2``, and so on.  Section 5.1 relies on this
+scheme ("one method to name a transaction is to append a number to the
+name of the parent"), and the re-eval procedure of Figure 4 compares
+name *prefixes* to detect siblinghood.
+
+:class:`TxnName` is an immutable dotted path with the operations the
+protocol needs: parent, prefix, sibling and ancestor tests, child
+generation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import total_ordering
+
+from ..errors import InvalidNameError
+
+ROOT_NAME = "t"
+"""Default name of the root transaction of the whole system."""
+
+
+@total_ordering
+@dataclass(frozen=True)
+class TxnName:
+    """An immutable hierarchical transaction name such as ``t.1.0.2``.
+
+    Ordering is lexicographic on path components (numeric components
+    compare numerically), which matches the creation order used in
+    Figure 1.
+    """
+
+    parts: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if not self.parts:
+            raise InvalidNameError("a transaction name cannot be empty")
+        for part in self.parts:
+            if not part or "." in part:
+                raise InvalidNameError(
+                    f"invalid name component {part!r}"
+                )
+
+    @classmethod
+    def parse(cls, text: str) -> "TxnName":
+        """Parse a dotted name: ``TxnName.parse("t.1.0")``."""
+        if not text:
+            raise InvalidNameError("a transaction name cannot be empty")
+        return cls(tuple(text.split(".")))
+
+    @classmethod
+    def root(cls, label: str = ROOT_NAME) -> "TxnName":
+        """The root transaction's name (``t`` by default)."""
+        return cls((label,))
+
+    def child(self, index: int) -> "TxnName":
+        """The name of this transaction's ``index``-th subtransaction."""
+        if index < 0:
+            raise InvalidNameError("child index must be non-negative")
+        return TxnName(self.parts + (str(index),))
+
+    @property
+    def parent(self) -> "TxnName | None":
+        """The parent's name, or ``None`` for the root."""
+        if len(self.parts) == 1:
+            return None
+        return TxnName(self.parts[:-1])
+
+    @property
+    def prefix(self) -> "TxnName | None":
+        """Figure 4's ``prefix``: all but the last component (= parent)."""
+        return self.parent
+
+    @property
+    def depth(self) -> int:
+        """Nesting depth; the root has depth 0."""
+        return len(self.parts) - 1
+
+    @property
+    def leaf_index(self) -> str:
+        """The final name component."""
+        return self.parts[-1]
+
+    def is_ancestor_of(self, other: "TxnName") -> bool:
+        """Proper-ancestor test along the nesting tree."""
+        return (
+            len(self.parts) < len(other.parts)
+            and other.parts[: len(self.parts)] == self.parts
+        )
+
+    def is_descendant_of(self, other: "TxnName") -> bool:
+        return other.is_ancestor_of(self)
+
+    def is_sibling_of(self, other: "TxnName") -> bool:
+        """Same parent, different transaction (Figure 4's prefix check)."""
+        return self != other and self.parent == other.parent
+
+    def _key(self) -> tuple[tuple[int, int | str], ...]:
+        return tuple(
+            (0, int(part)) if part.isdigit() else (1, part)
+            for part in self.parts
+        )
+
+    def __lt__(self, other: "TxnName") -> bool:
+        if not isinstance(other, TxnName):
+            return NotImplemented
+        return self._key() < other._key()
+
+    def __str__(self) -> str:
+        return ".".join(self.parts)
+
+    def __repr__(self) -> str:
+        return f"TxnName({self})"

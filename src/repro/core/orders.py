@@ -1,0 +1,284 @@
+"""Partial orders over hashable elements.
+
+Both the implementation of a nested transaction (``(T, P)``, Section 3.1)
+and the execution relation ``R`` are (partial) orders.  This module
+provides a small, self-contained partial-order type with the operations
+the model and the protocol need:
+
+* transitive closure (``P+`` in the paper), computed once and cached;
+* cycle detection (a valid partial order is a DAG of its covering pairs);
+* consistency checks between two relations — the definition of an
+  execution requires ``(t_i, t_j) ∈ P+ ⇒ (t_j, t_i) ∉ R+``;
+* linearization enumeration (used by the exhaustive correctness and
+  serializability testers) and topological sorting;
+* path queries (Figure 4's ``path(a, b, c)`` helper).
+
+Elements are kept generic; the library instantiates this with
+:class:`~repro.core.naming.TxnName` and plain strings.
+"""
+
+from __future__ import annotations
+
+from typing import Generic, Hashable, Iterable, Iterator, TypeVar
+
+from ..errors import PartialOrderViolation
+
+T = TypeVar("T", bound=Hashable)
+
+
+class PartialOrder(Generic[T]):
+    """An immutable strict partial order, given by covering pairs.
+
+    The constructor accepts any relation (not necessarily transitively
+    closed); the transitive closure is computed eagerly and the result
+    is checked to be irreflexive (acyclic).
+
+    Parameters
+    ----------
+    elements:
+        The ground set.  Pairs may only mention these elements.
+    pairs:
+        Ordered pairs ``(a, b)`` meaning ``a`` precedes ``b``.
+    """
+
+    __slots__ = ("_elements", "_pairs", "_closure", "_succ", "_pred")
+
+    def __init__(
+        self,
+        elements: Iterable[T],
+        pairs: Iterable[tuple[T, T]] = (),
+    ) -> None:
+        self._elements: frozenset[T] = frozenset(elements)
+        pair_set = frozenset(pairs)
+        for a, b in pair_set:
+            if a not in self._elements or b not in self._elements:
+                raise PartialOrderViolation(
+                    f"pair ({a!r}, {b!r}) mentions unknown elements"
+                )
+        self._pairs: frozenset[tuple[T, T]] = pair_set
+        self._succ: dict[T, set[T]] = {e: set() for e in self._elements}
+        self._pred: dict[T, set[T]] = {e: set() for e in self._elements}
+        for a, b in pair_set:
+            self._succ[a].add(b)
+            self._pred[b].add(a)
+        self._closure = self._transitive_closure()
+        for element in self._elements:
+            if (element, element) in self._closure:
+                raise PartialOrderViolation(
+                    f"cycle through {element!r}: not a partial order"
+                )
+
+    @classmethod
+    def empty(cls, elements: Iterable[T]) -> "PartialOrder[T]":
+        """The empty order (all elements incomparable)."""
+        return cls(elements, ())
+
+    @classmethod
+    def total(cls, sequence: Iterable[T]) -> "PartialOrder[T]":
+        """The total order given by a sequence."""
+        items = list(sequence)
+        pairs = [
+            (items[i], items[i + 1]) for i in range(len(items) - 1)
+        ]
+        return cls(items, pairs)
+
+    @classmethod
+    def chain_of_chains(
+        cls, chains: Iterable[Iterable[T]]
+    ) -> "PartialOrder[T]":
+        """Parallel chains: elements ordered within each chain only.
+
+        This is the natural shape of a nested transaction whose
+        subtransactions run as independent sequential threads
+        (Figure 1's interleaved execution).
+        """
+        elements: list[T] = []
+        pairs: list[tuple[T, T]] = []
+        for chain in chains:
+            items = list(chain)
+            elements.extend(items)
+            pairs.extend(
+                (items[i], items[i + 1]) for i in range(len(items) - 1)
+            )
+        return cls(elements, pairs)
+
+    # -- basic structure -------------------------------------------------
+
+    @property
+    def elements(self) -> frozenset[T]:
+        return self._elements
+
+    @property
+    def pairs(self) -> frozenset[tuple[T, T]]:
+        """The covering pairs as given (not transitively closed)."""
+        return self._pairs
+
+    @property
+    def closure(self) -> frozenset[tuple[T, T]]:
+        """The transitive closure ``P+``."""
+        return self._closure
+
+    def _transitive_closure(self) -> frozenset[tuple[T, T]]:
+        closed: set[tuple[T, T]] = set()
+        for start in self._elements:
+            stack = list(self._succ[start])
+            seen: set[T] = set()
+            while stack:
+                node = stack.pop()
+                if node in seen:
+                    continue
+                seen.add(node)
+                closed.add((start, node))
+                stack.extend(self._succ[node])
+        return frozenset(closed)
+
+    def precedes(self, a: T, b: T) -> bool:
+        """``a P+ b`` — does ``a`` strictly precede ``b``?"""
+        return (a, b) in self._closure
+
+    def has_path(self, a: T, b: T) -> bool:
+        """Figure 4's ``path(P, a, b)``: reachability in the order."""
+        return self.precedes(a, b)
+
+    def comparable(self, a: T, b: T) -> bool:
+        return self.precedes(a, b) or self.precedes(b, a)
+
+    def predecessors(self, element: T) -> frozenset[T]:
+        """All strict predecessors of ``element`` under ``P+``."""
+        return frozenset(a for (a, b) in self._closure if b == element)
+
+    def successors(self, element: T) -> frozenset[T]:
+        """All strict successors of ``element`` under ``P+``."""
+        return frozenset(b for (a, b) in self._closure if a == element)
+
+    def immediate_predecessors(self, element: T) -> frozenset[T]:
+        return frozenset(self._pred[element])
+
+    def immediate_successors(self, element: T) -> frozenset[T]:
+        return frozenset(self._succ[element])
+
+    def minimal_elements(self) -> frozenset[T]:
+        return frozenset(
+            e for e in self._elements if not self._pred[e]
+        )
+
+    def maximal_elements(self) -> frozenset[T]:
+        return frozenset(
+            e for e in self._elements if not self._succ[e]
+        )
+
+    # -- combination and comparison ---------------------------------------
+
+    def extend(self, pairs: Iterable[tuple[T, T]]) -> "PartialOrder[T]":
+        """A new order with extra pairs (raises if a cycle appears)."""
+        return PartialOrder(self._elements, self._pairs | set(pairs))
+
+    def restrict(self, subset: Iterable[T]) -> "PartialOrder[T]":
+        """The induced order on a subset of elements.
+
+        The restriction keeps *closure* pairs between retained elements,
+        so ordering constraints mediated by removed elements survive.
+        This is the paper's ``R^{x_i}`` restriction by an object.
+        """
+        keep = frozenset(subset)
+        missing = keep - self._elements
+        if missing:
+            raise PartialOrderViolation(
+                f"cannot restrict to unknown elements {sorted(map(repr, missing))}"
+            )
+        pairs = [
+            (a, b) for (a, b) in self._closure if a in keep and b in keep
+        ]
+        return PartialOrder(keep, pairs)
+
+    def is_consistent_with(self, other: "PartialOrder[T]") -> bool:
+        """No pair of this order is reversed in the other's closure.
+
+        The definition of an execution requires exactly this between
+        ``P`` and ``R``: ``(t_i, t_j) ∈ P+ ⇒ (t_j, t_i) ∉ R+``.
+        """
+        return all(
+            (b, a) not in other.closure for (a, b) in self._closure
+        )
+
+    # -- linearizations ----------------------------------------------------
+
+    def topological_order(self) -> list[T]:
+        """One deterministic linearization (Kahn's algorithm).
+
+        Ties are broken by ``repr`` so results are stable across runs.
+        """
+        in_degree = {e: len(self._pred[e]) for e in self._elements}
+        ready = sorted(
+            (e for e in self._elements if in_degree[e] == 0), key=repr
+        )
+        result: list[T] = []
+        while ready:
+            node = ready.pop(0)
+            result.append(node)
+            added = False
+            for succ in self._succ[node]:
+                in_degree[succ] -= 1
+                if in_degree[succ] == 0:
+                    ready.append(succ)
+                    added = True
+            if added:
+                ready.sort(key=repr)
+        return result
+
+    def linearizations(self) -> Iterator[list[T]]:
+        """Lazily enumerate every linear extension.
+
+        Exponential in general; used only by exhaustive testers on the
+        small instances where that is the point (Theorem 1).
+        """
+        in_degree = {e: len(self._pred[e]) for e in self._elements}
+        chosen: list[T] = []
+
+        def backtrack() -> Iterator[list[T]]:
+            if len(chosen) == len(self._elements):
+                yield list(chosen)
+                return
+            ready = sorted(
+                (
+                    e
+                    for e in self._elements
+                    if in_degree[e] == 0 and e not in chosen_set
+                ),
+                key=repr,
+            )
+            for node in ready:
+                chosen.append(node)
+                chosen_set.add(node)
+                for succ in self._succ[node]:
+                    in_degree[succ] -= 1
+                yield from backtrack()
+                for succ in self._succ[node]:
+                    in_degree[succ] += 1
+                chosen_set.remove(node)
+                chosen.pop()
+
+        chosen_set: set[T] = set()
+        return backtrack()
+
+    def is_linearized_by(self, sequence: Iterable[T]) -> bool:
+        """Is ``sequence`` a linear extension of this order?"""
+        items = list(sequence)
+        if set(items) != set(self._elements) or len(items) != len(
+            self._elements
+        ):
+            return False
+        position = {item: index for index, item in enumerate(items)}
+        return all(position[a] < position[b] for (a, b) in self._closure)
+
+    def __contains__(self, pair: object) -> bool:
+        return pair in self._closure
+
+    def __len__(self) -> int:
+        return len(self._elements)
+
+    def __repr__(self) -> str:
+        return (
+            f"PartialOrder({len(self._elements)} elements, "
+            f"{len(self._pairs)} pairs)"
+        )

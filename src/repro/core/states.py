@@ -1,0 +1,246 @@
+"""Unique states, database states, and version states (Section 3.1).
+
+The paper's three state notions map onto three classes:
+
+* :class:`UniqueState` — a total assignment ``E → values``, the state
+  notion of the *standard* model (``S^U``).
+* :class:`DatabaseState` — a non-empty **set** of unique states (``S``);
+  this is how the model represents multiple versions: every member
+  contributes one retained version of each entity.
+* :class:`VersionState` — an element of ``V_S``: a per-entity mix of
+  values where each value is drawn from *some* member of ``S`` (the
+  members may differ per entity).  Transactions read version states.
+
+Key facts from the paper that are enforced/exposed here:
+
+* every version state satisfies the definition of a unique state
+  (it is a total assignment into the domains);
+* if ``|S| = 1`` then ``V_S = S`` (the standard model is the
+  single-version restriction);
+* ``V_S`` can be exponentially larger than ``S`` — this drives the
+  NP-completeness of version selection (Lemma 1) — so enumeration is
+  exposed only as a generator.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Iterable, Iterator, Mapping
+
+from ..errors import SchemaError
+from .entities import Schema
+
+
+class _FrozenAssignment(Mapping[str, int]):
+    """Shared immutable base for total entity → value assignments."""
+
+    __slots__ = ("_schema", "_values", "_map", "_hash")
+
+    def __init__(self, schema: Schema, assignment: Mapping[str, int]) -> None:
+        schema.validate_assignment(assignment)
+        self._schema = schema
+        self._values: tuple[int, ...] = tuple(
+            assignment[name] for name in schema.names
+        )
+        self._map: dict[str, int] = dict(zip(schema.names, self._values))
+        self._hash: int | None = None
+
+    @property
+    def schema(self) -> Schema:
+        return self._schema
+
+    def __getitem__(self, name: str) -> int:
+        try:
+            return self._map[name]
+        except KeyError:
+            # Route through the schema so unknown names raise the
+            # library's UnknownEntityError rather than a bare KeyError.
+            self._schema[name]
+            raise
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._schema.names)
+
+    def __len__(self) -> int:
+        return len(self._schema)
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            self._hash = hash((self._schema, self._values))
+        return self._hash
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, _FrozenAssignment):
+            return NotImplemented
+        return (
+            self._schema == other._schema and self._values == other._values
+        )
+
+    def as_dict(self) -> dict[str, int]:
+        """A plain mutable copy of the assignment."""
+        return dict(zip(self._schema.names, self._values))
+
+    def replace(self, **updates: int) -> "UniqueState":
+        """A new unique state with some entities rebound.
+
+        This is the natural way to express a transaction's effect: the
+        written entities change, the fixed-point set is untouched.
+        """
+        values = self.as_dict()
+        values.update(updates)
+        return UniqueState(self._schema, values)
+
+    def _body(self) -> str:
+        return ", ".join(
+            f"{name}={value}"
+            for name, value in zip(self._schema.names, self._values)
+        )
+
+
+class UniqueState(_FrozenAssignment):
+    """A unique state ``S^U``: one value per entity (Section 3.1).
+
+    Immutable and hashable, so unique states can be collected into the
+    sets that form :class:`DatabaseState`.
+    """
+
+    def __repr__(self) -> str:
+        return f"UniqueState({self._body()})"
+
+
+class VersionState(_FrozenAssignment):
+    """A version state ``v ∈ V_S``: one *version* value per entity.
+
+    Structurally identical to a unique state (the paper notes every
+    version state satisfies the unique-state definition); the separate
+    type records *provenance intent*: a version state is what a
+    transaction is assigned to read, and it may mix values originating
+    from different unique states.
+    """
+
+    def __repr__(self) -> str:
+        return f"VersionState({self._body()})"
+
+    def as_unique(self) -> UniqueState:
+        """Reinterpret this version state as a unique state."""
+        return UniqueState(self._schema, self.as_dict())
+
+
+class DatabaseState:
+    """A database state ``S``: a non-empty set of unique states.
+
+    Each member of the set contributes one retained version of every
+    entity; the *version state* set ``V_S`` (see :meth:`version_states`)
+    contains every per-entity recombination of those versions.
+    """
+
+    __slots__ = ("_schema", "_states", "_hash")
+
+    def __init__(self, states: Iterable[UniqueState]) -> None:
+        state_set = frozenset(states)
+        if not state_set:
+            raise SchemaError("a database state must be non-empty")
+        schemas = {state.schema for state in state_set}
+        if len(schemas) != 1:
+            raise SchemaError("all unique states must share one schema")
+        self._schema = next(iter(schemas))
+        self._states = state_set
+        self._hash: int | None = None
+
+    @classmethod
+    def single(cls, state: UniqueState) -> "DatabaseState":
+        """The standard-model restriction ``|S| = 1``."""
+        return cls([state])
+
+    @property
+    def schema(self) -> Schema:
+        return self._schema
+
+    @property
+    def states(self) -> frozenset[UniqueState]:
+        """The underlying set of unique states."""
+        return self._states
+
+    def __len__(self) -> int:
+        return len(self._states)
+
+    def __iter__(self) -> Iterator[UniqueState]:
+        return iter(self._states)
+
+    def __contains__(self, state: object) -> bool:
+        return state in self._states
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            self._hash = hash((self._schema, self._states))
+        return self._hash
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DatabaseState):
+            return NotImplemented
+        return self._states == other._states
+
+    def __or__(self, other: "DatabaseState") -> "DatabaseState":
+        """Union of database states (used for transaction *results*).
+
+        The paper defines the result of applying transaction ``t`` to
+        state ``S`` as ``S ∪ {t(S)}`` — old versions are retained.
+        """
+        if not isinstance(other, DatabaseState):
+            return NotImplemented
+        return DatabaseState(self._states | other._states)
+
+    def __repr__(self) -> str:
+        return f"DatabaseState(|S|={len(self._states)})"
+
+    def add(self, state: UniqueState) -> "DatabaseState":
+        """``S ∪ {state}`` — the post-state of a writing transaction."""
+        return DatabaseState(self._states | {state})
+
+    def versions_of(self, entity: str) -> frozenset[int]:
+        """All retained values of ``entity`` across the unique states."""
+        self._schema[entity]
+        return frozenset(state[entity] for state in self._states)
+
+    def version_state_count(self) -> int:
+        """``|V_S|`` — the number of distinct version states.
+
+        Computed without enumeration as the product of per-entity
+        version counts; used to demonstrate the exponential blow-up
+        underlying Lemma 1.
+        """
+        count = 1
+        for name in self._schema.names:
+            count *= len(self.versions_of(name))
+        return count
+
+    def version_states(self) -> Iterator[VersionState]:
+        """Lazily enumerate ``V_S``.
+
+        The enumeration order is deterministic (sorted values per
+        entity, row-major), which keeps exhaustive searches and tests
+        reproducible.  Beware: the set is exponential in ``|E|``.
+        """
+        names = self._schema.names
+        choices = [sorted(self.versions_of(name)) for name in names]
+        for combo in product(*choices):
+            yield VersionState(self._schema, dict(zip(names, combo)))
+
+    def contains_version_state(self, candidate: Mapping[str, int]) -> bool:
+        """Does ``candidate`` belong to ``V_S``?
+
+        Checks the defining condition: for every entity, some unique
+        state in ``S`` assigns the candidate's value.
+        """
+        try:
+            self._schema.validate_assignment(candidate)
+        except SchemaError:
+            return False
+        return all(
+            candidate[name] in self.versions_of(name)
+            for name in self._schema.names
+        )
+
+    def is_unique(self) -> bool:
+        """True when this is a standard-model (single-version) state."""
+        return len(self._states) == 1

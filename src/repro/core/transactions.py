@@ -1,0 +1,491 @@
+"""Transactions, specifications, and implementations (Section 3.1).
+
+A transaction in the paper is a four-tuple ``(T, P, I_t, O_t)``:
+
+* ``(I_t, O_t)`` — the *specification*: CNF input constraint
+  (precondition) and output condition (postcondition);
+* ``(T, P)`` — the *implementation*: subtransactions and a partial
+  order on them.
+
+A transaction contains either database accesses or subtransactions,
+never both (Section 2.2).  We model that dichotomy with two classes:
+
+* :class:`LeafTransaction` — a deterministic mapping from version
+  states to unique states, expressed by an :class:`Effect` (a set of
+  entity := expression assignments evaluated against the input state);
+* :class:`NestedTransaction` — subtransactions plus a partial order.
+
+The module also computes the paper's derived sets: the input set
+``N_t`` (entities in ``I_t``), update set ``U_t``, fixed-point set
+``F_t = E − U_t``, and the object set (union of subtransaction output
+objects).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Iterator, Mapping
+
+from ..errors import NestingError, TransactionError
+from .entities import Schema
+from .naming import TxnName
+from .orders import PartialOrder
+from .predicates import Predicate
+from .states import UniqueState, VersionState
+
+
+# ---------------------------------------------------------------------------
+# Effect expressions
+# ---------------------------------------------------------------------------
+
+
+class Expr:
+    """A side-effect-free integer expression over entity values.
+
+    Expressions form the right-hand sides of a leaf transaction's
+    writes.  They read only the transaction's *input* version state, so
+    a transaction is a pure mapping as the model requires.
+    """
+
+    def evaluate(self, state: Mapping[str, int]) -> int:
+        raise NotImplementedError
+
+    def references(self) -> frozenset[str]:
+        """Entities this expression reads."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Const(Expr):
+    """A constant value."""
+
+    value: int
+
+    def evaluate(self, state: Mapping[str, int]) -> int:
+        return self.value
+
+    def references(self) -> frozenset[str]:
+        return frozenset()
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class Ref(Expr):
+    """The current value of an entity (a read)."""
+
+    entity: str
+
+    def evaluate(self, state: Mapping[str, int]) -> int:
+        return state[self.entity]
+
+    def references(self) -> frozenset[str]:
+        return frozenset({self.entity})
+
+    def __str__(self) -> str:
+        return self.entity
+
+
+_BIN_OPS: dict[str, Callable[[int, int], int]] = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "min": min,
+    "max": max,
+}
+
+
+@dataclass(frozen=True)
+class BinOp(Expr):
+    """A binary arithmetic combination of two expressions."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+    def __post_init__(self) -> None:
+        if self.op not in _BIN_OPS:
+            raise TransactionError(f"unknown operator {self.op!r}")
+
+    def evaluate(self, state: Mapping[str, int]) -> int:
+        return _BIN_OPS[self.op](
+            self.left.evaluate(state), self.right.evaluate(state)
+        )
+
+    def references(self) -> frozenset[str]:
+        return self.left.references() | self.right.references()
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.op} {self.right})"
+
+
+def expr(value: "int | str | Expr") -> Expr:
+    """Coerce an int (constant) or str (entity reference) to an Expr."""
+    if isinstance(value, Expr):
+        return value
+    if isinstance(value, bool):
+        raise TransactionError("boolean effect values are not permitted")
+    if isinstance(value, int):
+        return Const(value)
+    return Ref(value)
+
+
+def increment(entity: str, amount: int = 1) -> Expr:
+    """Convenience: ``entity + amount`` (the classic increment op)."""
+    return BinOp("+", Ref(entity), Const(amount))
+
+
+class Effect(Mapping[str, Expr]):
+    """A leaf transaction's writes: entity := expression, atomically.
+
+    All expressions are evaluated against the *input* version state, so
+    writes never observe each other; this makes a leaf transaction a
+    pure mapping from version states to unique states, exactly the
+    paper's definition of a transaction.
+    """
+
+    __slots__ = ("_writes",)
+
+    def __init__(self, writes: Mapping[str, "int | str | Expr"]) -> None:
+        self._writes: dict[str, Expr] = {
+            entity: expr(value) for entity, value in writes.items()
+        }
+
+    def __getitem__(self, entity: str) -> Expr:
+        return self._writes[entity]
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._writes)
+
+    def __len__(self) -> int:
+        return len(self._writes)
+
+    @property
+    def written_entities(self) -> frozenset[str]:
+        """The update set contributed by this effect."""
+        return frozenset(self._writes)
+
+    @property
+    def read_entities(self) -> frozenset[str]:
+        """Entities read by any right-hand side."""
+        names: set[str] = set()
+        for expression in self._writes.values():
+            names |= expression.references()
+        return frozenset(names)
+
+    def apply(self, state: VersionState) -> UniqueState:
+        """The transaction mapping: input version state → unique state.
+
+        Unwritten entities keep their input value (the fixed-point
+        set); written entities take their expression's value.
+        """
+        values = state.as_dict()
+        for entity, expression in self._writes.items():
+            values[entity] = expression.evaluate(state)
+        return UniqueState(state.schema, values)
+
+    def __repr__(self) -> str:
+        body = ", ".join(
+            f"{entity}:={expression}"
+            for entity, expression in self._writes.items()
+        )
+        return f"Effect({body})"
+
+
+# ---------------------------------------------------------------------------
+# Transactions
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Spec:
+    """A transaction specification ``(I_t, O_t)`` (Section 3.1).
+
+    ``input_constraint`` (``I_t``) must mention every entity the
+    transaction reads; ``output_condition`` (``O_t``) describes the
+    state after a solo run.
+    """
+
+    input_constraint: Predicate
+    output_condition: Predicate
+
+    @classmethod
+    def trivial(cls) -> "Spec":
+        """The always-true specification."""
+        return cls(Predicate.true(), Predicate.true())
+
+    @classmethod
+    def invariant(cls, predicate: Predicate) -> "Spec":
+        """Bancilhon-style invariant: the same predicate as I and O.
+
+        Section 2.3 notes the model generalizes [Bancilhon et al. 1985]
+        from an invariant to separate pre/postconditions.
+        """
+        return cls(predicate, predicate)
+
+
+class Transaction:
+    """Common base of leaf and nested transactions.
+
+    Subclasses must provide :meth:`apply`, the transaction's mapping
+    from version states to unique states, plus the paper's derived
+    entity sets.
+    """
+
+    def __init__(self, name: TxnName, schema: Schema, spec: Spec) -> None:
+        self._name = name
+        self._schema = schema
+        self._spec = spec
+        unknown = spec.input_constraint.entities() - set(schema.names)
+        unknown |= spec.output_condition.entities() - set(schema.names)
+        if unknown:
+            raise TransactionError(
+                f"{name}: specification mentions unknown entities "
+                f"{sorted(unknown)}"
+            )
+
+    @property
+    def name(self) -> TxnName:
+        return self._name
+
+    @property
+    def schema(self) -> Schema:
+        return self._schema
+
+    @property
+    def spec(self) -> Spec:
+        return self._spec
+
+    @property
+    def input_constraint(self) -> Predicate:
+        """``I_t`` — the precondition."""
+        return self._spec.input_constraint
+
+    @property
+    def output_condition(self) -> Predicate:
+        """``O_t`` — the postcondition."""
+        return self._spec.output_condition
+
+    @property
+    def input_set(self) -> frozenset[str]:
+        """``N_t`` — entities appearing in ``I_t``."""
+        return self._spec.input_constraint.entities()
+
+    @property
+    def update_set(self) -> frozenset[str]:
+        """``U_t`` — entities the transaction may change."""
+        raise NotImplementedError
+
+    @property
+    def fixed_point_set(self) -> frozenset[str]:
+        """``F_t = E − U_t`` — entities the transaction never changes."""
+        return frozenset(self._schema.names) - self.update_set
+
+    @property
+    def is_leaf(self) -> bool:
+        raise NotImplementedError
+
+    def apply(self, state: VersionState) -> UniqueState:
+        """The transaction as a mapping ``t(v)`` (run solo on ``v``)."""
+        raise NotImplementedError
+
+    def satisfies_specification(self, state: VersionState) -> bool:
+        """Does a solo run from ``state`` meet the specification?
+
+        Vacuously true when the input constraint fails (the spec only
+        promises behaviour from states satisfying ``I_t``).
+        """
+        if not self.input_constraint.evaluate(state):
+            return True
+        return self.output_condition.evaluate(self.apply(state))
+
+    def __repr__(self) -> str:
+        kind = type(self).__name__
+        return f"{kind}({self._name})"
+
+
+class LeafTransaction(Transaction):
+    """A transaction containing only database accesses.
+
+    Reads are implied by the effect expressions and, per the paper's
+    rule that "every entity read by t must appear in I_t", validated
+    against the input constraint.
+    """
+
+    def __init__(
+        self,
+        name: TxnName,
+        schema: Schema,
+        spec: Spec,
+        effect: Effect,
+        extra_reads: Iterable[str] = (),
+    ) -> None:
+        super().__init__(name, schema, spec)
+        for entity in effect.written_entities | effect.read_entities:
+            schema[entity]
+        self._effect = effect
+        self._extra_reads = frozenset(extra_reads)
+        for entity in self._extra_reads:
+            schema[entity]
+        undeclared = self.read_set - spec.input_constraint.entities()
+        if undeclared and not spec.input_constraint.is_true:
+            raise TransactionError(
+                f"{name}: reads {sorted(undeclared)} not mentioned in I_t "
+                "(the paper requires every entity read to appear in I_t)"
+            )
+
+    @property
+    def effect(self) -> Effect:
+        return self._effect
+
+    @property
+    def read_set(self) -> frozenset[str]:
+        """Entities actually read (effect reads plus declared reads)."""
+        return self._effect.read_entities | self._extra_reads
+
+    @property
+    def update_set(self) -> frozenset[str]:
+        return self._effect.written_entities
+
+    @property
+    def is_leaf(self) -> bool:
+        return True
+
+    def apply(self, state: VersionState) -> UniqueState:
+        return self._effect.apply(state)
+
+
+class NestedTransaction(Transaction):
+    """A transaction implemented by subtransactions ``(T, P)``.
+
+    ``P`` is a partial order on the children (by name).  Per Section
+    2.2 a nested transaction performs no database accesses itself; its
+    solo-run semantics (:meth:`apply`) executes the children in a
+    deterministic linearization of ``P``, each child reading the state
+    produced so far — the natural "run by itself" interpretation used
+    when checking specifications.
+    """
+
+    def __init__(
+        self,
+        name: TxnName,
+        schema: Schema,
+        spec: Spec,
+        children: Iterable[Transaction],
+        order: PartialOrder[TxnName] | None = None,
+    ) -> None:
+        super().__init__(name, schema, spec)
+        self._children: dict[TxnName, Transaction] = {}
+        for child in children:
+            if child.name.parent != name:
+                raise NestingError(
+                    f"{child.name} is not a direct child of {name}"
+                )
+            if child.schema != schema:
+                raise NestingError(
+                    f"{child.name}: child schema differs from parent's"
+                )
+            if child.name in self._children:
+                raise NestingError(f"duplicate child {child.name}")
+            self._children[child.name] = child
+        if order is None:
+            order = PartialOrder.empty(self._children)
+        if order.elements != frozenset(self._children):
+            raise NestingError(
+                f"{name}: partial order elements do not match children"
+            )
+        self._order = order
+
+    # -- construction helpers --------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        name: TxnName,
+        schema: Schema,
+        spec: Spec,
+        children: Iterable[Transaction],
+        order_pairs: Iterable[tuple[TxnName, TxnName]] = (),
+    ) -> "NestedTransaction":
+        """Build from children plus explicit order pairs."""
+        kids = list(children)
+        order = PartialOrder(
+            [child.name for child in kids], order_pairs
+        )
+        return cls(name, schema, spec, kids, order)
+
+    # -- structure ---------------------------------------------------------
+
+    @property
+    def children(self) -> tuple[Transaction, ...]:
+        """Subtransactions in name order."""
+        return tuple(
+            self._children[key] for key in sorted(self._children)
+        )
+
+    @property
+    def child_names(self) -> tuple[TxnName, ...]:
+        return tuple(sorted(self._children))
+
+    @property
+    def order(self) -> PartialOrder[TxnName]:
+        """``P`` — the partial order on subtransactions."""
+        return self._order
+
+    def child(self, name: TxnName) -> Transaction:
+        try:
+            return self._children[name]
+        except KeyError:
+            raise NestingError(
+                f"{name} is not a child of {self._name}"
+            ) from None
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._children
+
+    def __len__(self) -> int:
+        return len(self._children)
+
+    def descendants(self) -> Iterator[Transaction]:
+        """All transactions strictly below this one, preorder."""
+        for child in self.children:
+            yield child
+            if isinstance(child, NestedTransaction):
+                yield from child.descendants()
+
+    def leaves(self) -> Iterator[LeafTransaction]:
+        """All leaf transactions in the subtree."""
+        for node in self.descendants():
+            if isinstance(node, LeafTransaction):
+                yield node
+
+    @property
+    def update_set(self) -> frozenset[str]:
+        names: set[str] = set()
+        for child in self._children.values():
+            names |= child.update_set
+        return frozenset(names)
+
+    @property
+    def object_set(self) -> frozenset[frozenset[str]]:
+        """The paper's object set: union of children's output objects."""
+        objects: set[frozenset[str]] = set()
+        for child in self._children.values():
+            objects |= set(child.output_condition.objects())
+        return frozenset(objects)
+
+    @property
+    def is_leaf(self) -> bool:
+        return False
+
+    def apply(self, state: VersionState) -> UniqueState:
+        """Solo-run semantics: children applied serially along ``P``."""
+        current = state
+        result: UniqueState | None = None
+        for child_name in self._order.topological_order():
+            result = self._children[child_name].apply(current)
+            current = VersionState(result.schema, result.as_dict())
+        if result is None:  # no children: identity mapping
+            return UniqueState(state.schema, state.as_dict())
+        return result

@@ -1,0 +1,93 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All library-raised exceptions derive from :class:`ReproError` so callers
+can catch everything from this package with a single except clause while
+still being able to discriminate finer failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class SchemaError(ReproError):
+    """An entity, domain, or state violates the database schema."""
+
+
+class DomainError(SchemaError):
+    """A value assigned to an entity is outside the entity's domain."""
+
+
+class UnknownEntityError(SchemaError):
+    """An operation referenced an entity that is not in the schema."""
+
+
+class PredicateError(ReproError):
+    """A predicate is malformed or cannot be evaluated."""
+
+
+class PredicateParseError(PredicateError):
+    """The predicate mini-language parser rejected its input."""
+
+
+class UnboundEntityError(PredicateError):
+    """Predicate evaluation referenced an entity with no assigned value."""
+
+
+class TransactionError(ReproError):
+    """A transaction definition or operation is invalid."""
+
+
+class InvalidNameError(TransactionError):
+    """A hierarchical transaction name is malformed."""
+
+
+class NestingError(TransactionError):
+    """The nested-transaction tree structure is violated."""
+
+
+class ExecutionError(ReproError):
+    """An execution (R, X) violates the model's structural rules."""
+
+
+class PartialOrderViolation(ExecutionError):
+    """R contradicts the transitive closure of the partial order P."""
+
+
+class ScheduleError(ReproError):
+    """A schedule is malformed (bad operation sequence, unknown txn...)."""
+
+
+class ProtocolError(ReproError):
+    """The Section-5 protocol was driven through an illegal step."""
+
+
+class LockProtocolError(ProtocolError):
+    """A lock request violated the protocol's locking discipline."""
+
+
+class TransactionAborted(ProtocolError):
+    """Raised to/by a transaction that the scheduler aborted.
+
+    Attributes
+    ----------
+    transaction:
+        Name of the aborted transaction.
+    reason:
+        Human-readable abort cause (e.g. partial-order invalidation).
+    """
+
+    def __init__(self, transaction: str, reason: str) -> None:
+        super().__init__(f"transaction {transaction} aborted: {reason}")
+        self.transaction = transaction
+        self.reason = reason
+
+
+class ValidationFailure(ProtocolError):
+    """No version assignment can satisfy a transaction's input constraint."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation engine was misused."""

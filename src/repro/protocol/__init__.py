@@ -1,0 +1,57 @@
+"""The Section-5 correct-execution protocol."""
+
+from .events import Event, EventKind, EventLog
+from .locks import (
+    LockMode,
+    LockOutcome,
+    LockRequest,
+    LockTable,
+    compatible,
+    lock_compatibility_matrix,
+)
+from .reeval import ReevalDecision, figure4_decision
+from .replay import histories_match, log_from_json, log_to_json, replay
+from .scheduler import (
+    Outcome,
+    StepResult,
+    TransactionManager,
+    TxnPhase,
+    TxnRecord,
+)
+from .validation import (
+    BacktrackingSelector,
+    DSet,
+    GreedyLatestSelector,
+    SatSelector,
+    VersionSelector,
+    compute_d_set,
+)
+
+__all__ = [
+    "BacktrackingSelector",
+    "DSet",
+    "Event",
+    "EventKind",
+    "EventLog",
+    "GreedyLatestSelector",
+    "LockMode",
+    "LockOutcome",
+    "LockRequest",
+    "LockTable",
+    "Outcome",
+    "ReevalDecision",
+    "SatSelector",
+    "StepResult",
+    "TransactionManager",
+    "TxnPhase",
+    "TxnRecord",
+    "VersionSelector",
+    "compatible",
+    "compute_d_set",
+    "figure4_decision",
+    "histories_match",
+    "log_from_json",
+    "log_to_json",
+    "lock_compatibility_matrix",
+    "replay",
+]

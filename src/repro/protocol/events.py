@@ -1,0 +1,75 @@
+"""Protocol event log.
+
+The transaction manager records every externally visible step as an
+event.  The log serves three purposes: observability (examples print
+it), verification (the L4/T2 property tests reconstruct executions from
+it), and metrics (the simulator derives wait/abort counts from it).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+
+class EventKind(enum.Enum):
+    DEFINE = "define"
+    VALIDATE = "validate"
+    ASSIGN = "assign"
+    READ = "read"
+    BLOCKED = "blocked"
+    UNBLOCKED = "unblocked"
+    WRITE_BEGIN = "write-begin"
+    WRITE_END = "write-end"
+    REEVAL = "re-eval"
+    REASSIGN = "re-assign"
+    COMMIT = "commit"
+    UNDO_COMMIT = "undo-commit"
+    ABORT = "abort"
+
+
+@dataclass(frozen=True)
+class Event:
+    """One protocol step: who, what, and the step's details."""
+
+    kind: EventKind
+    txn: str
+    details: dict[str, Any] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        body = ", ".join(
+            f"{key}={value}" for key, value in sorted(self.details.items())
+        )
+        return f"[{self.kind.value}] {self.txn} {body}".rstrip()
+
+
+class EventLog:
+    """An append-only event log with simple query helpers."""
+
+    def __init__(self) -> None:
+        self._events: list[Event] = []
+
+    def record(self, kind: EventKind, txn: str, **details: Any) -> Event:
+        event = Event(kind, txn, details)
+        self._events.append(event)
+        return event
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(self._events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def of_kind(self, kind: EventKind) -> list[Event]:
+        return [event for event in self._events if event.kind is kind]
+
+    def for_txn(self, txn: str) -> list[Event]:
+        return [event for event in self._events if event.txn == txn]
+
+    def count(self, kind: EventKind) -> int:
+        return sum(1 for event in self._events if event.kind is kind)
+
+    def dump(self) -> str:
+        """Human-readable transcript of the run."""
+        return "\n".join(str(event) for event in self._events)

@@ -1,0 +1,220 @@
+"""The protocol's lock manager — Figure 3's compatibility matrix.
+
+Three lock modes (Section 5.1):
+
+* ``R_v`` — *read for validation*: taken on every input-constraint item
+  during the validation phase, protecting the version assignment.
+* ``R`` — read: an upgrade of an ``R_v`` lock, taken per read request.
+* ``W`` — write: held **only for the duration of the write operation**,
+  never to end of transaction — the source of the protocol's short
+  waits.
+
+Compatibility (reconstructed from Figure 3 and the surrounding prose —
+the scan's row/column alignment is ambiguous, the prose is not):
+
+======  =====  =====  =====
+held    R_v    R      W
+======  =====  =====  =====
+R_v     grant  grant  grant
+R       grant  grant  grant
+W       block  block  grant
+======  =====  =====  =====
+
+* "A write request … can never fail": ``W`` is always granted — in a
+  multiversion system a write creates a *new* version, so it cannot
+  disturb readers of old ones.  Two sibling writes coexist (new
+  versions each).
+* ``R_v``/``R`` requested while another transaction holds ``W``:
+  blocked ("temporarily blocked on some writing transaction"); the
+  blocking window is one write operation.  On unblocking, the
+  scheduler runs re-evaluation "as if the matrix result had been
+  re-eval".
+* Locks are placed on the entity (the *type*), not on a version.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from ..errors import LockProtocolError
+
+
+class LockMode(enum.Enum):
+    """Figure 3's three lock modes."""
+
+    RV = "R_v"
+    R = "R"
+    W = "W"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+class LockOutcome(enum.Enum):
+    GRANTED = "granted"
+    BLOCKED = "blocked"
+
+
+def compatible(held: LockMode, requested: LockMode) -> bool:
+    """Figure 3: only a held ``W`` blocks, and only read-side requests."""
+    if held is LockMode.W and requested in (LockMode.RV, LockMode.R):
+        return False
+    return True
+
+
+@dataclass(frozen=True)
+class LockRequest:
+    """A queued (blocked) lock request."""
+
+    txn: str
+    entity: str
+    mode: LockMode
+
+
+@dataclass
+class _EntityLocks:
+    holders: dict[LockMode, set[str]] = field(
+        default_factory=lambda: {mode: set() for mode in LockMode}
+    )
+    queue: list[LockRequest] = field(default_factory=list)
+
+
+class LockTable:
+    """Entity-level lock table with FIFO queueing of blocked reads."""
+
+    def __init__(self) -> None:
+        self._entities: dict[str, _EntityLocks] = {}
+
+    def _entry(self, entity: str) -> _EntityLocks:
+        return self._entities.setdefault(entity, _EntityLocks())
+
+    # -- queries ------------------------------------------------------------
+
+    def holds(self, txn: str, entity: str, mode: LockMode) -> bool:
+        entry = self._entities.get(entity)
+        return bool(entry) and txn in entry.holders[mode]
+
+    def holders(self, entity: str, mode: LockMode) -> frozenset[str]:
+        entry = self._entities.get(entity)
+        if entry is None:
+            return frozenset()
+        return frozenset(entry.holders[mode])
+
+    def read_side_holders(self, entity: str) -> frozenset[str]:
+        """Transactions holding ``R`` or ``R_v`` on an entity.
+
+        These are Figure 4's ``R`` array — the candidates for
+        re-evaluation when a new version of the entity appears.
+        """
+        return self.holders(entity, LockMode.R) | self.holders(
+            entity, LockMode.RV
+        )
+
+    def queued(self, entity: str) -> tuple[LockRequest, ...]:
+        entry = self._entities.get(entity)
+        if entry is None:
+            return ()
+        return tuple(entry.queue)
+
+    def locks_of(self, txn: str) -> list[tuple[str, LockMode]]:
+        """Every lock a transaction currently holds."""
+        result = []
+        for entity, entry in self._entities.items():
+            for mode, holders in entry.holders.items():
+                if txn in holders:
+                    result.append((entity, mode))
+        return result
+
+    # -- requests --------------------------------------------------------------
+
+    def request(
+        self, txn: str, entity: str, mode: LockMode
+    ) -> LockOutcome:
+        """Apply Figure 3 to a lock request.
+
+        Granted locks are recorded; blocked requests join the entity's
+        FIFO queue and are granted by :meth:`release` when the
+        conflicting ``W`` disappears.
+        """
+        entry = self._entry(entity)
+        for held_mode, holders in entry.holders.items():
+            blockers = holders - {txn}
+            if blockers and not compatible(held_mode, mode):
+                entry.queue.append(LockRequest(txn, entity, mode))
+                return LockOutcome.BLOCKED
+        entry.holders[mode].add(txn)
+        return LockOutcome.GRANTED
+
+    def upgrade_rv_to_r(self, txn: str, entity: str) -> LockOutcome:
+        """A read request: upgrade the validation lock to a read lock.
+
+        The protocol rejects reads without a prior ``R_v`` lock ("if
+        the transaction does not have a R_v-lock on the data item, then
+        the read is rejected").
+        """
+        if not self.holds(txn, entity, LockMode.RV):
+            raise LockProtocolError(
+                f"{txn}: read of {entity} without a validation lock"
+            )
+        return self.request(txn, entity, LockMode.R)
+
+    def release(
+        self, txn: str, entity: str, mode: LockMode
+    ) -> list[LockRequest]:
+        """Release a lock; grant whatever the FIFO queue now admits.
+
+        Returns the newly granted requests — the scheduler must run
+        re-evaluation for each (they were blocked on a write).
+        """
+        entry = self._entry(entity)
+        if txn not in entry.holders[mode]:
+            raise LockProtocolError(
+                f"{txn} does not hold a {mode} lock on {entity}"
+            )
+        entry.holders[mode].discard(txn)
+        return self._drain_queue(entry)
+
+    def release_all(self, txn: str) -> list[LockRequest]:
+        """Drop every lock a transaction holds (commit/abort cleanup)."""
+        granted: list[LockRequest] = []
+        for entity, entry in self._entities.items():
+            changed = False
+            for holders in entry.holders.values():
+                if txn in holders:
+                    holders.discard(txn)
+                    changed = True
+            entry.queue = [
+                request for request in entry.queue if request.txn != txn
+            ]
+            if changed:
+                granted.extend(self._drain_queue(entry))
+        return granted
+
+    def _drain_queue(self, entry: _EntityLocks) -> list[LockRequest]:
+        granted: list[LockRequest] = []
+        still_blocked: list[LockRequest] = []
+        for request in entry.queue:
+            blocked = False
+            for held_mode, holders in entry.holders.items():
+                if (holders - {request.txn}) and not compatible(
+                    held_mode, request.mode
+                ):
+                    blocked = True
+                    break
+            if blocked:
+                still_blocked.append(request)
+            else:
+                entry.holders[request.mode].add(request.txn)
+                granted.append(request)
+        entry.queue = still_blocked
+        return granted
+
+
+def lock_compatibility_matrix() -> dict[tuple[str, str], bool]:
+    """Figure 3 as data, for documentation/tests/benchmarks."""
+    return {
+        (str(held), str(requested)): compatible(held, requested)
+        for held in LockMode
+        for requested in LockMode
+    }

@@ -1,0 +1,924 @@
+"""The correct-execution transaction manager (Section 5).
+
+:class:`TransactionManager` drives nested transactions through the four
+phases of Section 5.1 — definition, validation, execution, termination
+— admitting exactly the parent-based correct executions of the model
+(Lemma 4 / Theorem 2):
+
+* **definition** (:meth:`define`) — register a subtransaction with its
+  specification, declared update set, and place in the parent's partial
+  order; cycle-checks the order and prohibits placement before a
+  committed reader (the paper's chosen alternative to undoing commits);
+* **validation** (:meth:`validate`) — take ``R_v`` locks on the input
+  set, compute D-sets, and select a satisfying version assignment;
+* **execution** (:meth:`read`, :meth:`begin_write` /
+  :meth:`end_write`) — reads upgrade ``R_v → R`` and may block briefly
+  on an in-flight write; writes always proceed and create new versions;
+  every completed write triggers Figure 4's re-evaluation, which aborts
+  invalidated readers and silently re-assigns still-validating ones;
+* **termination** (:meth:`commit`, :meth:`abort`) — commit requires all
+  partial-order predecessors committed, all children terminated, and
+  the output condition satisfied on the transaction's world view;
+  aborts expunge the transaction's versions and cascade to readers.
+
+The manager is synchronous and single-threaded: blocking is represented
+by ``BLOCKED`` outcomes plus lock-queue drainage on write completion,
+which the discrete-event simulator (:mod:`repro.sim`) turns into
+waiting time.  Writes never block and validation blocks only on
+in-flight write operations, so **the protocol cannot deadlock** — one
+of its central practical advantages over two-phase locking for
+long-duration transactions.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from ..core.naming import TxnName
+from ..core.orders import PartialOrder
+from ..core.transactions import Spec
+from ..errors import (
+    LockProtocolError,
+    PartialOrderViolation,
+    ProtocolError,
+    TransactionAborted,
+)
+from ..storage.database import Database
+from ..storage.version_store import Version
+from .events import EventKind, EventLog
+from .locks import LockMode, LockOutcome, LockTable
+from .reeval import ReevalDecision, figure4_decision
+from .validation import (
+    BacktrackingSelector,
+    DSet,
+    VersionSelector,
+    compute_d_set,
+)
+
+
+class TxnPhase(enum.Enum):
+    DEFINED = "defined"
+    VALIDATED = "validated"
+    COMMITTED = "committed"
+    ABORTED = "aborted"
+
+
+class Outcome(enum.Enum):
+    """Result of a phase step that can block or fail."""
+
+    OK = "ok"
+    BLOCKED = "blocked"
+    FAILED = "failed"
+
+
+@dataclass
+class StepResult:
+    """Outcome of one protocol step.
+
+    ``blocked_on`` names the entity whose in-flight write blocks the
+    step; ``value`` carries a read's result; ``aborted`` /
+    ``reassigned`` list the side effects of re-evaluation;
+    ``unblocked`` lists transactions whose queued requests were granted
+    by this step (the simulator resumes them).
+    """
+
+    outcome: Outcome
+    value: int | None = None
+    blocked_on: str | None = None
+    aborted: list[str] = field(default_factory=list)
+    reassigned: list[str] = field(default_factory=list)
+    unblocked: list[str] = field(default_factory=list)
+    reason: str | None = None
+
+
+@dataclass
+class TxnRecord:
+    """Bookkeeping for one transaction in the tree."""
+
+    name: str
+    parent: str | None
+    spec: Spec
+    update_set: frozenset[str]
+    phase: TxnPhase = TxnPhase.DEFINED
+    children: list[str] = field(default_factory=list)
+    order_pairs: set[tuple[str, str]] = field(default_factory=set)
+    assigned: dict[str, Version] = field(default_factory=dict)
+    read_items: set[str] = field(default_factory=set)
+    writes: dict[str, Version] = field(default_factory=dict)
+    merged_child_writes: dict[str, int] = field(default_factory=dict)
+    release_log: list[tuple[str, dict[str, int]]] = field(
+        default_factory=list
+    )
+    in_flight_writes: set[str] = field(default_factory=set)
+    child_counter: int = 0
+    did_data_access: bool = False
+
+    @property
+    def input_set(self) -> frozenset[str]:
+        return self.spec.input_constraint.entities()
+
+    @property
+    def terminated(self) -> bool:
+        return self.phase in (TxnPhase.COMMITTED, TxnPhase.ABORTED)
+
+
+class TransactionManager:
+    """The Section-5 protocol over a multi-version database."""
+
+    def __init__(
+        self,
+        database: Database,
+        selector: VersionSelector | None = None,
+        root_spec: Spec | None = None,
+    ) -> None:
+        self._db = database
+        self._selector: VersionSelector = (
+            selector if selector is not None else BacktrackingSelector()
+        )
+        self._locks = LockTable()
+        self._log = EventLog()
+        self._records: dict[str, TxnRecord] = {}
+
+        root_name = str(TxnName.root())
+        spec = (
+            root_spec
+            if root_spec is not None
+            else Spec.invariant(database.constraint)
+        )
+        root = TxnRecord(
+            name=root_name,
+            parent=None,
+            spec=spec,
+            update_set=frozenset(database.schema.names),
+            phase=TxnPhase.VALIDATED,
+        )
+        for entity in database.schema.names:
+            root.assigned[entity] = database.store.initial(entity)
+        self._records[root_name] = root
+
+    # -- accessors -----------------------------------------------------------
+
+    @property
+    def root(self) -> str:
+        return str(TxnName.root())
+
+    @property
+    def database(self) -> Database:
+        return self._db
+
+    @property
+    def log(self) -> EventLog:
+        return self._log
+
+    @property
+    def locks(self) -> LockTable:
+        return self._locks
+
+    def record(self, txn: str) -> TxnRecord:
+        try:
+            return self._records[txn]
+        except KeyError:
+            raise ProtocolError(f"unknown transaction {txn}") from None
+
+    def phase(self, txn: str) -> TxnPhase:
+        return self.record(txn).phase
+
+    def children_of(self, txn: str) -> tuple[str, ...]:
+        return tuple(self.record(txn).children)
+
+    def order_of(self, txn: str) -> PartialOrder[str]:
+        """The partial order ``P`` over a transaction's children."""
+        record = self.record(txn)
+        return PartialOrder(record.children, record.order_pairs)
+
+    def assigned_versions(self, txn: str) -> dict[str, Version]:
+        return dict(self.record(txn).assigned)
+
+    # -- phase 1: definition -----------------------------------------------------
+
+    def define(
+        self,
+        parent: str,
+        spec: Spec,
+        update_set: Iterable[str],
+        predecessors: Iterable[str] = (),
+        successors: Iterable[str] = (),
+        undo_committed_successors: bool = False,
+    ) -> str:
+        """Define a subtransaction (§5.1, transaction definition phase).
+
+        ``predecessors``/``successors`` are existing siblings the new
+        transaction must follow/precede in the parent's partial order.
+        Raises :class:`ProtocolError` when the order would become
+        cyclic, or when the new transaction is placed before a
+        *committed* sibling whose input set it updates — unless
+        ``undo_committed_successors`` is set, in which case the paper's
+        alternative option is taken: the committed successor's
+        relative commit is undone (see :meth:`undo_relative_commit`)
+        and the definition proceeds.
+        """
+        parent_record = self.record(parent)
+        if parent_record.terminated:
+            raise ProtocolError(f"parent {parent} has terminated")
+        if parent_record.did_data_access:
+            raise ProtocolError(
+                f"{parent} performs data accesses and so cannot nest "
+                "subtransactions (a transaction does one or the other)"
+            )
+        updates = frozenset(update_set)
+        unknown = updates - set(self._db.schema.names)
+        unknown |= spec.input_constraint.entities() - set(
+            self._db.schema.names
+        )
+        if unknown:
+            raise ProtocolError(f"unknown entities {sorted(unknown)}")
+
+        name = str(
+            TxnName.parse(parent).child(parent_record.child_counter)
+        )
+        preds = list(predecessors)
+        succs = list(successors)
+        for sibling in preds + succs:
+            if sibling not in parent_record.children:
+                raise ProtocolError(
+                    f"{sibling} is not an existing child of {parent}"
+                )
+        for successor in succs:
+            successor_record = self.record(successor)
+            if successor_record.phase is TxnPhase.COMMITTED and (
+                updates & successor_record.input_set
+            ):
+                if undo_committed_successors:
+                    undone = self.undo_relative_commit(successor)
+                    if undone.outcome is Outcome.OK:
+                        continue
+                raise ProtocolError(
+                    f"cannot place {name} before committed {successor}: "
+                    f"it updates items {sorted(updates & successor_record.input_set)} "
+                    "that the committed transaction read"
+                )
+
+        pairs = set(parent_record.order_pairs)
+        pairs.update((pred, name) for pred in preds)
+        pairs.update((name, succ) for succ in succs)
+        try:
+            # Cycle check — PartialOrder raises on cycles.
+            PartialOrder(parent_record.children + [name], pairs)
+        except PartialOrderViolation as error:
+            raise ProtocolError(
+                f"defining {name} would make {parent}'s partial order "
+                f"cyclic: {error}"
+            ) from error
+
+        parent_record.child_counter += 1
+        parent_record.children.append(name)
+        parent_record.order_pairs = pairs
+        self._records[name] = TxnRecord(
+            name=name,
+            parent=parent,
+            spec=spec,
+            update_set=updates,
+        )
+        self._log.record(
+            EventKind.DEFINE,
+            name,
+            parent=parent,
+            updates=sorted(updates),
+            predecessors=sorted(preds),
+            successors=sorted(succs),
+            input_constraint=str(spec.input_constraint),
+            output_condition=str(spec.output_condition),
+        )
+        return name
+
+    # -- phase 2: validation ----------------------------------------------------
+
+    def validate(self, txn: str) -> StepResult:
+        """Acquire ``R_v`` locks and assign versions (§5.1 part 1+2).
+
+        Returns ``BLOCKED`` if some input item is under an in-flight
+        write (retry after the write completes); ``FAILED`` (and aborts
+        the transaction) when no version assignment can satisfy the
+        input constraint.
+        """
+        record = self.record(txn)
+        if record.phase is not TxnPhase.DEFINED:
+            raise ProtocolError(
+                f"{txn} cannot validate from phase {record.phase.value}"
+            )
+        for item in sorted(record.input_set):
+            if self._locks.holds(txn, item, LockMode.RV):
+                continue
+            outcome = self._locks.request(txn, item, LockMode.RV)
+            if outcome is LockOutcome.BLOCKED:
+                self._log.record(EventKind.BLOCKED, txn, entity=item)
+                return StepResult(Outcome.BLOCKED, blocked_on=item)
+
+        d_sets = self._compute_d_sets(record)
+        assignment = self._selector.select(
+            d_sets, record.spec.input_constraint
+        )
+        if assignment is None:
+            self._log.record(
+                EventKind.VALIDATE, txn, ok=False
+            )
+            cascade = self.abort(
+                txn, reason="input constraint unsatisfiable"
+            )
+            return StepResult(
+                Outcome.FAILED,
+                reason="input constraint unsatisfiable",
+                aborted=[name for name in cascade if name != txn],
+            )
+        record.assigned = assignment
+        record.phase = TxnPhase.VALIDATED
+        self._log.record(
+            EventKind.VALIDATE,
+            txn,
+            ok=True,
+            assigned={
+                item: str(version)
+                for item, version in sorted(assignment.items())
+            },
+        )
+        return StepResult(Outcome.OK)
+
+    def _compute_d_sets(self, record: TxnRecord) -> dict[str, DSet]:
+        assert record.parent is not None
+        parent_record = self.record(record.parent)
+        order = self.order_of(record.parent)
+        siblings = [
+            child
+            for child in parent_record.children
+            if child != record.name
+            and self.record(child).phase is not TxnPhase.ABORTED
+        ]
+        update_sets = {
+            sibling: self.record(sibling).update_set
+            for sibling in siblings
+        }
+        d_sets: dict[str, DSet] = {}
+        for item in sorted(record.input_set):
+            versions_by = {
+                sibling: self._versions_authored(sibling, item)
+                for sibling in siblings
+            }
+            parent_version = self._parent_world_version(
+                record.parent, item
+            )
+            d_sets[item] = compute_d_set(
+                item,
+                record.name,
+                siblings,
+                order,
+                update_sets,
+                versions_by,
+                parent_version,
+            )
+        return d_sets
+
+    def _versions_authored(
+        self, txn: str, item: str
+    ) -> tuple[Version, ...]:
+        return tuple(
+            version
+            for version in self._db.store.versions(item)
+            if version.author == txn
+        )
+
+    def _parent_world_version(self, parent: str, item: str) -> Version:
+        """The parent's world view of one item, as a version.
+
+        The parent's own assigned version, unless a committed child has
+        already released a newer one into the parent's world.
+        """
+        parent_record = self.record(parent)
+        merged = parent_record.merged_child_writes.get(item)
+        if merged is not None:
+            # Find the youngest surviving version carrying that value,
+            # authored within the parent's subtree.
+            for version in reversed(self._db.store.versions(item)):
+                if version.value == merged:
+                    return version
+        assigned = parent_record.assigned.get(item)
+        if assigned is not None:
+            return assigned
+        if parent_record.parent is None:
+            return self._db.store.initial(item)
+        return self._parent_world_version(parent_record.parent, item)
+
+    # -- phase 3: execution --------------------------------------------------------
+
+    def read(self, txn: str, entity: str) -> StepResult:
+        """A read request: upgrade ``R_v`` to ``R`` and serve the
+        assigned version (§5.1, execution phase).
+
+        Rejects (raises) reads of items outside the validated input
+        set; returns ``BLOCKED`` while another transaction's write is
+        in flight on the entity.
+        """
+        record = self.record(txn)
+        self._require_active(record)
+        if record.phase is not TxnPhase.VALIDATED:
+            raise ProtocolError(f"{txn} must validate before reading")
+        if self._locks.holds(txn, entity, LockMode.R):
+            pass  # repeated read: lock already held
+        else:
+            outcome = self._locks.upgrade_rv_to_r(txn, entity)
+            if outcome is LockOutcome.BLOCKED:
+                self._log.record(EventKind.BLOCKED, txn, entity=entity)
+                return StepResult(Outcome.BLOCKED, blocked_on=entity)
+        version = record.assigned.get(entity)
+        if version is None:
+            raise LockProtocolError(
+                f"{txn}: no version assigned for {entity}"
+            )
+        record.read_items.add(entity)
+        record.did_data_access = True
+        self._log.record(
+            EventKind.READ, txn, entity=entity, version=str(version)
+        )
+        return StepResult(Outcome.OK, value=version.value)
+
+    def begin_write(self, txn: str, entity: str) -> StepResult:
+        """Take the ``W`` lock — always granted (Figure 3)."""
+        record = self.record(txn)
+        self._require_active(record)
+        if record.phase is not TxnPhase.VALIDATED:
+            raise ProtocolError(f"{txn} must validate before writing")
+        if entity not in record.update_set:
+            raise ProtocolError(
+                f"{txn} did not declare {entity} in its update set"
+            )
+        outcome = self._locks.request(txn, entity, LockMode.W)
+        assert outcome is LockOutcome.GRANTED, "writes never block"
+        record.in_flight_writes.add(entity)
+        record.did_data_access = True
+        self._log.record(EventKind.WRITE_BEGIN, txn, entity=entity)
+        return StepResult(Outcome.OK)
+
+    def end_write(self, txn: str, entity: str, value: int) -> StepResult:
+        """Complete a write: new version, release ``W``, re-evaluate.
+
+        Figure 4 runs against every sibling holding a read-side lock,
+        and again (per the compatibility matrix's "re-eval" entries)
+        for every reader the lock release unblocks.
+        """
+        record = self.record(txn)
+        if entity not in record.in_flight_writes:
+            raise ProtocolError(f"{txn} has no write in flight on {entity}")
+        version = self._db.write(entity, value, txn)
+        record.writes[entity] = version
+        record.in_flight_writes.discard(entity)
+        self._log.record(
+            EventKind.WRITE_END,
+            txn,
+            entity=entity,
+            value=value,
+            version=str(version),
+        )
+
+        result = StepResult(Outcome.OK)
+        # Re-eval current read-side holders first (Figure 4 proper)…
+        holders = sorted(self._locks.read_side_holders(entity) - {txn})
+        self._reeval(txn, entity, version, holders, result)
+        # …then release the write lock and re-eval the unblocked.
+        granted = self._locks.release(txn, entity, LockMode.W)
+        newly = sorted({request.txn for request in granted} - {txn})
+        result.unblocked.extend(
+            t for t in newly if t not in result.aborted
+        )
+        for unblocked_txn in newly:
+            if unblocked_txn in result.aborted:
+                continue
+            for event_txn in (unblocked_txn,):
+                self._log.record(
+                    EventKind.UNBLOCKED, event_txn, entity=entity
+                )
+        self._reeval(
+            txn,
+            entity,
+            version,
+            [t for t in newly if t not in result.aborted],
+            result,
+        )
+        return result
+
+    def write(self, txn: str, entity: str, value: int) -> StepResult:
+        """An instantaneous write (begin + end in one step)."""
+        self.begin_write(txn, entity)
+        return self.end_write(txn, entity, value)
+
+    def _reeval(
+        self,
+        writer: str,
+        entity: str,
+        version: Version,
+        holders: Iterable[str],
+        result: StepResult,
+    ) -> None:
+        writer_record = self.record(writer)
+        if writer_record.parent is None:
+            return
+        order = self.order_of(writer_record.parent)
+        for holder in holders:
+            if holder in result.aborted:
+                continue
+            holder_record = self._records.get(holder)
+            if holder_record is None or holder_record.terminated:
+                continue
+            assigned = holder_record.assigned.get(entity)
+            author = assigned.author if assigned is not None else None
+            decision = figure4_decision(
+                writer,
+                holder,
+                author,
+                order,
+                holder_has_read=entity in holder_record.read_items,
+            )
+            if decision is ReevalDecision.NONE:
+                continue
+            self._log.record(
+                EventKind.REEVAL,
+                holder,
+                writer=writer,
+                entity=entity,
+                decision=decision.value,
+            )
+            if decision is ReevalDecision.ABORT:
+                cascade = self.abort(
+                    holder,
+                    reason=(
+                        f"partial-order invalidation: read {entity} "
+                        f"before predecessor {writer} wrote it"
+                    ),
+                )
+                result.aborted.extend(
+                    name
+                    for name in cascade
+                    if name not in result.aborted
+                )
+            else:
+                if self._reassign(holder_record, entity, version):
+                    result.reassigned.append(holder)
+                else:
+                    cascade = self.abort(
+                        holder,
+                        reason=(
+                            "re-assignment failed: input constraint "
+                            f"unsatisfiable with new {entity} version"
+                        ),
+                    )
+                    result.aborted.extend(
+                        name
+                        for name in cascade
+                        if name not in result.aborted
+                    )
+
+    def _reassign(
+        self, record: TxnRecord, entity: str, new_version: Version
+    ) -> bool:
+        """Figure 4's re-assign: redo selection with the item pinned.
+
+        Any version assignment may change as long as the transaction
+        has not read the item; items already read stay pinned to the
+        versions actually read.
+        """
+        d_sets = self._compute_d_sets(record)
+        pinned: dict[str, Version] = {entity: new_version}
+        for item in record.read_items:
+            if item in record.assigned:
+                pinned[item] = record.assigned[item]
+        assignment = self._selector.select(
+            d_sets, record.spec.input_constraint, pinned
+        )
+        if assignment is None:
+            return False
+        record.assigned = assignment
+        self._log.record(
+            EventKind.REASSIGN,
+            record.name,
+            entity=entity,
+            version=str(new_version),
+        )
+        return True
+
+    def _require_active(self, record: TxnRecord) -> None:
+        if record.phase is TxnPhase.ABORTED:
+            raise TransactionAborted(record.name, "already aborted")
+        if record.phase is TxnPhase.COMMITTED:
+            raise ProtocolError(f"{record.name} already committed")
+        if record.children:
+            raise ProtocolError(
+                f"{record.name} nests subtransactions and so cannot "
+                "perform data accesses"
+            )
+
+    # -- phase 4: termination ----------------------------------------------------
+
+    def view(self, txn: str) -> dict[str, int]:
+        """The transaction's world view over all entities.
+
+        Own writes shadow merged child writes, which shadow the
+        assigned input versions, which shadow the parent's view.
+        """
+        record = self.record(txn)
+        if record.parent is None:
+            base = {
+                name: version.value
+                for name, version in record.assigned.items()
+            }
+        else:
+            base = self.view(record.parent)
+        for item, version in record.assigned.items():
+            base[item] = version.value
+        for item, value in record.merged_child_writes.items():
+            base[item] = value
+        for item, version in record.writes.items():
+            base[item] = version.value
+        return base
+
+    def can_commit(self, txn: str) -> tuple[bool, str]:
+        """Check the three commit rules; returns (ok, reason)."""
+        record = self.record(txn)
+        if record.terminated:
+            return False, f"already {record.phase.value}"
+        if record.in_flight_writes:
+            return False, "write in flight"
+        if record.parent is not None:
+            order = self.order_of(record.parent)
+            for predecessor in order.predecessors(txn):
+                predecessor_phase = self.record(predecessor).phase
+                if predecessor_phase is TxnPhase.ABORTED:
+                    # An aborted predecessor can never commit; waiting
+                    # on it would deadlock the successor.  Its effects
+                    # are gone (versions expunged, readers cascaded),
+                    # so the ordering obligation is vacuous.
+                    continue
+                if predecessor_phase is not TxnPhase.COMMITTED:
+                    return (
+                        False,
+                        f"predecessor {predecessor} not committed",
+                    )
+        for child in record.children:
+            if not self.record(child).terminated:
+                return False, f"subtransaction {child} not terminated"
+        view = self.view(txn)
+        if not record.spec.output_condition.evaluate(view):
+            return False, "output condition unsatisfied"
+        return True, "ok"
+
+    def commit(self, txn: str) -> StepResult:
+        """Commit (relative to the parent): release versions upward.
+
+        Returns ``FAILED`` with the blocking rule when the §5.1 commit
+        conditions do not hold — committing is only legal once every
+        predecessor has committed, every child has terminated, and the
+        output condition holds on the transaction's world view.
+        """
+        ok, reason = self.can_commit(txn)
+        if not ok:
+            return StepResult(Outcome.FAILED, reason=reason)
+        record = self.record(txn)
+        record.phase = TxnPhase.COMMITTED
+        if record.parent is not None:
+            parent_record = self.record(record.parent)
+            # Release this transaction's world (its writes and its
+            # children's merged writes) into the parent's world view.
+            released = dict(record.merged_child_writes)
+            released.update(
+                {
+                    item: version.value
+                    for item, version in record.writes.items()
+                }
+            )
+            parent_record.release_log.append((txn, released))
+            parent_record.merged_child_writes.update(released)
+        unblocked = self._locks.release_all(txn)
+        self._log.record(EventKind.COMMIT, txn)
+        result = StepResult(Outcome.OK)
+        result.unblocked.extend(
+            sorted({request.txn for request in unblocked})
+        )
+        return result
+
+    def undo_relative_commit(self, txn: str) -> StepResult:
+        """Undo a commit that is still only relative to the parent.
+
+        Section 5.1 notes a commit "is only relative to the parent",
+        so it can be undone as long as the parent has not itself
+        committed — the alternative to prohibiting placement of new
+        predecessors before committed readers.  The transaction's
+        released writes are withdrawn from the parent's world view and
+        it returns to the VALIDATED phase, from which it can re-commit
+        (or be aborted).  Data accesses after an undo are not
+        supported — the read-side locks were dropped at commit time.
+        """
+        record = self.record(txn)
+        if record.phase is not TxnPhase.COMMITTED:
+            return StepResult(
+                Outcome.FAILED,
+                reason=f"{txn} is not committed",
+            )
+        if record.parent is None:
+            return StepResult(
+                Outcome.FAILED, reason="the root's commit is absolute"
+            )
+        parent_record = self.record(record.parent)
+        if parent_record.phase is TxnPhase.COMMITTED:
+            return StepResult(
+                Outcome.FAILED,
+                reason=(
+                    f"{record.parent} has committed; {txn}'s commit is "
+                    "no longer relative"
+                ),
+            )
+        parent_record.release_log = [
+            entry for entry in parent_record.release_log
+            if entry[0] != txn
+        ]
+        rebuilt: dict[str, int] = {}
+        for __, released in parent_record.release_log:
+            rebuilt.update(released)
+        parent_record.merged_child_writes = rebuilt
+        record.phase = TxnPhase.VALIDATED
+        # Re-acquire read-side locks so Figure-4 re-evaluation sees the
+        # transaction again: a predecessor placed after the undo that
+        # writes an item this transaction already *read* must be able
+        # to detect the partial-order invalidation and abort it.
+        for item in sorted(record.input_set):
+            if not self._locks.holds(txn, item, LockMode.RV):
+                self._locks.request(txn, item, LockMode.RV)
+            if item in record.read_items and not self._locks.holds(
+                txn, item, LockMode.R
+            ):
+                self._locks.request(txn, item, LockMode.R)
+        self._log.record(EventKind.UNDO_COMMIT, txn)
+        return StepResult(Outcome.OK)
+
+    def abort(self, txn: str, reason: str = "requested") -> list[str]:
+        """Abort a transaction (and its active subtree), cascading.
+
+        Expunges every version the subtree authored; any *sibling*
+        transaction whose assignment referenced an expunged version is
+        re-assigned (if it has not read the item) or aborted in
+        cascade.  Returns all transaction names aborted, most-derived
+        first.
+        """
+        record = self.record(txn)
+        if record.phase is TxnPhase.ABORTED:
+            return []
+        if record.phase is TxnPhase.COMMITTED and record.parent is not None:
+            parent_phase = self.record(record.parent).phase
+            if parent_phase is TxnPhase.COMMITTED:
+                raise ProtocolError(
+                    f"{txn} is committed beyond its parent; too late to abort"
+                )
+        aborted: list[str] = []
+        for child in list(record.children):
+            if not self.record(child).terminated:
+                aborted.extend(self.abort(child, reason=f"parent {txn} aborted"))
+        record.phase = TxnPhase.ABORTED
+        record.in_flight_writes.clear()
+        removed = self._db.store.expunge_author(txn)
+        self._locks.release_all(txn)
+        self._log.record(EventKind.ABORT, txn, reason=reason)
+        aborted.append(txn)
+
+        # Cascade: siblings whose assigned versions died with us.
+        dead = {(version.entity, version.sequence) for version in removed}
+        if dead:
+            for other in list(self._records.values()):
+                if other.terminated or other.name == txn:
+                    continue
+                stale_items = [
+                    item
+                    for item, version in other.assigned.items()
+                    if (version.entity, version.sequence) in dead
+                ]
+                if not stale_items:
+                    continue
+                if any(item in other.read_items for item in stale_items):
+                    aborted.extend(
+                        self.abort(
+                            other.name,
+                            reason=f"read a version aborted with {txn}",
+                        )
+                    )
+                    continue
+                # Re-select without the dead versions.
+                if other.parent is not None and other.phase is TxnPhase.VALIDATED:
+                    d_sets = self._compute_d_sets(other)
+                    pinned = {
+                        item: other.assigned[item]
+                        for item in other.read_items
+                        if item in other.assigned
+                    }
+                    assignment = self._selector.select(
+                        d_sets, other.spec.input_constraint, pinned
+                    )
+                    if assignment is None:
+                        aborted.extend(
+                            self.abort(
+                                other.name,
+                                reason="no valid versions after cascade",
+                            )
+                        )
+                    else:
+                        other.assigned = assignment
+        return aborted
+
+    # -- verification (Lemma 4 / Theorem 2) -----------------------------------------
+
+    def verify_parent_based(self, parent: str) -> list[str]:
+        """Lemma 4: every committed child read only parent/sibling state.
+
+        Returns violation descriptions (empty = parent-based).  Checks
+        that each committed child's assigned versions were authored by
+        ``t_0``/the parent's world or by a sibling that is not a
+        partial-order successor.
+        """
+        violations: list[str] = []
+        parent_record = self.record(parent)
+        order = self.order_of(parent)
+        children = set(parent_record.children)
+        for child in parent_record.children:
+            child_record = self.record(child)
+            if child_record.phase is not TxnPhase.COMMITTED:
+                continue
+            for item, version in child_record.assigned.items():
+                author = version.author
+                if author is None or author == parent:
+                    continue
+                if author in children:
+                    if order.precedes(child, author):
+                        violations.append(
+                            f"{child} read {item} from successor {author}"
+                        )
+                    continue
+                # Authored deeper in a sibling subtree: find the
+                # sibling ancestor.
+                sibling = self._sibling_ancestor(author, parent)
+                if sibling is None:
+                    violations.append(
+                        f"{child} read {item} from non-sibling {author}"
+                    )
+                elif order.precedes(child, sibling):
+                    violations.append(
+                        f"{child} read {item} from successor subtree "
+                        f"{sibling}"
+                    )
+        return violations
+
+    def _sibling_ancestor(self, txn: str, parent: str) -> str | None:
+        name: str | None = txn
+        while name is not None:
+            record = self._records.get(name)
+            if record is None:
+                return None
+            if record.parent == parent:
+                return name
+            name = record.parent
+        return None
+
+    def verify_correctness(self, parent: str) -> list[str]:
+        """Theorem 2: inputs satisfied at read time, output at commit.
+
+        Re-checks, from the recorded assignments, that every committed
+        child's input constraint holds on the version state it was
+        assigned, and that the parent's output condition holds on its
+        current world view (when the parent has committed).
+        """
+        violations: list[str] = []
+        parent_record = self.record(parent)
+        for child in parent_record.children:
+            child_record = self.record(child)
+            if child_record.phase is not TxnPhase.COMMITTED:
+                continue
+            values = {
+                item: version.value
+                for item, version in child_record.assigned.items()
+            }
+            constraint = child_record.spec.input_constraint
+            relevant = {
+                name: values[name]
+                for name in constraint.entities()
+                if name in values
+            }
+            if set(relevant) != set(constraint.entities()):
+                violations.append(
+                    f"{child}: assigned state does not cover I_t"
+                )
+            elif not constraint.evaluate(relevant):
+                violations.append(
+                    f"{child}: input constraint violated at read time"
+                )
+        if parent_record.phase is TxnPhase.COMMITTED:
+            view = self.view(parent)
+            if not parent_record.spec.output_condition.evaluate(view):
+                violations.append(
+                    f"{parent}: output condition violated at commit"
+                )
+        return violations

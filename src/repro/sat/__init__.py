@@ -1,0 +1,33 @@
+"""Boolean satisfiability substrate (Lemma 1 / Theorem 1 machinery)."""
+
+from .cnf import CNFFormula, Literal, SatClause, SatError, lit, random_formula
+from .reduction import (
+    SatEncoding,
+    VersionCorrectnessInstance,
+    candidate_selection_to_sat,
+    decode_version_state,
+    sat_to_version_correctness,
+    solve_candidate_selection,
+    version_correctness_to_sat,
+)
+from .solver import DPLLSolver, SolverStats, brute_force_solve, solve
+
+__all__ = [
+    "CNFFormula",
+    "DPLLSolver",
+    "Literal",
+    "SatClause",
+    "SatEncoding",
+    "SatError",
+    "SolverStats",
+    "VersionCorrectnessInstance",
+    "candidate_selection_to_sat",
+    "brute_force_solve",
+    "decode_version_state",
+    "lit",
+    "random_formula",
+    "sat_to_version_correctness",
+    "solve",
+    "solve_candidate_selection",
+    "version_correctness_to_sat",
+]

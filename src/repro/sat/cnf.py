@@ -1,0 +1,206 @@
+"""Boolean CNF formulas for the NP-completeness machinery (Section 3.2).
+
+Lemma 1 reduces SAT to the one-transaction version correctness problem;
+this module supplies the SAT side: immutable literals, clauses, and
+formulas, with evaluation, simplification under partial assignments,
+and a seeded random-formula generator for the complexity benchmarks.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Mapping
+
+from ..errors import ReproError
+
+
+class SatError(ReproError):
+    """A CNF formula or assignment is malformed."""
+
+
+@dataclass(frozen=True, order=True)
+class Literal:
+    """A possibly-negated boolean variable."""
+
+    variable: str
+    negated: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.variable:
+            raise SatError("literal variable name must be non-empty")
+
+    def __neg__(self) -> "Literal":
+        return Literal(self.variable, not self.negated)
+
+    def evaluate(self, assignment: Mapping[str, bool]) -> bool:
+        value = assignment[self.variable]
+        return (not value) if self.negated else value
+
+    def __str__(self) -> str:
+        return f"¬{self.variable}" if self.negated else self.variable
+
+
+def lit(variable: str) -> Literal:
+    """A positive literal (negate with unary minus: ``-lit("x")``)."""
+    return Literal(variable)
+
+
+@dataclass(frozen=True)
+class SatClause:
+    """A disjunction of literals."""
+
+    literals: frozenset[Literal]
+
+    def __post_init__(self) -> None:
+        if not self.literals:
+            raise SatError("empty clause (trivially unsatisfiable)")
+
+    @classmethod
+    def of(cls, *literals: Literal) -> "SatClause":
+        return cls(frozenset(literals))
+
+    @property
+    def variables(self) -> frozenset[str]:
+        return frozenset(literal.variable for literal in self.literals)
+
+    def evaluate(self, assignment: Mapping[str, bool]) -> bool:
+        return any(
+            literal.evaluate(assignment) for literal in self.literals
+        )
+
+    def is_tautology(self) -> bool:
+        """Contains both a variable and its negation."""
+        return any(-literal in self.literals for literal in self.literals)
+
+    def __len__(self) -> int:
+        return len(self.literals)
+
+    def __iter__(self) -> Iterator[Literal]:
+        return iter(sorted(self.literals))
+
+    def __str__(self) -> str:
+        return "(" + " ∨ ".join(str(literal) for literal in self) + ")"
+
+
+class CNFFormula:
+    """An immutable conjunction of :class:`SatClause`.
+
+    The empty formula is satisfiable by the empty assignment.
+    """
+
+    __slots__ = ("_clauses", "_variables")
+
+    def __init__(self, clauses: Iterable[SatClause]) -> None:
+        self._clauses: tuple[SatClause, ...] = tuple(clauses)
+        names: set[str] = set()
+        for clause in self._clauses:
+            names |= clause.variables
+        self._variables: frozenset[str] = frozenset(names)
+
+    @classmethod
+    def of(cls, *clauses: SatClause) -> "CNFFormula":
+        return cls(clauses)
+
+    @classmethod
+    def parse(cls, text: str) -> "CNFFormula":
+        """Parse a compact textual form.
+
+        Clauses are separated by ``&``, literals inside a clause by
+        ``|``; negation is a leading ``~`` or ``!``::
+
+            CNFFormula.parse("a | ~b & b | c")
+        """
+        clauses: list[SatClause] = []
+        for chunk in text.split("&"):
+            chunk = chunk.strip()
+            if not chunk:
+                raise SatError(f"empty clause in {text!r}")
+            literals = []
+            for token in chunk.split("|"):
+                token = token.strip()
+                negated = token.startswith(("~", "!"))
+                name = token.lstrip("~!").strip()
+                if not name:
+                    raise SatError(f"bad literal {token!r}")
+                literals.append(Literal(name, negated))
+            clauses.append(SatClause.of(*literals))
+        return cls(clauses)
+
+    @property
+    def clauses(self) -> tuple[SatClause, ...]:
+        return self._clauses
+
+    @property
+    def variables(self) -> frozenset[str]:
+        return self._variables
+
+    def evaluate(self, assignment: Mapping[str, bool]) -> bool:
+        return all(
+            clause.evaluate(assignment) for clause in self._clauses
+        )
+
+    def simplify(self, assignment: Mapping[str, bool]) -> "CNFFormula | None":
+        """Apply a partial assignment.
+
+        Satisfied clauses disappear; falsified literals are removed.
+        Returns ``None`` when some clause becomes empty (conflict).
+        """
+        new_clauses: list[SatClause] = []
+        for clause in self._clauses:
+            keep: list[Literal] = []
+            satisfied = False
+            for literal in clause.literals:
+                if literal.variable in assignment:
+                    if literal.evaluate(assignment):
+                        satisfied = True
+                        break
+                else:
+                    keep.append(literal)
+            if satisfied:
+                continue
+            if not keep:
+                return None
+            new_clauses.append(SatClause.of(*keep))
+        return CNFFormula(new_clauses)
+
+    def __len__(self) -> int:
+        return len(self._clauses)
+
+    def __iter__(self) -> Iterator[SatClause]:
+        return iter(self._clauses)
+
+    def __str__(self) -> str:
+        if not self._clauses:
+            return "⊤"
+        return " ∧ ".join(str(clause) for clause in self._clauses)
+
+    def __repr__(self) -> str:
+        return f"CNFFormula({self})"
+
+
+def random_formula(
+    num_variables: int,
+    num_clauses: int,
+    clause_width: int = 3,
+    seed: int | None = None,
+) -> CNFFormula:
+    """A uniform random k-CNF formula (for complexity benchmarks).
+
+    With ``num_clauses ≈ 4.27 × num_variables`` and width 3 the
+    instances sit near the satisfiability phase transition — the hard
+    region that makes the Lemma-1 search expensive.
+    """
+    if num_variables < 1:
+        raise SatError("need at least one variable")
+    width = min(clause_width, num_variables)
+    rng = random.Random(seed)
+    variables = [f"v{i}" for i in range(num_variables)]
+    clauses = []
+    for _ in range(num_clauses):
+        chosen = rng.sample(variables, width)
+        literals = [
+            Literal(name, rng.random() < 0.5) for name in chosen
+        ]
+        clauses.append(SatClause.of(*literals))
+    return CNFFormula(clauses)

@@ -1,0 +1,47 @@
+"""The classical (standard-model) schedule substrate (Section 4.1)."""
+
+from .generator import (
+    interleaving_count,
+    interleavings,
+    random_interleaving,
+    random_programs,
+    random_schedule,
+)
+from .operations import I, Operation, OpType, R, W
+from .recovery import (
+    CommittedSchedule,
+    avoids_cascading_aborts,
+    is_recoverable,
+    is_strict,
+    recovery_profile,
+)
+from .schedule import Schedule
+from .semantic import (
+    is_semantically_conflict_serializable,
+    semantic_conflict,
+    semantic_conflict_graph,
+    semantic_serialization_order,
+)
+
+__all__ = [
+    "CommittedSchedule",
+    "I",
+    "Operation",
+    "OpType",
+    "R",
+    "Schedule",
+    "W",
+    "avoids_cascading_aborts",
+    "interleaving_count",
+    "is_recoverable",
+    "is_semantically_conflict_serializable",
+    "is_strict",
+    "interleavings",
+    "random_interleaving",
+    "random_programs",
+    "random_schedule",
+    "recovery_profile",
+    "semantic_conflict",
+    "semantic_conflict_graph",
+    "semantic_serialization_order",
+]

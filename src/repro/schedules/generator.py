@@ -1,0 +1,133 @@
+"""Workload and schedule generators for tests, census, and benchmarks.
+
+Two generation styles:
+
+* :func:`random_programs` / :func:`random_schedule` — seeded random
+  transactions and interleavings, used by the property tests and the
+  long-duration benchmarks;
+* :func:`interleavings` — exhaustive enumeration of every interleaving
+  of a set of transaction programs, used by the Figure-2 census to
+  count the population of each correctness-class region exactly.
+"""
+
+from __future__ import annotations
+
+import random
+from math import factorial
+from typing import Iterator, Sequence
+
+from ..errors import ScheduleError
+from .operations import Operation, OpType
+from .schedule import Schedule
+
+
+def random_programs(
+    num_transactions: int,
+    ops_per_transaction: int,
+    entities: Sequence[str],
+    write_ratio: float = 0.5,
+    seed: int | None = None,
+) -> dict[str, tuple[Operation, ...]]:
+    """Random straight-line transaction programs.
+
+    Each operation picks a uniform entity and is a write with
+    probability ``write_ratio``.  Transaction ids are ``"1"``, ``"2"``…
+    matching the paper's ``t_1, t_2`` notation.
+    """
+    if num_transactions < 1 or ops_per_transaction < 1:
+        raise ScheduleError("need at least one transaction and operation")
+    if not entities:
+        raise ScheduleError("need at least one entity")
+    rng = random.Random(seed)
+    programs: dict[str, tuple[Operation, ...]] = {}
+    for index in range(1, num_transactions + 1):
+        txn = str(index)
+        ops = tuple(
+            Operation(
+                txn,
+                OpType.WRITE
+                if rng.random() < write_ratio
+                else OpType.READ,
+                rng.choice(entities),
+            )
+            for _ in range(ops_per_transaction)
+        )
+        programs[txn] = ops
+    return programs
+
+
+def random_interleaving(
+    programs: dict[str, Sequence[Operation]],
+    seed: int | None = None,
+) -> Schedule:
+    """A uniform random interleaving preserving each program's order."""
+    rng = random.Random(seed)
+    cursors = {txn: 0 for txn in programs}
+    remaining = [
+        txn for txn, ops in programs.items() for _ in ops
+    ]
+    rng.shuffle(remaining)
+    ops: list[Operation] = []
+    for txn in remaining:
+        ops.append(programs[txn][cursors[txn]])
+        cursors[txn] += 1
+    return Schedule(ops)
+
+
+def random_schedule(
+    num_transactions: int,
+    ops_per_transaction: int,
+    entities: Sequence[str],
+    write_ratio: float = 0.5,
+    seed: int | None = None,
+) -> Schedule:
+    """Random programs plus a random interleaving, in one call."""
+    programs = random_programs(
+        num_transactions,
+        ops_per_transaction,
+        entities,
+        write_ratio,
+        seed,
+    )
+    return random_interleaving(
+        programs, None if seed is None else seed + 1
+    )
+
+
+def interleaving_count(programs: dict[str, Sequence[Operation]]) -> int:
+    """Number of distinct interleavings (multinomial coefficient)."""
+    total = sum(len(ops) for ops in programs.values())
+    count = factorial(total)
+    for ops in programs.values():
+        count //= factorial(len(ops))
+    return count
+
+
+def interleavings(
+    programs: dict[str, Sequence[Operation]],
+) -> Iterator[Schedule]:
+    """Exhaustively enumerate every interleaving of the programs.
+
+    The count is the multinomial coefficient
+    (:func:`interleaving_count`) — use only on small inputs.  The
+    Figure-2 census relies on this to measure region populations
+    exactly rather than by sampling.
+    """
+    txns = sorted(programs)
+    lengths = {txn: len(programs[txn]) for txn in txns}
+    prefix: list[Operation] = []
+    cursors = {txn: 0 for txn in txns}
+
+    def backtrack() -> Iterator[Schedule]:
+        if len(prefix) == sum(lengths.values()):
+            yield Schedule(prefix)
+            return
+        for txn in txns:
+            if cursors[txn] < lengths[txn]:
+                prefix.append(programs[txn][cursors[txn]])
+                cursors[txn] += 1
+                yield from backtrack()
+                cursors[txn] -= 1
+                prefix.pop()
+
+    return backtrack()

@@ -1,0 +1,140 @@
+"""Recoverability classes: RC, ACA, ST (the Section-1 remark).
+
+The paper's first criticism of plain serializability: "included among
+the serializable schedules are schedules that present several obstacles
+to crash recovery (allowance of cascading rollbacks and non-recoverable
+schedules)."  This module supplies the classical hierarchy so that
+criticism is checkable:
+
+* **RC (recoverable)** — every reader commits only after every
+  transaction it read from has committed;
+* **ACA (avoids cascading aborts)** — transactions read only from
+  committed transactions;
+* **ST (strict)** — no entity is read *or overwritten* while an
+  uncommitted transaction's write on it is live.
+
+``ST ⊂ ACA ⊂ RC``, and all are incomparable with serializability —
+the tests exhibit serializable-but-unrecoverable schedules, which is
+precisely the paper's point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..errors import ScheduleError
+from .schedule import Schedule
+
+
+@dataclass(frozen=True)
+class CommittedSchedule:
+    """A schedule plus the commit order of its transactions.
+
+    ``commit_order`` lists transactions in commit sequence; every
+    commit is taken to happen after all data operations (commits may
+    be interleaved with other transactions' later operations only in
+    the generalized constructor :meth:`with_commit_points`).
+    """
+
+    schedule: Schedule
+    commit_order: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        txns = set(self.schedule.transactions)
+        if set(self.commit_order) != txns or len(
+            self.commit_order
+        ) != len(txns):
+            raise ScheduleError(
+                "commit order must list every transaction exactly once"
+            )
+
+    def commit_position(self, txn: str) -> int:
+        return self.commit_order.index(txn)
+
+
+def is_recoverable(committed: CommittedSchedule) -> bool:
+    """RC: readers commit after their writers.
+
+    For every read that observes transaction ``w``'s write, ``w`` must
+    appear before the reader in the commit order.
+    """
+    schedule = committed.schedule
+    for (reader, __, ___), writer in schedule.read_sources().items():
+        if writer is None or writer == reader:
+            continue
+        if committed.commit_position(writer) > committed.commit_position(
+            reader
+        ):
+            return False
+    return True
+
+
+def avoids_cascading_aborts(committed: CommittedSchedule) -> bool:
+    """ACA: only committed data is read.
+
+    Each read from another transaction's write must occur after that
+    writer's commit point.  With end-of-schedule commit semantics we
+    approximate the commit point by requiring the writer to precede the
+    reader in the commit order **and** the writer to have no operations
+    after the read (i.e. the writer had finished its work).
+    """
+    schedule = committed.schedule
+    ops = schedule.operations
+    last_op_index = {
+        txn: max(i for i, op in enumerate(ops) if op.txn == txn)
+        for txn in schedule.transactions
+    }
+    last_writer: dict[str, str] = {}
+    for index, op in enumerate(ops):
+        if op.is_read:
+            writer = last_writer.get(op.entity)
+            if writer is None or writer == op.txn:
+                continue
+            if committed.commit_position(
+                writer
+            ) > committed.commit_position(op.txn):
+                return False
+            if last_op_index[writer] > index:
+                return False  # writer still active at read time
+        else:
+            last_writer[op.entity] = op.txn
+    return True
+
+
+def is_strict(committed: CommittedSchedule) -> bool:
+    """ST: no reading or overwriting of uncommitted writes."""
+    schedule = committed.schedule
+    ops = schedule.operations
+    last_op_index = {
+        txn: max(i for i, op in enumerate(ops) if op.txn == txn)
+        for txn in schedule.transactions
+    }
+    last_writer: dict[str, str] = {}
+    for index, op in enumerate(ops):
+        writer = last_writer.get(op.entity)
+        if (
+            writer is not None
+            and writer != op.txn
+            and (
+                committed.commit_position(writer)
+                > committed.commit_position(op.txn)
+                or last_op_index[writer] > index
+            )
+        ):
+            return False
+        if op.is_write:
+            last_writer[op.entity] = op.txn
+    return True
+
+
+def recovery_profile(
+    schedule: Schedule, commit_order: Sequence[str]
+) -> dict[str, bool]:
+    """RC/ACA/ST membership in one call."""
+    committed = CommittedSchedule(schedule, tuple(commit_order))
+    return {
+        "RC": is_recoverable(committed),
+        "ACA": avoids_cascading_aborts(committed),
+        "ST": is_strict(committed),
+    }

@@ -1,0 +1,43 @@
+"""Discrete-event simulation of long-duration transaction workloads."""
+
+from .clock import EventQueue, ScheduledEvent
+from .engine import SimulationEngine
+from .metrics import RunMetrics, TxnMetrics
+from .runner import (
+    DEFAULT_SCHEDULERS,
+    EXTENDED_SCHEDULERS,
+    compare_schedulers,
+    metrics_table,
+    run_one,
+)
+from .workload import (
+    Read,
+    Think,
+    TransactionScript,
+    Unordered,
+    Workload,
+    Write,
+    cad_workload,
+    oltp_workload,
+)
+
+__all__ = [
+    "DEFAULT_SCHEDULERS",
+    "EXTENDED_SCHEDULERS",
+    "EventQueue",
+    "Read",
+    "RunMetrics",
+    "ScheduledEvent",
+    "SimulationEngine",
+    "Think",
+    "TransactionScript",
+    "Unordered",
+    "TxnMetrics",
+    "Workload",
+    "Write",
+    "cad_workload",
+    "compare_schedulers",
+    "metrics_table",
+    "oltp_workload",
+    "run_one",
+]

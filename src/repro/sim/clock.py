@@ -1,0 +1,72 @@
+"""Virtual time: the simulator's event queue.
+
+A tiny deterministic discrete-event core: events are ``(time, seq)``
+ordered (FIFO among simultaneous events), carry an opaque payload, and
+support logical cancellation via epochs — the engine bumps a
+transaction's epoch to invalidate its in-flight events instead of
+removing them from the heap.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..errors import SimulationError
+
+
+@dataclass(frozen=True, order=True)
+class ScheduledEvent:
+    """One queued event; ordering is (time, seq)."""
+
+    time: float
+    seq: int
+    payload: Any = field(compare=False)
+
+
+class EventQueue:
+    """A deterministic min-heap of scheduled events."""
+
+    def __init__(self) -> None:
+        self._heap: list[ScheduledEvent] = []
+        self._seq = itertools.count()
+        self._now = 0.0
+
+    @property
+    def now(self) -> float:
+        """Current virtual time (time of the last popped event)."""
+        return self._now
+
+    def schedule(self, delay: float, payload: Any) -> ScheduledEvent:
+        """Queue an event ``delay`` time units from now."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        event = ScheduledEvent(self._now + delay, next(self._seq), payload)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def schedule_at(self, time: float, payload: Any) -> ScheduledEvent:
+        """Queue an event at an absolute virtual time."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule in the past ({time} < {self._now})"
+            )
+        event = ScheduledEvent(time, next(self._seq), payload)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self) -> ScheduledEvent | None:
+        """Advance time to — and return — the next event."""
+        if not self._heap:
+            return None
+        event = heapq.heappop(self._heap)
+        self._now = event.time
+        return event
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)

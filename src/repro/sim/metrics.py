@@ -1,0 +1,113 @@
+"""Run metrics: the quantities the paper's motivation is about.
+
+Section 2.4 names the goals — "reduce the number and duration of
+waits, reduce the number and effect of aborts, facilitate
+collaboration".  The metrics mirror them directly: per-transaction wait
+counts/durations, restart counts, wasted (aborted) work time, plus the
+usual makespan/throughput aggregates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from statistics import mean
+
+
+@dataclass
+class TxnMetrics:
+    """Lifecycle numbers for one logical transaction (across restarts)."""
+
+    txn_id: str
+    arrival: float = 0.0
+    commit_time: float | None = None
+    waits: int = 0
+    wait_time: float = 0.0
+    restarts: int = 0
+    wasted_time: float = 0.0
+    gave_up: bool = False
+
+    @property
+    def committed(self) -> bool:
+        return self.commit_time is not None
+
+    @property
+    def latency(self) -> float | None:
+        if self.commit_time is None:
+            return None
+        return self.commit_time - self.arrival
+
+
+@dataclass
+class RunMetrics:
+    """Aggregated result of one scheduler × workload run."""
+
+    scheduler: str
+    workload: str
+    transactions: dict[str, TxnMetrics] = field(default_factory=dict)
+    makespan: float = 0.0
+    events_processed: int = 0
+
+    def txn(self, txn_id: str) -> TxnMetrics:
+        return self.transactions.setdefault(
+            txn_id, TxnMetrics(txn_id=txn_id)
+        )
+
+    # -- aggregates ------------------------------------------------------------
+
+    @property
+    def committed_count(self) -> int:
+        return sum(1 for t in self.transactions.values() if t.committed)
+
+    @property
+    def gave_up_count(self) -> int:
+        return sum(1 for t in self.transactions.values() if t.gave_up)
+
+    @property
+    def total_waits(self) -> int:
+        return sum(t.waits for t in self.transactions.values())
+
+    @property
+    def total_wait_time(self) -> float:
+        return sum(t.wait_time for t in self.transactions.values())
+
+    @property
+    def total_restarts(self) -> int:
+        return sum(t.restarts for t in self.transactions.values())
+
+    @property
+    def total_wasted_time(self) -> float:
+        return sum(t.wasted_time for t in self.transactions.values())
+
+    @property
+    def mean_latency(self) -> float:
+        latencies = [
+            t.latency
+            for t in self.transactions.values()
+            if t.latency is not None
+        ]
+        return mean(latencies) if latencies else 0.0
+
+    @property
+    def max_wait(self) -> float:
+        waits = [t.wait_time for t in self.transactions.values()]
+        return max(waits) if waits else 0.0
+
+    @property
+    def throughput(self) -> float:
+        if self.makespan <= 0:
+            return 0.0
+        return self.committed_count / self.makespan
+
+    def summary_row(self) -> dict[str, float | int | str]:
+        """One table row for the benchmark reports."""
+        return {
+            "scheduler": self.scheduler,
+            "committed": self.committed_count,
+            "gave_up": self.gave_up_count,
+            "waits": self.total_waits,
+            "wait_time": round(self.total_wait_time, 1),
+            "restarts": self.total_restarts,
+            "wasted_time": round(self.total_wasted_time, 1),
+            "makespan": round(self.makespan, 1),
+            "mean_latency": round(self.mean_latency, 1),
+        }

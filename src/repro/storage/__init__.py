@@ -1,0 +1,6 @@
+"""Multi-version storage substrate (Section 2.1)."""
+
+from .database import Database
+from .version_store import Version, VersionStore, store_from_values
+
+__all__ = ["Database", "Version", "VersionStore", "store_from_values"]

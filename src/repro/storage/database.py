@@ -1,0 +1,114 @@
+"""The database façade: schema + consistency constraint + version store.
+
+Bundles the three things every transaction manager in this library
+needs — the entity universe, the CNF database consistency constraint
+``C``, and the multi-version store — behind one object that both the
+Section-5 protocol and the classical baselines share.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from ..core.entities import Schema
+from ..core.predicates import Predicate
+from ..core.states import DatabaseState, UniqueState, VersionState
+from ..errors import SchemaError
+from .version_store import Version, VersionStore
+
+
+class Database:
+    """A consistent multi-version database instance.
+
+    Parameters
+    ----------
+    schema:
+        The entity universe ``E``.
+    constraint:
+        The database consistency constraint ``C`` (CNF).  The paper
+        assumes every database has a non-trivial one; pass
+        ``Predicate.true()`` explicitly if you really want none.
+    initial:
+        The initial unique state (written by ``t_0``).  Must satisfy
+        the constraint — transactions map consistent states to
+        consistent states, so the starting point must be consistent.
+    """
+
+    def __init__(
+        self,
+        schema: Schema,
+        constraint: Predicate,
+        initial: "UniqueState | Mapping[str, int]",
+    ) -> None:
+        if not isinstance(initial, UniqueState):
+            initial = UniqueState(schema, dict(initial))
+        if initial.schema != schema:
+            raise SchemaError("initial state schema mismatch")
+        if not constraint.evaluate(initial):
+            raise SchemaError(
+                "initial state violates the consistency constraint "
+                f"{constraint}"
+            )
+        self._schema = schema
+        self._constraint = constraint
+        self._store = VersionStore(schema, initial)
+        self._initial = initial
+
+    @property
+    def schema(self) -> Schema:
+        return self._schema
+
+    @property
+    def constraint(self) -> Predicate:
+        """The database consistency constraint ``C``."""
+        return self._constraint
+
+    @property
+    def store(self) -> VersionStore:
+        return self._store
+
+    @property
+    def initial_state(self) -> UniqueState:
+        return self._initial
+
+    def objects(self) -> tuple[frozenset[str], ...]:
+        """The constraint's objects (conjunct entity sets)."""
+        return self._constraint.objects()
+
+    # -- consistency ------------------------------------------------------------
+
+    def latest_state(self) -> UniqueState:
+        return self._store.latest_unique_state()
+
+    def is_consistent(self) -> bool:
+        """Does the latest single-version view satisfy ``C``?"""
+        return self._constraint.evaluate(self.latest_state())
+
+    def has_consistent_version_state(self) -> bool:
+        """Does *some* version state satisfy ``C``?
+
+        The multiversion notion of consistency: even if the latest
+        values mix inconsistently, a consistent snapshot may exist
+        among retained versions.
+        """
+        return self._constraint.is_satisfiable_over(
+            self._store.as_database_state()
+        )
+
+    def version_state(self, values: Mapping[str, int]) -> VersionState:
+        """Build a version state over this database's schema."""
+        return VersionState(self._schema, dict(values))
+
+    def as_database_state(self) -> DatabaseState:
+        """Model-level view of all retained versions."""
+        return self._store.as_database_state()
+
+    def write(self, entity: str, value: int, author: str | None) -> Version:
+        """Create a new version (delegates to the store)."""
+        return self._store.write(entity, value, author)
+
+    def __repr__(self) -> str:
+        return (
+            f"Database({len(self._schema)} entities, "
+            f"{self._store.total_versions()} versions)"
+        )

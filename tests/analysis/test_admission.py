@@ -1,0 +1,76 @@
+"""Tests for the admission analysis (concurrency quantification)."""
+
+from __future__ import annotations
+
+from repro.analysis import (
+    admission_report,
+    admitted_by_s2pl,
+    admitted_by_to,
+    example1_programs,
+)
+from repro.classes import is_conflict_serializable
+from repro.schedules import Schedule, interleavings
+
+
+class TestS2PLAdmission:
+    def test_serial_always_admitted(self):
+        assert admitted_by_s2pl(
+            Schedule.parse("r1(x) w1(x) r2(x) w2(x)")
+        )
+
+    def test_conflicting_interleaving_rejected(self):
+        # t2 writes x while t1 (unfinished) holds a read lock on it.
+        assert not admitted_by_s2pl(
+            Schedule.parse("r1(x) w2(x) w1(y)")
+        )
+
+    def test_shared_reads_interleave_fine(self):
+        assert admitted_by_s2pl(Schedule.parse("r1(x) r2(x) w1(y)"))
+
+    def test_locks_released_at_transaction_end(self):
+        # t1 finishes completely before t2 touches x: admitted.
+        assert admitted_by_s2pl(Schedule.parse("r1(x) w1(x) w2(x)"))
+
+    def test_admitted_subset_of_csr(self):
+        for schedule in interleavings(example1_programs()):
+            if admitted_by_s2pl(schedule):
+                assert is_conflict_serializable(schedule), str(schedule)
+
+
+class TestTOAdmission:
+    def test_in_order_admitted(self):
+        assert admitted_by_to(Schedule.parse("r1(x) w1(x) r2(x)"))
+
+    def test_late_read_rejected(self):
+        # t1 arrives first (smaller ts) but reads after t2's write.
+        assert not admitted_by_to(Schedule.parse("r1(y) w2(x) r1(x)"))
+
+    def test_late_write_rejected(self):
+        assert not admitted_by_to(Schedule.parse("r1(y) r2(x) w1(x)"))
+
+
+class TestReport:
+    def test_example1_admission_hierarchy(self):
+        report = admission_report(
+            example1_programs(), [{"x"}, {"y"}]
+        )
+        assert report.total == 35
+        counts = report.counts
+        # Operational schedulers admit a subset of their class…
+        assert counts["s2pl"] <= counts["CSR"]
+        assert counts["to"] <= counts["CSR"]
+        # …and the lattice widens monotonically.
+        assert counts["CSR"] <= counts["SR"] <= counts["MVSR"]
+        assert counts["CSR"] <= counts["MVCSR"] <= counts["CPC"]
+        assert counts["CPC"] <= counts["PC"]
+        # The paper's point: real gains at every step on this input.
+        assert counts["CPC"] > counts["CSR"]
+
+    def test_fraction_and_rows(self):
+        report = admission_report(
+            example1_programs(), [{"x"}, {"y"}], limit=10
+        )
+        assert report.total == 10
+        assert 0.0 <= report.fraction("CSR") <= 1.0
+        rows = report.rows()
+        assert any(row["criterion"] == "PC" for row in rows)

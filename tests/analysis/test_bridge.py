@@ -1,0 +1,137 @@
+"""Tests for the schedule → execution bridge, incl. Lemma 2."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import (
+    execution_from_serial_order,
+    leaf_transactions_from_programs,
+    schedule_to_execution,
+)
+from repro.classes import view_serialization_order
+from repro.core import (
+    BinOp,
+    Const,
+    DatabaseState,
+    Domain,
+    Predicate,
+    Ref,
+    Schema,
+    UniqueState,
+    check_execution,
+)
+from repro.errors import ScheduleError
+from repro.schedules import Schedule, random_schedule
+
+
+@pytest.fixture
+def schema():
+    return Schema.of("x", "y", domain=Domain.interval(0, 10_000))
+
+
+CONSTRAINT = Predicate.parse("x >= 0 & y >= 0")
+
+
+def _increment_effects(txn: str, entity: str):
+    """Effects that preserve the constraint: entity := entity + txn."""
+    return BinOp("+", Ref(entity), Const(int(txn)))
+
+
+class TestEmbedding:
+    def test_children_carry_c_as_i_and_o(self, schema):
+        programs = Schedule.parse("r1(x) w1(x) r2(y)").programs()
+        root = leaf_transactions_from_programs(
+            schema, programs, CONSTRAINT, _increment_effects
+        )
+        for child in root.children:
+            assert child.input_constraint == CONSTRAINT
+            assert child.output_condition == CONSTRAINT
+
+    def test_effects_realize_writes(self, schema):
+        programs = Schedule.parse("w1(x)").programs()
+        root = leaf_transactions_from_programs(
+            schema, programs, CONSTRAINT, _increment_effects
+        )
+        child = root.children[0]
+        assert child.update_set == {"x"}
+
+    def test_reads_outside_constraint_rejected(self, schema):
+        programs = Schedule.parse("r1(x)").programs()
+        with pytest.raises(ScheduleError):
+            leaf_transactions_from_programs(
+                schema,
+                programs,
+                Predicate.parse("y >= 0"),  # does not mention x
+                _increment_effects,
+            )
+
+
+class TestChainedExecution:
+    def test_serial_chain_is_correct(self, schema):
+        programs = Schedule.parse("r1(x) w1(x) r2(x) w2(y)").programs()
+        root = leaf_transactions_from_programs(
+            schema, programs, CONSTRAINT, _increment_effects
+        )
+        initial = UniqueState(schema, {"x": 5, "y": 6})
+        execution = execution_from_serial_order(
+            root, initial, list(root.child_names)
+        )
+        report = check_execution(
+            execution, DatabaseState.single(initial)
+        )
+        assert report.ok, report.reasons
+
+    def test_wrong_order_set_rejected(self, schema):
+        programs = Schedule.parse("r1(x)").programs()
+        root = leaf_transactions_from_programs(
+            schema, programs, CONSTRAINT, _increment_effects
+        )
+        initial = UniqueState(schema, {"x": 5, "y": 6})
+        with pytest.raises(ScheduleError):
+            execution_from_serial_order(root, initial, [])
+
+
+class TestLemma2:
+    """All view serializable schedules are correct executions."""
+
+    def _check(self, schedule: Schedule, schema: Schema) -> None:
+        order = view_serialization_order(schedule)
+        if order is None:
+            return  # not VSR; Lemma 2 says nothing
+        initial = UniqueState(schema, {"x": 5, "y": 6})
+        execution = schedule_to_execution(
+            schema,
+            schedule,
+            CONSTRAINT,
+            initial,
+            _increment_effects,
+            list(order),
+        )
+        report = check_execution(
+            execution, DatabaseState.single(initial)
+        )
+        assert report.ok, (str(schedule), report.reasons)
+
+    def test_on_paper_examples(self, schema):
+        for text in [
+            "r1(x) w1(x) r2(x) w2(y)",
+            "r1(x) w2(x) w1(x) w3(x)",  # region 5: VSR, not CSR
+            "r1(x) w1(x) r2(x) r1(y) w1(y) r2(y) w2(y)",  # region 9
+        ]:
+            self._check(Schedule.parse(text), schema)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=100_000),
+        num_txns=st.integers(min_value=2, max_value=3),
+        ops=st.integers(min_value=1, max_value=3),
+    )
+    def test_lemma2_property(self, seed, num_txns, ops):
+        schema = Schema.of("x", "y", domain=Domain.interval(0, 10_000))
+        schedule = random_schedule(
+            num_txns, ops, ["x", "y"], seed=seed
+        )
+        self._check(schedule, schema)

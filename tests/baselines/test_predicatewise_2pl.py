@@ -1,0 +1,92 @@
+"""Tests for predicate-wise two-phase locking."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import (
+    AccessStatus,
+    PlannedAccess,
+    PredicatewiseTwoPhaseLocking,
+)
+from repro.core import Domain, Predicate, Schema
+from repro.storage import Database
+
+
+@pytest.fixture
+def db():
+    # Constraint puts x and y in separate conjuncts (two objects).
+    schema = Schema.of("x", "y", domain=Domain.interval(0, 1000))
+    return Database(
+        schema,
+        Predicate.parse("x >= 0 & y >= 0"),
+        {"x": 1, "y": 2},
+    )
+
+
+def _plan(*accesses):
+    return [PlannedAccess(kind, entity) for kind, entity in accesses]
+
+
+class TestEarlyRelease:
+    def test_conjunct_released_after_last_access(self, db):
+        cc = PredicatewiseTwoPhaseLocking(db)
+        cc.begin("a", _plan(("write", "x"), ("read", "y")))
+        cc.begin("b", _plan(("write", "x")))
+        # a writes x (its only x-conjunct access): x is then released
+        # even though a is still active on y.
+        result = cc.write("a", "x", 5)
+        assert result.status is AccessStatus.OK
+        assert cc.write("b", "x", 7).status is AccessStatus.OK
+
+    def test_strict_until_conjunct_done(self, db):
+        cc = PredicatewiseTwoPhaseLocking(db)
+        cc.begin("a", _plan(("write", "x"), ("write", "x")))
+        cc.begin("b", _plan(("write", "x")))
+        cc.write("a", "x", 5)  # one x access remaining for a
+        assert cc.write("b", "x", 7).status is AccessStatus.BLOCKED
+
+    def test_cross_conjunct_independence(self, db):
+        cc = PredicatewiseTwoPhaseLocking(db)
+        cc.begin("a", _plan(("write", "x"), ("write", "x")))
+        cc.begin("b", _plan(("write", "y")))
+        cc.write("a", "x", 5)
+        # y lives in another conjunct: b proceeds immediately.
+        assert cc.write("b", "y", 9).status is AccessStatus.OK
+
+
+class TestLockSemantics:
+    def test_shared_then_exclusive_blocks(self, db):
+        cc = PredicatewiseTwoPhaseLocking(db)
+        cc.begin("a", _plan(("read", "x"), ("read", "y")))
+        cc.begin("b", _plan(("write", "x")))
+        cc.read("a", "x")
+        # a still has a pending y access, but its x-conjunct is done,
+        # so its x lock is already gone.
+        assert cc.write("b", "x", 5).status is AccessStatus.OK
+
+    def test_commit_unblocks(self, db):
+        cc = PredicatewiseTwoPhaseLocking(db)
+        cc.begin("a", _plan(("write", "x"), ("write", "x")))
+        cc.begin("b", _plan(("write", "x")))
+        cc.write("a", "x", 5)
+        assert cc.write("b", "x", 7).status is AccessStatus.BLOCKED
+        result = cc.commit("a")
+        assert "b" in result.unblocked
+        assert cc.write("b", "x", 7).status is AccessStatus.OK
+
+    def test_deadlock_detection(self, db):
+        cc = PredicatewiseTwoPhaseLocking(db)
+        # Use a single-conjunct view by driving both txns on x twice.
+        cc.begin("a", _plan(("write", "x"), ("write", "x"), ("write", "y"), ("write", "y")))
+        cc.begin("b", _plan(("write", "y"), ("write", "y"), ("write", "x"), ("write", "x")))
+        cc.write("a", "x", 1)
+        cc.write("b", "y", 1)
+        blocked = cc.write("a", "y", 2)
+        assert blocked.status is AccessStatus.BLOCKED
+        closing = cc.write("b", "x", 2)
+        assert (
+            closing.status is AccessStatus.ABORTED
+            or "b" in closing.aborted
+            or cc.deadlocks_detected >= 1
+        )

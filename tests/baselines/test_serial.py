@@ -1,0 +1,56 @@
+"""Tests for the serial executor."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import AccessStatus, SerialExecution
+from repro.core import Domain, Predicate, Schema
+from repro.storage import Database
+
+
+@pytest.fixture
+def cc():
+    schema = Schema.of("x", domain=Domain.interval(0, 1000))
+    db = Database(schema, Predicate.true(), {"x": 1})
+    return SerialExecution(db)
+
+
+class TestTurns:
+    def test_first_runs_immediately(self, cc):
+        assert cc.begin("a").status is AccessStatus.OK
+        assert cc.read("a", "x").status is AccessStatus.OK
+
+    def test_second_waits(self, cc):
+        cc.begin("a")
+        assert cc.begin("b").status is AccessStatus.BLOCKED
+
+    def test_commit_hands_over(self, cc):
+        cc.begin("a")
+        cc.begin("b")
+        result = cc.commit("a")
+        assert result.unblocked == ["b"]
+        # b re-executes its begin and proceeds.
+        assert cc.begin("b").status is AccessStatus.OK
+        assert cc.write("b", "x", 5).status is AccessStatus.OK
+
+    def test_abort_hands_over(self, cc):
+        cc.begin("a")
+        cc.begin("b")
+        cc.write("a", "x", 9)
+        result = cc.abort("a")
+        assert result.unblocked == ["b"]
+
+    def test_out_of_turn_access_rejected(self, cc):
+        cc.begin("a")
+        cc.begin("b")
+        with pytest.raises(RuntimeError):
+            cc.read("b", "x")
+
+    def test_fifo_order(self, cc):
+        cc.begin("a")
+        cc.begin("b")
+        cc.begin("c")
+        assert cc.commit("a").unblocked == ["b"]
+        cc.begin("b")
+        assert cc.commit("b").unblocked == ["c"]

@@ -1,0 +1,100 @@
+"""Tests for timestamp-ordering schedulers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import (
+    AccessStatus,
+    ConservativeTimestampOrdering,
+    PlannedAccess,
+    TimestampOrdering,
+)
+from repro.core import Domain, Predicate, Schema
+from repro.storage import Database
+
+
+@pytest.fixture
+def db():
+    schema = Schema.of("x", "y", domain=Domain.interval(0, 1000))
+    return Database(schema, Predicate.true(), {"x": 1, "y": 2})
+
+
+class TestBasicTO:
+    def test_in_order_accesses_succeed(self, db):
+        cc = TimestampOrdering(db)
+        cc.begin("a")
+        cc.begin("b")
+        assert cc.read("a", "x").status is AccessStatus.OK
+        assert cc.write("b", "x", 5).status is AccessStatus.OK
+
+    def test_late_read_aborts(self, db):
+        cc = TimestampOrdering(db)
+        cc.begin("a")
+        cc.begin("b")
+        cc.write("b", "x", 5)  # wts(x) = ts(b) > ts(a)
+        assert cc.read("a", "x").status is AccessStatus.ABORTED
+
+    def test_late_write_after_read_aborts(self, db):
+        cc = TimestampOrdering(db)
+        cc.begin("a")
+        cc.begin("b")
+        cc.read("b", "x")  # rts(x) = ts(b)
+        assert cc.write("a", "x", 9).status is AccessStatus.ABORTED
+
+    def test_never_blocks(self, db):
+        cc = TimestampOrdering(db)
+        cc.begin("a")
+        cc.begin("b")
+        for result in (
+            cc.read("a", "x"),
+            cc.write("a", "x", 3),
+            cc.read("b", "x"),
+        ):
+            assert result.status is not AccessStatus.BLOCKED
+
+    def test_abort_expunges(self, db):
+        cc = TimestampOrdering(db)
+        cc.begin("a")
+        cc.write("a", "x", 9)
+        cc.abort("a")
+        assert db.store.values_of("x") == {1}
+
+
+class TestConservativeTO:
+    def _plan(self, *entities, writes=()):
+        return [
+            PlannedAccess(
+                "write" if entity in writes else "read", entity
+            )
+            for entity in entities
+        ]
+
+    def test_younger_waits_for_older_conflicting(self, db):
+        cc = ConservativeTimestampOrdering(db)
+        cc.begin("a", self._plan("x", writes={"x"}))
+        cc.begin("b", self._plan("x"))
+        assert cc.read("b", "x").status is AccessStatus.BLOCKED
+
+    def test_no_conflict_no_wait(self, db):
+        cc = ConservativeTimestampOrdering(db)
+        cc.begin("a", self._plan("x", writes={"x"}))
+        cc.begin("b", self._plan("y"))
+        assert cc.read("b", "y").status is AccessStatus.OK
+
+    def test_commit_unblocks(self, db):
+        cc = ConservativeTimestampOrdering(db)
+        cc.begin("a", self._plan("x", writes={"x"}))
+        cc.begin("b", self._plan("x"))
+        cc.read("b", "x")
+        cc.write("a", "x", 7)
+        result = cc.commit("a")
+        assert "b" in result.unblocked
+        assert cc.read("b", "x").status is AccessStatus.OK
+
+    def test_never_aborts(self, db):
+        cc = ConservativeTimestampOrdering(db)
+        cc.begin("a", self._plan("x", writes={"x"}))
+        cc.begin("b", self._plan("x", writes={"x"}))
+        for result in (cc.write("b", "x", 5), cc.read("b", "x")):
+            assert result.status is not AccessStatus.ABORTED

@@ -1,0 +1,89 @@
+"""Tests for strict two-phase locking."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import AccessStatus, StrictTwoPhaseLocking
+from repro.core import Domain, Predicate, Schema
+from repro.storage import Database
+
+
+@pytest.fixture
+def db():
+    schema = Schema.of("x", "y", domain=Domain.interval(0, 1000))
+    return Database(schema, Predicate.true(), {"x": 1, "y": 2})
+
+
+@pytest.fixture
+def cc(db):
+    scheduler = StrictTwoPhaseLocking(db)
+    scheduler.begin("a")
+    scheduler.begin("b")
+    return scheduler
+
+
+class TestLocking:
+    def test_shared_reads_coexist(self, cc):
+        assert cc.read("a", "x").status is AccessStatus.OK
+        assert cc.read("b", "x").status is AccessStatus.OK
+
+    def test_write_blocks_on_readers(self, cc):
+        cc.read("a", "x")
+        assert cc.write("b", "x", 5).status is AccessStatus.BLOCKED
+
+    def test_read_blocks_on_writer(self, cc):
+        cc.write("a", "x", 5)
+        assert cc.read("b", "x").status is AccessStatus.BLOCKED
+
+    def test_reader_sees_latest_committed_value(self, cc):
+        cc.write("a", "x", 5)
+        cc.commit("a")
+        assert cc.begin("c").status is AccessStatus.OK
+        assert cc.read("c", "x").value == 5
+
+    def test_locks_held_until_commit(self, cc):
+        cc.write("a", "x", 5)
+        cc.read("a", "y")
+        # b waits on both until a commits.
+        assert cc.read("b", "x").status is AccessStatus.BLOCKED
+        result = cc.commit("a")
+        assert "b" in result.unblocked
+        assert cc.read("b", "x").status is AccessStatus.OK
+
+    def test_upgrade_own_shared_to_exclusive(self, cc):
+        cc.read("a", "x")
+        assert cc.write("a", "x", 5).status is AccessStatus.OK
+
+    def test_abort_releases_and_expunges(self, cc, db):
+        cc.write("a", "x", 5)
+        result = cc.abort("a")
+        assert db.store.values_of("x") == {1}
+        assert cc.read("b", "x").status is AccessStatus.OK
+
+
+class TestDeadlock:
+    def test_deadlock_detected_and_victim_aborted(self, cc):
+        cc.write("a", "x", 5)
+        cc.write("b", "y", 6)
+        first = cc.read("a", "y")
+        assert first.status is AccessStatus.BLOCKED
+        second = cc.read("b", "x")
+        # b closes the cycle; the youngest (b) is the victim.
+        assert second.status is AccessStatus.ABORTED
+        assert cc.deadlocks_detected == 1
+        # a's wait on y is now released.
+        assert "a" in second.unblocked
+
+    def test_victim_is_youngest_third_party(self, cc):
+        # a holds x; b holds y; b waits on x; a waits on y -> cycle
+        # detected when a blocks; victim = youngest in cycle = b.
+        cc.write("a", "x", 5)
+        cc.write("b", "y", 6)
+        blocked = cc.read("b", "x")
+        assert blocked.status is AccessStatus.BLOCKED
+        result = cc.read("a", "y")
+        assert "b" in result.aborted or result.status is (
+            AccessStatus.BLOCKED
+        )
+        assert cc.deadlocks_detected == 1

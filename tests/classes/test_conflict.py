@@ -1,0 +1,58 @@
+"""Tests for conflict serializability (CSR)."""
+
+from __future__ import annotations
+
+from repro.classes import (
+    conflict_graph,
+    conflict_serialization_order,
+    is_conflict_serializable,
+)
+from repro.schedules import Schedule
+
+
+class TestConflictGraph:
+    def test_edges_follow_schedule_order(self):
+        schedule = Schedule.parse("r1(x) w2(x) w1(y) r2(y)")
+        graph = conflict_graph(schedule)
+        assert graph["1"] == {"2"}
+        assert graph["2"] == set()
+
+    def test_no_conflicts_no_edges(self):
+        schedule = Schedule.parse("r1(x) r2(x) r3(y)")
+        graph = conflict_graph(schedule)
+        assert all(not targets for targets in graph.values())
+
+
+class TestMembership:
+    def test_serial_is_csr(self):
+        assert is_conflict_serializable(
+            Schedule.parse("r1(x) w1(x) r2(x) w2(x)")
+        )
+
+    def test_classic_cycle(self):
+        # t1 reads x before t2 writes it; t2 reads y before t1 writes it.
+        schedule = Schedule.parse("r1(x) r2(y) w2(x) w1(y)")
+        assert not is_conflict_serializable(schedule)
+
+    def test_region9_example_is_csr(self):
+        schedule = Schedule.parse(
+            "r1(x) w1(x) r2(x) r1(y) w1(y) r2(y) w2(y)"
+        )
+        assert is_conflict_serializable(schedule)
+
+    def test_witness_order_topological(self):
+        schedule = Schedule.parse("r1(x) w2(x) r2(y) w3(y)")
+        order = conflict_serialization_order(schedule)
+        assert order is not None
+        position = {txn: i for i, txn in enumerate(order)}
+        assert position["1"] < position["2"] < position["3"]
+
+    def test_no_witness_when_cyclic(self):
+        schedule = Schedule.parse("r1(x) r2(y) w2(x) w1(y)")
+        assert conflict_serialization_order(schedule) is None
+
+    def test_conflict_equivalence_to_witness(self):
+        schedule = Schedule.parse("r1(x) r2(y) w1(x) w2(y)")
+        order = conflict_serialization_order(schedule)
+        serial = Schedule.serial(schedule.programs(), list(order))
+        assert schedule.conflict_equivalent(serial)

@@ -1,0 +1,67 @@
+"""Tests for the DOT exporters."""
+
+from __future__ import annotations
+
+from repro.classes.export import (
+    conflict_graph_dot,
+    cpc_graphs_dot,
+    mv_conflict_graph_dot,
+    transaction_tree_dot,
+)
+from repro.core import (
+    Domain,
+    Effect,
+    LeafTransaction,
+    NestedTransaction,
+    Schema,
+    Spec,
+    TxnName,
+)
+from repro.schedules import Schedule
+
+
+class TestScheduleGraphs:
+    def test_conflict_graph_edges(self):
+        dot = conflict_graph_dot(Schedule.parse("r1(x) w2(x)"))
+        assert dot.startswith("digraph")
+        assert '"t1" -> "t2";' in dot
+        assert dot.endswith("}")
+
+    def test_mv_graph_only_rw_edges(self):
+        dot = mv_conflict_graph_dot(Schedule.parse("w1(x) r2(x)"))
+        assert '"t1" -> "t2"' not in dot  # wr pairs don't count
+        dot = mv_conflict_graph_dot(Schedule.parse("r1(x) w2(x)"))
+        assert '"t1" -> "t2";' in dot
+
+    def test_cpc_graphs_one_cluster_per_conjunct(self):
+        dot = cpc_graphs_dot(
+            Schedule.parse("r1(x) w2(x) r2(y) w1(y)"),
+            [{"x"}, {"y"}],
+        )
+        assert dot.count("subgraph cluster_") == 2
+        assert '"c0_t1" -> "c0_t2";' in dot
+        assert '"c1_t2" -> "c1_t1";' in dot
+
+
+class TestTransactionTree:
+    def test_tree_with_order_edges(self):
+        schema = Schema.of("x", domain=Domain.interval(0, 10))
+        root_name = TxnName.root()
+        first = LeafTransaction(
+            root_name.child(0), schema, Spec.trivial(), Effect({"x": 1})
+        )
+        second = LeafTransaction(
+            root_name.child(1), schema, Spec.trivial(), Effect({})
+        )
+        root = NestedTransaction.build(
+            root_name,
+            schema,
+            Spec.trivial(),
+            [first, second],
+            [(first.name, second.name)],
+        )
+        dot = transaction_tree_dot(root)
+        assert '"t" -> "t.0";' in dot
+        assert '"t" -> "t.1";' in dot
+        assert "style=dashed" in dot  # the P edge
+        assert "[shape=ellipse];" in dot  # leaves

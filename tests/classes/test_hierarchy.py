@@ -1,0 +1,99 @@
+"""Tests for the class lattice, regions, and containment laws."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.classes import (
+    REGION_LABELS,
+    ClassMembership,
+    classify,
+    containment_violations,
+    figure2_region,
+)
+from repro.schedules import Schedule, random_schedule
+
+
+class TestClassify:
+    def test_serial_schedule_in_every_class(self):
+        membership = classify(
+            Schedule.parse("r1(x) w1(x) r2(x) w2(y)"), [{"x"}, {"y"}]
+        )
+        assert all(membership.as_dict().values())
+        assert figure2_region(membership) == 9
+
+    def test_default_constraint_is_whole_entity_set(self):
+        schedule = Schedule.parse("r1(x) w2(x) w1(x)")
+        membership = classify(schedule)
+        # With one conjunct, PWCSR == CSR and CPC == MVCSR.
+        assert membership.pwcsr == membership.csr
+        assert membership.cpc == membership.mvcsr
+
+    def test_member_classes_listing(self):
+        membership = classify(Schedule.parse("r1(x) w1(x)"))
+        assert "CSR" in membership.member_classes()
+
+    def test_str_rendering(self):
+        membership = classify(Schedule.parse("r1(x)"))
+        assert "CSR=✓" in str(membership)
+
+
+class TestRegions:
+    def test_all_regions_labelled(self):
+        assert set(REGION_LABELS) == set(range(1, 10))
+
+    def test_region_precedence_is_total(self):
+        # Any membership vector maps to exactly one region.
+        import itertools
+
+        for bits in itertools.product([False, True], repeat=8):
+            membership = ClassMembership(*bits)
+            region = figure2_region(membership)
+            assert 1 <= region <= 9
+
+
+class TestContainments:
+    def test_no_violation_for_consistent_vector(self):
+        membership = ClassMembership(
+            csr=True,
+            vsr=True,
+            mvcsr=True,
+            mvsr=True,
+            pwcsr=True,
+            pwsr=True,
+            cpc=True,
+            pc=True,
+        )
+        assert containment_violations(membership) == []
+
+    def test_violation_detected(self):
+        membership = ClassMembership(
+            csr=True,
+            vsr=False,  # CSR ⊆ SR violated
+            mvcsr=True,
+            mvsr=True,
+            pwcsr=True,
+            pwsr=True,
+            cpc=True,
+            pc=True,
+        )
+        assert ("csr", "vsr") in containment_violations(membership)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=100_000),
+        num_txns=st.integers(min_value=2, max_value=3),
+        ops=st.integers(min_value=1, max_value=3),
+        split=st.booleans(),
+    )
+    def test_random_schedules_respect_the_lattice(
+        self, seed, num_txns, ops, split
+    ):
+        """Property: the testers never violate a containment law."""
+        schedule = random_schedule(
+            num_txns, ops, ["x", "y"], seed=seed
+        )
+        constraint = [{"x"}, {"y"}] if split else [{"x", "y"}]
+        membership = classify(schedule, constraint)
+        assert containment_violations(membership) == [], str(schedule)

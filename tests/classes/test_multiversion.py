@@ -1,0 +1,114 @@
+"""Tests for the multiversion classes MVSR and MVCSR."""
+
+from __future__ import annotations
+
+from repro.classes import (
+    is_conflict_serializable,
+    is_mv_conflict_serializable,
+    is_mv_view_serializable,
+    is_view_serializable,
+    mv_conflict_graph,
+    mv_conflict_serialization_order,
+    mv_view_serialization_order,
+)
+from repro.schedules import Schedule
+
+EXAMPLE_1 = Schedule.parse(
+    "r1(x) w1(x) r2(x) r2(y) w2(y) r1(y) w1(y)"
+)
+
+
+class TestMVConflictGraph:
+    def test_only_read_before_write_edges(self):
+        # w1(x) before r2(x): a wr pair — NOT an MV conflict.
+        schedule = Schedule.parse("w1(x) r2(x)")
+        graph = mv_conflict_graph(schedule)
+        assert graph["1"] == set() and graph["2"] == set()
+
+    def test_read_before_write_edge(self):
+        schedule = Schedule.parse("r1(x) w2(x)")
+        assert mv_conflict_graph(schedule)["1"] == {"2"}
+
+    def test_own_write_no_edge(self):
+        schedule = Schedule.parse("r1(x) w1(x)")
+        graph = mv_conflict_graph(schedule)
+        assert graph["1"] == set()
+
+
+class TestMVCSR:
+    def test_example1_is_mvcsr(self):
+        assert is_mv_conflict_serializable(EXAMPLE_1)
+        assert mv_conflict_serialization_order(EXAMPLE_1) is not None
+
+    def test_region1_not_mvcsr(self):
+        schedule = Schedule.parse("r1(x) r2(x) w1(x) w2(x)")
+        assert not is_mv_conflict_serializable(schedule)
+        assert mv_conflict_serialization_order(schedule) is None
+
+    def test_region7_is_mvcsr(self):
+        assert is_mv_conflict_serializable(
+            Schedule.parse("r1(x) w2(x) w1(x)")
+        )
+
+    def test_csr_implies_mvcsr(self):
+        schedule = Schedule.parse("r1(x) w1(x) r2(x) w2(x)")
+        assert is_conflict_serializable(schedule)
+        assert is_mv_conflict_serializable(schedule)
+
+    def test_ww_only_schedules_are_always_mvcsr(self):
+        # Without reads there are no MV conflicts at all.
+        schedule = Schedule.parse("w1(x) w2(x) w1(y) w2(y) w1(x)")
+        assert is_mv_conflict_serializable(schedule)
+
+
+class TestMVSR:
+    def test_example1_is_mvsr_not_vsr(self):
+        # The paper's Example 1: the version function hands t2 the
+        # initial state and t1 reads y from t2.
+        assert is_mv_view_serializable(EXAMPLE_1)
+        assert not is_view_serializable(EXAMPLE_1)
+        assert mv_view_serialization_order(EXAMPLE_1) == ("2", "1")
+
+    def test_region7_final_read_selection(self):
+        # Serializable to t1,t2 only because the final read may take
+        # t2's version (paper's region-7 note).
+        schedule = Schedule.parse("r1(x) w2(x) w1(x)")
+        assert is_mv_view_serializable(schedule)
+        assert mv_view_serialization_order(schedule) == ("1", "2")
+
+    def test_region1_not_mvsr(self):
+        # Both transactions read x before either writes: in any serial
+        # order the second must read the first's version, which did not
+        # exist at read time.
+        schedule = Schedule.parse("r1(x) r2(x) w1(x) w2(x)")
+        assert not is_mv_view_serializable(schedule)
+
+    def test_availability_constraint(self):
+        # t2 must read t1's x (t1 is its only possible predecessor via
+        # y), but t1 writes x after t2's read — no version function
+        # can serve a version from the future.
+        schedule = Schedule.parse("r2(x) w1(x) r1(y) w2(y)")
+        # Serial order (1,2): t2 reads x from t1 -> t1's w(x) at index 1
+        # precedes r2(x) at index 0? No -> unavailable.
+        # Serial order (2,1): t1 reads y from t2 -> w2(y) at 3 after
+        # r1(y) at 2 -> unavailable.
+        assert not is_mv_view_serializable(schedule)
+
+    def test_own_earlier_write_is_always_available(self):
+        schedule = Schedule.parse("w1(x) r1(x) w2(x) r2(x)")
+        assert is_mv_view_serializable(schedule)
+
+    def test_vsr_implies_mvsr(self):
+        schedule = Schedule.parse("r1(x) w2(x) w1(x) w3(x)")
+        assert is_view_serializable(schedule)
+        assert is_mv_view_serializable(schedule)
+
+    def test_mvcsr_implies_mvsr_on_examples(self):
+        for text in [
+            "r1(x) w1(x) r2(x) r2(y) w2(y) r1(y) w1(y)",
+            "r1(x) w2(x) w1(x)",
+            "r1(x) w1(x) r2(x)",
+        ]:
+            schedule = Schedule.parse(text)
+            if is_mv_conflict_serializable(schedule):
+                assert is_mv_view_serializable(schedule), text

@@ -1,0 +1,120 @@
+"""Tests for partial-order serializability (≺SR / ≺CSR)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.classes import (
+    PartialOrderProgram,
+    admissibility_gain,
+    admissible_interleavings,
+    is_partial_order_conflict_serializable,
+    is_partial_order_view_serializable,
+    observed_linearizes,
+)
+from repro.core import PartialOrder
+from repro.errors import ScheduleError
+from repro.schedules import R, Schedule, W
+
+
+@pytest.fixture
+def diamond_program():
+    """r(x) first, then w(y) and w(z) in either order."""
+    ops = (R("1", "x"), W("1", "y"), W("1", "z"))
+    order = PartialOrder([0, 1, 2], [(0, 1), (0, 2)])
+    return PartialOrderProgram("1", ops, order)
+
+
+class TestPrograms:
+    def test_sequential(self):
+        program = PartialOrderProgram.sequential(
+            "1", [R("1", "x"), W("1", "x")]
+        )
+        assert program.linearization_count() == 1
+
+    def test_unordered(self):
+        program = PartialOrderProgram.unordered(
+            "1", [R("1", "x"), R("1", "y"), R("1", "z")]
+        )
+        assert program.linearization_count() == 6
+
+    def test_diamond_linearizations(self, diamond_program):
+        linears = list(diamond_program.linearizations())
+        assert len(linears) == 2
+        assert all(linear[0] == R("1", "x") for linear in linears)
+
+    def test_admits(self, diamond_program):
+        assert diamond_program.admits(
+            (R("1", "x"), W("1", "z"), W("1", "y"))
+        )
+        assert not diamond_program.admits(
+            (W("1", "y"), R("1", "x"), W("1", "z"))
+        )
+        assert not diamond_program.admits((R("1", "x"),))
+
+    def test_validation(self):
+        with pytest.raises(ScheduleError):
+            PartialOrderProgram("1", (), PartialOrder.empty([]))
+        with pytest.raises(ScheduleError):
+            PartialOrderProgram(
+                "1", (R("2", "x"),), PartialOrder.total([0])
+            )
+        with pytest.raises(ScheduleError):
+            PartialOrderProgram(
+                "1", (R("1", "x"),), PartialOrder.total([5])
+            )
+
+
+class TestMembership:
+    def test_observed_must_linearize(self, diamond_program):
+        programs = {"1": diamond_program}
+        good = Schedule([R("1", "x"), W("1", "z"), W("1", "y")])
+        bad = Schedule([W("1", "y"), R("1", "x"), W("1", "z")])
+        assert observed_linearizes(good, programs)
+        assert not observed_linearizes(bad, programs)
+        assert is_partial_order_conflict_serializable(good, programs)
+        assert not is_partial_order_conflict_serializable(bad, programs)
+
+    def test_unknown_transaction_rejected(self):
+        schedule = Schedule.parse("r9(x)")
+        assert not observed_linearizes(schedule, {})
+
+    def test_coincides_with_csr_for_sequential_programs(self):
+        schedule = Schedule.parse("r1(x) r2(y) w2(x) w1(y)")
+        programs = {
+            txn: PartialOrderProgram.sequential(txn, ops)
+            for txn, ops in schedule.programs().items()
+        }
+        # Not CSR, hence not ≺CSR either.
+        assert not is_partial_order_conflict_serializable(
+            schedule, programs
+        )
+        assert not is_partial_order_view_serializable(schedule, programs)
+
+
+class TestConcurrencyGain:
+    def test_admissible_interleavings_enumeration(self, diamond_program):
+        other = PartialOrderProgram.sequential("2", [R("2", "q")])
+        programs = {"1": diamond_program, "2": other}
+        schedules = list(admissible_interleavings(programs))
+        # 2 linearizations × C(4,1)=4 interleavings each.
+        assert len(schedules) == 8
+        for schedule in schedules:
+            assert observed_linearizes(schedule, programs)
+
+    def test_admissibility_gain_counts(self, diamond_program):
+        other = PartialOrderProgram.sequential("2", [R("2", "q")])
+        gained, base = admissibility_gain(
+            {"1": diamond_program, "2": other}
+        )
+        assert base == 4
+        assert gained == 8  # 2 linearizations × 4
+
+    def test_sequential_programs_gain_nothing(self):
+        programs = {
+            "1": PartialOrderProgram.sequential(
+                "1", [R("1", "x"), W("1", "x")]
+            )
+        }
+        gained, base = admissibility_gain(programs)
+        assert gained == base == 1

@@ -1,0 +1,109 @@
+"""Tests for the predicate-wise classes PWSR and PWCSR."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.classes import (
+    conjunct_projections,
+    is_predicatewise_conflict_serializable,
+    is_predicatewise_serializable,
+    is_view_serializable,
+    normalize_objects,
+)
+from repro.core import Predicate
+from repro.errors import ScheduleError
+from repro.schedules import Schedule
+
+EXAMPLE_2 = Schedule.parse(
+    "r1(x) w1(x) r2(x) r2(y) w2(y) r1(y) w1(y)"
+)
+SPLIT = [{"x"}, {"y"}]
+
+
+class TestNormalizeObjects:
+    def test_from_predicate(self):
+        predicate = Predicate.parse("x > 0 & (y = 1 | z = 2)")
+        assert normalize_objects(predicate) == (
+            frozenset({"x"}),
+            frozenset({"y", "z"}),
+        )
+
+    def test_from_raw_sets(self):
+        assert normalize_objects([["x"], ["y", "z"]]) == (
+            frozenset({"x"}),
+            frozenset({"y", "z"}),
+        )
+
+    def test_empty_constraint_rejected(self):
+        with pytest.raises(ScheduleError):
+            normalize_objects([])
+        with pytest.raises(ScheduleError):
+            normalize_objects(Predicate.true())
+
+    def test_constant_only_conjuncts_dropped(self):
+        predicate = Predicate.parse("1 = 1 & x > 0")
+        assert normalize_objects(predicate) == (frozenset({"x"}),)
+
+
+class TestProjections:
+    def test_examples_3a_3b(self):
+        projections = dict(conjunct_projections(EXAMPLE_2, SPLIT))
+        assert str(projections[frozenset({"x"})]) == "r1(x) w1(x) r2(x)"
+        assert (
+            str(projections[frozenset({"y"})])
+            == "r2(y) w2(y) r1(y) w1(y)"
+        )
+
+    def test_untouched_conjunct_skipped(self):
+        projections = conjunct_projections(
+            Schedule.parse("r1(x)"), [{"x"}, {"q"}]
+        )
+        assert len(projections) == 1
+
+
+class TestPWSR:
+    def test_example2_is_pwsr_not_sr(self):
+        # The paper's Example 2: same schedule as Example 1, x and y in
+        # different conjuncts; both projections are serial.
+        assert is_predicatewise_serializable(EXAMPLE_2, SPLIT)
+        assert not is_view_serializable(EXAMPLE_2)
+
+    def test_single_conjunct_collapses_to_sr(self):
+        assert not is_predicatewise_serializable(
+            EXAMPLE_2, [{"x", "y"}]
+        )
+
+    def test_sr_implies_pwsr(self):
+        schedule = Schedule.parse("r1(x) w1(x) r2(x) r2(y) w2(y)")
+        assert is_view_serializable(schedule)
+        assert is_predicatewise_serializable(schedule, SPLIT)
+        assert is_predicatewise_serializable(schedule, [{"x", "y"}])
+
+
+class TestPWCSR:
+    def test_example2_is_pwcsr(self):
+        assert is_predicatewise_conflict_serializable(EXAMPLE_2, SPLIT)
+
+    def test_region3(self):
+        schedule = Schedule.parse(
+            "r1(x) w1(x) r2(x) w2(x) r2(y) w2(y) r1(y) w1(y)"
+        )
+        assert is_predicatewise_conflict_serializable(schedule, SPLIT)
+        assert not is_predicatewise_conflict_serializable(
+            schedule, [{"x", "y"}]
+        )
+
+    def test_conjunct_orders_may_disagree(self):
+        # x serializes t1<t2 while y serializes t2<t1 — fine for PWCSR.
+        schedule = Schedule.parse("w1(x) w2(x) w2(y) w1(y)")
+        assert is_predicatewise_conflict_serializable(schedule, SPLIT)
+        assert not is_predicatewise_conflict_serializable(
+            schedule, [{"x", "y"}]
+        )
+
+    def test_accepts_predicate_constraint(self):
+        constraint = Predicate.parse("x >= 0 & y >= 0")
+        assert is_predicatewise_conflict_serializable(
+            EXAMPLE_2, constraint
+        )

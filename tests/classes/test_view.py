@@ -1,0 +1,115 @@
+"""Tests for view serializability (SR) and Lemma 3."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import (
+    execution_from_serial_order,
+    leaf_transactions_from_programs,
+)
+from repro.classes import (
+    count_view_serial_orders,
+    execution_is_view_serializable,
+    is_conflict_serializable,
+    is_view_serializable,
+    lemma3_view_serialization,
+    view_serialization_order,
+)
+from repro.core import (
+    Const,
+    Domain,
+    Predicate,
+    Schema,
+    TxnName,
+    UniqueState,
+)
+from repro.schedules import Schedule
+
+
+class TestViewSerializability:
+    def test_serial_is_vsr(self):
+        assert is_view_serializable(Schedule.parse("r1(x) w1(x) r2(x)"))
+
+    def test_region5_blind_writes(self):
+        # VSR but not CSR — the classic blind-write example.
+        schedule = Schedule.parse("r1(x) w2(x) w1(x) w3(x)")
+        assert is_view_serializable(schedule)
+        assert not is_conflict_serializable(schedule)
+        assert view_serialization_order(schedule) == ("1", "2", "3")
+
+    def test_example1_not_vsr(self):
+        schedule = Schedule.parse(
+            "r1(x) w1(x) r2(x) r2(y) w2(y) r1(y) w1(y)"
+        )
+        assert not is_view_serializable(schedule)
+
+    def test_csr_implies_vsr(self):
+        schedule = Schedule.parse("r1(x) w1(x) r2(x) w2(y)")
+        assert is_conflict_serializable(schedule)
+        assert is_view_serializable(schedule)
+
+    def test_count_view_serial_orders(self):
+        # Non-conflicting transactions: every order works.
+        schedule = Schedule.parse("r1(x) r2(y)")
+        assert count_view_serial_orders(schedule) == 2
+
+
+class TestLemma3:
+    @pytest.fixture
+    def root_and_initial(self):
+        schema = Schema.of("x", "y", domain=Domain.interval(0, 100))
+        programs = Schedule.parse(
+            "r1(x) w1(x) r2(x) w2(y)"
+        ).programs()
+        root = leaf_transactions_from_programs(
+            schema,
+            programs,
+            Predicate.parse("x >= 0 & y >= 0"),
+            lambda txn, entity: Const(int(txn)),
+        )
+        initial = UniqueState(schema, {"x": 10, "y": 20})
+        return root, initial
+
+    def test_chained_execution_satisfies_lemma3(self, root_and_initial):
+        root, initial = root_and_initial
+        order = list(root.child_names)
+        execution = execution_from_serial_order(root, initial, order)
+        witness = lemma3_view_serialization(execution)
+        assert witness is not None
+        assert execution_is_view_serializable(execution)
+
+    def test_non_chained_execution_fails_lemma3(self, root_and_initial):
+        from repro.core import DatabaseState, Execution, VersionState
+
+        root, initial = root_and_initial
+        schema = root.schema
+        # Both children read the initial state and R relates them,
+        # violating condition 4 (no chaining).
+        state = VersionState(schema, initial.as_dict())
+        c0, c1 = root.child_names
+        execution = Execution(
+            root,
+            DatabaseState.single(initial),
+            [(c0, c1)],
+            {c0: state, c1: state},
+            state,
+        )
+        # t.0 writes x:=0 but t.1 still saw x=10: not serial chaining.
+        assert lemma3_view_serialization(execution) is None
+
+    def test_isolated_transaction_fails_condition2(self, root_and_initial):
+        from repro.core import DatabaseState, Execution, VersionState
+
+        root, initial = root_and_initial
+        schema = root.schema
+        state = VersionState(schema, initial.as_dict())
+        c0, c1 = root.child_names
+        execution = Execution(
+            root,
+            DatabaseState.single(initial),
+            [],  # empty R: both children isolated
+            {c0: state, c1: state},
+            state,
+        )
+        assert lemma3_view_serialization(execution) is None

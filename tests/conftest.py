@@ -1,0 +1,50 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    DatabaseState,
+    Domain,
+    Predicate,
+    Schema,
+    Spec,
+    UniqueState,
+)
+from repro.storage import Database
+
+
+@pytest.fixture
+def xy_schema() -> Schema:
+    """Two boolean entities x, y."""
+    return Schema.of("x", "y")
+
+
+@pytest.fixture
+def xyz_schema() -> Schema:
+    """Three integer entities with domain [0, 100]."""
+    return Schema.of("x", "y", "z", domain=Domain.interval(0, 100))
+
+
+@pytest.fixture
+def two_state(xy_schema: Schema) -> DatabaseState:
+    """Lemma 1's two-state database: all-zeros and all-ones."""
+    zero = UniqueState(xy_schema, {"x": 0, "y": 0})
+    one = UniqueState(xy_schema, {"x": 1, "y": 1})
+    return DatabaseState([zero, one])
+
+
+@pytest.fixture
+def simple_db(xyz_schema: Schema) -> Database:
+    """A small consistent database: x, y, z ≥ 0, initial (10, 20, 30)."""
+    return Database(
+        xyz_schema,
+        Predicate.parse("x >= 0 & y >= 0 & z >= 0"),
+        {"x": 10, "y": 20, "z": 30},
+    )
+
+
+@pytest.fixture
+def trivial_spec() -> Spec:
+    return Spec.trivial()

@@ -1,0 +1,189 @@
+"""Tests for the correct-execution checker and searcher (Theorem 1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    DatabaseState,
+    Domain,
+    Effect,
+    LeafTransaction,
+    NestedTransaction,
+    Predicate,
+    Schema,
+    Spec,
+    TxnName,
+    UniqueState,
+    check_execution,
+    find_correct_execution,
+    has_correct_execution,
+    iter_correct_executions,
+)
+
+
+@pytest.fixture
+def schema():
+    return Schema.of("x", "y", domain=Domain.interval(0, 100))
+
+
+@pytest.fixture
+def initial(schema):
+    return DatabaseState.single(UniqueState(schema, {"x": 10, "y": 20}))
+
+
+def _leaf(name, schema, i, o, effect, reads=()):
+    return LeafTransaction(
+        name,
+        schema,
+        Spec(Predicate.parse(i), Predicate.parse(o)),
+        Effect(effect),
+        extra_reads=reads,
+    )
+
+
+class TestSearch:
+    def test_single_child_satisfiable(self, schema, initial):
+        name = TxnName.root()
+        child = _leaf(name.child(0), schema, "x >= 10", "true", {"x": 50})
+        root = NestedTransaction(
+            name,
+            schema,
+            Spec(Predicate.true(), Predicate.parse("x = 50")),
+            [child],
+        )
+        execution = find_correct_execution(root, initial)
+        assert execution is not None
+        report = check_execution(execution, initial)
+        assert report.ok, report.reasons
+
+    def test_unsatisfiable_input(self, schema, initial):
+        name = TxnName.root()
+        child = _leaf(name.child(0), schema, "x >= 99", "true", {})
+        root = NestedTransaction(name, schema, Spec.trivial(), [child])
+        assert not has_correct_execution(root, initial)
+
+    def test_unsatisfiable_output(self, schema, initial):
+        name = TxnName.root()
+        child = _leaf(name.child(0), schema, "true", "true", {"x": 5})
+        root = NestedTransaction(
+            name,
+            schema,
+            # Nobody ever writes 77, and the initial x is 10.
+            Spec(Predicate.true(), Predicate.parse("x = 77")),
+            [child],
+        )
+        assert find_correct_execution(root, initial) is None
+
+    def test_chained_children(self, schema, initial):
+        # t.0 must run first to make t.1's input constraint satisfiable.
+        name = TxnName.root()
+        first = _leaf(name.child(0), schema, "true", "true", {"x": 60})
+        second = _leaf(
+            name.child(1), schema, "x >= 60", "true", {"y": 1}
+        )
+        root = NestedTransaction.build(
+            name,
+            schema,
+            Spec(Predicate.true(), Predicate.parse("y = 1")),
+            [first, second],
+            [(first.name, second.name)],
+        )
+        execution = find_correct_execution(root, initial)
+        assert execution is not None
+        assert check_execution(execution, initial).ok
+        # t.1 must have read t.0's x.
+        assert execution.input_state(second.name)["x"] == 60
+        assert (first.name, second.name) in execution.reads_from
+
+    def test_respects_partial_order(self, schema, initial):
+        # Order forces t.0 before t.1, but only t.1-then-t.0 could
+        # satisfy t.0's constraint — so no correct execution exists.
+        name = TxnName.root()
+        first = _leaf(name.child(0), schema, "y = 99", "true", {})
+        second = _leaf(name.child(1), schema, "true", "true", {"y": 99})
+        root = NestedTransaction.build(
+            name,
+            schema,
+            Spec.trivial(),
+            [first, second],
+            [(first.name, second.name)],
+        )
+        assert find_correct_execution(root, initial) is None
+
+    def test_unordered_children_allow_any_order(self, schema, initial):
+        name = TxnName.root()
+        first = _leaf(name.child(0), schema, "y = 99", "true", {})
+        second = _leaf(name.child(1), schema, "true", "true", {"y": 99})
+        root = NestedTransaction(
+            name, schema, Spec.trivial(), [first, second]
+        )  # empty order
+        execution = find_correct_execution(root, initial)
+        assert execution is not None
+        assert check_execution(execution, initial).ok
+
+    def test_multiversion_output_selection(self, schema, initial):
+        # One child destroys x's useful value, but old versions are
+        # retained, so an output condition over the *old* value holds.
+        name = TxnName.root()
+        child = _leaf(name.child(0), schema, "true", "true", {"x": 0})
+        root = NestedTransaction(
+            name,
+            schema,
+            Spec(Predicate.true(), Predicate.parse("x = 10")),
+            [child],
+        )
+        execution = find_correct_execution(root, initial)
+        assert execution is not None
+        assert execution.final_state["x"] == 10
+
+    def test_iter_yields_multiple_witnesses(self, schema, initial):
+        name = TxnName.root()
+        first = _leaf(name.child(0), schema, "true", "true", {"x": 1})
+        second = _leaf(name.child(1), schema, "true", "true", {"y": 2})
+        root = NestedTransaction(
+            name, schema, Spec.trivial(), [first, second]
+        )
+        executions = list(iter_correct_executions(root, initial))
+        assert len(executions) >= 2  # both linearizations at least
+        for execution in executions:
+            assert check_execution(execution, initial).ok
+
+    def test_two_state_initial_mixing(self, schema):
+        # Root semantics: a child may mix versions from different
+        # initial unique states (the Theorem-1 construction).
+        a = UniqueState(schema, {"x": 0, "y": 1})
+        b = UniqueState(schema, {"x": 1, "y": 0})
+        initial = DatabaseState([a, b])
+        name = TxnName.root()
+        child = _leaf(
+            name.child(0), schema, "x = 1 & y = 1", "true", {}
+        )
+        root = NestedTransaction(name, schema, Spec.trivial(), [child])
+        execution = find_correct_execution(root, initial)
+        assert execution is not None
+        state = execution.input_state(child.name)
+        assert state["x"] == 1 and state["y"] == 1
+        assert check_execution(execution, initial).ok
+
+
+class TestCheckReport:
+    def test_report_collects_reasons(self, schema, initial):
+        from repro.core import Execution, VersionState
+
+        name = TxnName.root()
+        child = _leaf(name.child(0), schema, "x = 77", "true", {})
+        root = NestedTransaction(name, schema, Spec.trivial(), [child])
+        bad = Execution(
+            root,
+            initial,
+            [],
+            {child.name: VersionState(schema, {"x": 77, "y": 20})},
+            VersionState(schema, {"x": 10, "y": 20}),
+        )
+        report = check_execution(bad, initial)
+        assert report.valid
+        assert not report.parent_based  # 77 has no provenance
+        assert report.correct  # I_t holds on the (illegal) state
+        assert not report.ok
+        assert report.reasons

@@ -1,0 +1,139 @@
+"""Unit tests for entities, domains, and schemas."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Domain, Entity, Schema
+from repro.errors import DomainError, SchemaError, UnknownEntityError
+
+
+class TestDomain:
+    def test_boolean_contains_zero_and_one(self):
+        domain = Domain.boolean()
+        assert 0 in domain
+        assert 1 in domain
+        assert 2 not in domain
+        assert -1 not in domain
+
+    def test_boolean_rejects_bool_type(self):
+        # Python bools are ints, but predicates forbid them; domains do too.
+        assert True not in Domain.boolean()
+
+    def test_interval_membership(self):
+        domain = Domain.interval(-5, 5)
+        assert -5 in domain
+        assert 5 in domain
+        assert 6 not in domain
+        assert "3" not in domain
+
+    def test_interval_len_and_iter(self):
+        domain = Domain.interval(2, 5)
+        assert len(domain) == 4
+        assert list(domain) == [2, 3, 4, 5]
+
+    def test_enumerated(self):
+        domain = Domain.enumerated([7, 3, 3, 9])
+        assert len(domain) == 3
+        assert list(domain) == [3, 7, 9]
+        assert 7 in domain
+        assert 4 not in domain
+
+    def test_sample_is_member(self):
+        for domain in (
+            Domain.boolean(),
+            Domain.interval(10, 20),
+            Domain.enumerated([42]),
+        ):
+            assert domain.sample() in domain
+
+    def test_empty_interval_rejected(self):
+        with pytest.raises(DomainError):
+            Domain.interval(5, 4)
+
+    def test_empty_enumeration_rejected(self):
+        with pytest.raises(DomainError):
+            Domain.enumerated([])
+
+    def test_half_specified_interval_rejected(self):
+        with pytest.raises(DomainError):
+            Domain(low=3)
+
+
+class TestEntity:
+    def test_validate_accepts_domain_member(self):
+        Entity("x", Domain.interval(0, 10)).validate(5)
+
+    def test_validate_rejects_outside(self):
+        with pytest.raises(DomainError):
+            Entity("x", Domain.interval(0, 10)).validate(11)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Entity("")
+
+    def test_default_domain_is_boolean(self):
+        entity = Entity("flag")
+        assert 1 in entity.domain
+        assert 2 not in entity.domain
+
+
+class TestSchema:
+    def test_of_builds_boolean_entities(self):
+        schema = Schema.of("a", "b")
+        assert schema.names == ("a", "b")
+        assert 1 in schema["a"].domain
+
+    def test_names_sorted(self):
+        schema = Schema.of("z", "a", "m")
+        assert schema.names == ("a", "m", "z")
+
+    def test_duplicate_entity_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema([Entity("x"), Entity("x")])
+
+    def test_empty_schema_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema([])
+
+    def test_unknown_entity_lookup(self):
+        schema = Schema.of("x")
+        with pytest.raises(UnknownEntityError):
+            schema["nope"]
+
+    def test_mapping_protocol(self):
+        schema = Schema.of("x", "y")
+        assert len(schema) == 2
+        assert set(schema) == {"x", "y"}
+        assert "x" in schema
+
+    def test_equality_and_hash(self):
+        a = Schema.of("x", "y")
+        b = Schema.of("y", "x")
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != Schema.of("x")
+
+    def test_validate_assignment_ok(self):
+        Schema.of("x", "y").validate_assignment({"x": 0, "y": 1})
+
+    def test_validate_assignment_missing(self):
+        with pytest.raises(SchemaError, match="missing"):
+            Schema.of("x", "y").validate_assignment({"x": 0})
+
+    def test_validate_assignment_extra(self):
+        with pytest.raises(UnknownEntityError):
+            Schema.of("x").validate_assignment({"x": 0, "y": 1})
+
+    def test_validate_assignment_domain(self):
+        with pytest.raises(DomainError):
+            Schema.of("x").validate_assignment({"x": 9})
+
+    def test_restrict(self):
+        schema = Schema.of("x", "y", "z")
+        sub = schema.restrict(["x", "z"])
+        assert sub.names == ("x", "z")
+
+    def test_restrict_unknown(self):
+        with pytest.raises(UnknownEntityError):
+            Schema.of("x").restrict(["q"])

@@ -1,0 +1,341 @@
+"""Unit tests for executions (R, X) and their three checks."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    DatabaseState,
+    Domain,
+    Effect,
+    Execution,
+    LeafTransaction,
+    NestedTransaction,
+    Predicate,
+    Schema,
+    Spec,
+    TxnName,
+    UniqueState,
+    VersionState,
+)
+from repro.errors import ExecutionError
+
+
+@pytest.fixture
+def schema():
+    return Schema.of("x", "y", domain=Domain.interval(0, 100))
+
+
+@pytest.fixture
+def root(schema):
+    """Root with two children: t.0 writes x:=1; t.1 writes y:=x."""
+    name = TxnName.root()
+    first = LeafTransaction(
+        name.child(0), schema, Spec.trivial(), Effect({"x": 1})
+    )
+    second = LeafTransaction(
+        name.child(1),
+        schema,
+        Spec.trivial(),
+        Effect({"y": "x"}),
+    )
+    return NestedTransaction.build(
+        name,
+        schema,
+        Spec.trivial(),
+        [first, second],
+        [(first.name, second.name)],
+    )
+
+
+@pytest.fixture
+def initial(schema):
+    return UniqueState(schema, {"x": 10, "y": 20})
+
+
+def _vs(schema, **values):
+    return VersionState(schema, values)
+
+
+def _execution(root, schema, initial, reads_from, x0, x1, final):
+    c0, c1 = root.child_names
+    return Execution(
+        root,
+        DatabaseState.single(initial),
+        reads_from,
+        {c0: x0, c1: x1},
+        final,
+    )
+
+
+class TestStructure:
+    def test_results_apply_children(self, root, schema, initial):
+        c0, c1 = root.child_names
+        execution = _execution(
+            root,
+            schema,
+            initial,
+            [(c0, c1)],
+            _vs(schema, x=10, y=20),
+            _vs(schema, x=1, y=20),
+            _vs(schema, x=1, y=1),
+        )
+        results = execution.results()
+        assert results[c0]["x"] == 1
+        assert results[c1]["y"] == 1
+
+    def test_database_state_after_retains_versions(
+        self, root, schema, initial
+    ):
+        c0, c1 = root.child_names
+        execution = _execution(
+            root,
+            schema,
+            initial,
+            [(c0, c1)],
+            _vs(schema, x=10, y=20),
+            _vs(schema, x=1, y=20),
+            _vs(schema, x=1, y=1),
+        )
+        after = execution.database_state_after()
+        assert after.versions_of("x") == {10, 1}
+        assert after.versions_of("y") == {20, 1}
+
+    def test_unknown_child_in_r_rejected(self, root, schema, initial):
+        with pytest.raises(ExecutionError):
+            Execution(
+                root,
+                DatabaseState.single(initial),
+                [(TxnName.parse("t.9"), root.child_names[0])],
+                {
+                    root.child_names[0]: _vs(schema, x=10, y=20),
+                    root.child_names[1]: _vs(schema, x=10, y=20),
+                },
+                _vs(schema, x=10, y=20),
+            )
+
+    def test_missing_assignment_rejected(self, root, schema, initial):
+        with pytest.raises(ExecutionError):
+            Execution(
+                root,
+                DatabaseState.single(initial),
+                [],
+                {root.child_names[0]: _vs(schema, x=10, y=20)},
+                _vs(schema, x=10, y=20),
+            )
+
+
+class TestValidity:
+    def test_r_consistent_with_p(self, root, schema, initial):
+        c0, c1 = root.child_names
+        execution = _execution(
+            root,
+            schema,
+            initial,
+            [(c0, c1)],
+            _vs(schema, x=10, y=20),
+            _vs(schema, x=1, y=20),
+            _vs(schema, x=1, y=1),
+        )
+        assert execution.is_valid()
+
+    def test_r_reversing_p_is_invalid(self, root, schema, initial):
+        c0, c1 = root.child_names  # P has c0 < c1
+        execution = _execution(
+            root,
+            schema,
+            initial,
+            [(c1, c0)],  # R says c0 depends on c1: reversed
+            _vs(schema, x=10, y=20),
+            _vs(schema, x=10, y=20),
+            _vs(schema, x=10, y=20),
+        )
+        assert not execution.is_valid()
+
+    def test_transitive_reversal_detected(self, schema, initial):
+        name = TxnName.root()
+        children = [
+            LeafTransaction(
+                name.child(i), schema, Spec.trivial(), Effect({})
+            )
+            for i in range(3)
+        ]
+        root = NestedTransaction.build(
+            name,
+            schema,
+            Spec.trivial(),
+            children,
+            [(children[0].name, children[2].name)],
+        )
+        state = _vs(schema, x=10, y=20)
+        execution = Execution(
+            root,
+            DatabaseState.single(initial),
+            # R: c2 -> c1 -> c0, so (c2, c0) in R+ while (c0, c2) in P+.
+            [(children[2].name, children[1].name),
+             (children[1].name, children[0].name)],
+            {child.name: state for child in children},
+            state,
+        )
+        assert not execution.is_valid()
+
+
+class TestParentBased:
+    def test_parent_values_are_fine(self, root, schema, initial):
+        parent_input = _vs(schema, x=10, y=20)
+        execution = _execution(
+            root,
+            schema,
+            initial,
+            [],
+            parent_input,
+            parent_input,
+            parent_input,
+        )
+        assert execution.is_parent_based(parent_input)
+
+    def test_r_predecessor_value_is_fine(self, root, schema, initial):
+        c0, c1 = root.child_names
+        parent_input = _vs(schema, x=10, y=20)
+        execution = _execution(
+            root,
+            schema,
+            initial,
+            [(c0, c1)],
+            parent_input,
+            _vs(schema, x=1, y=20),  # x=1 comes from c0's result
+            _vs(schema, x=1, y=1),
+        )
+        assert execution.is_parent_based(parent_input)
+
+    def test_value_from_nowhere_is_violation(self, root, schema, initial):
+        parent_input = _vs(schema, x=10, y=20)
+        execution = _execution(
+            root,
+            schema,
+            initial,
+            [],  # no R edges
+            parent_input,
+            _vs(schema, x=77, y=20),  # 77 has no provenance
+            parent_input,
+        )
+        violations = execution.parent_based_violations(parent_input)
+        assert (root.child_names[1], "x") in violations
+
+    def test_predecessor_value_needs_r_edge(self, root, schema, initial):
+        c0, c1 = root.child_names
+        parent_input = _vs(schema, x=10, y=20)
+        execution = _execution(
+            root,
+            schema,
+            initial,
+            [],  # c1 reads c0's x=1 but R has no edge
+            parent_input,
+            _vs(schema, x=1, y=20),
+            parent_input,
+        )
+        assert not execution.is_parent_based(parent_input)
+
+    def test_multiversion_parent_source(self, root, schema):
+        # Root semantics: any retained initial version is available.
+        a = UniqueState(schema, {"x": 10, "y": 20})
+        b = UniqueState(schema, {"x": 30, "y": 40})
+        initial_db = DatabaseState([a, b])
+        mixed = _vs(schema, x=10, y=40)  # mixes versions of a and b
+        execution = Execution(
+            root,
+            initial_db,
+            [],
+            {root.child_names[0]: mixed, root.child_names[1]: mixed},
+            mixed,
+        )
+        assert execution.is_parent_based(initial_db)
+
+    def test_final_state_violations(self, root, schema, initial):
+        parent_input = _vs(schema, x=10, y=20)
+        execution = _execution(
+            root,
+            schema,
+            initial,
+            [],
+            parent_input,
+            parent_input,
+            _vs(schema, x=55, y=20),  # 55 written by nobody
+        )
+        assert execution.final_state_violations(parent_input) == ["x"]
+
+
+class TestCorrectness:
+    def test_correct_when_constraints_hold(self, schema, initial):
+        name = TxnName.root()
+        child = LeafTransaction(
+            name.child(0),
+            schema,
+            Spec(Predicate.parse("x >= 10"), Predicate.true()),
+            Effect({"x": 50}),
+            extra_reads=("x",),
+        )
+        root = NestedTransaction(
+            name,
+            schema,
+            Spec(Predicate.true(), Predicate.parse("x = 50")),
+            [child],
+        )
+        execution = Execution(
+            root,
+            DatabaseState.single(initial),
+            [],
+            {child.name: _vs(schema, x=10, y=20)},
+            _vs(schema, x=50, y=20),
+        )
+        assert execution.is_correct()
+        assert execution.incorrectness_witnesses() == []
+
+    def test_input_constraint_violation_detected(self, schema, initial):
+        name = TxnName.root()
+        child = LeafTransaction(
+            name.child(0),
+            schema,
+            Spec(Predicate.parse("x >= 50"), Predicate.true()),
+            Effect({}),
+            extra_reads=("x",),
+        )
+        root = NestedTransaction(
+            name, schema, Spec.trivial(), [child]
+        )
+        execution = Execution(
+            root,
+            DatabaseState.single(initial),
+            [],
+            {child.name: _vs(schema, x=10, y=20)},
+            _vs(schema, x=10, y=20),
+        )
+        assert not execution.is_correct()
+        assert any(
+            "I_" in reason
+            for reason in execution.incorrectness_witnesses()
+        )
+
+    def test_output_condition_violation_detected(self, schema, initial):
+        name = TxnName.root()
+        child = LeafTransaction(
+            name.child(0), schema, Spec.trivial(), Effect({})
+        )
+        root = NestedTransaction(
+            name,
+            schema,
+            Spec(Predicate.true(), Predicate.parse("x = 99")),
+            [child],
+        )
+        execution = Execution(
+            root,
+            DatabaseState.single(initial),
+            [],
+            {child.name: _vs(schema, x=10, y=20)},
+            _vs(schema, x=10, y=20),
+        )
+        assert not execution.is_correct()
+        assert any(
+            "O_t" in reason
+            for reason in execution.incorrectness_witnesses()
+        )

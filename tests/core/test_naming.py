@@ -1,0 +1,91 @@
+"""Unit tests for hierarchical transaction names (Figure 1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import TxnName
+from repro.errors import InvalidNameError
+
+
+class TestConstruction:
+    def test_root(self):
+        assert str(TxnName.root()) == "t"
+        assert TxnName.root().depth == 0
+
+    def test_parse_round_trip(self):
+        name = TxnName.parse("t.1.0.2")
+        assert str(name) == "t.1.0.2"
+        assert name.parts == ("t", "1", "0", "2")
+
+    def test_empty_rejected(self):
+        with pytest.raises(InvalidNameError):
+            TxnName.parse("")
+
+    def test_empty_component_rejected(self):
+        with pytest.raises(InvalidNameError):
+            TxnName.parse("t..1")
+
+    def test_child_generation(self):
+        assert str(TxnName.root().child(0)) == "t.0"
+        assert str(TxnName.parse("t.1").child(2)) == "t.1.2"
+
+    def test_negative_child_rejected(self):
+        with pytest.raises(InvalidNameError):
+            TxnName.root().child(-1)
+
+
+class TestTreeRelations:
+    def test_parent(self):
+        assert TxnName.parse("t.1.0").parent == TxnName.parse("t.1")
+        assert TxnName.root().parent is None
+
+    def test_prefix_matches_figure4(self):
+        # Figure 4's prefix() returns all but the last component.
+        assert TxnName.parse("t.1.0").prefix == TxnName.parse("t.1")
+
+    def test_depth(self):
+        assert TxnName.parse("t.1.0.2").depth == 3
+
+    def test_ancestor_descendant(self):
+        root = TxnName.root()
+        deep = TxnName.parse("t.1.0")
+        assert root.is_ancestor_of(deep)
+        assert deep.is_descendant_of(root)
+        assert not deep.is_ancestor_of(root)
+        assert not root.is_ancestor_of(root)  # proper ancestry
+
+    def test_sibling(self):
+        a = TxnName.parse("t.1")
+        b = TxnName.parse("t.2")
+        c = TxnName.parse("t.1.0")
+        assert a.is_sibling_of(b)
+        assert not a.is_sibling_of(a)
+        assert not a.is_sibling_of(c)
+
+    def test_unrelated_subtrees(self):
+        a = TxnName.parse("t.1.0")
+        b = TxnName.parse("t.2.0")
+        assert not a.is_ancestor_of(b)
+        assert not a.is_sibling_of(b)
+
+
+class TestOrdering:
+    def test_numeric_components_compare_numerically(self):
+        assert TxnName.parse("t.2") < TxnName.parse("t.10")
+
+    def test_creation_order_of_figure1(self):
+        names = [
+            TxnName.parse(text)
+            for text in ["t.1.0", "t.0", "t.2", "t.0.1", "t.1"]
+        ]
+        assert [str(n) for n in sorted(names)] == [
+            "t.0",
+            "t.0.1",
+            "t.1",
+            "t.1.0",
+            "t.2",
+        ]
+
+    def test_leaf_index(self):
+        assert TxnName.parse("t.1.7").leaf_index == "7"

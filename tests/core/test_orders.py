@@ -1,0 +1,152 @@
+"""Unit and property tests for partial orders."""
+
+from __future__ import annotations
+
+from math import factorial
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import PartialOrder
+from repro.errors import PartialOrderViolation
+
+
+class TestConstruction:
+    def test_empty_order(self):
+        order = PartialOrder.empty(["a", "b", "c"])
+        assert not order.comparable("a", "b")
+
+    def test_total_order(self):
+        order = PartialOrder.total(["a", "b", "c"])
+        assert order.precedes("a", "c")
+        assert not order.precedes("c", "a")
+
+    def test_cycle_rejected(self):
+        with pytest.raises(PartialOrderViolation):
+            PartialOrder(["a", "b"], [("a", "b"), ("b", "a")])
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(PartialOrderViolation):
+            PartialOrder(["a"], [("a", "a")])
+
+    def test_unknown_element_rejected(self):
+        with pytest.raises(PartialOrderViolation):
+            PartialOrder(["a"], [("a", "b")])
+
+    def test_chain_of_chains(self):
+        order = PartialOrder.chain_of_chains([["a", "b"], ["c", "d"]])
+        assert order.precedes("a", "b")
+        assert order.precedes("c", "d")
+        assert not order.comparable("a", "c")
+
+
+class TestClosure:
+    def test_transitivity(self):
+        order = PartialOrder(["a", "b", "c"], [("a", "b"), ("b", "c")])
+        assert order.precedes("a", "c")
+        assert ("a", "c") in order.closure
+        assert ("a", "c") in order  # __contains__ uses closure
+
+    def test_predecessors_successors(self):
+        order = PartialOrder(["a", "b", "c"], [("a", "b"), ("b", "c")])
+        assert order.predecessors("c") == {"a", "b"}
+        assert order.successors("a") == {"b", "c"}
+        assert order.immediate_predecessors("c") == {"b"}
+        assert order.immediate_successors("a") == {"b"}
+
+    def test_minimal_maximal(self):
+        order = PartialOrder(["a", "b", "c"], [("a", "c"), ("b", "c")])
+        assert order.minimal_elements() == {"a", "b"}
+        assert order.maximal_elements() == {"c"}
+
+    def test_path_query_matches_figure4(self):
+        order = PartialOrder(["a", "b", "c"], [("a", "b"), ("b", "c")])
+        assert order.has_path("a", "c")
+        assert not order.has_path("c", "a")
+
+
+class TestCombination:
+    def test_extend_ok(self):
+        order = PartialOrder.empty(["a", "b"]).extend([("a", "b")])
+        assert order.precedes("a", "b")
+
+    def test_extend_cycle_rejected(self):
+        order = PartialOrder(["a", "b"], [("a", "b")])
+        with pytest.raises(PartialOrderViolation):
+            order.extend([("b", "a")])
+
+    def test_restrict_keeps_mediated_constraints(self):
+        # a < b < c restricted to {a, c} must keep a < c.
+        order = PartialOrder(["a", "b", "c"], [("a", "b"), ("b", "c")])
+        restricted = order.restrict(["a", "c"])
+        assert restricted.precedes("a", "c")
+
+    def test_restrict_unknown(self):
+        with pytest.raises(PartialOrderViolation):
+            PartialOrder.empty(["a"]).restrict(["b"])
+
+    def test_consistency_check(self):
+        # The execution-definition constraint: P+ pairs not reversed in R+.
+        p = PartialOrder(["a", "b"], [("a", "b")])
+        r_good = PartialOrder(["a", "b"], [("a", "b")])
+        r_bad = PartialOrder(["a", "b"], [("b", "a")])
+        assert p.is_consistent_with(r_good)
+        assert not p.is_consistent_with(r_bad)
+
+
+class TestLinearizations:
+    def test_antichain_has_factorial_many(self):
+        order = PartialOrder.empty(["a", "b", "c"])
+        assert sum(1 for _ in order.linearizations()) == factorial(3)
+
+    def test_total_order_has_one(self):
+        order = PartialOrder.total(["a", "b", "c"])
+        assert list(order.linearizations()) == [["a", "b", "c"]]
+
+    def test_all_linearizations_are_extensions(self):
+        order = PartialOrder(
+            ["a", "b", "c", "d"], [("a", "b"), ("c", "d")]
+        )
+        for linear in order.linearizations():
+            assert order.is_linearized_by(linear)
+
+    def test_topological_order_is_extension(self):
+        order = PartialOrder(
+            ["a", "b", "c", "d"], [("a", "c"), ("b", "c"), ("c", "d")]
+        )
+        assert order.is_linearized_by(order.topological_order())
+
+    def test_is_linearized_by_rejects_wrong_sets(self):
+        order = PartialOrder.total(["a", "b"])
+        assert not order.is_linearized_by(["a"])
+        assert not order.is_linearized_by(["a", "b", "c"])
+        assert not order.is_linearized_by(["b", "a"])
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    pair_indices=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=4),
+            st.integers(min_value=0, max_value=4),
+        ),
+        max_size=8,
+    )
+)
+def test_closure_is_transitive_and_irreflexive(pair_indices):
+    """Property: the computed closure is a strict partial order."""
+    elements = [f"e{i}" for i in range(5)]
+    pairs = [
+        (elements[a], elements[b]) for a, b in pair_indices if a != b
+    ]
+    try:
+        order = PartialOrder(elements, pairs)
+    except PartialOrderViolation:
+        return  # cyclic input, correctly rejected
+    closure = order.closure
+    for a, b in closure:
+        assert a != b
+        for c, d in closure:
+            if b == c:
+                assert (a, d) in closure

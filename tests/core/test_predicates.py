@@ -1,0 +1,282 @@
+"""Unit and property tests for CNF predicates."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    Atom,
+    Clause,
+    DatabaseState,
+    Domain,
+    Predicate,
+    Schema,
+    Term,
+    UniqueState,
+    parse,
+)
+from repro.errors import (
+    PredicateError,
+    PredicateParseError,
+    UnboundEntityError,
+)
+
+
+class TestTerm:
+    def test_entity_term(self):
+        term = Term.of("x")
+        assert term.is_entity
+        assert term.value({"x": 5}) == 5
+
+    def test_constant_term(self):
+        term = Term.of(7)
+        assert not term.is_entity
+        assert term.value({}) == 7
+
+    def test_unbound_entity(self):
+        with pytest.raises(UnboundEntityError):
+            Term.of("x").value({})
+
+    def test_term_must_be_exactly_one_kind(self):
+        with pytest.raises(PredicateError):
+            Term(entity="x", constant=3)
+        with pytest.raises(PredicateError):
+            Term()
+
+    def test_boolean_constant_rejected(self):
+        with pytest.raises(PredicateError):
+            Term.of(True)
+
+
+class TestAtom:
+    @pytest.mark.parametrize(
+        "op,a,b,expected",
+        [
+            ("=", 3, 3, True),
+            ("=", 3, 4, False),
+            ("!=", 3, 4, True),
+            ("<", 3, 4, True),
+            ("<", 4, 4, False),
+            ("<=", 4, 4, True),
+            (">", 5, 4, True),
+            (">=", 4, 4, True),
+            (">=", 3, 4, False),
+        ],
+    )
+    def test_all_comparators(self, op, a, b, expected):
+        atom = Atom.of("x", op, "y")
+        assert atom.evaluate({"x": a, "y": b}) is expected
+
+    def test_double_equals_alias(self):
+        assert Atom.of("x", "==", 1).op == "="
+
+    def test_unknown_operator(self):
+        with pytest.raises(PredicateError):
+            Atom.of("x", "<>", 1)
+
+    def test_entities(self):
+        assert Atom.of("x", "<", "y").entities == {"x", "y"}
+        assert Atom.of("x", "<", 3).entities == {"x"}
+        assert Atom.of(1, "<", 3).entities == frozenset()
+
+
+class TestClause:
+    def test_disjunction(self):
+        clause = Clause.of(Atom.of("x", "=", 1), Atom.of("y", "=", 2))
+        assert clause.evaluate({"x": 1, "y": 0})
+        assert clause.evaluate({"x": 0, "y": 2})
+        assert not clause.evaluate({"x": 0, "y": 0})
+
+    def test_object_is_mentioned_entities(self):
+        clause = Clause.of(Atom.of("x", "<", "y"), Atom.of("z", "=", 0))
+        assert clause.object == {"x", "y", "z"}
+
+    def test_empty_clause_rejected(self):
+        with pytest.raises(PredicateError):
+            Clause(())
+
+
+class TestPredicate:
+    def test_true_predicate(self):
+        assert Predicate.true().is_true
+        assert Predicate.true().evaluate({})
+
+    def test_conjunction_semantics(self):
+        predicate = parse("x > 0 & y > 0")
+        assert predicate.evaluate({"x": 1, "y": 1})
+        assert not predicate.evaluate({"x": 1, "y": 0})
+
+    def test_objects_per_conjunct(self):
+        predicate = parse("x > 0 & (y = 1 | z = 2) & x < 9")
+        assert predicate.objects() == (
+            frozenset({"x"}),
+            frozenset({"y", "z"}),
+            frozenset({"x"}),
+        )
+
+    def test_entities(self):
+        assert parse("x > 0 & (y = 1 | z = 2)").entities() == {
+            "x",
+            "y",
+            "z",
+        }
+
+    def test_and_concatenates_clauses(self):
+        combined = parse("x > 0") & parse("y > 0")
+        assert len(combined) == 2
+        assert str(combined) == "x > 0 & y > 0"
+
+    def test_equality_and_hash(self):
+        assert parse("x > 0") == parse("x > 0")
+        assert hash(parse("x > 0")) == hash(parse("x > 0"))
+        assert parse("x > 0") != parse("x > 1")
+
+    def test_callable(self):
+        assert parse("x = 1")({"x": 1})
+
+
+class TestParser:
+    def test_round_trip(self):
+        text = "x = 1 & (y < 2 | z != 0)"
+        assert str(parse(text)) == text
+
+    def test_true_literal(self):
+        assert parse("true").is_true
+
+    def test_negative_constants(self):
+        assert parse("x > -5").evaluate({"x": 0})
+
+    def test_entity_to_entity(self):
+        assert parse("x <= y").evaluate({"x": 1, "y": 2})
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            "x >",
+            "x 1",
+            "(x = 1",
+            "x = 1 |",
+            "x = 1 | y = 2",  # disjunction requires parentheses (CNF)
+            "x = 1 & & y = 2",
+            "x @ 1",
+        ],
+    )
+    def test_parse_errors(self, bad):
+        with pytest.raises(PredicateParseError):
+            parse(bad)
+
+    def test_double_symbols_accepted(self):
+        predicate = parse("x == 1 && (y == 2 || z == 3)")
+        assert predicate.evaluate({"x": 1, "y": 2, "z": 0})
+
+
+class TestSatisfiabilitySearch:
+    def test_find_over_database_state(self, two_state):
+        predicate = parse("x = 1 & y = 0")
+        witness = predicate.find_satisfying_version_state(two_state)
+        assert witness is not None
+        assert witness["x"] == 1 and witness["y"] == 0
+
+    def test_unsatisfiable(self, two_state):
+        predicate = parse("x = 1 & x = 0")
+        assert predicate.find_satisfying_version_state(two_state) is None
+        assert not predicate.is_satisfiable_over(two_state)
+
+    def test_ignores_unmentioned_entities(self, two_state):
+        witness = parse("x = 1").find_satisfying_version_state(two_state)
+        assert witness is not None
+        assert witness["x"] == 1
+        assert "y" in witness  # total assignment
+
+    def test_constant_only_clause_false(self, two_state):
+        predicate = parse("1 = 2")
+        assert predicate.find_satisfying_version_state(two_state) is None
+
+    def test_constant_only_clause_true(self, two_state):
+        predicate = parse("1 = 1 & x = 0")
+        assert predicate.find_satisfying_version_state(two_state) is not None
+
+    def test_iter_satisfying_assignments_counts(self):
+        predicate = parse("(x = 1 | y = 1)")
+        solutions = list(
+            predicate.iter_satisfying_assignments(
+                {"x": [0, 1], "y": [0, 1]}
+            )
+        )
+        assert len(solutions) == 3  # all but (0, 0)
+
+    def test_missing_candidates_error(self):
+        with pytest.raises(PredicateError):
+            parse("x = 1 & y = 1").find_satisfying_assignment({"x": [1]})
+
+    def test_satisfiable_states_generator(self, two_state):
+        predicate = parse("x = y")
+        matching = list(predicate.satisfiable_states(two_state))
+        assert {(vs["x"], vs["y"]) for vs in matching} == {(0, 0), (1, 1)}
+
+    def test_holds_for_all(self, two_state):
+        assert parse("x >= 0").holds_for_all(two_state)
+        assert not parse("x = 0").holds_for_all(two_state)
+
+
+@st.composite
+def _candidate_maps(draw):
+    entities = draw(
+        st.lists(
+            st.sampled_from(["a", "b", "c"]),
+            min_size=1,
+            max_size=3,
+            unique=True,
+        )
+    )
+    return {
+        name: draw(
+            st.lists(
+                st.integers(min_value=0, max_value=4),
+                min_size=1,
+                max_size=4,
+                unique=True,
+            )
+        )
+        for name in entities
+    }
+
+
+@st.composite
+def _predicates_over(draw, names):
+    clauses = []
+    for __ in range(draw(st.integers(min_value=1, max_value=3))):
+        atoms = []
+        for __ in range(draw(st.integers(min_value=1, max_value=2))):
+            entity = draw(st.sampled_from(names))
+            op = draw(st.sampled_from(["=", "!=", "<", "<=", ">", ">="]))
+            value = draw(st.integers(min_value=0, max_value=4))
+            atoms.append(Atom.of(entity, op, value))
+        clauses.append(Clause(tuple(atoms)))
+    return Predicate(clauses)
+
+
+@settings(max_examples=80, deadline=None)
+@given(data=st.data())
+def test_search_agrees_with_brute_force(data):
+    """Property: backtracking search finds a solution iff one exists."""
+    from itertools import product
+
+    candidates = data.draw(_candidate_maps())
+    names = sorted(candidates)
+    predicate = data.draw(_predicates_over(names))
+
+    found = predicate.find_satisfying_assignment(candidates)
+    brute = None
+    for combo in product(*(candidates[name] for name in names)):
+        assignment = dict(zip(names, combo))
+        if predicate.evaluate(assignment):
+            brute = assignment
+            break
+    assert (found is None) == (brute is None)
+    if found is not None:
+        assert predicate.evaluate(found)
+        assert all(found[name] in candidates[name] for name in found)

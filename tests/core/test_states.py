@@ -1,0 +1,176 @@
+"""Unit tests for unique, database, and version states."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    DatabaseState,
+    Domain,
+    Schema,
+    UniqueState,
+    VersionState,
+)
+from repro.errors import SchemaError, UnknownEntityError
+
+
+@pytest.fixture
+def schema() -> Schema:
+    return Schema.of("x", "y", domain=Domain.interval(0, 9))
+
+
+class TestUniqueState:
+    def test_mapping_behaviour(self, schema):
+        state = UniqueState(schema, {"x": 1, "y": 2})
+        assert state["x"] == 1
+        assert dict(state) == {"x": 1, "y": 2}
+        assert len(state) == 2
+
+    def test_unknown_entity(self, schema):
+        state = UniqueState(schema, {"x": 1, "y": 2})
+        with pytest.raises(UnknownEntityError):
+            state["z"]
+
+    def test_replace_preserves_others(self, schema):
+        state = UniqueState(schema, {"x": 1, "y": 2})
+        updated = state.replace(x=5)
+        assert updated["x"] == 5
+        assert updated["y"] == 2
+        assert state["x"] == 1  # original untouched
+
+    def test_hash_and_equality(self, schema):
+        a = UniqueState(schema, {"x": 1, "y": 2})
+        b = UniqueState(schema, {"y": 2, "x": 1})
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != UniqueState(schema, {"x": 1, "y": 3})
+
+    def test_domain_enforced(self, schema):
+        with pytest.raises(SchemaError):
+            UniqueState(schema, {"x": 99, "y": 0})
+
+
+class TestDatabaseState:
+    def test_single_is_unique(self, schema):
+        state = DatabaseState.single(UniqueState(schema, {"x": 1, "y": 2}))
+        assert state.is_unique()
+        assert len(state) == 1
+
+    def test_union_keeps_old_versions(self, schema):
+        a = UniqueState(schema, {"x": 1, "y": 2})
+        b = a.replace(x=3)
+        state = DatabaseState.single(a).add(b)
+        assert len(state) == 2
+        assert state.versions_of("x") == {1, 3}
+        assert state.versions_of("y") == {2}
+
+    def test_or_operator(self, schema):
+        a = DatabaseState.single(UniqueState(schema, {"x": 1, "y": 2}))
+        b = DatabaseState.single(UniqueState(schema, {"x": 3, "y": 2}))
+        assert len(a | b) == 2
+
+    def test_empty_rejected(self):
+        with pytest.raises(SchemaError):
+            DatabaseState([])
+
+    def test_mixed_schemas_rejected(self, schema):
+        other = Schema.of("q", domain=Domain.interval(0, 9))
+        with pytest.raises(SchemaError):
+            DatabaseState(
+                [
+                    UniqueState(schema, {"x": 0, "y": 0}),
+                    UniqueState(other, {"q": 0}),
+                ]
+            )
+
+    def test_version_state_count_is_product(self, schema):
+        a = UniqueState(schema, {"x": 1, "y": 2})
+        state = (
+            DatabaseState.single(a)
+            .add(a.replace(x=3))
+            .add(a.replace(y=4))
+        )
+        # x has {1, 3}, y has {2, 4}
+        assert state.version_state_count() == 4
+
+    def test_version_states_enumeration(self, schema):
+        a = UniqueState(schema, {"x": 0, "y": 0})
+        state = DatabaseState.single(a).add(a.replace(x=1))
+        combos = {(vs["x"], vs["y"]) for vs in state.version_states()}
+        assert combos == {(0, 0), (1, 0)}
+
+    def test_version_states_deterministic(self, schema):
+        a = UniqueState(schema, {"x": 0, "y": 0})
+        state = DatabaseState.single(a).add(a.replace(x=1, y=1))
+        first = [dict(vs) for vs in state.version_states()]
+        second = [dict(vs) for vs in state.version_states()]
+        assert first == second
+
+    def test_singleton_version_states_equal_state(self, schema):
+        a = UniqueState(schema, {"x": 5, "y": 6})
+        state = DatabaseState.single(a)
+        states = list(state.version_states())
+        assert len(states) == 1
+        assert dict(states[0]) == dict(a)
+
+    def test_contains_version_state(self, schema):
+        a = UniqueState(schema, {"x": 1, "y": 2})
+        state = DatabaseState.single(a).add(a.replace(x=3))
+        assert state.contains_version_state({"x": 3, "y": 2})
+        assert state.contains_version_state({"x": 1, "y": 2})
+        assert not state.contains_version_state({"x": 4, "y": 2})
+        assert not state.contains_version_state({"x": 3})
+
+    def test_membership_and_iteration(self, schema):
+        a = UniqueState(schema, {"x": 1, "y": 2})
+        state = DatabaseState.single(a)
+        assert a in state
+        assert list(state) == [a]
+
+
+class TestVersionState:
+    def test_mixes_values_across_unique_states(self, schema):
+        version = VersionState(schema, {"x": 7, "y": 1})
+        assert version["x"] == 7
+
+    def test_as_unique(self, schema):
+        version = VersionState(schema, {"x": 7, "y": 1})
+        unique = version.as_unique()
+        assert isinstance(unique, UniqueState)
+        assert dict(unique) == dict(version)
+
+    def test_version_and_unique_states_compare_by_content(self, schema):
+        # Both are total assignments; the paper notes every version
+        # state satisfies the unique-state definition.
+        version = VersionState(schema, {"x": 7, "y": 1})
+        unique = UniqueState(schema, {"x": 7, "y": 1})
+        assert version == unique
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    values=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=9),
+            st.integers(min_value=0, max_value=9),
+        ),
+        min_size=1,
+        max_size=6,
+    )
+)
+def test_every_version_state_draws_from_retained_versions(values):
+    """Property: V_S members pick each value from some member of S."""
+    schema = Schema.of("x", "y", domain=Domain.interval(0, 9))
+    states = [
+        UniqueState(schema, {"x": x, "y": y}) for x, y in values
+    ]
+    db_state = DatabaseState(states)
+    count = 0
+    for version in db_state.version_states():
+        count += 1
+        assert db_state.contains_version_state(dict(version))
+        assert version["x"] in db_state.versions_of("x")
+        assert version["y"] in db_state.versions_of("y")
+    assert count == db_state.version_state_count()

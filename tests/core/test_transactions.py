@@ -1,0 +1,284 @@
+"""Unit tests for transactions, effects, and specifications."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    BinOp,
+    Const,
+    Domain,
+    Effect,
+    LeafTransaction,
+    NestedTransaction,
+    Predicate,
+    Ref,
+    Schema,
+    Spec,
+    TxnName,
+    UniqueState,
+    VersionState,
+    expr,
+    increment,
+)
+from repro.errors import NestingError, TransactionError
+
+
+@pytest.fixture
+def schema() -> Schema:
+    return Schema.of("x", "y", domain=Domain.interval(0, 100))
+
+
+@pytest.fixture
+def state(schema) -> VersionState:
+    return VersionState(schema, {"x": 10, "y": 20})
+
+
+class TestExpr:
+    def test_const(self):
+        assert Const(5).evaluate({}) == 5
+        assert Const(5).references() == frozenset()
+
+    def test_ref(self):
+        assert Ref("x").evaluate({"x": 3}) == 3
+        assert Ref("x").references() == {"x"}
+
+    def test_binop(self):
+        e = BinOp("+", Ref("x"), Const(2))
+        assert e.evaluate({"x": 3}) == 5
+        assert e.references() == {"x"}
+
+    @pytest.mark.parametrize(
+        "op,expected",
+        [("+", 7), ("-", 3), ("*", 10), ("min", 2), ("max", 5)],
+    )
+    def test_all_operators(self, op, expected):
+        assert BinOp(op, Const(5), Const(2)).evaluate({}) == expected
+
+    def test_unknown_operator(self):
+        with pytest.raises(TransactionError):
+            BinOp("/", Const(1), Const(2))
+
+    def test_expr_coercion(self):
+        assert isinstance(expr(3), Const)
+        assert isinstance(expr("x"), Ref)
+        assert expr(Const(1)) is not None
+        with pytest.raises(TransactionError):
+            expr(True)
+
+    def test_increment_helper(self):
+        assert increment("x", 5).evaluate({"x": 1}) == 6
+
+
+class TestEffect:
+    def test_apply_reads_input_only(self, schema, state):
+        # Both writes read the *input* x, so swapping works.
+        effect = Effect({"x": Ref("y"), "y": Ref("x")})
+        result = effect.apply(state)
+        assert result["x"] == 20 and result["y"] == 10
+
+    def test_fixed_point_preserved(self, schema, state):
+        result = Effect({"x": 99}).apply(state)
+        assert result["y"] == 20
+
+    def test_read_written_sets(self):
+        effect = Effect({"x": increment("y")})
+        assert effect.written_entities == {"x"}
+        assert effect.read_entities == {"y"}
+
+    def test_result_is_unique_state(self, state):
+        assert isinstance(Effect({}).apply(state), UniqueState)
+
+
+class TestSpec:
+    def test_trivial(self):
+        spec = Spec.trivial()
+        assert spec.input_constraint.is_true
+        assert spec.output_condition.is_true
+
+    def test_invariant(self):
+        predicate = Predicate.parse("x > 0")
+        spec = Spec.invariant(predicate)
+        assert spec.input_constraint == predicate
+        assert spec.output_condition == predicate
+
+
+class TestLeafTransaction:
+    def _leaf(self, schema, spec=None, effect=None, reads=()):
+        return LeafTransaction(
+            TxnName.parse("t.0"),
+            schema,
+            spec or Spec.trivial(),
+            effect or Effect({}),
+            extra_reads=reads,
+        )
+
+    def test_update_and_fixed_sets(self, schema):
+        leaf = LeafTransaction(
+            TxnName.parse("t.0"),
+            schema,
+            Spec(Predicate.parse("y >= 0"), Predicate.true()),
+            Effect({"x": increment("y")}),
+        )
+        assert leaf.update_set == {"x"}
+        assert leaf.fixed_point_set == {"y"}
+        assert leaf.input_set == {"y"}
+        assert leaf.read_set == {"y"}
+
+    def test_reads_must_appear_in_input_constraint(self, schema):
+        with pytest.raises(TransactionError, match="I_t"):
+            LeafTransaction(
+                TxnName.parse("t.0"),
+                schema,
+                Spec(Predicate.parse("x >= 0"), Predicate.true()),
+                Effect({"x": Ref("y")}),  # reads y, I_t mentions only x
+            )
+
+    def test_trivial_input_constraint_allows_reads(self, schema):
+        # A true I_t mentions nothing; the check is waived (the model's
+        # rule applies to declared constraints).
+        leaf = self._leaf(schema, effect=Effect({"x": Ref("y")}))
+        assert leaf.read_set == {"y"}
+
+    def test_apply(self, schema, state):
+        leaf = self._leaf(schema, effect=Effect({"x": 42}))
+        assert leaf.apply(state)["x"] == 42
+
+    def test_satisfies_specification(self, schema, state):
+        leaf = LeafTransaction(
+            TxnName.parse("t.0"),
+            schema,
+            Spec(Predicate.parse("x >= 0"), Predicate.parse("x = 42")),
+            Effect({"x": 42}),
+        )
+        assert leaf.satisfies_specification(state)
+
+    def test_specification_vacuous_when_precondition_fails(
+        self, schema, state
+    ):
+        leaf = LeafTransaction(
+            TxnName.parse("t.0"),
+            schema,
+            Spec(Predicate.parse("x > 50"), Predicate.parse("x = 0")),
+            Effect({"x": 99}),  # violates O, but I fails on state
+        )
+        assert leaf.satisfies_specification(state)
+
+    def test_unknown_entities_rejected(self, schema):
+        with pytest.raises(TransactionError):
+            LeafTransaction(
+                TxnName.parse("t.0"),
+                schema,
+                Spec(Predicate.parse("q > 0"), Predicate.true()),
+                Effect({}),
+            )
+
+
+class TestNestedTransaction:
+    def _children(self, schema):
+        root = TxnName.root()
+        first = LeafTransaction(
+            root.child(0),
+            schema,
+            Spec.trivial(),
+            Effect({"x": increment("x")}),
+        )
+        second = LeafTransaction(
+            root.child(1),
+            schema,
+            Spec.trivial(),
+            Effect({"y": Ref("x")}),
+        )
+        return root, [first, second]
+
+    def test_build_and_structure(self, schema):
+        root, children = self._children(schema)
+        nested = NestedTransaction.build(
+            root,
+            schema,
+            Spec.trivial(),
+            children,
+            [(children[0].name, children[1].name)],
+        )
+        assert len(nested) == 2
+        assert nested.child(children[0].name) is children[0]
+        assert children[0].name in nested
+        assert nested.order.precedes(children[0].name, children[1].name)
+        assert nested.update_set == {"x", "y"}
+        assert not nested.is_leaf
+
+    def test_apply_runs_children_serially(self, schema, state):
+        root, children = self._children(schema)
+        nested = NestedTransaction.build(
+            root,
+            schema,
+            Spec.trivial(),
+            children,
+            [(children[0].name, children[1].name)],
+        )
+        result = nested.apply(state)
+        assert result["x"] == 11  # incremented
+        assert result["y"] == 11  # reads incremented x (serial order)
+
+    def test_empty_nested_is_identity(self, schema, state):
+        nested = NestedTransaction(
+            TxnName.root(), schema, Spec.trivial(), []
+        )
+        assert dict(nested.apply(state)) == dict(state)
+
+    def test_wrong_parent_rejected(self, schema):
+        stray = LeafTransaction(
+            TxnName.parse("q.0"), schema, Spec.trivial(), Effect({})
+        )
+        with pytest.raises(NestingError):
+            NestedTransaction(
+                TxnName.root(), schema, Spec.trivial(), [stray]
+            )
+
+    def test_duplicate_child_rejected(self, schema):
+        child = LeafTransaction(
+            TxnName.root().child(0), schema, Spec.trivial(), Effect({})
+        )
+        with pytest.raises(NestingError):
+            NestedTransaction(
+                TxnName.root(), schema, Spec.trivial(), [child, child]
+            )
+
+    def test_order_must_match_children(self, schema):
+        from repro.core import PartialOrder
+
+        child = LeafTransaction(
+            TxnName.root().child(0), schema, Spec.trivial(), Effect({})
+        )
+        wrong = PartialOrder.empty([TxnName.root().child(5)])
+        with pytest.raises(NestingError):
+            NestedTransaction(
+                TxnName.root(), schema, Spec.trivial(), [child], wrong
+            )
+
+    def test_descendants_and_leaves(self, schema):
+        root = TxnName.root()
+        grandchild = LeafTransaction(
+            root.child(0).child(0), schema, Spec.trivial(), Effect({})
+        )
+        middle = NestedTransaction(
+            root.child(0), schema, Spec.trivial(), [grandchild]
+        )
+        nested = NestedTransaction(root, schema, Spec.trivial(), [middle])
+        names = [str(node.name) for node in nested.descendants()]
+        assert names == ["t.0", "t.0.0"]
+        assert [str(leaf.name) for leaf in nested.leaves()] == ["t.0.0"]
+
+    def test_object_set_collects_output_objects(self, schema):
+        root = TxnName.root()
+        child = LeafTransaction(
+            root.child(0),
+            schema,
+            Spec(Predicate.true(), Predicate.parse("x > 0 & y > 0")),
+            Effect({}),
+        )
+        nested = NestedTransaction(root, schema, Spec.trivial(), [child])
+        assert nested.object_set == {
+            frozenset({"x"}),
+            frozenset({"y"}),
+        }

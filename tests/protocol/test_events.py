@@ -1,0 +1,41 @@
+"""Tests for the protocol event log."""
+
+from __future__ import annotations
+
+from repro.protocol import Event, EventKind, EventLog
+
+
+class TestEventLog:
+    def test_record_and_iterate(self):
+        log = EventLog()
+        log.record(EventKind.DEFINE, "t.0", parent="t")
+        log.record(EventKind.COMMIT, "t.0")
+        assert len(log) == 2
+        kinds = [event.kind for event in log]
+        assert kinds == [EventKind.DEFINE, EventKind.COMMIT]
+
+    def test_of_kind(self):
+        log = EventLog()
+        log.record(EventKind.READ, "t.0", entity="x")
+        log.record(EventKind.READ, "t.1", entity="y")
+        log.record(EventKind.ABORT, "t.1")
+        assert len(log.of_kind(EventKind.READ)) == 2
+        assert log.count(EventKind.ABORT) == 1
+
+    def test_for_txn(self):
+        log = EventLog()
+        log.record(EventKind.READ, "t.0", entity="x")
+        log.record(EventKind.READ, "t.1", entity="y")
+        assert len(log.for_txn("t.0")) == 1
+
+    def test_str_rendering(self):
+        event = Event(EventKind.BLOCKED, "t.2", {"entity": "x"})
+        assert str(event) == "[blocked] t.2 entity=x"
+
+    def test_dump(self):
+        log = EventLog()
+        log.record(EventKind.DEFINE, "t.0")
+        log.record(EventKind.VALIDATE, "t.0", ok=True)
+        dump = log.dump()
+        assert "[define] t.0" in dump
+        assert dump.count("\n") == 1

@@ -1,0 +1,131 @@
+"""Tests for the Figure-3 lock manager."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import LockProtocolError
+from repro.protocol import (
+    LockMode,
+    LockOutcome,
+    LockTable,
+    compatible,
+    lock_compatibility_matrix,
+)
+
+
+class TestCompatibility:
+    def test_figure3_matrix(self):
+        matrix = lock_compatibility_matrix()
+        # Read-side locks coexist with everything but an active write.
+        assert matrix[("R_v", "R_v")] is True
+        assert matrix[("R_v", "R")] is True
+        assert matrix[("R", "R_v")] is True
+        assert matrix[("R", "R")] is True
+        # Writes are never blocked ("a write request can never fail").
+        assert matrix[("R_v", "W")] is True
+        assert matrix[("R", "W")] is True
+        assert matrix[("W", "W")] is True
+        # Readers block on an in-flight write.
+        assert matrix[("W", "R_v")] is False
+        assert matrix[("W", "R")] is False
+
+    def test_compatible_function(self):
+        assert not compatible(LockMode.W, LockMode.R)
+        assert compatible(LockMode.W, LockMode.W)
+
+
+class TestLockTable:
+    def test_grant_and_holds(self):
+        table = LockTable()
+        assert (
+            table.request("a", "x", LockMode.RV) is LockOutcome.GRANTED
+        )
+        assert table.holds("a", "x", LockMode.RV)
+
+    def test_read_blocked_by_write(self):
+        table = LockTable()
+        table.request("w", "x", LockMode.W)
+        assert (
+            table.request("r", "x", LockMode.RV) is LockOutcome.BLOCKED
+        )
+        assert table.queued("x")[0].txn == "r"
+
+    def test_own_write_does_not_block_own_read(self):
+        table = LockTable()
+        table.request("a", "x", LockMode.RV)
+        table.request("a", "x", LockMode.W)
+        assert (
+            table.request("a", "x", LockMode.R) is LockOutcome.GRANTED
+        )
+
+    def test_write_never_blocked(self):
+        table = LockTable()
+        table.request("a", "x", LockMode.RV)
+        table.request("b", "x", LockMode.R)
+        table.request("c", "x", LockMode.W)
+        assert (
+            table.request("d", "x", LockMode.W) is LockOutcome.GRANTED
+        )
+
+    def test_upgrade_requires_rv(self):
+        table = LockTable()
+        with pytest.raises(LockProtocolError):
+            table.upgrade_rv_to_r("a", "x")
+        table.request("a", "x", LockMode.RV)
+        assert table.upgrade_rv_to_r("a", "x") is LockOutcome.GRANTED
+
+    def test_release_drains_fifo(self):
+        table = LockTable()
+        table.request("w", "x", LockMode.W)
+        table.request("r1", "x", LockMode.RV)
+        table.request("r2", "x", LockMode.RV)
+        granted = table.release("w", "x", LockMode.W)
+        assert [req.txn for req in granted] == ["r1", "r2"]
+        assert table.holds("r1", "x", LockMode.RV)
+
+    def test_release_unheld_lock_rejected(self):
+        table = LockTable()
+        with pytest.raises(LockProtocolError):
+            table.release("a", "x", LockMode.W)
+
+    def test_release_all(self):
+        table = LockTable()
+        table.request("a", "x", LockMode.RV)
+        table.request("a", "y", LockMode.W)
+        table.request("b", "y", LockMode.R)  # blocked
+        granted = table.release_all("a")
+        assert not table.holds("a", "x", LockMode.RV)
+        assert any(req.txn == "b" for req in granted)
+
+    def test_release_all_purges_queue_entries(self):
+        table = LockTable()
+        table.request("w", "x", LockMode.W)
+        table.request("a", "x", LockMode.R)
+        table.release_all("a")
+        assert not table.queued("x")
+
+    def test_read_side_holders(self):
+        table = LockTable()
+        table.request("a", "x", LockMode.RV)
+        table.request("b", "x", LockMode.RV)
+        table.upgrade_rv_to_r("b", "x")
+        assert table.read_side_holders("x") == {"a", "b"}
+
+    def test_locks_of(self):
+        table = LockTable()
+        table.request("a", "x", LockMode.RV)
+        table.request("a", "y", LockMode.W)
+        held = set(table.locks_of("a"))
+        assert held == {("x", LockMode.RV), ("y", LockMode.W)}
+
+    def test_queue_fifo_respects_remaining_writer(self):
+        table = LockTable()
+        table.request("w1", "x", LockMode.W)
+        table.request("w2", "x", LockMode.W)
+        table.request("r", "x", LockMode.R)
+        # Releasing only w1 leaves w2's write in flight: r stays queued.
+        granted = table.release("w1", "x", LockMode.W)
+        assert granted == []
+        granted = table.release("w2", "x", LockMode.W)
+        assert [req.txn for req in granted] == ["r"]

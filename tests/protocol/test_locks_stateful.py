@@ -1,0 +1,90 @@
+"""Stateful property test for the lock table (Figure 3 invariants)."""
+
+from __future__ import annotations
+
+from hypothesis import settings
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    invariant,
+    rule,
+)
+from hypothesis import strategies as st
+
+from repro.errors import LockProtocolError
+from repro.protocol import LockMode, LockTable, compatible
+
+TXNS = ["a", "b", "c", "d"]
+ENTITIES = ["x", "y"]
+
+
+class LockTableMachine(RuleBasedStateMachine):
+    """Random request/release traffic must preserve Figure 3."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.table = LockTable()
+
+    @rule(
+        txn=st.sampled_from(TXNS),
+        entity=st.sampled_from(ENTITIES),
+        mode=st.sampled_from(list(LockMode)),
+    )
+    def request(self, txn, entity, mode):
+        self.table.request(txn, entity, mode)
+
+    @rule(
+        txn=st.sampled_from(TXNS),
+        entity=st.sampled_from(ENTITIES),
+        mode=st.sampled_from(list(LockMode)),
+    )
+    def release(self, txn, entity, mode):
+        try:
+            self.table.release(txn, entity, mode)
+        except LockProtocolError:
+            pass  # releasing an unheld lock is rejected, not corrupting
+
+    @rule(txn=st.sampled_from(TXNS))
+    def release_all(self, txn):
+        self.table.release_all(txn)
+
+    @invariant()
+    def no_incompatible_grants(self):
+        """No two *different* transactions hold incompatible locks."""
+        for entity in ENTITIES:
+            for held_mode in LockMode:
+                holders = self.table.holders(entity, held_mode)
+                for other_mode in LockMode:
+                    others = self.table.holders(entity, other_mode)
+                    for first in holders:
+                        for second in others:
+                            if first == second:
+                                continue
+                            assert compatible(
+                                held_mode, other_mode
+                            ) or compatible(other_mode, held_mode), (
+                                entity,
+                                held_mode,
+                                other_mode,
+                            )
+
+    @invariant()
+    def queued_requests_really_blocked(self):
+        """Nothing sits in a queue while it could be granted."""
+        for entity in ENTITIES:
+            for request in self.table.queued(entity):
+                blocked = False
+                for held_mode in LockMode:
+                    holders = self.table.holders(entity, held_mode) - {
+                        request.txn
+                    }
+                    if holders and not compatible(
+                        held_mode, request.mode
+                    ):
+                        blocked = True
+                assert blocked, (entity, request)
+
+
+LockTableMachine.TestCase.settings = settings(
+    max_examples=40, stateful_step_count=30, deadline=None
+)
+TestLockTableStateful = LockTableMachine.TestCase

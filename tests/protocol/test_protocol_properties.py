@@ -1,0 +1,168 @@
+"""Randomized protocol driving with global invariants (L4/T2 fuzz).
+
+A seeded driver issues random define/validate/read/write/commit/abort
+sequences against the transaction manager and asserts, after every
+step, the invariants the paper's proofs rest on:
+
+* committed transactions verify as parent-based and correct;
+* terminated transactions hold no locks;
+* aborted authors have no surviving versions;
+* the initial versions always survive;
+* every assigned version is live in the store.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Domain, Predicate, Schema, Spec
+from repro.errors import ProtocolError, ReproError
+from repro.protocol import Outcome, TransactionManager, TxnPhase
+from repro.storage import Database
+
+ENTITIES = ("x", "y", "z")
+
+
+def _database() -> Database:
+    schema = Schema.of(*ENTITIES, domain=Domain.interval(0, 10_000))
+    constraint = Predicate.parse(
+        " & ".join(f"{name} >= 0" for name in ENTITIES)
+    )
+    return Database(
+        schema, constraint, {name: 1 for name in ENTITIES}
+    )
+
+
+def _check_invariants(tm: TransactionManager) -> None:
+    assert tm.verify_parent_based(tm.root) == []
+    assert tm.verify_correctness(tm.root) == []
+    store = tm.database.store
+    for entity in ENTITIES:
+        versions = store.versions(entity)
+        assert versions[0].author is None  # initial survives
+        for version in versions:
+            if version.author is None:
+                continue
+            author_phase = tm.phase(version.author)
+            assert author_phase is not TxnPhase.ABORTED
+    for txn in tm.children_of(tm.root):
+        if tm.phase(txn) in (TxnPhase.COMMITTED, TxnPhase.ABORTED):
+            assert tm.locks.locks_of(txn) == []
+        record = tm.record(txn)
+        if tm.phase(txn) is TxnPhase.VALIDATED:
+            for item, version in record.assigned.items():
+                live = store.versions(item)
+                assert version in live, (txn, item, version)
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=100_000))
+def test_random_driving_preserves_invariants(seed):
+    rng = random.Random(seed)
+    tm = TransactionManager(_database())
+    live: list[str] = []
+
+    for _ in range(40):
+        action = rng.choice(
+            ["define", "read", "write", "commit", "abort"]
+        )
+        try:
+            if action == "define" or not live:
+                reads = rng.sample(ENTITIES, rng.randint(1, 2))
+                writes = set(
+                    rng.sample(ENTITIES, rng.randint(0, 2))
+                )
+                constraint = " & ".join(
+                    f"{e} >= 0" for e in reads
+                )
+                candidates = [
+                    t
+                    for t in live
+                    if tm.phase(t)
+                    in (TxnPhase.VALIDATED, TxnPhase.COMMITTED)
+                ]
+                predecessors = (
+                    [rng.choice(candidates)]
+                    if candidates and rng.random() < 0.4
+                    else []
+                )
+                txn = tm.define(
+                    tm.root,
+                    Spec(
+                        Predicate.parse(constraint),
+                        Predicate.true(),
+                    ),
+                    writes,
+                    predecessors=predecessors,
+                )
+                if tm.validate(txn).outcome is Outcome.OK:
+                    live.append(txn)
+            else:
+                txn = rng.choice(live)
+                phase = tm.phase(txn)
+                if phase is not TxnPhase.VALIDATED:
+                    continue
+                record = tm.record(txn)
+                if action == "read" and record.input_set:
+                    tm.read(txn, rng.choice(sorted(record.input_set)))
+                elif action == "write" and record.update_set:
+                    tm.write(
+                        txn,
+                        rng.choice(sorted(record.update_set)),
+                        rng.randint(0, 10_000),
+                    )
+                elif action == "commit":
+                    tm.commit(txn)
+                elif action == "abort":
+                    tm.abort(txn)
+        except ProtocolError:
+            pass  # illegal step attempted; the TM refused — fine
+        _check_invariants(tm)
+
+    # Drain: try to commit everything still validated.
+    for _ in range(3):
+        for txn in live:
+            if tm.phase(txn) is TxnPhase.VALIDATED:
+                tm.commit(txn)
+    _check_invariants(tm)
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=100_000))
+def test_no_step_corrupts_the_store(seed):
+    """The store's version counts only move by the protocol's rules."""
+    rng = random.Random(seed)
+    tm = TransactionManager(_database())
+    store = tm.database.store
+    baseline = store.total_versions()
+    writes_done = 0
+    expunged_authors: set[str] = set()
+
+    txns = []
+    for index in range(6):
+        txn = tm.define(
+            tm.root,
+            Spec(Predicate.parse("x >= 0"), Predicate.true()),
+            set(rng.sample(ENTITIES, rng.randint(1, 2))),
+        )
+        if tm.validate(txn).outcome is Outcome.OK:
+            txns.append(txn)
+    for txn in txns:
+        record = tm.record(txn)
+        for entity in sorted(record.update_set):
+            if tm.phase(txn) is not TxnPhase.VALIDATED:
+                break
+            result = tm.write(txn, entity, rng.randint(0, 100))
+            writes_done += 1
+            for victim in result.aborted:
+                expunged_authors.add(victim)
+    alive_writes = sum(
+        1
+        for version in store
+        if version.author is not None
+        and version.author not in expunged_authors
+    )
+    assert store.total_versions() == baseline + alive_writes

@@ -1,0 +1,82 @@
+"""Tests for Figure 4's re-evaluation decision logic."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import PartialOrder
+from repro.protocol import ReevalDecision, figure4_decision
+
+
+@pytest.fixture
+def order():
+    # Siblings t.0 < t.1 < t.2 plus incomparable t.3.
+    return PartialOrder(
+        ["t.0", "t.1", "t.2", "t.3"],
+        [("t.0", "t.1"), ("t.1", "t.2")],
+    )
+
+
+class TestFigure4:
+    def test_non_siblings_untouched(self, order):
+        decision = figure4_decision(
+            "t.0", "q.1", None, order, holder_has_read=False
+        )
+        assert decision is ReevalDecision.NONE
+
+    def test_writer_not_predecessor(self, order):
+        # t.3 is incomparable to t.1: its writes do not invalidate.
+        decision = figure4_decision(
+            "t.3", "t.1", None, order, holder_has_read=True
+        )
+        assert decision is ReevalDecision.NONE
+
+    def test_successor_write_ignored(self, order):
+        # t.2 writes; t.1 precedes it, so t.1 keeps its older world.
+        decision = figure4_decision(
+            "t.2", "t.1", None, order, holder_has_read=True
+        )
+        assert decision is ReevalDecision.NONE
+
+    def test_stale_parent_version_reassigned(self, order):
+        # Holder read the parent's (initial) version; a predecessor
+        # writes: must re-assign while still validating.
+        decision = figure4_decision(
+            "t.0", "t.1", None, order, holder_has_read=False
+        )
+        assert decision is ReevalDecision.REASSIGN
+
+    def test_stale_parent_version_after_read_aborts(self, order):
+        decision = figure4_decision(
+            "t.0", "t.1", None, order, holder_has_read=True
+        )
+        assert decision is ReevalDecision.ABORT
+
+    def test_fresher_predecessor_version_kept(self, order):
+        # Holder reads t.1's version; t.0 (which precedes t.1) writes.
+        # The assigned author succeeds the writer: no action.
+        decision = figure4_decision(
+            "t.0", "t.2", "t.1", order, holder_has_read=True
+        )
+        assert decision is ReevalDecision.NONE
+
+    def test_stale_predecessor_version_detected(self, order):
+        # Holder reads t.0's version; t.1 (between t.0 and t.2) writes.
+        decision = figure4_decision(
+            "t.1", "t.2", "t.0", order, holder_has_read=False
+        )
+        assert decision is ReevalDecision.REASSIGN
+
+    def test_rewrite_by_same_author_supersedes(self, order):
+        # Documented extension: the writer replaces its own earlier
+        # version; holders of the old one must move to the final state.
+        decision = figure4_decision(
+            "t.0", "t.1", "t.0", order, holder_has_read=False
+        )
+        assert decision is ReevalDecision.REASSIGN
+
+    def test_writer_is_holder_noop(self, order):
+        decision = figure4_decision(
+            "t.1", "t.1", None, order, holder_has_read=True
+        )
+        assert decision is ReevalDecision.NONE

@@ -1,0 +1,342 @@
+"""Integration tests for the Section-5 transaction manager."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Domain, Predicate, Schema, Spec
+from repro.errors import LockProtocolError, ProtocolError
+from repro.protocol import (
+    EventKind,
+    Outcome,
+    TransactionManager,
+    TxnPhase,
+)
+from repro.storage import Database
+
+
+@pytest.fixture
+def db():
+    schema = Schema.of("x", "y", "z", domain=Domain.interval(0, 1000))
+    return Database(
+        schema,
+        Predicate.parse("x >= 0 & y >= 0 & z >= 0"),
+        {"x": 10, "y": 20, "z": 30},
+    )
+
+
+@pytest.fixture
+def tm(db):
+    return TransactionManager(db)
+
+
+def _spec(i="true", o="true"):
+    return Spec(Predicate.parse(i), Predicate.parse(o))
+
+
+class TestDefinition:
+    def test_names_follow_the_paper(self, tm):
+        first = tm.define(tm.root, _spec(), {"x"})
+        second = tm.define(tm.root, _spec(), {"y"})
+        assert first == "t.0"
+        assert second == "t.1"
+
+    def test_cycle_in_partial_order_rejected(self, tm):
+        a = tm.define(tm.root, _spec(), {"x"})
+        b = tm.define(tm.root, _spec(), {"y"}, predecessors=[a])
+        with pytest.raises(ProtocolError):
+            # c before a but after b would close the cycle a<b<c<a.
+            tm.define(
+                tm.root, _spec(), {"z"},
+                predecessors=[b], successors=[a],
+            )
+
+    def test_unknown_sibling_rejected(self, tm):
+        with pytest.raises(ProtocolError):
+            tm.define(tm.root, _spec(), {"x"}, predecessors=["t.9"])
+
+    def test_unknown_entity_rejected(self, tm):
+        with pytest.raises(ProtocolError):
+            tm.define(tm.root, _spec(), {"nope"})
+
+    def test_placement_before_committed_reader_prohibited(self, tm):
+        reader = tm.define(tm.root, _spec("x >= 0"), set())
+        tm.validate(reader)
+        tm.read(reader, "x")
+        assert tm.commit(reader).outcome is Outcome.OK
+        # New transaction updating x, placed before the committed
+        # reader of x: the paper prohibits this construction.
+        with pytest.raises(ProtocolError, match="committed"):
+            tm.define(
+                tm.root, _spec(), {"x"}, successors=[reader]
+            )
+
+    def test_placement_before_committed_nonreader_allowed(self, tm):
+        other = tm.define(tm.root, _spec("y >= 0"), set())
+        tm.validate(other)
+        tm.commit(other)
+        name = tm.define(tm.root, _spec(), {"x"}, successors=[other])
+        assert name == "t.1"
+
+    def test_data_accessor_cannot_nest(self, tm):
+        leaf = tm.define(tm.root, _spec("x >= 0"), {"x"})
+        tm.validate(leaf)
+        tm.read(leaf, "x")
+        with pytest.raises(ProtocolError, match="data accesses"):
+            tm.define(leaf, _spec(), {"y"})
+
+    def test_nester_cannot_access_data(self, tm):
+        parent = tm.define(tm.root, _spec("x >= 0"), {"x", "y"})
+        tm.validate(parent)
+        tm.define(parent, _spec(), {"y"})
+        with pytest.raises(ProtocolError, match="subtransactions"):
+            tm.read(parent, "x")
+
+
+class TestValidation:
+    def test_assigns_versions_satisfying_input(self, tm):
+        txn = tm.define(tm.root, _spec("x >= 5"), set())
+        result = tm.validate(txn)
+        assert result.outcome is Outcome.OK
+        assert tm.assigned_versions(txn)["x"].value >= 5
+        assert tm.phase(txn) is TxnPhase.VALIDATED
+
+    def test_unsatisfiable_input_aborts(self, tm):
+        txn = tm.define(tm.root, _spec("x >= 500"), set())
+        result = tm.validate(txn)
+        assert result.outcome is Outcome.FAILED
+        assert tm.phase(txn) is TxnPhase.ABORTED
+
+    def test_blocked_by_in_flight_write(self, tm):
+        writer = tm.define(tm.root, _spec(), {"x"})
+        tm.validate(writer)
+        tm.begin_write(writer, "x")
+        reader = tm.define(tm.root, _spec("x >= 0"), set())
+        result = tm.validate(reader)
+        assert result.outcome is Outcome.BLOCKED
+        assert result.blocked_on == "x"
+        # Completing the write unblocks and validation then succeeds.
+        write_result = tm.end_write(writer, "x", 99)
+        assert reader in write_result.unblocked
+        assert tm.validate(reader).outcome is Outcome.OK
+
+    def test_validate_twice_rejected(self, tm):
+        txn = tm.define(tm.root, _spec(), set())
+        tm.validate(txn)
+        with pytest.raises(ProtocolError):
+            tm.validate(txn)
+
+    def test_sibling_version_visible_after_write(self, tm):
+        writer = tm.define(tm.root, _spec(), {"x"})
+        tm.validate(writer)
+        tm.write(writer, "x", 500)
+        # A fresh sibling needing x >= 500 can only use writer's version.
+        reader = tm.define(tm.root, _spec("x >= 500"), set())
+        assert tm.validate(reader).outcome is Outcome.OK
+        assert tm.assigned_versions(reader)["x"].author == writer
+
+
+class TestExecution:
+    def test_read_requires_validation(self, tm):
+        txn = tm.define(tm.root, _spec("x >= 0"), set())
+        with pytest.raises(ProtocolError):
+            tm.read(txn, "x")
+
+    def test_read_outside_input_set_rejected(self, tm):
+        txn = tm.define(tm.root, _spec("x >= 0"), set())
+        tm.validate(txn)
+        with pytest.raises(LockProtocolError):
+            tm.read(txn, "y")  # no R_v lock on y
+
+    def test_write_outside_update_set_rejected(self, tm):
+        txn = tm.define(tm.root, _spec(), {"x"})
+        tm.validate(txn)
+        with pytest.raises(ProtocolError, match="update set"):
+            tm.begin_write(txn, "y")
+
+    def test_read_returns_assigned_version(self, tm):
+        txn = tm.define(tm.root, _spec("y >= 0"), set())
+        tm.validate(txn)
+        assert tm.read(txn, "y").value == 20
+
+    def test_concurrent_sibling_writes_allowed(self, tm):
+        a = tm.define(tm.root, _spec(), {"x"})
+        b = tm.define(tm.root, _spec(), {"x"})
+        tm.validate(a)
+        tm.validate(b)
+        tm.begin_write(a, "x")
+        tm.begin_write(b, "x")  # never blocks
+        tm.end_write(a, "x", 1)
+        tm.end_write(b, "x", 2)
+        assert tm.database.store.values_of("x") == {10, 1, 2}
+
+    def test_reader_blocks_only_during_write(self, tm):
+        writer = tm.define(tm.root, _spec(), {"y"})
+        reader = tm.define(tm.root, _spec("y >= 0"), set())
+        tm.validate(writer)
+        tm.validate(reader)
+        tm.begin_write(writer, "y")
+        blocked = tm.read(reader, "y")
+        assert blocked.outcome is Outcome.BLOCKED
+        result = tm.end_write(writer, "y", 77)
+        assert reader in result.unblocked
+        assert tm.read(reader, "y").outcome is Outcome.OK
+
+
+class TestReevalIntegration:
+    def test_predecessor_write_reassigns_validating_successor(self, tm):
+        pred = tm.define(tm.root, _spec(), {"x"})
+        succ = tm.define(
+            tm.root, _spec("x >= 0"), set(), predecessors=[pred]
+        )
+        tm.validate(pred)
+        tm.validate(succ)
+        result = tm.write(pred, "x", 42)
+        assert succ in result.reassigned
+        assert tm.assigned_versions(succ)["x"].value == 42
+
+    def test_predecessor_write_aborts_reader_successor(self, tm):
+        pred = tm.define(tm.root, _spec(), {"x"})
+        succ = tm.define(
+            tm.root, _spec("x >= 0"), set(), predecessors=[pred]
+        )
+        tm.validate(pred)
+        tm.validate(succ)
+        tm.read(succ, "x")  # reads the stale initial version
+        result = tm.write(pred, "x", 42)
+        assert succ in result.aborted
+        assert tm.phase(succ) is TxnPhase.ABORTED
+        reasons = [
+            event
+            for event in tm.log.of_kind(EventKind.ABORT)
+            if event.txn == succ
+        ]
+        assert "partial-order invalidation" in reasons[0].details["reason"]
+
+    def test_incomparable_sibling_write_is_harmless(self, tm):
+        a = tm.define(tm.root, _spec(), {"x"})
+        b = tm.define(tm.root, _spec("x >= 0"), set())
+        tm.validate(a)
+        tm.validate(b)
+        tm.read(b, "x")
+        result = tm.write(a, "x", 42)
+        assert b not in result.aborted
+        assert tm.phase(b) is TxnPhase.VALIDATED
+
+    def test_reassignment_failure_aborts(self, tm):
+        pred = tm.define(tm.root, _spec(), {"x"})
+        # Successor insists on the initial value, which the
+        # predecessor's new version supersedes.
+        succ = tm.define(
+            tm.root, _spec("x = 10"), set(), predecessors=[pred]
+        )
+        tm.validate(pred)
+        tm.validate(succ)
+        result = tm.write(pred, "x", 42)
+        assert succ in result.aborted
+
+
+class TestTermination:
+    def test_commit_requires_predecessors(self, tm):
+        a = tm.define(tm.root, _spec(), set())
+        b = tm.define(tm.root, _spec(), set(), predecessors=[a])
+        tm.validate(a)
+        tm.validate(b)
+        result = tm.commit(b)
+        assert result.outcome is Outcome.FAILED
+        assert "predecessor" in result.reason
+        tm.commit(a)
+        assert tm.commit(b).outcome is Outcome.OK
+
+    def test_commit_requires_children_terminated(self, tm):
+        parent = tm.define(tm.root, _spec(), {"x"})
+        tm.validate(parent)
+        child = tm.define(parent, _spec(), {"x"})
+        result = tm.commit(parent)
+        assert result.outcome is Outcome.FAILED
+        assert "subtransaction" in result.reason
+        tm.validate(child)
+        tm.commit(child)
+        assert tm.commit(parent).outcome is Outcome.OK
+
+    def test_commit_requires_output_condition(self, tm):
+        txn = tm.define(tm.root, _spec("true", "x = 777"), {"x"})
+        tm.validate(txn)
+        result = tm.commit(txn)
+        assert result.outcome is Outcome.FAILED
+        assert "output" in result.reason
+        tm.write(txn, "x", 777)
+        assert tm.commit(txn).outcome is Outcome.OK
+
+    def test_commit_releases_writes_to_parent_world(self, tm):
+        parent = tm.define(tm.root, _spec(), {"x"})
+        tm.validate(parent)
+        child = tm.define(parent, _spec(), {"x"})
+        tm.validate(child)
+        tm.write(child, "x", 111)
+        tm.commit(child)
+        tm.commit(parent)
+        assert tm.view(tm.root)["x"] == 111
+
+    def test_abort_cascades_to_readers(self, tm):
+        writer = tm.define(tm.root, _spec(), {"x"})
+        tm.validate(writer)
+        tm.write(writer, "x", 42)
+        reader = tm.define(tm.root, _spec("x = 42"), set())
+        tm.validate(reader)
+        tm.read(reader, "x")
+        aborted = tm.abort(writer)
+        assert set(aborted) == {writer, reader}
+        assert tm.phase(reader) is TxnPhase.ABORTED
+
+    def test_abort_reassigns_validating_dependents(self, tm):
+        writer = tm.define(tm.root, _spec(), {"x"})
+        tm.validate(writer)
+        tm.write(writer, "x", 42)
+        other = tm.define(tm.root, _spec("x >= 0"), set())
+        tm.validate(other)
+        # `other` may have been assigned the 42-version; the abort
+        # must leave it on a surviving version.
+        tm.abort(writer)
+        assert tm.phase(other) is TxnPhase.VALIDATED
+        assert tm.assigned_versions(other)["x"].value == 10
+
+    def test_abort_expunges_versions(self, tm):
+        writer = tm.define(tm.root, _spec(), {"x"})
+        tm.validate(writer)
+        tm.write(writer, "x", 42)
+        tm.abort(writer)
+        assert tm.database.store.values_of("x") == {10}
+
+    def test_abort_subtree(self, tm):
+        parent = tm.define(tm.root, _spec(), {"x"})
+        tm.validate(parent)
+        child = tm.define(parent, _spec(), {"x"})
+        tm.validate(child)
+        tm.write(child, "x", 5)
+        aborted = tm.abort(parent)
+        assert set(aborted) == {parent, child}
+        assert tm.database.store.values_of("x") == {10}
+
+
+class TestVerification:
+    def test_clean_run_verifies(self, tm):
+        a = tm.define(tm.root, _spec("x >= 0", "x >= 0"), {"x"})
+        b = tm.define(
+            tm.root,
+            _spec("x >= 0 & y >= 0", "y >= 0"),
+            {"y"},
+            predecessors=[a],
+        )
+        tm.validate(a)
+        tm.validate(b)
+        tm.read(a, "x")
+        tm.write(a, "x", 15)
+        tm.commit(a)
+        tm.read(b, "x")
+        tm.read(b, "y")
+        tm.write(b, "y", 25)
+        tm.commit(b)
+        tm.commit(tm.root)
+        assert tm.verify_parent_based(tm.root) == []
+        assert tm.verify_correctness(tm.root) == []

@@ -1,0 +1,230 @@
+"""Tests for the validation phase: D-sets and version selection."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import PartialOrder, Predicate
+from repro.protocol import (
+    BacktrackingSelector,
+    GreedyLatestSelector,
+    SatSelector,
+    compute_d_set,
+)
+from repro.storage.version_store import Version
+
+
+def _version(entity, value, author, seq):
+    return Version(entity, value, author, seq)
+
+
+PARENT_X = _version("x", 10, None, 0)
+
+
+class TestDSetRules:
+    def _order(self, pairs):
+        return PartialOrder(["a", "b", "c", "t"], pairs)
+
+    def test_rule1_successors_excluded(self):
+        d_set = compute_d_set(
+            "x",
+            "t",
+            ["a"],
+            self._order([("t", "a")]),  # a succeeds t
+            {"a": frozenset({"x"})},
+            {"a": (_version("x", 5, "a", 1),)},
+            PARENT_X,
+        )
+        assert d_set.members == frozenset()
+        # Falls back to the parent's version.
+        assert d_set.used_parent_version
+
+    def test_rule2_non_updaters_excluded(self):
+        d_set = compute_d_set(
+            "x",
+            "t",
+            ["a"],
+            self._order([]),
+            {"a": frozenset({"y"})},  # a does not update x
+            {"a": ()},
+            PARENT_X,
+        )
+        assert d_set.members == frozenset()
+
+    def test_rule3_intervening_updater_excludes(self):
+        # a < b < t, both update x: a is masked by b.
+        d_set = compute_d_set(
+            "x",
+            "t",
+            ["a", "b"],
+            self._order([("a", "b"), ("b", "t")]),
+            {"a": frozenset({"x"}), "b": frozenset({"x"})},
+            {
+                "a": (_version("x", 5, "a", 1),),
+                "b": (_version("x", 6, "b", 2),),
+            },
+            PARENT_X,
+        )
+        assert d_set.members == {"b"}
+
+    def test_incomparable_siblings_included(self):
+        d_set = compute_d_set(
+            "x",
+            "t",
+            ["a", "b"],
+            self._order([]),
+            {"a": frozenset({"x"}), "b": frozenset({"x"})},
+            {
+                "a": (_version("x", 5, "a", 1),),
+                "b": (_version("x", 6, "b", 2),),
+            },
+            PARENT_X,
+        )
+        assert d_set.members == {"a", "b"}
+        # Parent version also allowed when no predecessor is in D.
+        assert d_set.used_parent_version
+        assert {v.value for v in d_set.candidates} == {5, 6, 10}
+
+    def test_predecessor_restricts_to_its_versions(self):
+        d_set = compute_d_set(
+            "x",
+            "t",
+            ["a", "b"],
+            self._order([("a", "t")]),  # a precedes t; b incomparable
+            {"a": frozenset({"x"}), "b": frozenset({"x"})},
+            {
+                "a": (_version("x", 5, "a", 1),),
+                "b": (_version("x", 6, "b", 2),),
+            },
+            PARENT_X,
+        )
+        assert d_set.predecessors == {"a"}
+        assert {v.value for v in d_set.candidates} == {5}
+        assert not d_set.used_parent_version
+
+    def test_optimistic_unwritten_predecessor_falls_back_to_parent(self):
+        # The predecessor has not yet written x: the protocol
+        # optimistically hands out the parent's version (re-eval will
+        # repair it later).
+        d_set = compute_d_set(
+            "x",
+            "t",
+            ["a"],
+            self._order([("a", "t")]),
+            {"a": frozenset({"x"})},
+            {"a": ()},
+            PARENT_X,
+        )
+        assert d_set.predecessors == {"a"}
+        assert [v.value for v in d_set.candidates] == [10]
+        assert d_set.used_parent_version
+
+
+class TestSelectors:
+    def _d_sets(self):
+        from repro.protocol.validation import DSet
+
+        return {
+            "x": DSet(
+                "x",
+                frozenset(),
+                frozenset(),
+                (
+                    _version("x", 1, "a", 1),
+                    _version("x", 5, "b", 2),
+                ),
+                True,
+            ),
+            "y": DSet(
+                "y",
+                frozenset(),
+                frozenset(),
+                (
+                    _version("y", 2, "a", 3),
+                    _version("y", 9, "b", 4),
+                ),
+                True,
+            ),
+        }
+
+    @pytest.mark.parametrize(
+        "selector_class",
+        [BacktrackingSelector, SatSelector, GreedyLatestSelector],
+    )
+    def test_selectors_find_satisfying_versions(self, selector_class):
+        selector = selector_class()
+        chosen = selector.select(
+            self._d_sets(), Predicate.parse("x > 2 & y < 5")
+        )
+        assert chosen is not None
+        assert chosen["x"].value == 5
+        assert chosen["y"].value == 2
+
+    @pytest.mark.parametrize(
+        "selector_class",
+        [BacktrackingSelector, SatSelector, GreedyLatestSelector],
+    )
+    def test_selectors_report_infeasible(self, selector_class):
+        selector = selector_class()
+        assert (
+            selector.select(
+                self._d_sets(), Predicate.parse("x > 99")
+            )
+            is None
+        )
+
+    @pytest.mark.parametrize(
+        "selector_class",
+        [BacktrackingSelector, SatSelector, GreedyLatestSelector],
+    )
+    def test_pinning_forces_versions(self, selector_class):
+        pinned_version = _version("x", 7, "c", 9)
+        selector = selector_class()
+        chosen = selector.select(
+            self._d_sets(),
+            Predicate.parse("x > 2"),
+            pinned={"x": pinned_version},
+        )
+        assert chosen is not None
+        assert chosen["x"] is pinned_version
+
+    def test_pinning_can_make_infeasible(self):
+        pinned_version = _version("x", 0, "c", 9)
+        selector = BacktrackingSelector()
+        assert (
+            selector.select(
+                self._d_sets(),
+                Predicate.parse("x > 2"),
+                pinned={"x": pinned_version},
+            )
+            is None
+        )
+
+    def test_greedy_probe_statistics(self):
+        selector = GreedyLatestSelector()
+        # Latest versions are x=5, y=9: satisfies x > 2.
+        selector.select(self._d_sets(), Predicate.parse("x > 2"))
+        assert selector.probe_hits == 1
+        # Needs older y: probe misses, fallback succeeds.
+        selector.select(self._d_sets(), Predicate.parse("y < 5"))
+        assert selector.probe_misses == 1
+
+    def test_value_tie_prefers_newest_version(self):
+        from repro.protocol.validation import DSet
+
+        d_sets = {
+            "x": DSet(
+                "x",
+                frozenset(),
+                frozenset(),
+                (
+                    _version("x", 5, "old", 1),
+                    _version("x", 5, "new", 2),
+                ),
+                False,
+            )
+        }
+        chosen = BacktrackingSelector().select(
+            d_sets, Predicate.parse("x = 5")
+        )
+        assert chosen["x"].author == "new"

@@ -1,0 +1,102 @@
+"""Unit tests for CNF formulas."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sat import CNFFormula, Literal, SatClause, SatError, lit
+from repro.sat.cnf import random_formula
+
+
+class TestLiteral:
+    def test_negation(self):
+        a = lit("a")
+        assert (-a).negated
+        assert -(-a) == a
+
+    def test_evaluate(self):
+        assert lit("a").evaluate({"a": True})
+        assert (-lit("a")).evaluate({"a": False})
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SatError):
+            Literal("")
+
+    def test_str(self):
+        assert str(lit("a")) == "a"
+        assert str(-lit("a")) == "¬a"
+
+
+class TestClause:
+    def test_evaluate_disjunction(self):
+        clause = SatClause.of(lit("a"), -lit("b"))
+        assert clause.evaluate({"a": False, "b": False})
+        assert not clause.evaluate({"a": False, "b": True})
+
+    def test_variables(self):
+        assert SatClause.of(lit("a"), -lit("b")).variables == {"a", "b"}
+
+    def test_tautology(self):
+        assert SatClause.of(lit("a"), -lit("a")).is_tautology()
+        assert not SatClause.of(lit("a"), lit("b")).is_tautology()
+
+    def test_empty_rejected(self):
+        with pytest.raises(SatError):
+            SatClause(frozenset())
+
+
+class TestFormula:
+    def test_parse(self):
+        formula = CNFFormula.parse("a | ~b & b | c")
+        assert len(formula) == 2
+        assert formula.variables == {"a", "b", "c"}
+
+    def test_parse_errors(self):
+        with pytest.raises(SatError):
+            CNFFormula.parse("a & & b")
+        with pytest.raises(SatError):
+            CNFFormula.parse("a | ~ & b")
+
+    def test_evaluate(self):
+        formula = CNFFormula.parse("a | b & ~a | b")
+        assert formula.evaluate({"a": True, "b": True})
+        assert not formula.evaluate({"a": True, "b": False})
+
+    def test_empty_formula_is_true(self):
+        assert CNFFormula([]).evaluate({})
+
+    def test_simplify_removes_satisfied_clauses(self):
+        formula = CNFFormula.parse("a | b & c")
+        simplified = formula.simplify({"a": True})
+        assert simplified is not None
+        assert len(simplified) == 1
+
+    def test_simplify_detects_conflict(self):
+        formula = CNFFormula.parse("a")
+        assert formula.simplify({"a": False}) is None
+
+    def test_simplify_strips_false_literals(self):
+        formula = CNFFormula.parse("a | b")
+        simplified = formula.simplify({"a": False})
+        assert simplified is not None
+        assert simplified.clauses[0].variables == {"b"}
+
+
+class TestRandomFormula:
+    def test_deterministic_with_seed(self):
+        a = random_formula(4, 6, seed=42)
+        b = random_formula(4, 6, seed=42)
+        assert str(a) == str(b)
+
+    def test_shape(self):
+        formula = random_formula(5, 7, clause_width=3, seed=1)
+        assert len(formula) == 7
+        assert all(len(clause) <= 3 for clause in formula)
+
+    def test_width_capped_by_variables(self):
+        formula = random_formula(2, 3, clause_width=5, seed=1)
+        assert all(len(clause) <= 2 for clause in formula)
+
+    def test_no_variables_rejected(self):
+        with pytest.raises(SatError):
+            random_formula(0, 1)

@@ -1,0 +1,154 @@
+"""Tests for the SAT ↔ version-correctness reductions."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    DatabaseState,
+    Domain,
+    Predicate,
+    Schema,
+    UniqueState,
+)
+from repro.sat import (
+    CNFFormula,
+    DPLLSolver,
+    brute_force_solve,
+    random_formula,
+    sat_to_version_correctness,
+    solve_candidate_selection,
+    version_correctness_to_sat,
+)
+
+
+class TestForwardReduction:
+    def test_structure_follows_the_proof(self):
+        instance = sat_to_version_correctness(
+            CNFFormula.parse("a | ~b")
+        )
+        # Step 1: E = U.
+        assert set(instance.schema.names) == {"a", "b"}
+        # Step 2: the two uniform states.
+        values = {
+            tuple(sorted(dict(state).items()))
+            for state in instance.db_state
+        }
+        assert values == {
+            (("a", 0), ("b", 0)),
+            (("a", 1), ("b", 1)),
+        }
+        # Step 3: I_t = C (one conjunct per clause).
+        assert len(instance.input_constraint) == 1
+
+    def test_literal_translation(self):
+        instance = sat_to_version_correctness(CNFFormula.parse("~b"))
+        witness = instance.solve_direct()
+        assert witness is not None
+        assert witness["b"] == 0
+
+    def test_variable_free_formula(self):
+        instance = sat_to_version_correctness(CNFFormula([]))
+        assert instance.is_satisfiable
+
+
+class TestBackwardEncoding:
+    def test_multi_valued_versions(self):
+        schema = Schema.of("x", "y", domain=Domain.interval(0, 9))
+        base = UniqueState(schema, {"x": 1, "y": 5})
+        db_state = (
+            DatabaseState.single(base)
+            .add(base.replace(x=3))
+            .add(base.replace(x=7, y=2))
+        )
+        predicate = Predicate.parse("x > 2 & (y = 2 | x = 3)")
+        encoding = version_correctness_to_sat(db_state, predicate)
+        model = DPLLSolver().solve(encoding.formula)
+        assert model is not None
+        witness = encoding.decode(model)
+        assert predicate.evaluate(witness)
+        assert db_state.contains_version_state(dict(witness))
+
+    def test_unsatisfiable_instance(self):
+        schema = Schema.of("x", domain=Domain.interval(0, 9))
+        db_state = DatabaseState.single(UniqueState(schema, {"x": 1}))
+        encoding = version_correctness_to_sat(
+            db_state, Predicate.parse("x > 5")
+        )
+        assert DPLLSolver().solve(encoding.formula) is None
+
+    def test_two_entity_atoms(self):
+        schema = Schema.of("x", "y", domain=Domain.interval(0, 9))
+        base = UniqueState(schema, {"x": 1, "y": 5})
+        db_state = DatabaseState.single(base).add(base.replace(x=6))
+        predicate = Predicate.parse("x > y")
+        encoding = version_correctness_to_sat(db_state, predicate)
+        model = DPLLSolver().solve(encoding.formula)
+        assert model is not None
+        witness = encoding.decode(model)
+        assert witness["x"] == 6 and witness["y"] == 5
+
+    def test_decode_is_total(self):
+        schema = Schema.of("x", "y", domain=Domain.interval(0, 9))
+        db_state = DatabaseState.single(
+            UniqueState(schema, {"x": 1, "y": 5})
+        )
+        encoding = version_correctness_to_sat(
+            db_state, Predicate.parse("x = 1")
+        )
+        model = DPLLSolver().solve(encoding.formula)
+        witness = encoding.decode(model)
+        assert set(witness) == {"x", "y"}
+
+
+class TestCandidateSelection:
+    def test_basic_selection(self):
+        chosen = solve_candidate_selection(
+            {"x": [0, 2, 4], "y": [1, 3]},
+            Predicate.parse("x > 1 & (y = 3 | x = 4)"),
+        )
+        assert chosen is not None
+        assert chosen["x"] in (2, 4)
+        assert chosen["y"] == 3 or chosen["x"] == 4
+
+    def test_infeasible(self):
+        assert (
+            solve_candidate_selection(
+                {"x": [0, 1]}, Predicate.parse("x > 5")
+            )
+            is None
+        )
+
+    def test_agrees_with_backtracking(self):
+        candidates = {"a": [0, 1, 2], "b": [0, 2], "c": [1, 3]}
+        for text in [
+            "a = b",
+            "a < b & b < c",
+            "(a = 2 | b = 0) & c > 2",
+            "a > b & b > c",
+        ]:
+            predicate = Predicate.parse(text)
+            via_sat = solve_candidate_selection(candidates, predicate)
+            direct = predicate.find_satisfying_assignment(candidates)
+            assert (via_sat is None) == (direct is None), text
+            if via_sat is not None:
+                assert predicate.evaluate(via_sat)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    num_vars=st.integers(min_value=1, max_value=4),
+    num_clauses=st.integers(min_value=1, max_value=7),
+    seed=st.integers(min_value=0, max_value=100_000),
+)
+def test_roundtrip_sat_to_versions_to_sat(num_vars, num_clauses, seed):
+    """Property: SAT → versions → SAT preserves satisfiability."""
+    formula = random_formula(num_vars, num_clauses, seed=seed)
+    instance = sat_to_version_correctness(formula)
+    encoding = version_correctness_to_sat(
+        instance.db_state, instance.input_constraint
+    )
+    answer = DPLLSolver().solve(encoding.formula) is not None
+    assert answer == (brute_force_solve(formula) is not None)

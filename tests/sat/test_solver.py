@@ -1,0 +1,92 @@
+"""Tests for the DPLL solver, checked against brute force."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sat import (
+    CNFFormula,
+    DPLLSolver,
+    brute_force_solve,
+    random_formula,
+    solve,
+)
+
+
+class TestBasics:
+    def test_empty_formula(self):
+        assert solve(CNFFormula([])) == {}
+
+    def test_single_unit(self):
+        model = solve(CNFFormula.parse("a"))
+        assert model == {"a": True}
+
+    def test_negated_unit(self):
+        assert solve(CNFFormula.parse("~a")) == {"a": False}
+
+    def test_contradiction(self):
+        assert solve(CNFFormula.parse("a & ~a")) is None
+
+    def test_model_is_total(self):
+        formula = CNFFormula.parse("a | b | c")
+        model = solve(formula)
+        assert model is not None
+        assert set(model) == {"a", "b", "c"}
+        assert formula.evaluate(model)
+
+    def test_unit_propagation_chains(self):
+        # a forces b forces c.
+        formula = CNFFormula.parse("a & ~a | b & ~b | c")
+        model = solve(formula)
+        assert model == {"a": True, "b": True, "c": True}
+
+    def test_pure_literal_elimination(self):
+        solver = DPLLSolver()
+        model = solver.solve(CNFFormula.parse("a | b & a | c"))
+        assert model is not None
+        assert model["a"] is True  # a occurs only positively
+        assert solver.stats.pure_eliminations >= 1
+
+    def test_stats_reset_between_runs(self):
+        solver = DPLLSolver()
+        solver.solve(CNFFormula.parse("a | b & ~a | ~b"))
+        first = solver.stats.as_dict()
+        solver.solve(CNFFormula.parse("a"))
+        assert solver.stats.as_dict() != first or first == {
+            "decisions": 0,
+            "unit_propagations": 1,
+            "pure_eliminations": 0,
+            "backtracks": 0,
+        }
+
+
+class TestKnownInstances:
+    def test_pigeonhole_2_into_1(self):
+        # Two pigeons, one hole: p1 and p2 both in hole, but not both.
+        formula = CNFFormula.parse("p1 & p2 & ~p1 | ~p2")
+        assert solve(formula) is None
+
+    def test_implication_chain(self):
+        clauses = " & ".join(f"~v{i} | v{i+1}" for i in range(10))
+        formula = CNFFormula.parse(f"v0 & {clauses}")
+        model = solve(formula)
+        assert model is not None
+        assert all(model[f"v{i}"] for i in range(11))
+
+
+@settings(max_examples=120, deadline=None)
+@given(
+    num_vars=st.integers(min_value=1, max_value=6),
+    num_clauses=st.integers(min_value=1, max_value=12),
+    seed=st.integers(min_value=0, max_value=100_000),
+)
+def test_dpll_agrees_with_brute_force(num_vars, num_clauses, seed):
+    """Property: DPLL and exhaustive enumeration agree on SAT/UNSAT,
+    and every DPLL model actually satisfies the formula."""
+    formula = random_formula(num_vars, num_clauses, seed=seed)
+    dpll = solve(formula)
+    brute = brute_force_solve(formula)
+    assert (dpll is None) == (brute is None)
+    if dpll is not None:
+        assert formula.evaluate(dpll)

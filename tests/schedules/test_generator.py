@@ -1,0 +1,104 @@
+"""Tests for workload/schedule generators."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ScheduleError
+from repro.schedules import (
+    Schedule,
+    interleaving_count,
+    interleavings,
+    random_interleaving,
+    random_programs,
+    random_schedule,
+)
+
+
+class TestRandomPrograms:
+    def test_deterministic_with_seed(self):
+        a = random_programs(3, 4, ["x", "y"], seed=7)
+        b = random_programs(3, 4, ["x", "y"], seed=7)
+        assert a == b
+
+    def test_shape(self):
+        programs = random_programs(3, 4, ["x", "y"], seed=1)
+        assert set(programs) == {"1", "2", "3"}
+        assert all(len(ops) == 4 for ops in programs.values())
+
+    def test_write_ratio_extremes(self):
+        all_reads = random_programs(2, 5, ["x"], write_ratio=0.0, seed=1)
+        assert all(
+            op.is_read for ops in all_reads.values() for op in ops
+        )
+        all_writes = random_programs(2, 5, ["x"], write_ratio=1.0, seed=1)
+        assert all(
+            op.is_write for ops in all_writes.values() for op in ops
+        )
+
+    def test_validation(self):
+        with pytest.raises(ScheduleError):
+            random_programs(0, 1, ["x"])
+        with pytest.raises(ScheduleError):
+            random_programs(1, 1, [])
+
+
+class TestRandomInterleaving:
+    def test_preserves_program_order(self):
+        programs = random_programs(3, 4, ["x", "y"], seed=3)
+        schedule = random_interleaving(programs, seed=4)
+        for txn, ops in programs.items():
+            assert schedule.program(txn) == tuple(ops)
+
+    def test_random_schedule_convenience(self):
+        schedule = random_schedule(2, 3, ["x", "y"], seed=5)
+        assert isinstance(schedule, Schedule)
+        assert len(schedule) == 6
+
+
+class TestInterleavings:
+    def test_count_matches_multinomial(self):
+        programs = {
+            "1": Schedule.parse("r1(x) w1(x)").program("1"),
+            "2": Schedule.parse("r2(y)").program("2"),
+        }
+        expected = interleaving_count(programs)
+        assert expected == 3  # C(3,1)
+        assert sum(1 for _ in interleavings(programs)) == expected
+
+    def test_all_distinct_and_order_preserving(self):
+        programs = Schedule.parse("r1(x) w1(x) r2(x) w2(x)").programs()
+        seen = set()
+        for schedule in interleavings(programs):
+            assert schedule not in seen
+            seen.add(schedule)
+            for txn, ops in programs.items():
+                assert schedule.program(txn) == tuple(ops)
+        assert len(seen) == interleaving_count(programs)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        first=st.integers(min_value=1, max_value=3),
+        second=st.integers(min_value=1, max_value=3),
+    )
+    def test_count_property(self, first, second):
+        programs = random_programs(1, first, ["x"], seed=1)
+        programs.update(
+            {
+                "2": random_programs(1, second, ["y"], seed=2)[
+                    "1"
+                ]
+            }
+        )
+        # Fix txn ids on the borrowed program.
+        from repro.schedules import Operation
+
+        programs["2"] = tuple(
+            Operation("2", op.kind, op.entity) for op in programs["2"]
+        )
+        assert (
+            sum(1 for _ in interleavings(programs))
+            == interleaving_count(programs)
+        )

@@ -1,0 +1,45 @@
+"""Unit tests for read/write operations and conflicts."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ScheduleError
+from repro.schedules import Operation, OpType, R, W
+
+
+class TestConstruction:
+    def test_shorthand(self):
+        op = R("1", "x")
+        assert op.txn == "1"
+        assert op.kind is OpType.READ
+        assert op.entity == "x"
+        assert W("2", "y").is_write
+
+    def test_str(self):
+        assert str(R("1", "x")) == "r1(x)"
+        assert str(W("2", "y")) == "w2(y)"
+
+    def test_validation(self):
+        with pytest.raises(ScheduleError):
+            Operation("", OpType.READ, "x")
+        with pytest.raises(ScheduleError):
+            Operation("1", OpType.READ, "")
+
+
+class TestConflicts:
+    def test_read_read_no_conflict(self):
+        assert not R("1", "x").conflicts_with(R("2", "x"))
+
+    def test_read_write_conflict(self):
+        assert R("1", "x").conflicts_with(W("2", "x"))
+        assert W("1", "x").conflicts_with(R("2", "x"))
+
+    def test_write_write_conflict(self):
+        assert W("1", "x").conflicts_with(W("2", "x"))
+
+    def test_same_transaction_never_conflicts(self):
+        assert not R("1", "x").conflicts_with(W("1", "x"))
+
+    def test_different_entities_never_conflict(self):
+        assert not W("1", "x").conflicts_with(W("2", "y"))

@@ -1,0 +1,103 @@
+"""Tests for the recoverability hierarchy RC/ACA/ST (§1's remark)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.classes import is_view_serializable
+from repro.errors import ScheduleError
+from repro.schedules import Schedule
+from repro.schedules.recovery import (
+    CommittedSchedule,
+    avoids_cascading_aborts,
+    is_recoverable,
+    is_strict,
+    recovery_profile,
+)
+
+
+def _cs(text: str, order: str) -> CommittedSchedule:
+    return CommittedSchedule(
+        Schedule.parse(text), tuple(order.split())
+    )
+
+
+class TestRecoverable:
+    def test_reader_commits_after_writer(self):
+        committed = _cs("w1(x) r2(x)", "1 2")
+        assert is_recoverable(committed)
+
+    def test_reader_commits_before_writer(self):
+        committed = _cs("w1(x) r2(x)", "2 1")
+        assert not is_recoverable(committed)
+
+    def test_initial_reads_always_fine(self):
+        assert is_recoverable(_cs("r1(x) r2(x)", "2 1"))
+
+    def test_own_writes_always_fine(self):
+        assert is_recoverable(_cs("w1(x) r1(x)", "1"))
+
+
+class TestACA:
+    def test_reading_from_finished_committed_writer(self):
+        # Writer's last op precedes the read, and it commits first.
+        assert avoids_cascading_aborts(_cs("w1(x) r2(x)", "1 2"))
+
+    def test_reading_from_active_writer_cascades(self):
+        # Writer still has operations after the read.
+        committed = _cs("w1(x) r2(x) w1(y)", "1 2")
+        assert is_recoverable(committed)
+        assert not avoids_cascading_aborts(committed)
+
+    def test_aca_implies_rc(self):
+        for text, order in [
+            ("w1(x) r2(x)", "1 2"),
+            ("w1(x) r2(x) w1(y)", "1 2"),
+            ("w1(x) w2(x) r3(x)", "1 2 3"),
+        ]:
+            committed = _cs(text, order)
+            if avoids_cascading_aborts(committed):
+                assert is_recoverable(committed)
+
+
+class TestStrict:
+    def test_overwriting_uncommitted_write_not_strict(self):
+        committed = _cs("w1(x) w2(x) r1(y)", "1 2")
+        assert not is_strict(committed)
+
+    def test_clean_handover_is_strict(self):
+        assert is_strict(_cs("w1(x) r1(x) w2(x)", "1 2"))
+
+    def test_st_implies_aca(self):
+        for text, order in [
+            ("w1(x) r1(x) w2(x)", "1 2"),
+            ("w1(x) w2(x) r1(y)", "1 2"),
+            ("w1(x) r2(x) w1(y)", "1 2"),
+            ("r1(x) r2(x)", "1 2"),
+        ]:
+            committed = _cs(text, order)
+            if is_strict(committed):
+                assert avoids_cascading_aborts(committed)
+
+
+class TestThePapersPoint:
+    def test_serializable_but_not_recoverable(self):
+        # §1: serializability alone permits recovery hazards.  This
+        # schedule is view serializable (t1, t2) yet t2 read t1's
+        # uncommitted write and commits first.
+        schedule = Schedule.parse("w1(x) r2(x) w2(y)")
+        assert is_view_serializable(schedule)
+        profile = recovery_profile(schedule, ["2", "1"])
+        assert not profile["RC"]
+
+    def test_profile_shape(self):
+        profile = recovery_profile(
+            Schedule.parse("w1(x) r2(x)"), ["1", "2"]
+        )
+        assert set(profile) == {"RC", "ACA", "ST"}
+
+    def test_commit_order_validated(self):
+        with pytest.raises(ScheduleError):
+            CommittedSchedule(Schedule.parse("r1(x)"), ("1", "2"))
+        with pytest.raises(ScheduleError):
+            CommittedSchedule(Schedule.parse("r1(x) r2(x)"), ("1",))

@@ -1,0 +1,160 @@
+"""Unit tests for schedules: parsing, semantics, equivalences."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ScheduleError
+from repro.schedules import R, Schedule, W
+
+
+class TestParsing:
+    def test_parse_basic(self):
+        schedule = Schedule.parse("r1(x) w1(x) r2(y)")
+        assert schedule.operations == (R("1", "x"), W("1", "x"), R("2", "y"))
+
+    def test_parse_with_commas_and_whitespace(self):
+        schedule = Schedule.parse("  r1(x),w2( y ) ")
+        assert len(schedule) == 2
+        assert schedule[1] == W("2", "y")
+
+    def test_parse_multichar_names(self):
+        schedule = Schedule.parse("rT10(alpha_3) wT10(alpha_3)")
+        assert schedule.transactions == ("T10",)
+
+    def test_round_trip(self):
+        text = "r1(x) w1(x) r2(x) r2(y) w2(y) r1(y) w1(y)"
+        assert str(Schedule.parse(text)) == text
+
+    @pytest.mark.parametrize("bad", ["", "x1(x)", "r1[x]", "r1(x) junk"])
+    def test_parse_errors(self, bad):
+        with pytest.raises(ScheduleError):
+            Schedule.parse(bad)
+
+
+class TestStructure:
+    def test_transactions_in_first_appearance_order(self):
+        schedule = Schedule.parse("r2(x) r1(x) w2(x)")
+        assert schedule.transactions == ("2", "1")
+
+    def test_entities(self):
+        assert Schedule.parse("r1(x) w1(y)").entities == {"x", "y"}
+
+    def test_program_and_programs(self):
+        schedule = Schedule.parse("r1(x) r2(y) w1(x)")
+        assert schedule.program("1") == (R("1", "x"), W("1", "x"))
+        assert set(schedule.programs()) == {"1", "2"}
+
+    def test_is_serial(self):
+        assert Schedule.parse("r1(x) w1(x) r2(x)").is_serial()
+        assert not Schedule.parse("r1(x) r2(x) w1(x)").is_serial()
+
+    def test_serial_builder(self):
+        programs = Schedule.parse("r1(x) w1(x) r2(x)").programs()
+        serial = Schedule.serial(programs, ["2", "1"])
+        assert str(serial) == "r2(x) r1(x) w1(x)"
+
+    def test_serial_builder_order_mismatch(self):
+        programs = Schedule.parse("r1(x) r2(x)").programs()
+        with pytest.raises(ScheduleError):
+            Schedule.serial(programs, ["1"])
+
+    def test_hash_and_equality(self):
+        a = Schedule.parse("r1(x) w1(x)")
+        b = Schedule.parse("r1(x) w1(x)")
+        assert a == b and hash(a) == hash(b)
+        assert a != Schedule.parse("w1(x) r1(x)")
+
+
+class TestStandardModelSemantics:
+    def test_reads_from_initial(self):
+        schedule = Schedule.parse("r1(x) w2(x) r1(y)")
+        assert schedule.reads_from() == [(0, None), (2, None)]
+
+    def test_reads_from_last_writer(self):
+        schedule = Schedule.parse("w1(x) w2(x) r3(x)")
+        assert schedule.reads_from() == [(2, "2")]
+
+    def test_reads_own_write(self):
+        schedule = Schedule.parse("w1(x) r1(x)")
+        assert schedule.reads_from() == [(1, "1")]
+
+    def test_read_sources_with_occurrences(self):
+        schedule = Schedule.parse("r1(x) w2(x) r1(x)")
+        sources = schedule.read_sources()
+        assert sources[("1", "x", 0)] is None
+        assert sources[("1", "x", 1)] == "2"
+
+    def test_final_writers(self):
+        schedule = Schedule.parse("w1(x) w2(x) w1(y)")
+        assert schedule.final_writers() == {"x": "2", "y": "1"}
+
+
+class TestViewEquivalence:
+    def test_serial_orders_differ(self):
+        schedule = Schedule.parse("r1(x) w1(x) r2(x) w2(x)")
+        programs = schedule.programs()
+        assert schedule.view_equivalent(
+            Schedule.serial(programs, ["1", "2"])
+        )
+        assert not schedule.view_equivalent(
+            Schedule.serial(programs, ["2", "1"])
+        )
+
+    def test_different_programs_never_equivalent(self):
+        assert not Schedule.parse("r1(x)").view_equivalent(
+            Schedule.parse("w1(x)")
+        )
+
+    def test_final_writer_matters(self):
+        # Same reads (none), different surviving version.
+        a = Schedule.parse("w1(x) w2(x)")
+        b = Schedule.parse("w2(x) w1(x)")
+        assert not a.view_equivalent(b)
+
+
+class TestConflicts:
+    def test_conflict_pairs(self):
+        schedule = Schedule.parse("r1(x) w2(x) r2(y)")
+        assert list(schedule.conflict_pairs()) == [(0, 1)]
+
+    def test_conflict_equivalence(self):
+        a = Schedule.parse("r1(x) r2(y) w1(x)")
+        b = Schedule.parse("r2(y) r1(x) w1(x)")  # swap non-conflicting
+        assert a.conflict_equivalent(b)
+        c = Schedule.parse("r1(x) w2(x)")
+        d = Schedule.parse("w2(x) r1(x)")
+        assert not c.conflict_equivalent(d)
+
+
+class TestProjections:
+    def test_project_entities_examples_3a_3b(self):
+        # Example 1's schedule projected per conjunct (paper §4.2).
+        schedule = Schedule.parse(
+            "r1(x) w1(x) r2(x) r2(y) w2(y) r1(y) w1(y)"
+        )
+        x_proj = schedule.project_entities({"x"})
+        y_proj = schedule.project_entities({"y"})
+        assert str(x_proj) == "r1(x) w1(x) r2(x)"
+        assert str(y_proj) == "r2(y) w2(y) r1(y) w1(y)"
+        assert x_proj.is_serial() and y_proj.is_serial()
+
+    def test_empty_projection_is_none(self):
+        assert Schedule.parse("r1(x)").project_entities({"q"}) is None
+
+    def test_project_transactions(self):
+        schedule = Schedule.parse("r1(x) r2(x) w1(x)")
+        projected = schedule.project_transactions({"1"})
+        assert str(projected) == "r1(x) w1(x)"
+
+
+class TestSerializations:
+    def test_count_is_factorial(self):
+        schedule = Schedule.parse("r1(x) r2(x) r3(x)")
+        assert sum(1 for _ in schedule.serializations()) == 6
+
+    def test_each_is_serial_with_same_programs(self):
+        schedule = Schedule.parse("r1(x) r2(y) w1(x) w2(y)")
+        for order, serial in schedule.serializations():
+            assert serial.is_serial()
+            assert serial.programs() == schedule.programs()

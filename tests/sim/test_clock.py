@@ -1,0 +1,60 @@
+"""Tests for the virtual event queue."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import EventQueue
+
+
+class TestEventQueue:
+    def test_time_ordering(self):
+        queue = EventQueue()
+        queue.schedule(5.0, "late")
+        queue.schedule(1.0, "early")
+        assert queue.pop().payload == "early"
+        assert queue.now == 1.0
+        assert queue.pop().payload == "late"
+        assert queue.now == 5.0
+
+    def test_fifo_among_simultaneous(self):
+        queue = EventQueue()
+        queue.schedule(1.0, "first")
+        queue.schedule(1.0, "second")
+        assert queue.pop().payload == "first"
+        assert queue.pop().payload == "second"
+
+    def test_schedule_at_absolute(self):
+        queue = EventQueue()
+        queue.schedule_at(3.0, "x")
+        event = queue.pop()
+        assert event.time == 3.0
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            EventQueue().schedule(-1.0, "x")
+
+    def test_past_scheduling_rejected(self):
+        queue = EventQueue()
+        queue.schedule(5.0, "x")
+        queue.pop()
+        with pytest.raises(SimulationError):
+            queue.schedule_at(1.0, "y")
+
+    def test_empty_pop(self):
+        assert EventQueue().pop() is None
+
+    def test_len_and_bool(self):
+        queue = EventQueue()
+        assert not queue
+        queue.schedule(1.0, "x")
+        assert queue and len(queue) == 1
+
+    def test_relative_delay_accumulates(self):
+        queue = EventQueue()
+        queue.schedule(2.0, "a")
+        queue.pop()
+        queue.schedule(3.0, "b")
+        event = queue.pop()
+        assert event.time == 5.0

@@ -1,0 +1,74 @@
+"""Unit tests for run metrics aggregation."""
+
+from __future__ import annotations
+
+from repro.sim import RunMetrics, TxnMetrics
+
+
+class TestTxnMetrics:
+    def test_latency(self):
+        txn = TxnMetrics("A", arrival=10.0, commit_time=35.0)
+        assert txn.committed
+        assert txn.latency == 25.0
+
+    def test_uncommitted_has_no_latency(self):
+        txn = TxnMetrics("A")
+        assert not txn.committed
+        assert txn.latency is None
+
+
+class TestRunMetrics:
+    def _metrics(self) -> RunMetrics:
+        run = RunMetrics("test-sched", "test-wl")
+        a = run.txn("A")
+        a.arrival = 0.0
+        a.commit_time = 10.0
+        a.waits = 2
+        a.wait_time = 3.0
+        b = run.txn("B")
+        b.arrival = 1.0
+        b.commit_time = 21.0
+        b.restarts = 1
+        b.wasted_time = 4.0
+        c = run.txn("C")
+        c.gave_up = True
+        run.makespan = 25.0
+        return run
+
+    def test_txn_is_idempotent(self):
+        run = RunMetrics("s", "w")
+        assert run.txn("A") is run.txn("A")
+
+    def test_aggregates(self):
+        run = self._metrics()
+        assert run.committed_count == 2
+        assert run.gave_up_count == 1
+        assert run.total_waits == 2
+        assert run.total_wait_time == 3.0
+        assert run.total_restarts == 1
+        assert run.total_wasted_time == 4.0
+        assert run.mean_latency == 15.0  # (10 + 20) / 2
+        assert run.max_wait == 3.0
+        assert run.throughput == 2 / 25.0
+
+    def test_zero_makespan_throughput(self):
+        run = RunMetrics("s", "w")
+        assert run.throughput == 0.0
+        assert run.mean_latency == 0.0
+        assert run.max_wait == 0.0
+
+    def test_summary_row_columns(self):
+        row = self._metrics().summary_row()
+        assert row["scheduler"] == "test-sched"
+        assert row["committed"] == 2
+        assert set(row) == {
+            "scheduler",
+            "committed",
+            "gave_up",
+            "waits",
+            "wait_time",
+            "restarts",
+            "wasted_time",
+            "makespan",
+            "mean_latency",
+        }

@@ -1,0 +1,63 @@
+"""Unit tests for the database façade."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Domain, Predicate, Schema
+from repro.errors import SchemaError
+from repro.storage import Database
+
+
+@pytest.fixture
+def schema():
+    return Schema.of("x", "y", domain=Domain.interval(0, 100))
+
+
+class TestConstruction:
+    def test_initial_must_satisfy_constraint(self, schema):
+        with pytest.raises(SchemaError):
+            Database(schema, Predicate.parse("x > 50"), {"x": 1, "y": 1})
+
+    def test_accepts_mapping_initial(self, schema):
+        db = Database(schema, Predicate.parse("x >= 0"), {"x": 1, "y": 2})
+        assert db.initial_state["x"] == 1
+
+    def test_objects_from_constraint(self, schema):
+        db = Database(
+            schema,
+            Predicate.parse("x >= 0 & (y >= 0 | x = 0)"),
+            {"x": 1, "y": 2},
+        )
+        assert db.objects() == (
+            frozenset({"x"}),
+            frozenset({"x", "y"}),
+        )
+
+
+class TestConsistency:
+    def test_latest_state_and_consistency(self, schema):
+        db = Database(
+            schema, Predicate.parse("x <= y"), {"x": 1, "y": 2}
+        )
+        assert db.is_consistent()
+        db.write("x", 50, "t.0")
+        assert not db.is_consistent()  # latest view: x=50 > y=2
+
+    def test_consistent_version_state_survives(self, schema):
+        db = Database(
+            schema, Predicate.parse("x <= y"), {"x": 1, "y": 2}
+        )
+        db.write("x", 50, "t.0")
+        # The old x=1 version still combines with y=2 consistently.
+        assert db.has_consistent_version_state()
+
+    def test_version_state_builder(self, schema):
+        db = Database(schema, Predicate.true(), {"x": 1, "y": 2})
+        state = db.version_state({"x": 9, "y": 9})
+        assert state["x"] == 9
+
+    def test_as_database_state(self, schema):
+        db = Database(schema, Predicate.true(), {"x": 1, "y": 2})
+        db.write("x", 3, "t.0")
+        assert db.as_database_state().versions_of("x") == {1, 3}

@@ -1,0 +1,108 @@
+"""Unit tests for the multi-version store."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Domain, Schema, UniqueState
+from repro.errors import SchemaError, UnknownEntityError
+from repro.storage import VersionStore, store_from_values
+
+
+@pytest.fixture
+def schema():
+    return Schema.of("x", "y", domain=Domain.interval(0, 100))
+
+
+@pytest.fixture
+def store(schema):
+    return VersionStore(schema, UniqueState(schema, {"x": 1, "y": 2}))
+
+
+class TestBasics:
+    def test_initial_versions(self, store):
+        assert store.initial("x").value == 1
+        assert store.initial("x").author is None
+        assert store.version_count("x") == 1
+
+    def test_write_appends(self, store):
+        version = store.write("x", 5, "t.0")
+        assert version.author == "t.0"
+        assert store.version_count("x") == 2
+        # Old version retained (Section 2.1).
+        assert store.values_of("x") == {1, 5}
+
+    def test_latest(self, store):
+        store.write("x", 5, "t.0")
+        store.write("x", 9, "t.1")
+        assert store.latest("x").value == 9
+
+    def test_latest_by(self, store):
+        store.write("x", 5, "t.0")
+        store.write("x", 9, "t.1")
+        store.write("x", 7, "t.0")
+        assert store.latest_by("x", "t.0").value == 7
+        assert store.latest_by("x", "t.9") is None
+
+    def test_sequence_is_monotone(self, store):
+        a = store.write("x", 5, "t.0")
+        b = store.write("y", 6, "t.0")
+        assert b.sequence > a.sequence
+
+    def test_unknown_entity(self, store):
+        with pytest.raises(UnknownEntityError):
+            store.versions("q")
+
+    def test_domain_enforced(self, store):
+        with pytest.raises(Exception):
+            store.write("x", 999, "t.0")
+
+    def test_total_and_iteration(self, store):
+        store.write("x", 5, "t.0")
+        assert store.total_versions() == 3
+        assert len(list(store)) == 3
+
+    def test_store_from_values(self, schema):
+        store = store_from_values(schema, {"x": 3, "y": 4})
+        assert store.initial("y").value == 4
+
+
+class TestMaintenance:
+    def test_expunge_author(self, store):
+        store.write("x", 5, "t.0")
+        store.write("y", 6, "t.0")
+        store.write("x", 7, "t.1")
+        removed = store.expunge_author("t.0")
+        assert len(removed) == 2
+        assert store.values_of("x") == {1, 7}
+        assert store.values_of("y") == {2}
+
+    def test_initial_survives_expunge(self, store):
+        store.expunge_author("t.0")
+        assert store.version_count("x") == 1
+
+    def test_prune(self, store):
+        for value in (5, 6, 7):
+            store.write("x", value, "t.0")
+        dropped = store.prune("x", keep_last=2)
+        assert dropped == 2
+        assert store.values_of("x") == {6, 7}
+
+    def test_prune_keeps_at_least_one(self, store):
+        with pytest.raises(SchemaError):
+            store.prune("x", keep_last=0)
+
+
+class TestModelBridge:
+    def test_latest_unique_state(self, store):
+        store.write("x", 5, "t.0")
+        state = store.latest_unique_state()
+        assert state["x"] == 5 and state["y"] == 2
+
+    def test_as_database_state_matches_value_sets(self, store):
+        store.write("x", 5, "t.0")
+        store.write("x", 9, "t.1")
+        store.write("y", 4, "t.0")
+        db_state = store.as_database_state()
+        assert db_state.versions_of("x") == store.values_of("x")
+        assert db_state.versions_of("y") == store.values_of("y")

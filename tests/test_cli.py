@@ -1,0 +1,120 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+
+class TestClassify:
+    def test_example1(self, capsys):
+        code = main(
+            [
+                "classify",
+                "r1(x) w1(x) r2(x) r2(y) w2(y) r1(y) w1(y)",
+                "--objects",
+                "x;y",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Figure-2 region: 4" in out
+        assert "MVSR" in out
+
+    def test_default_objects(self, capsys):
+        code = main(["classify", "r1(x) w1(x)"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "region: 9" in out
+
+    def test_multi_entity_objects(self, capsys):
+        code = main(
+            ["classify", "r1(x) w1(y) r2(z)", "--objects", "x,y;z"]
+        )
+        assert code == 0
+        assert "[['x', 'y'], ['z']]" in capsys.readouterr().out
+
+
+class TestExamples:
+    def test_all_verify(self, capsys):
+        assert main(["examples"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("OK") >= 11
+
+
+class TestCensus:
+    def test_exhaustive(self, capsys):
+        assert main(["census"]) == 0
+        out = capsys.readouterr().out
+        assert "containment violations: 0" in out
+
+    def test_random(self, capsys):
+        assert main(["census", "--random", "40", "--seed", "7"]) == 0
+        out = capsys.readouterr().out
+        assert "40 schedules" in out
+
+
+class TestAdmission:
+    def test_ladder(self, capsys):
+        assert main(["admission"]) == 0
+        out = capsys.readouterr().out
+        assert "s2pl" in out and "PC" in out
+
+
+class TestShowdown:
+    def test_small_comparison(self, capsys):
+        assert (
+            main(
+                [
+                    "showdown",
+                    "--designers",
+                    "3",
+                    "--think",
+                    "20",
+                    "--seed",
+                    "2",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "korth-speegle" in out
+        assert "makespan" in out
+
+
+class TestDot:
+    def test_conflict_graph(self, capsys):
+        assert main(["dot", "r1(x) w2(x)"]) == 0
+        out = capsys.readouterr().out
+        assert "digraph" in out
+        assert '"t1" -> "t2"' in out
+
+    def test_mv_graph(self, capsys):
+        assert main(["dot", "w1(x) r2(x)", "--graph", "mv"]) == 0
+        out = capsys.readouterr().out
+        # wr is not an MV conflict: no edges.
+        assert "->" not in out.split("labelloc")[1]
+
+    def test_cpc_clusters(self, capsys):
+        assert (
+            main(
+                [
+                    "dot",
+                    "r1(x) w2(x) r2(y) w1(y)",
+                    "--graph",
+                    "cpc",
+                    "--objects",
+                    "x;y",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "cluster_0" in out and "cluster_1" in out
+
+
+class TestParser:
+    def test_missing_command_exits(self):
+        with pytest.raises(SystemExit):
+            main([])

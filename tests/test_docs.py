@@ -1,0 +1,77 @@
+"""Guards: the documentation references real, importable symbols."""
+
+from __future__ import annotations
+
+import importlib
+import pathlib
+import re
+
+import pytest
+
+DOCS_ROOT = pathlib.Path(__file__).parent.parent
+
+_MODULE_RE = re.compile(r"`(repro(?:\.[a-z_0-9]+)+)")
+
+
+def _documented_modules(name: str) -> set[str]:
+    text = (DOCS_ROOT / name).read_text(encoding="utf-8")
+    modules = set()
+    for match in _MODULE_RE.finditer(text):
+        dotted = match.group(1)
+        # Trim trailing attribute parts until something imports.
+        modules.add(dotted)
+    return modules
+
+
+@pytest.mark.parametrize(
+    "doc",
+    ["README.md", "DESIGN.md", "docs/paper_map.md", "docs/protocol.md"],
+)
+def test_referenced_modules_exist(doc):
+    for dotted in _documented_modules(doc):
+        parts = dotted.split(".")
+        # The reference may be module.attr or module.Class.method:
+        # peel from the right until an import succeeds, then resolve
+        # the remainder as attributes.
+        for split in range(len(parts), 0, -1):
+            module_name = ".".join(parts[:split])
+            try:
+                module = importlib.import_module(module_name)
+            except ImportError:
+                continue
+            obj = module
+            ok = True
+            for attr in parts[split:]:
+                if not hasattr(obj, attr):
+                    ok = False
+                    break
+                obj = getattr(obj, attr)
+            assert ok, f"{doc}: {dotted} has missing attribute path"
+            break
+        else:
+            raise AssertionError(f"{doc}: cannot import {dotted}")
+
+
+def test_experiment_ids_consistent():
+    """Every experiment id in DESIGN's index appears in EXPERIMENTS."""
+    design = (DOCS_ROOT / "DESIGN.md").read_text(encoding="utf-8")
+    experiments = (DOCS_ROOT / "EXPERIMENTS.md").read_text(
+        encoding="utf-8"
+    )
+    index_ids = set(
+        re.findall(r"^\| (E\d|F\d|L\d|T\d|P\d|D\d|R\d|M\d) \|",
+                   design, re.MULTILINE)
+    )
+    assert index_ids, "DESIGN.md experiment index not found"
+    for exp_id in sorted(index_ids):
+        assert f"## {exp_id} " in experiments or f"{exp_id} —" in (
+            experiments
+        ), f"{exp_id} missing from EXPERIMENTS.md"
+
+
+def test_examples_listed_in_readme_exist():
+    readme = (DOCS_ROOT / "README.md").read_text(encoding="utf-8")
+    for name in re.findall(r"`([a-z_]+\.py)`", readme):
+        if name in ("setup.py",):
+            continue
+        assert (DOCS_ROOT / "examples" / name).exists(), name

@@ -1,0 +1,68 @@
+"""Tests for the exception hierarchy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            errors.SchemaError,
+            errors.DomainError,
+            errors.UnknownEntityError,
+            errors.PredicateError,
+            errors.PredicateParseError,
+            errors.UnboundEntityError,
+            errors.TransactionError,
+            errors.InvalidNameError,
+            errors.NestingError,
+            errors.ExecutionError,
+            errors.PartialOrderViolation,
+            errors.ScheduleError,
+            errors.ProtocolError,
+            errors.LockProtocolError,
+            errors.ValidationFailure,
+            errors.SimulationError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, errors.ReproError)
+
+    def test_domain_error_is_schema_error(self):
+        assert issubclass(errors.DomainError, errors.SchemaError)
+
+    def test_parse_error_is_predicate_error(self):
+        assert issubclass(
+            errors.PredicateParseError, errors.PredicateError
+        )
+
+    def test_lock_error_is_protocol_error(self):
+        assert issubclass(
+            errors.LockProtocolError, errors.ProtocolError
+        )
+
+
+class TestTransactionAborted:
+    def test_attributes(self):
+        exc = errors.TransactionAborted("t.3", "deadlock")
+        assert exc.transaction == "t.3"
+        assert exc.reason == "deadlock"
+        assert "t.3" in str(exc)
+        assert "deadlock" in str(exc)
+
+    def test_catchable_as_protocol_error(self):
+        with pytest.raises(errors.ProtocolError):
+            raise errors.TransactionAborted("t.1", "x")
+
+    def test_one_except_clause_catches_everything(self):
+        for exc in (
+            errors.SchemaError("x"),
+            errors.TransactionAborted("t", "r"),
+            errors.SimulationError("y"),
+        ):
+            with pytest.raises(errors.ReproError):
+                raise exc

@@ -1,0 +1,72 @@
+"""Hypothesis round-trip properties for the textual surfaces."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Atom, Clause, Predicate, parse
+from repro.schedules import Operation, OpType, Schedule
+
+_entities = st.sampled_from(["x", "y", "z", "alpha_3", "m0_e1"])
+_txns = st.sampled_from(["1", "2", "3", "T10", "t.0.1"])
+
+
+@st.composite
+def _operations(draw):
+    return Operation(
+        draw(_txns),
+        draw(st.sampled_from([OpType.READ, OpType.WRITE])),
+        draw(_entities),
+    )
+
+
+@settings(max_examples=100, deadline=None)
+@given(ops=st.lists(_operations(), min_size=1, max_size=12))
+def test_schedule_parse_roundtrip(ops):
+    """str(schedule) reparses to the identical schedule."""
+    schedule = Schedule(ops)
+    assert Schedule.parse(str(schedule)) == schedule
+
+
+@st.composite
+def _atoms(draw):
+    lhs = draw(
+        st.one_of(_entities, st.integers(min_value=-20, max_value=20))
+    )
+    rhs = draw(
+        st.one_of(_entities, st.integers(min_value=-20, max_value=20))
+    )
+    op = draw(st.sampled_from(["=", "!=", "<", "<=", ">", ">="]))
+    return Atom.of(lhs, op, rhs)
+
+
+@st.composite
+def _predicates(draw):
+    clauses = []
+    for __ in range(draw(st.integers(min_value=1, max_value=4))):
+        atoms = tuple(
+            draw(_atoms())
+            for __ in range(draw(st.integers(min_value=1, max_value=3)))
+        )
+        clauses.append(Clause(atoms))
+    return Predicate(clauses)
+
+
+@settings(max_examples=100, deadline=None)
+@given(predicate=_predicates())
+def test_predicate_parse_roundtrip(predicate):
+    """str(predicate) reparses to an equal predicate."""
+    assert parse(str(predicate)) == predicate
+
+
+@settings(max_examples=60, deadline=None)
+@given(predicate=_predicates(), data=st.data())
+def test_predicate_evaluation_stable_through_roundtrip(predicate, data):
+    """Round-tripping never changes a predicate's truth value."""
+    state = {
+        name: data.draw(st.integers(min_value=-20, max_value=20))
+        for name in predicate.entities()
+    }
+    reparsed = parse(str(predicate))
+    assert predicate.evaluate(state) == reparsed.evaluate(state)
