@@ -17,7 +17,7 @@ from repro.analysis import (
     example1_programs,
     region_report,
 )
-from repro.classes import FIGURE2_EXAMPLES, classify, figure2_region
+from repro.classes import FIGURE2_EXAMPLES, classify
 
 from conftest import report
 

@@ -1,0 +1,135 @@
+"""Experiment O1 — observability overhead.
+
+The tracer must be free when off.  ``test_protocol_throughput`` in
+``bench_protocol.py`` is the canonical un-traced number (same loop as
+the seed); the benchmarks here run the identical loop with the default
+no-op tracer and with a :class:`~repro.obs.trace.RecordingTracer`
+attached, all in one ``obs-overhead`` comparison group, so
+
+    pytest benchmarks/bench_obs.py benchmarks/bench_protocol.py \
+        --benchmark-only --benchmark-group-by=group
+
+prints the disabled-vs-recording-vs-seed columns side by side.  The
+acceptance bar is: *disabled* within 5% of the seed loop (they execute
+the same instructions plus one ``enabled`` branch per hook).
+
+Run any benchmark here with ``--trace-out FILE`` to also dump a
+recorded simulator trace as JSONL (see ``conftest.py``).
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core import Domain, Predicate, Schema, Spec
+from repro.obs import MetricsRegistry, RecordingTracer
+from repro.protocol import TransactionManager
+from repro.storage import Database
+
+from conftest import report
+
+
+def _database(entities=("x", "y", "z"), initial=10):
+    schema = Schema.of(*entities, domain=Domain.interval(0, 100_000))
+    constraint = Predicate(
+        tuple(
+            Predicate.parse(f"{name} >= 0").clauses[0]
+            for name in entities
+        )
+    )
+    return Database(
+        schema, constraint, {name: initial for name in entities}
+    )
+
+
+def _spec(i="true", o="true"):
+    return Spec(Predicate.parse(i), Predicate.parse(o))
+
+
+def _one_transaction(tm: TransactionManager, counter: list[int]) -> None:
+    counter[0] += 1
+    txn = tm.define(tm.root, _spec("x >= 0"), {"y"})
+    tm.validate(txn)
+    tm.read(txn, "x")
+    tm.write(txn, "y", counter[0] % 1000)
+    tm.commit(txn)
+
+
+def test_obs_disabled_throughput(benchmark):
+    """The default path: NULL_TRACER, no registry (the common case)."""
+    benchmark.group = "obs-overhead"
+    tm = TransactionManager(_database())
+    counter = [0]
+    benchmark(lambda: _one_transaction(tm, counter))
+
+
+def test_obs_recording_throughput(benchmark):
+    """Full recording: every span kept in memory, histograms fed."""
+    benchmark.group = "obs-overhead"
+    tm = TransactionManager(_database())
+    tm.set_tracer(RecordingTracer())
+    tm.set_registry(MetricsRegistry())
+    counter = [0]
+    benchmark(lambda: _one_transaction(tm, counter))
+
+
+def test_obs_overhead_ratio():
+    """Report disabled-vs-recording per-transaction cost directly.
+
+    Not a pytest-benchmark case: one deliberate A/B measurement whose
+    numbers land in the experiment report.  The assertion is a loose
+    sanity bound (recording below 10x disabled), not a perf gate —
+    perf gates on shared CI runners flake.
+    """
+
+    def measure(recording: bool, rounds: int = 400) -> float:
+        tm = TransactionManager(_database())
+        if recording:
+            tm.set_tracer(RecordingTracer())
+            tm.set_registry(MetricsRegistry())
+        counter = [0]
+        for _ in range(50):  # warmup
+            _one_transaction(tm, counter)
+        start = time.perf_counter()
+        for _ in range(rounds):
+            _one_transaction(tm, counter)
+        return (time.perf_counter() - start) / rounds
+
+    disabled = min(measure(False) for _ in range(3))
+    recording = min(measure(True) for _ in range(3))
+    ratio = recording / disabled if disabled else float("inf")
+    report(
+        "O1: tracing overhead per protocol transaction",
+        f"  disabled   {disabled * 1e6:8.2f} us/txn\n"
+        f"  recording  {recording * 1e6:8.2f} us/txn\n"
+        f"  ratio      {ratio:8.2f}x",
+    )
+    assert ratio < 10.0
+
+
+def test_obs_sim_trace_volume(benchmark, cad_workload_std, trace_path):
+    """Recording a full simulator run: span volume and wall cost."""
+    from repro.obs import write_jsonl
+    from repro.sim import DEFAULT_SCHEDULERS, run_one
+
+    def traced_run():
+        tracer = RecordingTracer()
+        run_one(
+            DEFAULT_SCHEDULERS["korth-speegle"],
+            cad_workload_std,
+            seed=3,
+            tracer=tracer,
+        )
+        return tracer
+
+    tracer = benchmark.pedantic(traced_run, rounds=3, iterations=1)
+    assert {"arrive", "validate", "commit", "txn"} <= tracer.kinds()
+    lines = ""
+    if trace_path:
+        count = write_jsonl(list(tracer.spans), trace_path)
+        lines = f"\n  wrote {count} spans -> {trace_path}"
+    report(
+        "O1: trace volume for the standard CAD run",
+        f"  {len(tracer)} spans, kinds: "
+        f"{', '.join(sorted(tracer.kinds()))}{lines}",
+    )

@@ -11,6 +11,21 @@ from __future__ import annotations
 import pytest
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--trace-out",
+        default=None,
+        metavar="FILE",
+        help="write a JSONL lifecycle trace of traced benchmark runs",
+    )
+
+
+@pytest.fixture(scope="session")
+def trace_path(request):
+    """Target file for ``--trace-out``, or None when tracing is off."""
+    return request.config.getoption("--trace-out")
+
+
 def report(title: str, body: str) -> None:
     """Print a labelled experiment report (visible with -s)."""
     print(f"\n### {title}\n{body}")

@@ -17,7 +17,7 @@ Run:  python examples/cad_collaboration.py
 """
 
 from repro.core import Domain, Predicate, Schema, Spec
-from repro.protocol import Outcome, TransactionManager, TxnPhase
+from repro.protocol import Outcome, TransactionManager
 from repro.storage import Database
 
 

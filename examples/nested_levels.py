@@ -20,7 +20,6 @@ from repro.classes import (
     ancestry_at_level,
     concurrency_gap,
     conflict_graph_dot,
-    is_conflict_serializable,
     is_view_serializable,
     lift_schedule,
     transaction_tree_dot,

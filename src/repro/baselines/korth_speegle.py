@@ -26,6 +26,8 @@ from typing import Callable, Iterable, Sequence
 from ..core.predicates import Atom, Clause, Predicate
 from ..core.transactions import Spec
 from ..errors import ProtocolError
+from ..obs.metrics import MetricsRegistry
+from ..obs.trace import NULL_TRACER, Tracer
 from ..protocol.scheduler import Outcome, TransactionManager, TxnPhase
 from ..protocol.validation import VersionSelector
 from ..storage.database import Database
@@ -92,10 +94,28 @@ class KorthSpeegleScheduler(ConcurrencyControl):
         self._ids: dict[str, str] = {}  # protocol name -> engine id
         self._commit_waiters: list[str] = []
         self._pending_predecessors: dict[str, list[str]] = {}
+        self._tracer: Tracer = NULL_TRACER
 
     @property
     def manager(self) -> TransactionManager:
         return self._tm
+
+    def set_tracer(self, tracer: Tracer) -> None:
+        """Share the simulator's tracer with the protocol layers.
+
+        Protocol-level spans (validate/read/write/commit) are recorded
+        under the engine's transaction ids via tracer aliases, so one
+        transaction's simulator and protocol spans form one timeline.
+        """
+        self._tracer = tracer
+        self._tm.set_tracer(tracer)
+        for name, engine_id in self._ids.items():
+            tracer.alias(name, engine_id)
+
+    def set_registry(self, registry: MetricsRegistry | None) -> None:
+        """Feed protocol-level histograms (lock-queue depth,
+        validation latency) into the run's metrics registry."""
+        self._tm.set_registry(registry)
 
     def _protocol_name(self, txn: str) -> str:
         try:
@@ -137,6 +157,7 @@ class KorthSpeegleScheduler(ConcurrencyControl):
             )
             self._names[txn] = name
             self._ids[name] = txn
+            self._tracer.alias(name, txn)
         name = self._names[txn]
         step = self._tm.validate(name)
         return self._convert(step)

@@ -17,9 +17,10 @@ Inclusions enforced (all from Section 4 or classical theory):
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable
+from typing import Callable, Iterable
 
 from ..core.predicates import Predicate
+from ..obs.trace import NULL_TRACER, Tracer
 from ..schedules.schedule import Schedule
 from .conflict import is_conflict_serializable
 from .multiversion import (
@@ -81,6 +82,7 @@ class ClassMembership:
 def classify(
     schedule: Schedule,
     constraint: "Predicate | Iterable[Iterable[str]] | None" = None,
+    tracer: Tracer = NULL_TRACER,
 ) -> ClassMembership:
     """Membership of ``schedule`` in every class of Section 4.
 
@@ -88,6 +90,10 @@ def classify(
     predicate-wise classes; ``None`` means a single conjunct covering
     every entity the schedule touches (under which the predicate-wise
     classes collapse onto their base classes).
+
+    With a recording ``tracer``, each class test is wrapped in a
+    ``class.check`` span (attrs: the class name and verdict) so
+    census-style sweeps can see where classification time goes.
     """
     if constraint is None:
         objects: "Predicate | Iterable[Iterable[str]]" = [
@@ -96,15 +102,40 @@ def classify(
     else:
         objects = constraint
     normalized = normalize_objects(objects)
+    label = f"schedule:{len(schedule)}ops"
+
+    def check(name: str, test: "Callable[[], bool]") -> bool:
+        if not tracer.enabled:
+            return test()
+        span = tracer.start("class.check", label, cls=name)
+        member = test()
+        tracer.end(span, member=member)
+        return member
+
     return ClassMembership(
-        csr=is_conflict_serializable(schedule),
-        vsr=is_view_serializable(schedule),
-        mvcsr=is_mv_conflict_serializable(schedule),
-        mvsr=is_mv_view_serializable(schedule),
-        pwcsr=is_predicatewise_conflict_serializable(schedule, normalized),
-        pwsr=is_predicatewise_serializable(schedule, normalized),
-        cpc=is_conflict_predicate_correct(schedule, normalized),
-        pc=is_predicate_correct(schedule, normalized),
+        csr=check("CSR", lambda: is_conflict_serializable(schedule)),
+        vsr=check("SR", lambda: is_view_serializable(schedule)),
+        mvcsr=check(
+            "MVCSR", lambda: is_mv_conflict_serializable(schedule)
+        ),
+        mvsr=check("MVSR", lambda: is_mv_view_serializable(schedule)),
+        pwcsr=check(
+            "PWCSR",
+            lambda: is_predicatewise_conflict_serializable(
+                schedule, normalized
+            ),
+        ),
+        pwsr=check(
+            "PWSR",
+            lambda: is_predicatewise_serializable(schedule, normalized),
+        ),
+        cpc=check(
+            "CPC",
+            lambda: is_conflict_predicate_correct(schedule, normalized),
+        ),
+        pc=check(
+            "PC", lambda: is_predicate_correct(schedule, normalized)
+        ),
     )
 
 

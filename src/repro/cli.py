@@ -7,6 +7,7 @@ Subcommands:
 * ``census`` — the Figure-2 census (exhaustive or random);
 * ``admission`` — the admitted-interleavings ladder (D1);
 * ``showdown`` — the P1 scheduler comparison on a CAD workload;
+* ``trace`` — record or replay a transaction-lifecycle trace (JSONL);
 * ``dot`` — export a schedule's precedence graphs as Graphviz DOT.
 """
 
@@ -125,6 +126,87 @@ def _cmd_showdown(args: argparse.Namespace) -> int:
     )
     print(f"workload: {workload.name}")
     print(metrics_table(compare_schedulers(workload, seed=args.seed)))
+    if args.trace:
+        from .obs import RecordingTracer, write_jsonl
+        from .sim import DEFAULT_SCHEDULERS, run_one
+
+        tracer = RecordingTracer()
+        run_one(
+            DEFAULT_SCHEDULERS["korth-speegle"],
+            workload,
+            seed=args.seed,
+            tracer=tracer,
+        )
+        count = write_jsonl(list(tracer.spans), args.trace)
+        print(f"trace: {count} spans (korth-speegle) -> {args.trace}")
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from .obs import (
+        RecordingTracer,
+        filter_spans,
+        load_jsonl,
+        render_timeline,
+        timeline_stats,
+        write_jsonl,
+    )
+
+    if args.record:
+        from .sim import DEFAULT_SCHEDULERS, cad_workload, run_one
+
+        factory = DEFAULT_SCHEDULERS.get(args.scheduler)
+        if factory is None:
+            known = ", ".join(sorted(DEFAULT_SCHEDULERS))
+            print(
+                f"error: unknown scheduler {args.scheduler!r} "
+                f"(choose from: {known})",
+                file=sys.stderr,
+            )
+            return 2
+        workload = cad_workload(
+            num_designers=args.designers,
+            think_time=args.think,
+            seed=args.seed,
+        )
+        tracer = RecordingTracer()
+        metrics = run_one(
+            factory,
+            workload,
+            seed=args.seed,
+            tracer=tracer,
+        )
+        count = write_jsonl(list(tracer.spans), args.file)
+        print(
+            f"recorded {count} spans from {args.scheduler} on "
+            f"{workload.name} ({metrics.committed_count} committed, "
+            f"{metrics.total_waits} waits) -> {args.file}"
+        )
+        if not args.timeline:
+            return 0
+
+    try:
+        spans = load_jsonl(args.file)
+    except FileNotFoundError:
+        print(f"error: no trace file {args.file!r}", file=sys.stderr)
+        return 2
+    except (ValueError, KeyError) as error:  # bad JSON / wrong shape
+        print(
+            f"error: {args.file!r} is not a JSONL trace ({error})",
+            file=sys.stderr,
+        )
+        return 2
+    kinds = args.kind.split(",") if args.kind else None
+    spans = filter_spans(spans, txn=args.txn, kinds=kinds)
+    if not spans:
+        print("(no spans match)")
+        return 0
+    if args.stats:
+        print(f"{len(spans)} spans")
+        for kind, count in sorted(timeline_stats(spans).items()):
+            print(f"  {kind:16s} {count}")
+        return 0
+    print(render_timeline(spans))
     return 0
 
 
@@ -195,7 +277,46 @@ def build_parser() -> argparse.ArgumentParser:
     showdown.add_argument("--designers", type=int, default=6)
     showdown.add_argument("--think", type=float, default=100.0)
     showdown.add_argument("--seed", type=int, default=3)
+    showdown.add_argument(
+        "--trace",
+        metavar="FILE",
+        help="also record the korth-speegle run's trace to FILE (JSONL)",
+    )
     showdown.set_defaults(func=_cmd_showdown)
+
+    trace = sub.add_parser(
+        "trace",
+        help="record or replay a transaction-lifecycle trace (JSONL)",
+    )
+    trace.add_argument("file", help="JSONL trace file to replay (or write)")
+    trace.add_argument(
+        "--record",
+        action="store_true",
+        help="run a CAD workload and write its trace to FILE first",
+    )
+    trace.add_argument(
+        "--scheduler",
+        default="korth-speegle",
+        help="scheduler to record (default: korth-speegle)",
+    )
+    trace.add_argument("--designers", type=int, default=6)
+    trace.add_argument("--think", type=float, default=100.0)
+    trace.add_argument("--seed", type=int, default=3)
+    trace.add_argument(
+        "--timeline",
+        action="store_true",
+        help="with --record: also print the timeline after recording",
+    )
+    trace.add_argument("--txn", help="only spans of this transaction")
+    trace.add_argument(
+        "--kind", help='only these span kinds, e.g. "wait,validate"'
+    )
+    trace.add_argument(
+        "--stats",
+        action="store_true",
+        help="print span counts by kind instead of the timeline",
+    )
+    trace.set_defaults(func=_cmd_trace)
 
     dot = sub.add_parser(
         "dot", help="export precedence graphs as Graphviz DOT"
@@ -215,7 +336,14 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Sequence[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Output piped into a pager/head that exited early.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -1,0 +1,37 @@
+"""Observability: tracing, metrics, and trace export.
+
+The subsystem behind the paper's quantitative motivation (§2.4): a
+span-based tracer for transaction lifecycles
+(:mod:`repro.obs.trace`), a metrics registry with percentile
+histograms (:mod:`repro.obs.metrics`), and JSONL exporters plus a
+timeline renderer (:mod:`repro.obs.export`).  The no-op
+:data:`NULL_TRACER` is the default on every instrumented path.
+"""
+
+from .export import (
+    filter_spans,
+    load_jsonl,
+    render_timeline,
+    timeline_stats,
+    transactions_of,
+    write_jsonl,
+)
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .trace import NULL_TRACER, RecordingTracer, Span, Tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "RecordingTracer",
+    "Span",
+    "Tracer",
+    "filter_spans",
+    "load_jsonl",
+    "render_timeline",
+    "timeline_stats",
+    "transactions_of",
+    "write_jsonl",
+]

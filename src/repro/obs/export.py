@@ -1,0 +1,142 @@
+"""Trace export, reload, and timeline rendering.
+
+Traces are written as JSONL — one span per line — so they stream, can
+be grepped, and can be re-loaded for offline inspection (the same
+record-then-check workflow Biswas & Enea use for consistency checking).
+:func:`render_timeline` turns a span list back into the per-transaction
+story: every attempt's arrive/validate/wait/read/write/commit, nested
+by causal parent, with virtual-time stamps and durations.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import IO, Iterable, Sequence
+
+from .trace import Span
+
+
+def span_to_line(span: Span) -> str:
+    return json.dumps(span.to_dict(), sort_keys=True)
+
+
+def write_jsonl(spans: Iterable[Span], path: "str | Path | IO[str]") -> int:
+    """Write spans as JSONL; returns the number written."""
+    if hasattr(path, "write"):
+        return _write_stream(spans, path)  # type: ignore[arg-type]
+    with open(path, "w", encoding="utf-8") as stream:
+        return _write_stream(spans, stream)
+
+
+def _write_stream(spans: Iterable[Span], stream: IO[str]) -> int:
+    count = 0
+    for span in spans:
+        stream.write(span_to_line(span))
+        stream.write("\n")
+        count += 1
+    return count
+
+
+def load_jsonl(path: "str | Path | IO[str]") -> list[Span]:
+    """Re-load a JSONL trace into :class:`Span` objects."""
+    if hasattr(path, "read"):
+        return _load_stream(path)  # type: ignore[arg-type]
+    with open(path, "r", encoding="utf-8") as stream:
+        return _load_stream(stream)
+
+
+def _load_stream(stream: IO[str]) -> list[Span]:
+    spans = []
+    for line in stream:
+        line = line.strip()
+        if line:
+            spans.append(Span.from_dict(json.loads(line)))
+    return spans
+
+
+def filter_spans(
+    spans: Iterable[Span],
+    txn: str | None = None,
+    kinds: "Sequence[str] | None" = None,
+) -> list[Span]:
+    """Restrict a trace to one transaction and/or a set of span kinds."""
+    wanted = set(kinds) if kinds else None
+    return [
+        span
+        for span in spans
+        if (txn is None or span.txn == txn)
+        and (wanted is None or span.kind in wanted)
+    ]
+
+
+def transactions_of(spans: Iterable[Span]) -> list[str]:
+    """Transaction names in first-appearance order."""
+    seen: dict[str, None] = {}
+    for span in spans:
+        seen.setdefault(span.txn, None)
+    return list(seen)
+
+
+def _format_attrs(span: Span) -> str:
+    return " ".join(
+        f"{key}={value}" for key, value in sorted(span.attrs.items())
+    )
+
+
+def _depth(span: Span, by_id: dict[int, Span]) -> int:
+    depth = 0
+    current = span
+    while current.parent_id is not None:
+        parent = by_id.get(current.parent_id)
+        if parent is None:
+            break
+        depth += 1
+        current = parent
+    return depth
+
+
+def render_timeline(
+    spans: Sequence[Span],
+    txn: str | None = None,
+    kinds: "Sequence[str] | None" = None,
+) -> str:
+    """A per-transaction timeline, nested by causal parent.
+
+    One block per transaction; within a block spans are ordered by
+    start time and indented under their parent, with the duration in
+    brackets (``[...]`` still open — e.g. a wait that never resolved).
+    """
+    chosen = filter_spans(spans, txn=txn, kinds=kinds)
+    if not chosen:
+        return "(no spans)"
+    by_id = {span.span_id: span for span in chosen}
+    lines: list[str] = []
+    for name in transactions_of(chosen):
+        group = sorted(
+            (span for span in chosen if span.txn == name),
+            key=lambda span: (span.start, span.span_id),
+        )
+        lines.append(f"== {name} ==")
+        for span in group:
+            indent = "  " * _depth(span, by_id)
+            if span.duration is None:
+                length = "[...]"
+            elif span.is_event:
+                length = ""
+            else:
+                length = f"[{span.duration:g}]"
+            attrs = _format_attrs(span)
+            body = " ".join(
+                part for part in (span.kind, length, attrs) if part
+            )
+            lines.append(f"  {span.start:>10.1f}  {indent}{body}")
+    return "\n".join(lines)
+
+
+def timeline_stats(spans: Sequence[Span]) -> dict[str, int]:
+    """Span counts by kind — a quick sanity view of a trace."""
+    counts: dict[str, int] = {}
+    for span in spans:
+        counts[span.kind] = counts.get(span.kind, 0) + 1
+    return dict(sorted(counts.items()))

@@ -1,0 +1,299 @@
+"""Span-based transaction-lifecycle tracing.
+
+The paper's motivation (Section 2.4) is quantitative — "reduce the
+number and duration of waits, reduce the number and effect of aborts" —
+but aggregates alone cannot say *why* a transaction waited, restarted,
+or failed validation.  The tracer records the lifecycle as **spans**
+(intervals: validate, wait, read, write, commit) and **events**
+(points: arrive, define, re-eval, lock.block) with causal parent
+links, so a run can be replayed offline as a per-transaction timeline
+(:mod:`repro.obs.export`).
+
+Design constraints:
+
+* **Zero-cost when off.**  The base :class:`Tracer` is a no-op and is
+  the default everywhere; instrumented hot paths guard attribute
+  construction behind ``tracer.enabled`` so the disabled cost is one
+  attribute load and a branch.
+* **Clock-agnostic.**  The protocol layer has no clock, the simulator
+  runs in virtual time.  A :class:`RecordingTracer` defaults to a
+  monotonic tick counter and accepts any ``clock()`` callable (the
+  simulation engine installs ``lambda: queue.now``).
+* **Two name spaces, one timeline.**  The simulator names transactions
+  by engine id (``T1``, ``T1#2``); the protocol by hierarchical name
+  (``t.0.5``).  :meth:`Tracer.alias` maps protocol names onto engine
+  ids at record time so one transaction's spans land in one group.
+
+Span taxonomy (see ``docs/observability.md``):
+
+========  ======  ==================================================
+kind      form    meaning
+========  ======  ==================================================
+txn       span    one attempt at a transaction, begin → outcome
+arrive    event   the attempt entered the system
+define    event   protocol registration (parent, update set)
+validate  span    R_v locks + D-sets + version selection
+wait      span    parked on a blocked request, entity attached
+read      span    one read request (version, value)
+write     span    write-begin → write-end (the short W-lock window)
+commit    span    commit-rule checks + release
+abort     event   abort, with reason and cascade cause
+restart   event   the simulator restarted the transaction
+give-up   event   restart budget exhausted
+reeval    event   Figure-4 re-evaluation decision
+reassign  event   Figure-4 re-assignment to a new version
+lock.*    event   lock block / grant transitions, queue depth
+predicate.eval  event  a predicate evaluated against a state
+========  ======  ==================================================
+"""
+
+from __future__ import annotations
+
+import itertools
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator
+
+
+@dataclass
+class Span:
+    """One recorded interval (or point event, when ``end == start``).
+
+    ``parent_id`` is the causal link: the enclosing open span of the
+    same transaction at start time, unless overridden.
+    """
+
+    span_id: int
+    kind: str
+    txn: str
+    start: float
+    end: float | None = None
+    parent_id: int | None = None
+    attrs: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float | None:
+        if self.end is None:
+            return None
+        return self.end - self.start
+
+    @property
+    def is_event(self) -> bool:
+        return self.end == self.start
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready representation (see :mod:`repro.obs.export`)."""
+        return {
+            "span_id": self.span_id,
+            "kind": self.kind,
+            "txn": self.txn,
+            "start": self.start,
+            "end": self.end,
+            "parent_id": self.parent_id,
+            "attrs": self.attrs,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "Span":
+        return cls(
+            span_id=int(data["span_id"]),
+            kind=str(data["kind"]),
+            txn=str(data["txn"]),
+            start=float(data["start"]),
+            end=None if data.get("end") is None else float(data["end"]),
+            parent_id=(
+                None
+                if data.get("parent_id") is None
+                else int(data["parent_id"])
+            ),
+            attrs=dict(data.get("attrs", {})),
+        )
+
+
+class Tracer:
+    """The no-op tracer — the default on every instrumented path.
+
+    Every hook is a ``pass``/``return None``; hot paths additionally
+    check :attr:`enabled` before building attribute dictionaries, so a
+    disabled tracer costs one branch per instrumentation point.
+    """
+
+    enabled: bool = False
+
+    def start(
+        self,
+        kind: str,
+        txn: str,
+        parent: "Span | int | None" = None,
+        **attrs: Any,
+    ) -> Span | None:
+        """Open a span; returns ``None`` when disabled."""
+        return None
+
+    def end(self, span: Span | None, **attrs: Any) -> None:
+        """Close a span previously returned by :meth:`start`."""
+
+    def event(
+        self,
+        kind: str,
+        txn: str,
+        parent: "Span | int | None" = None,
+        **attrs: Any,
+    ) -> Span | None:
+        """Record a point event."""
+        return None
+
+    @contextmanager
+    def span(self, kind: str, txn: str, **attrs: Any) -> Iterator[Span | None]:
+        handle = self.start(kind, txn, **attrs)
+        try:
+            yield handle
+        finally:
+            self.end(handle)
+
+    def alias(self, name: str, canonical: str) -> None:
+        """Record that ``name`` denotes the same transaction as
+        ``canonical`` (protocol name → engine id)."""
+
+    def set_clock(self, clock: Callable[[], float] | None) -> None:
+        """Install a timestamp source (no-op when disabled)."""
+
+
+NULL_TRACER = Tracer()
+"""The shared disabled tracer instance."""
+
+
+class RecordingTracer(Tracer):
+    """A tracer that keeps every span in memory.
+
+    Timestamps come from ``clock`` when given (the simulator's virtual
+    ``now``), else from a monotonic tick counter — pure-protocol
+    sessions still get a total order and span durations in "ticks".
+    """
+
+    enabled = True
+
+    def __init__(self, clock: Callable[[], float] | None = None) -> None:
+        self._spans: list[Span] = []
+        self._ids = itertools.count(1)
+        self._ticks = itertools.count()
+        self._clock = clock
+        self._aliases: dict[str, str] = {}
+        self._open: dict[str, list[Span]] = {}
+        self._by_txn: dict[str, list[Span]] = {}
+
+    # -- configuration -------------------------------------------------------
+
+    def set_clock(self, clock: Callable[[], float] | None) -> None:
+        self._clock = clock
+
+    def alias(self, name: str, canonical: str) -> None:
+        if name == canonical:
+            return
+        self._aliases[name] = canonical
+        canonical = self._resolve(canonical)
+        # Re-home spans recorded before the alias was known (e.g. the
+        # protocol's `define` event fires before the adapter learns
+        # the protocol name).
+        moved = self._by_txn.pop(name, None)
+        if moved:
+            for span in moved:
+                span.txn = canonical
+            self._by_txn.setdefault(canonical, []).extend(moved)
+        open_stack = self._open.pop(name, None)
+        if open_stack:
+            self._open.setdefault(canonical, []).extend(open_stack)
+
+    # -- recording -----------------------------------------------------------
+
+    def _now(self) -> float:
+        if self._clock is not None:
+            return self._clock()
+        return float(next(self._ticks))
+
+    def _resolve(self, txn: str) -> str:
+        seen = set()
+        while txn in self._aliases and txn not in seen:
+            seen.add(txn)
+            txn = self._aliases[txn]
+        return txn
+
+    def _parent_id(
+        self, txn: str, parent: Span | int | None
+    ) -> int | None:
+        if isinstance(parent, Span):
+            return parent.span_id
+        if parent is not None:
+            return int(parent)
+        stack = self._open.get(txn)
+        return stack[-1].span_id if stack else None
+
+    def start(
+        self,
+        kind: str,
+        txn: str,
+        parent: Span | int | None = None,
+        **attrs: Any,
+    ) -> Span:
+        txn = self._resolve(txn)
+        span = Span(
+            span_id=next(self._ids),
+            kind=kind,
+            txn=txn,
+            start=self._now(),
+            parent_id=self._parent_id(txn, parent),
+            attrs=dict(attrs),
+        )
+        self._spans.append(span)
+        self._by_txn.setdefault(txn, []).append(span)
+        self._open.setdefault(txn, []).append(span)
+        return span
+
+    def end(self, span: Span | None, **attrs: Any) -> None:
+        if span is None or span.end is not None:
+            return
+        span.end = self._now()
+        span.attrs.update(attrs)
+        stack = self._open.get(span.txn)
+        if stack and span in stack:
+            stack.remove(span)
+
+    def event(
+        self,
+        kind: str,
+        txn: str,
+        parent: Span | int | None = None,
+        **attrs: Any,
+    ) -> Span:
+        txn = self._resolve(txn)
+        now = self._now()
+        span = Span(
+            span_id=next(self._ids),
+            kind=kind,
+            txn=txn,
+            start=now,
+            end=now,
+            parent_id=self._parent_id(txn, parent),
+            attrs=dict(attrs),
+        )
+        self._spans.append(span)
+        self._by_txn.setdefault(txn, []).append(span)
+        return span
+
+    # -- queries -------------------------------------------------------------
+
+    @property
+    def spans(self) -> tuple[Span, ...]:
+        return tuple(self._spans)
+
+    def spans_for(self, txn: str) -> list[Span]:
+        return list(self._by_txn.get(self._resolve(txn), ()))
+
+    def of_kind(self, kind: str) -> list[Span]:
+        return [span for span in self._spans if span.kind == kind]
+
+    def kinds(self) -> set[str]:
+        return {span.kind for span in self._spans}
+
+    def __len__(self) -> int:
+        return len(self._spans)

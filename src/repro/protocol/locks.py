@@ -38,6 +38,8 @@ import enum
 from dataclasses import dataclass, field
 
 from ..errors import LockProtocolError
+from ..obs.metrics import MetricsRegistry
+from ..obs.trace import NULL_TRACER, Tracer
 
 
 class LockMode(enum.Enum):
@@ -81,10 +83,29 @@ class _EntityLocks:
 
 
 class LockTable:
-    """Entity-level lock table with FIFO queueing of blocked reads."""
+    """Entity-level lock table with FIFO queueing of blocked reads.
 
-    def __init__(self) -> None:
+    Optionally observable: with a tracer attached, blocks and queue
+    grants become ``lock.block``/``lock.grant`` events; with a metrics
+    registry attached, every block observes the entity's queue depth
+    into the ``lock_queue_depth`` histogram (the percentile source for
+    the benchmark reports).
+    """
+
+    def __init__(
+        self,
+        tracer: Tracer | None = None,
+        registry: MetricsRegistry | None = None,
+    ) -> None:
         self._entities: dict[str, _EntityLocks] = {}
+        self._tracer = tracer if tracer is not None else NULL_TRACER
+        self._registry = registry
+
+    def set_tracer(self, tracer: Tracer) -> None:
+        self._tracer = tracer
+
+    def set_registry(self, registry: MetricsRegistry | None) -> None:
+        self._registry = registry
 
     def _entry(self, entity: str) -> _EntityLocks:
         return self._entities.setdefault(entity, _EntityLocks())
@@ -142,6 +163,19 @@ class LockTable:
             blockers = holders - {txn}
             if blockers and not compatible(held_mode, mode):
                 entry.queue.append(LockRequest(txn, entity, mode))
+                if self._registry is not None:
+                    self._registry.histogram(
+                        "lock_queue_depth"
+                    ).observe(len(entry.queue))
+                if self._tracer.enabled:
+                    self._tracer.event(
+                        "lock.block",
+                        txn,
+                        entity=entity,
+                        mode=str(mode),
+                        held_by=sorted(blockers),
+                        queue_depth=len(entry.queue),
+                    )
                 return LockOutcome.BLOCKED
         entry.holders[mode].add(txn)
         return LockOutcome.GRANTED
@@ -207,6 +241,13 @@ class LockTable:
             else:
                 entry.holders[request.mode].add(request.txn)
                 granted.append(request)
+                if self._tracer.enabled:
+                    self._tracer.event(
+                        "lock.grant",
+                        request.txn,
+                        entity=request.entity,
+                        mode=str(request.mode),
+                    )
         entry.queue = still_blocked
         return granted
 

@@ -45,6 +45,8 @@ from ..errors import (
     ProtocolError,
     TransactionAborted,
 )
+from ..obs.metrics import MetricsRegistry
+from ..obs.trace import NULL_TRACER, Tracer
 from ..storage.database import Database
 from ..storage.version_store import Version
 from .events import EventKind, EventLog
@@ -53,6 +55,7 @@ from .reeval import ReevalDecision, figure4_decision
 from .validation import (
     BacktrackingSelector,
     DSet,
+    TracedSelector,
     VersionSelector,
     compute_d_set,
 )
@@ -132,12 +135,19 @@ class TransactionManager:
         database: Database,
         selector: VersionSelector | None = None,
         root_spec: Spec | None = None,
+        tracer: Tracer | None = None,
+        registry: MetricsRegistry | None = None,
     ) -> None:
         self._db = database
         self._selector: VersionSelector = (
             selector if selector is not None else BacktrackingSelector()
         )
-        self._locks = LockTable()
+        self._tracer = tracer if tracer is not None else NULL_TRACER
+        self._registry = registry
+        self._locks = LockTable(tracer=self._tracer, registry=registry)
+        self._write_spans: dict[tuple[str, str], object] = {}
+        if tracer is not None or registry is not None:
+            self._wrap_selector()
         self._log = EventLog()
         self._records: dict[str, TxnRecord] = {}
 
@@ -157,6 +167,43 @@ class TransactionManager:
         for entity in database.schema.names:
             root.assigned[entity] = database.store.initial(entity)
         self._records[root_name] = root
+
+    # -- observability -------------------------------------------------------
+
+    def set_tracer(self, tracer: Tracer) -> None:
+        """Attach a tracer after construction (simulator wiring)."""
+        self._tracer = tracer
+        self._locks.set_tracer(tracer)
+        self._wrap_selector()
+
+    def set_registry(self, registry: MetricsRegistry | None) -> None:
+        """Attach a metrics registry (lock-queue depths, validation
+        latency) after construction."""
+        self._registry = registry
+        self._locks.set_registry(registry)
+        self._wrap_selector()
+
+    def _wrap_selector(self) -> None:
+        if isinstance(self._selector, TracedSelector):
+            self._selector = TracedSelector(
+                self._selector.inner, self._registry, self._tracer
+            )
+        else:
+            self._selector = TracedSelector(
+                self._selector, self._registry, self._tracer
+            )
+
+    def _select(
+        self,
+        txn: str,
+        d_sets: dict[str, DSet],
+        constraint,
+        pinned: dict[str, Version] | None = None,
+    ) -> dict[str, Version] | None:
+        selector = self._selector
+        if isinstance(selector, TracedSelector):
+            selector.txn_hint = txn
+        return selector.select(d_sets, constraint, pinned)
 
     # -- accessors -----------------------------------------------------------
 
@@ -291,6 +338,15 @@ class TransactionManager:
             input_constraint=str(spec.input_constraint),
             output_condition=str(spec.output_condition),
         )
+        if self._tracer.enabled:
+            self._tracer.event(
+                "define",
+                name,
+                parent_txn=parent,
+                updates=sorted(updates),
+                predecessors=sorted(preds),
+                successors=sorted(succs),
+            )
         return name
 
     # -- phase 2: validation ----------------------------------------------------
@@ -308,22 +364,36 @@ class TransactionManager:
             raise ProtocolError(
                 f"{txn} cannot validate from phase {record.phase.value}"
             )
+        tracer = self._tracer
+        span = (
+            tracer.start("validate", txn, items=sorted(record.input_set))
+            if tracer.enabled
+            else None
+        )
         for item in sorted(record.input_set):
             if self._locks.holds(txn, item, LockMode.RV):
                 continue
             outcome = self._locks.request(txn, item, LockMode.RV)
             if outcome is LockOutcome.BLOCKED:
                 self._log.record(EventKind.BLOCKED, txn, entity=item)
+                if span is not None:
+                    tracer.end(span, outcome="blocked", blocked_on=item)
                 return StepResult(Outcome.BLOCKED, blocked_on=item)
 
         d_sets = self._compute_d_sets(record)
-        assignment = self._selector.select(
-            d_sets, record.spec.input_constraint
+        assignment = self._select(
+            txn, d_sets, record.spec.input_constraint
         )
         if assignment is None:
             self._log.record(
                 EventKind.VALIDATE, txn, ok=False
             )
+            if span is not None:
+                tracer.end(
+                    span,
+                    outcome="failed",
+                    reason="input constraint unsatisfiable",
+                )
             cascade = self.abort(
                 txn, reason="input constraint unsatisfiable"
             )
@@ -343,6 +413,15 @@ class TransactionManager:
                 for item, version in sorted(assignment.items())
             },
         )
+        if span is not None:
+            tracer.end(
+                span,
+                outcome="ok",
+                assigned={
+                    item: str(version)
+                    for item, version in sorted(assignment.items())
+                },
+            )
         return StepResult(Outcome.OK)
 
     def _compute_d_sets(self, record: TxnRecord) -> dict[str, DSet]:
@@ -440,6 +519,14 @@ class TransactionManager:
         self._log.record(
             EventKind.READ, txn, entity=entity, version=str(version)
         )
+        if self._tracer.enabled:
+            self._tracer.event(
+                "read",
+                txn,
+                entity=entity,
+                version=str(version),
+                value=version.value,
+            )
         return StepResult(Outcome.OK, value=version.value)
 
     def begin_write(self, txn: str, entity: str) -> StepResult:
@@ -457,6 +544,10 @@ class TransactionManager:
         record.in_flight_writes.add(entity)
         record.did_data_access = True
         self._log.record(EventKind.WRITE_BEGIN, txn, entity=entity)
+        if self._tracer.enabled:
+            self._write_spans[(txn, entity)] = self._tracer.start(
+                "write", txn, entity=entity
+            )
         return StepResult(Outcome.OK)
 
     def end_write(self, txn: str, entity: str, value: int) -> StepResult:
@@ -479,6 +570,11 @@ class TransactionManager:
             value=value,
             version=str(version),
         )
+        write_span = self._write_spans.pop((txn, entity), None)
+        if write_span is not None:
+            self._tracer.end(
+                write_span, value=value, version=str(version)
+            )
 
         result = StepResult(Outcome.OK)
         # Re-eval current read-side holders first (Figure 4 proper)…
@@ -547,6 +643,14 @@ class TransactionManager:
                 entity=entity,
                 decision=decision.value,
             )
+            if self._tracer.enabled:
+                self._tracer.event(
+                    "reeval",
+                    holder,
+                    writer=writer,
+                    entity=entity,
+                    decision=decision.value,
+                )
             if decision is ReevalDecision.ABORT:
                 cascade = self.abort(
                     holder,
@@ -591,8 +695,8 @@ class TransactionManager:
         for item in record.read_items:
             if item in record.assigned:
                 pinned[item] = record.assigned[item]
-        assignment = self._selector.select(
-            d_sets, record.spec.input_constraint, pinned
+        assignment = self._select(
+            record.name, d_sets, record.spec.input_constraint, pinned
         )
         if assignment is None:
             return False
@@ -603,6 +707,13 @@ class TransactionManager:
             entity=entity,
             version=str(new_version),
         )
+        if self._tracer.enabled:
+            self._tracer.event(
+                "reassign",
+                record.name,
+                entity=entity,
+                version=str(new_version),
+            )
         return True
 
     def _require_active(self, record: TxnRecord) -> None:
@@ -666,7 +777,16 @@ class TransactionManager:
             if not self.record(child).terminated:
                 return False, f"subtransaction {child} not terminated"
         view = self.view(txn)
-        if not record.spec.output_condition.evaluate(view):
+        satisfied = record.spec.output_condition.evaluate(view)
+        if self._tracer.enabled:
+            self._tracer.event(
+                "predicate.eval",
+                txn,
+                predicate=str(record.spec.output_condition),
+                role="output-condition",
+                satisfied=satisfied,
+            )
+        if not satisfied:
             return False, "output condition unsatisfied"
         return True, "ok"
 
@@ -678,8 +798,12 @@ class TransactionManager:
         predecessor has committed, every child has terminated, and the
         output condition holds on the transaction's world view.
         """
+        tracer = self._tracer
+        span = tracer.start("commit", txn) if tracer.enabled else None
         ok, reason = self.can_commit(txn)
         if not ok:
+            if span is not None:
+                tracer.end(span, outcome="failed", reason=reason)
             return StepResult(Outcome.FAILED, reason=reason)
         record = self.record(txn)
         record.phase = TxnPhase.COMMITTED
@@ -698,6 +822,8 @@ class TransactionManager:
             parent_record.merged_child_writes.update(released)
         unblocked = self._locks.release_all(txn)
         self._log.record(EventKind.COMMIT, txn)
+        if span is not None:
+            tracer.end(span, outcome="committed")
         result = StepResult(Outcome.OK)
         result.unblocked.extend(
             sorted({request.txn for request in unblocked})
@@ -756,6 +882,8 @@ class TransactionManager:
             ):
                 self._locks.request(txn, item, LockMode.R)
         self._log.record(EventKind.UNDO_COMMIT, txn)
+        if self._tracer.enabled:
+            self._tracer.event("undo-commit", txn)
         return StepResult(Outcome.OK)
 
     def abort(self, txn: str, reason: str = "requested") -> list[str]:
@@ -780,11 +908,23 @@ class TransactionManager:
         for child in list(record.children):
             if not self.record(child).terminated:
                 aborted.extend(self.abort(child, reason=f"parent {txn} aborted"))
+        if self._tracer.enabled:
+            for entity in record.in_flight_writes:
+                write_span = self._write_spans.pop((txn, entity), None)
+                if write_span is not None:
+                    self._tracer.end(write_span, outcome="aborted")
         record.phase = TxnPhase.ABORTED
         record.in_flight_writes.clear()
         removed = self._db.store.expunge_author(txn)
         self._locks.release_all(txn)
         self._log.record(EventKind.ABORT, txn, reason=reason)
+        if self._tracer.enabled:
+            self._tracer.event(
+                "abort",
+                txn,
+                reason=reason,
+                expunged=len(removed),
+            )
         aborted.append(txn)
 
         # Cascade: siblings whose assigned versions died with us.
@@ -816,8 +956,9 @@ class TransactionManager:
                         for item in other.read_items
                         if item in other.assigned
                     }
-                    assignment = self._selector.select(
-                        d_sets, other.spec.input_constraint, pinned
+                    assignment = self._select(
+                        other.name, d_sets, other.spec.input_constraint,
+                        pinned,
                     )
                     if assignment is None:
                         aborted.extend(

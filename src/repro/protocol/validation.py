@@ -37,11 +37,14 @@ library offers pluggable selectors:
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Iterable, Mapping, Protocol
 
 from ..core.orders import PartialOrder
 from ..core.predicates import Predicate
+from ..obs.metrics import MetricsRegistry
+from ..obs.trace import NULL_TRACER, Tracer
 from ..storage.version_store import Version
 
 
@@ -242,6 +245,56 @@ class SatSelector:
         full = {name: candidates[0] for name, candidates in values.items()}
         full.update(chosen)
         return {name: back[(name, value)] for name, value in full.items()}
+
+
+class TracedSelector:
+    """Observability wrapper around any :class:`VersionSelector`.
+
+    Times each selection into the registry's ``validation_latency_us``
+    histogram (wall-clock microseconds — selection is real CPU work,
+    unlike the simulator's virtual time) and emits a
+    ``validate.select`` event carrying the candidate-space size, so
+    slow validations are attributable to their search space.
+    """
+
+    def __init__(
+        self,
+        inner: VersionSelector,
+        registry: MetricsRegistry | None = None,
+        tracer: Tracer | None = None,
+    ) -> None:
+        self.inner = inner
+        self._registry = registry
+        self._tracer = tracer if tracer is not None else NULL_TRACER
+        #: The transaction the next selection is on behalf of; set by
+        #: the transaction manager before each call (single-threaded).
+        self.txn_hint: str = "-"
+
+    def select(
+        self,
+        d_sets: Mapping[str, DSet],
+        constraint: Predicate,
+        pinned: Mapping[str, Version] | None = None,
+    ) -> dict[str, Version] | None:
+        started = time.perf_counter()
+        assignment = self.inner.select(d_sets, constraint, pinned)
+        elapsed_us = (time.perf_counter() - started) * 1e6
+        if self._registry is not None:
+            self._registry.histogram(
+                "validation_latency_us"
+            ).observe(elapsed_us)
+        if self._tracer.enabled:
+            self._tracer.event(
+                "validate.select",
+                self.txn_hint,
+                items=len(d_sets),
+                candidates=sum(
+                    len(d_set.candidates) for d_set in d_sets.values()
+                ),
+                satisfiable=assignment is not None,
+                elapsed_us=round(elapsed_us, 1),
+            )
+        return assignment
 
 
 class GreedyLatestSelector:

@@ -34,6 +34,7 @@ from dataclasses import dataclass, field
 from ..baselines.base import AccessResult, AccessStatus, ConcurrencyControl
 from ..baselines.korth_speegle import KorthSpeegleScheduler
 from ..errors import SimulationError
+from ..obs.trace import NULL_TRACER, Tracer
 from .clock import EventQueue
 from .metrics import RunMetrics
 from .workload import (
@@ -78,6 +79,10 @@ class _Instance:
     # release re-granted our own queued request): the next _park
     # becomes an immediate retry instead.
     pending_unblock: bool = False
+    # Open trace spans: the attempt's lifecycle span and, while
+    # parked, the current wait span.
+    txn_span: object | None = None
+    wait_span: object | None = None
 
 
 @dataclass(frozen=True)
@@ -104,6 +109,7 @@ class SimulationEngine:
         max_events: int = 500_000,
         read_duration: float = 0.0,
         seed: int = 0,
+        tracer: Tracer | None = None,
     ) -> None:
         self._scheduler = scheduler
         self._workload = workload
@@ -118,6 +124,14 @@ class SimulationEngine:
         self._metrics = RunMetrics(
             scheduler=scheduler.name, workload=workload.name
         )
+        self._tracer = tracer if tracer is not None else NULL_TRACER
+        # Trace timestamps are virtual time, not wall time.
+        self._tracer.set_clock(lambda: self._queue.now)
+
+    @property
+    def metrics(self) -> RunMetrics:
+        """The run's metrics (registry included), live during the run."""
+        return self._metrics
 
     # -- public API -----------------------------------------------------------
 
@@ -157,17 +171,37 @@ class SimulationEngine:
 
     def _restart(self, instance: _Instance, reason: str | None) -> None:
         now = self._queue.now
-        metrics = self._metrics.txn(instance.script.txn_id)
-        metrics.restarts += 1
-        if instance.begun:
-            metrics.wasted_time += max(0.0, now - instance.started_at)
+        wasted = (
+            max(0.0, now - instance.started_at) if instance.begun else 0.0
+        )
+        self._metrics.record_restart(instance.script.txn_id, wasted)
+        tracer = self._tracer
+        if tracer.enabled:
+            tracer.end(instance.wait_span)
+            instance.wait_span = None
+            tracer.event(
+                "restart",
+                instance.engine_id,
+                reason=reason or "restart",
+                wasted=wasted,
+            )
+            tracer.end(
+                instance.txn_span, outcome="restart", reason=reason
+            )
+            instance.txn_span = None
         instance.state = _State.FAILED
         instance.epoch += 1  # invalidate in-flight events
         result = self._scheduler.abort(
             instance.engine_id, reason or "restart"
         )
         if instance.attempt + 1 > self._max_restarts:
-            metrics.gave_up = True
+            self._metrics.record_gave_up(instance.script.txn_id)
+            if tracer.enabled:
+                tracer.event(
+                    "give-up",
+                    instance.engine_id,
+                    attempts=instance.attempt + 1,
+                )
         else:
             backoff = self._backoff * (1.0 + self._rng.random())
             self._spawn(
@@ -225,6 +259,18 @@ class SimulationEngine:
     def _do_begin(self, instance: _Instance) -> None:
         plan = _plan_of(instance.script)
         scheduler = self._scheduler
+        if self._tracer.enabled and instance.txn_span is None:
+            instance.txn_span = self._tracer.start(
+                "txn",
+                instance.engine_id,
+                base=instance.script.txn_id,
+                attempt=instance.attempt,
+            )
+            self._tracer.event(
+                "arrive",
+                instance.engine_id,
+                attempt=instance.attempt,
+            )
         if isinstance(scheduler, KorthSpeegleScheduler):
             predecessors = tuple(
                 self._current[base].engine_id
@@ -244,7 +290,7 @@ class SimulationEngine:
                 0.0, _Advance(instance.engine_id, instance.epoch)
             )
         elif result.status is AccessStatus.BLOCKED:
-            self._park(instance)
+            self._park(instance, result.blocked_on)
         else:
             self._restart(instance, result.reason)
         self._apply_side_effects(result)
@@ -260,7 +306,7 @@ class SimulationEngine:
                 _Advance(instance.engine_id, instance.epoch),
             )
         elif result.status is AccessStatus.BLOCKED:
-            self._park(instance)
+            self._park(instance, result.blocked_on)
         else:
             self._restart(instance, result.reason)
         self._apply_side_effects(result)
@@ -278,7 +324,7 @@ class SimulationEngine:
                     _FinishWrite(instance.engine_id, instance.epoch),
                 )
             elif result.status is AccessStatus.BLOCKED:
-                self._park(instance)
+                self._park(instance, result.blocked_on)
             else:
                 self._restart(instance, result.reason)
             self._apply_side_effects(result)
@@ -292,7 +338,7 @@ class SimulationEngine:
                 step.duration, _Advance(instance.engine_id, instance.epoch)
             )
         elif result.status is AccessStatus.BLOCKED:
-            self._park(instance)
+            self._park(instance, result.blocked_on)
         else:
             self._restart(instance, result.reason)
         self._apply_side_effects(result)
@@ -395,19 +441,24 @@ class SimulationEngine:
         result = self._scheduler.commit(instance.engine_id)
         if result.status is AccessStatus.OK:
             instance.state = _State.DONE
-            metrics = self._metrics.txn(instance.script.txn_id)
-            metrics.commit_time = self._queue.now
+            self._metrics.record_commit(
+                instance.script.txn_id, self._queue.now
+            )
+            if instance.txn_span is not None:
+                self._tracer.end(instance.txn_span, outcome="committed")
+                instance.txn_span = None
         elif result.status is AccessStatus.BLOCKED:
-            self._park(instance)
+            self._park(instance, result.blocked_on)
         else:
             self._restart(instance, result.reason)
         self._apply_side_effects(result)
 
     # -- parking & side effects ------------------------------------------------------
 
-    def _park(self, instance: _Instance) -> None:
-        metrics = self._metrics.txn(instance.script.txn_id)
-        metrics.waits += 1
+    def _park(
+        self, instance: _Instance, blocked_on: str | None = None
+    ) -> None:
+        self._metrics.record_wait(instance.script.txn_id)
         if instance.pending_unblock:
             # The unblock already happened mid-step: retry immediately.
             instance.pending_unblock = False
@@ -418,6 +469,11 @@ class SimulationEngine:
             return
         instance.state = _State.PARKED
         instance.parked_since = self._queue.now
+        if self._tracer.enabled:
+            attrs = {} if blocked_on is None else {"entity": blocked_on}
+            instance.wait_span = self._tracer.start(
+                "wait", instance.engine_id, **attrs
+            )
 
     def _unpark(self, engine_id: str) -> None:
         instance = self._instances.get(engine_id)
@@ -430,10 +486,14 @@ class SimulationEngine:
             return
         now = self._queue.now
         if instance.parked_since is not None:
-            self._metrics.txn(
-                instance.script.txn_id
-            ).wait_time += max(0.0, now - instance.parked_since)
+            self._metrics.record_wait_time(
+                instance.script.txn_id,
+                max(0.0, now - instance.parked_since),
+            )
         instance.parked_since = None
+        if instance.wait_span is not None:
+            self._tracer.end(instance.wait_span)
+            instance.wait_span = None
         instance.state = _State.RUNNING
         self._queue.schedule(
             0.0, _Advance(instance.engine_id, instance.epoch)
@@ -450,10 +510,9 @@ class SimulationEngine:
             if instance.state is _State.PARKED and (
                 instance.parked_since is not None
             ):
-                self._metrics.txn(
-                    instance.script.txn_id
-                ).wait_time += max(
-                    0.0, self._queue.now - instance.parked_since
+                self._metrics.record_wait_time(
+                    instance.script.txn_id,
+                    max(0.0, self._queue.now - instance.parked_since),
                 )
             self._restart(instance, "aborted by scheduler")
         for engine_id in result.unblocked:

@@ -5,12 +5,29 @@ waits, reduce the number and effect of aborts, facilitate
 collaboration".  The metrics mirror them directly: per-transaction wait
 counts/durations, restart counts, wasted (aborted) work time, plus the
 usual makespan/throughput aggregates.
+
+Since the observability rebuild, :class:`RunMetrics` sits on top of an
+:class:`~repro.obs.metrics.MetricsRegistry`: the engine records each
+individual wait duration, commit latency, and restart through the
+``record_*`` methods, which feed both the per-transaction bookkeeping
+and the registry's histograms.  The summary row therefore reports
+p50/p95/p99 percentiles alongside the original mean/max columns.  The
+per-transaction :class:`TxnMetrics` objects can still be mutated
+directly (older tests and tools do); percentile queries fall back to
+the per-transaction aggregates when the histograms are empty.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from statistics import mean
+
+from ..obs.metrics import Histogram, MetricsRegistry
+
+#: Registry histogram fed one value per individual wait.
+WAIT_HISTOGRAM = "wait_time"
+#: Registry histogram fed one value per committed transaction.
+LATENCY_HISTOGRAM = "latency"
 
 
 @dataclass
@@ -46,11 +63,42 @@ class RunMetrics:
     transactions: dict[str, TxnMetrics] = field(default_factory=dict)
     makespan: float = 0.0
     events_processed: int = 0
+    registry: MetricsRegistry = field(default_factory=MetricsRegistry)
 
     def txn(self, txn_id: str) -> TxnMetrics:
         return self.transactions.setdefault(
             txn_id, TxnMetrics(txn_id=txn_id)
         )
+
+    # -- recording (feeds both TxnMetrics and the registry) ---------------------
+
+    def record_wait(self, txn_id: str) -> None:
+        """One blocked request (the *number* of waits)."""
+        self.txn(txn_id).waits += 1
+        self.registry.counter("waits").inc()
+
+    def record_wait_time(self, txn_id: str, duration: float) -> None:
+        """One resolved wait (the *duration* of waits)."""
+        self.txn(txn_id).wait_time += duration
+        self.registry.histogram(WAIT_HISTOGRAM).observe(duration)
+
+    def record_commit(self, txn_id: str, commit_time: float) -> None:
+        txn = self.txn(txn_id)
+        txn.commit_time = commit_time
+        self.registry.counter("commits").inc()
+        latency = txn.latency
+        if latency is not None:
+            self.registry.histogram(LATENCY_HISTOGRAM).observe(latency)
+
+    def record_restart(self, txn_id: str, wasted: float) -> None:
+        txn = self.txn(txn_id)
+        txn.restarts += 1
+        txn.wasted_time += wasted
+        self.registry.counter("restarts").inc()
+
+    def record_gave_up(self, txn_id: str) -> None:
+        self.txn(txn_id).gave_up = True
+        self.registry.counter("gave_up").inc()
 
     # -- aggregates ------------------------------------------------------------
 
@@ -98,6 +146,38 @@ class RunMetrics:
             return 0.0
         return self.committed_count / self.makespan
 
+    # -- percentiles -----------------------------------------------------------
+
+    def _latency_histogram(self) -> Histogram:
+        histogram = self.registry.histogram(LATENCY_HISTOGRAM)
+        if histogram.count:
+            return histogram
+        fallback = Histogram(LATENCY_HISTOGRAM)
+        for txn in self.transactions.values():
+            if txn.latency is not None:
+                fallback.observe(txn.latency)
+        return fallback
+
+    def _wait_histogram(self) -> Histogram:
+        histogram = self.registry.histogram(WAIT_HISTOGRAM)
+        if histogram.count:
+            return histogram
+        # Fallback: per-transaction totals of transactions that waited.
+        fallback = Histogram(WAIT_HISTOGRAM)
+        for txn in self.transactions.values():
+            if txn.waits:
+                fallback.observe(txn.wait_time)
+        return fallback
+
+    def latency_percentile(self, p: float) -> float:
+        """Commit-latency percentile (0.0 when nothing committed)."""
+        return self._latency_histogram().percentile(p)
+
+    def wait_percentile(self, p: float) -> float:
+        """Per-wait duration percentile (falls back to per-txn totals
+        when individual waits were not recorded)."""
+        return self._wait_histogram().percentile(p)
+
     def summary_row(self) -> dict[str, float | int | str]:
         """One table row for the benchmark reports."""
         return {
@@ -110,4 +190,10 @@ class RunMetrics:
             "wasted_time": round(self.total_wasted_time, 1),
             "makespan": round(self.makespan, 1),
             "mean_latency": round(self.mean_latency, 1),
+            "latency_p50": round(self.latency_percentile(50), 1),
+            "latency_p95": round(self.latency_percentile(95), 1),
+            "latency_p99": round(self.latency_percentile(99), 1),
+            "wait_p50": round(self.wait_percentile(50), 1),
+            "wait_p95": round(self.wait_percentile(95), 1),
+            "wait_p99": round(self.wait_percentile(99), 1),
         }

@@ -8,7 +8,7 @@ returns the metric rows the benchmarks and examples print.
 
 from __future__ import annotations
 
-from typing import Callable, Sequence
+from typing import Callable
 
 from ..baselines.base import ConcurrencyControl
 from ..baselines.korth_speegle import KorthSpeegleScheduler
@@ -20,6 +20,7 @@ from ..baselines.timestamp import (
     TimestampOrdering,
 )
 from ..baselines.two_phase_locking import StrictTwoPhaseLocking
+from ..obs.trace import Tracer
 from ..storage.database import Database
 from .engine import SimulationEngine
 from .metrics import RunMetrics
@@ -62,8 +63,16 @@ def run_one(
     seed: int = 0,
     max_restarts: int = 40,
     max_events: int = 500_000,
+    tracer: Tracer | None = None,
 ) -> RunMetrics:
-    """Run a single scheduler against a fresh copy of the workload."""
+    """Run a single scheduler against a fresh copy of the workload.
+
+    With a ``tracer``, the engine records lifecycle spans (arrive,
+    wait, restart, commit) and — when the scheduler is the Section-5
+    protocol — the protocol layers share the tracer and the run's
+    metrics registry, so validate/read/write spans and lock-queue
+    histograms land in the same trace.
+    """
     database = workload.fresh_database()
     scheduler = factory(database)
     engine = SimulationEngine(
@@ -72,7 +81,12 @@ def run_one(
         seed=seed,
         max_restarts=max_restarts,
         max_events=max_events,
+        tracer=tracer,
     )
+    if isinstance(scheduler, KorthSpeegleScheduler):
+        if tracer is not None:
+            scheduler.set_tracer(tracer)
+        scheduler.set_registry(engine.metrics.registry)
     return engine.run()
 
 

@@ -19,8 +19,8 @@ workloads and *diverge* on design workloads.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
-from typing import Callable, Sequence
+from dataclasses import dataclass
+from typing import Callable
 
 from ..core.entities import Domain, Entity, Schema
 from ..core.predicates import Atom, Clause, Predicate

@@ -21,7 +21,6 @@ from repro.core import (
     Domain,
     Predicate,
     Schema,
-    TxnName,
     UniqueState,
 )
 from repro.schedules import Schedule

@@ -2,12 +2,10 @@
 
 from __future__ import annotations
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core import (
-    TxnName,
     VersionState,
     lemma1_instance,
     theorem1_instance,

@@ -9,12 +9,8 @@ from hypothesis import strategies as st
 from repro.core import (
     Atom,
     Clause,
-    DatabaseState,
-    Domain,
     Predicate,
-    Schema,
     Term,
-    UniqueState,
     parse,
 )
 from repro.errors import (

@@ -1,0 +1,109 @@
+"""Tests for JSONL export, reload, filtering, and timeline rendering."""
+
+from __future__ import annotations
+
+import io
+
+from repro.obs import (
+    RecordingTracer,
+    filter_spans,
+    load_jsonl,
+    render_timeline,
+    timeline_stats,
+    transactions_of,
+    write_jsonl,
+)
+
+
+def _sample_tracer() -> RecordingTracer:
+    tracer = RecordingTracer()
+    txn = tracer.start("txn", "T1", attempt=0)
+    tracer.event("arrive", "T1")
+    wait = tracer.start("wait", "T1", entity="x")
+    tracer.end(wait)
+    tracer.end(txn, outcome="committed")
+    tracer.event("arrive", "T2")
+    tracer.start("wait", "T2", entity="y")  # never resolved
+    return tracer
+
+
+class TestJsonlRoundTrip:
+    def test_round_trip_is_identical(self, tmp_path):
+        tracer = _sample_tracer()
+        path = tmp_path / "trace.jsonl"
+        count = write_jsonl(list(tracer.spans), path)
+        assert count == len(tracer)
+        loaded = load_jsonl(path)
+        assert loaded == list(tracer.spans)
+
+    def test_stream_round_trip(self):
+        tracer = _sample_tracer()
+        buffer = io.StringIO()
+        write_jsonl(list(tracer.spans), buffer)
+        buffer.seek(0)
+        assert load_jsonl(buffer) == list(tracer.spans)
+
+    def test_blank_lines_are_skipped(self):
+        tracer = _sample_tracer()
+        buffer = io.StringIO()
+        write_jsonl(list(tracer.spans), buffer)
+        text = "\n" + buffer.getvalue() + "\n\n"
+        assert load_jsonl(io.StringIO(text)) == list(tracer.spans)
+
+
+class TestFilters:
+    def test_filter_by_txn(self):
+        spans = list(_sample_tracer().spans)
+        t2 = filter_spans(spans, txn="T2")
+        assert {span.txn for span in t2} == {"T2"}
+        assert len(t2) == 2
+
+    def test_filter_by_kind(self):
+        spans = list(_sample_tracer().spans)
+        waits = filter_spans(spans, kinds=["wait"])
+        assert [span.kind for span in waits] == ["wait", "wait"]
+
+    def test_transactions_in_first_appearance_order(self):
+        spans = list(_sample_tracer().spans)
+        assert transactions_of(spans) == ["T1", "T2"]
+
+    def test_stats(self):
+        spans = list(_sample_tracer().spans)
+        assert timeline_stats(spans) == {
+            "arrive": 2,
+            "txn": 1,
+            "wait": 2,
+        }
+
+
+class TestRenderTimeline:
+    def test_groups_and_nesting(self):
+        text = render_timeline(list(_sample_tracer().spans))
+        lines = text.splitlines()
+        assert "== T1 ==" in lines
+        assert "== T2 ==" in lines
+        assert lines.index("== T1 ==") < lines.index("== T2 ==")
+        # Children of the txn span are indented one level deeper
+        # (the fixed-width timestamp column is the same on both lines).
+        txn_line = next(line for line in lines if " txn " in line)
+        arrive_line = next(line for line in lines if "arrive" in line)
+        assert arrive_line.find("arrive") > txn_line.find("txn")
+
+    def test_open_span_marker(self):
+        text = render_timeline(list(_sample_tracer().spans))
+        assert "[...]" in text  # T2's unresolved wait
+
+    def test_attrs_rendered(self):
+        text = render_timeline(list(_sample_tracer().spans))
+        assert "entity=x" in text
+        assert "outcome=committed" in text
+
+    def test_empty(self):
+        assert render_timeline([]) == "(no spans)"
+
+    def test_render_survives_filtered_parent(self):
+        # Filtering can drop a span's parent; depth computation must
+        # not crash on the dangling parent_id.
+        spans = list(_sample_tracer().spans)
+        waits = filter_spans(spans, kinds=["wait"])
+        assert "wait" in render_timeline(waits)

@@ -1,0 +1,87 @@
+"""Unit tests for counters, gauges, histograms, and the registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import Counter, Gauge, Histogram, MetricsRegistry
+
+
+class TestCounter:
+    def test_inc(self):
+        counter = Counter("waits")
+        counter.inc()
+        counter.inc(3)
+        assert counter.value == 4
+
+
+class TestGauge:
+    def test_set_tracks_high_water(self):
+        gauge = Gauge("queue_depth")
+        gauge.set(3)
+        gauge.set(1)
+        assert gauge.value == 1
+        assert gauge.max_value == 3
+
+
+class TestHistogram:
+    def test_empty(self):
+        histogram = Histogram("wait_time")
+        assert histogram.count == 0
+        assert histogram.mean == 0.0
+        assert histogram.percentile(99) == 0.0
+
+    def test_stats(self):
+        histogram = Histogram("latency")
+        for value in (4.0, 1.0, 3.0, 2.0):
+            histogram.observe(value)
+        assert histogram.count == 4
+        assert histogram.total == 10.0
+        assert histogram.mean == 2.5
+        assert histogram.min == 1.0
+        assert histogram.max == 4.0
+
+    def test_nearest_rank_percentiles(self):
+        histogram = Histogram("latency")
+        for value in range(1, 101):  # 1..100
+            histogram.observe(float(value))
+        assert histogram.percentile(50) == 50.0
+        assert histogram.percentile(95) == 95.0
+        assert histogram.percentile(99) == 99.0
+        assert histogram.percentile(100) == 100.0
+
+    def test_single_observation(self):
+        histogram = Histogram("latency")
+        histogram.observe(7.0)
+        for p in (1, 50, 99):
+            assert histogram.percentile(p) == 7.0
+
+    def test_percentiles_map(self):
+        histogram = Histogram("latency")
+        for value in (1.0, 2.0, 3.0):
+            histogram.observe(value)
+        assert histogram.percentiles(50, 100) == {"p50": 2.0, "p100": 3.0}
+
+    def test_percentile_out_of_range(self):
+        histogram = Histogram("latency")
+        histogram.observe(1.0)
+        with pytest.raises(ValueError):
+            histogram.percentile(101)
+
+
+class TestMetricsRegistry:
+    def test_get_or_create(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.gauge("b") is registry.gauge("b")
+        assert registry.histogram("c") is registry.histogram("c")
+
+    def test_snapshot(self):
+        registry = MetricsRegistry()
+        registry.counter("commits").inc(2)
+        registry.gauge("depth").set(5)
+        registry.histogram("wait").observe(1.0)
+        snapshot = registry.snapshot()
+        assert snapshot["counters"]["commits"] == 2
+        assert snapshot["gauges"]["depth"]["max"] == 5
+        assert snapshot["histograms"]["wait"]["count"] == 1

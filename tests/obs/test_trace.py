@@ -1,0 +1,164 @@
+"""Unit tests for the span tracer."""
+
+from __future__ import annotations
+
+from repro.obs import NULL_TRACER, RecordingTracer, Span, Tracer
+
+
+class TestNullTracer:
+    def test_disabled(self):
+        assert NULL_TRACER.enabled is False
+        assert isinstance(NULL_TRACER, Tracer)
+
+    def test_all_hooks_are_noops(self):
+        tracer = Tracer()
+        assert tracer.start("txn", "T1", attempt=0) is None
+        tracer.end(None, outcome="committed")
+        assert tracer.event("arrive", "T1") is None
+        tracer.alias("t.0.1", "T1")
+        tracer.set_clock(lambda: 42.0)
+        with tracer.span("wait", "T1") as handle:
+            assert handle is None
+
+    def test_disabled_recording_tracer_stays_empty(self):
+        # Instrumented code guards every hook behind `tracer.enabled`;
+        # a recorder with the flag off must therefore never be fed.
+        # (This is the tier-1, non-flaky form of the overhead claim —
+        # the timing form lives in benchmarks/bench_obs.py.)
+        tracer = RecordingTracer()
+        tracer.enabled = False
+        from repro.core import Domain, Predicate, Schema, Spec
+        from repro.protocol import TransactionManager
+        from repro.storage import Database
+
+        schema = Schema.of("x", "y", domain=Domain.interval(0, 100))
+        constraint = Predicate.parse("x >= 0 & y >= 0")
+        db = Database(schema, constraint, {"x": 1, "y": 1})
+        tm = TransactionManager(db)
+        tm.set_tracer(tracer)
+        spec = Spec(Predicate.parse("x >= 0"), Predicate.parse("y >= 0"))
+        txn = tm.define(tm.root, spec, {"y"})
+        tm.validate(txn)
+        tm.read(txn, "x")
+        tm.write(txn, "y", 5)
+        tm.commit(txn)
+        assert len(tracer) == 0
+
+
+class TestRecordingTracer:
+    def test_span_start_end(self):
+        tracer = RecordingTracer()
+        span = tracer.start("txn", "T1", attempt=0)
+        assert span.end is None
+        assert span.duration is None
+        tracer.end(span, outcome="committed")
+        assert span.end is not None
+        assert span.duration >= 0
+        assert span.attrs == {"attempt": 0, "outcome": "committed"}
+
+    def test_event_is_point(self):
+        tracer = RecordingTracer()
+        event = tracer.event("arrive", "T1")
+        assert event.is_event
+        assert event.duration == 0
+
+    def test_nesting_builds_parent_links(self):
+        tracer = RecordingTracer()
+        outer = tracer.start("txn", "T1")
+        inner = tracer.start("validate", "T1")
+        leaf = tracer.event("validate.select", "T1")
+        assert outer.parent_id is None
+        assert inner.parent_id == outer.span_id
+        assert leaf.parent_id == inner.span_id
+        tracer.end(inner)
+        sibling = tracer.event("read", "T1")
+        assert sibling.parent_id == outer.span_id
+
+    def test_parent_override(self):
+        tracer = RecordingTracer()
+        a = tracer.start("txn", "T1")
+        b = tracer.event("lock.grant", "T1", parent=None)
+        assert b.parent_id == a.span_id  # stack default
+        c = tracer.event("lock.grant", "T1", parent=a)
+        assert c.parent_id == a.span_id
+        d = tracer.event("lock.grant", "T1", parent=a.span_id)
+        assert d.parent_id == a.span_id
+
+    def test_other_txn_does_not_nest(self):
+        tracer = RecordingTracer()
+        tracer.start("txn", "T1")
+        other = tracer.start("txn", "T2")
+        assert other.parent_id is None
+
+    def test_tick_clock_is_monotonic(self):
+        tracer = RecordingTracer()
+        first = tracer.event("a", "T1")
+        second = tracer.event("b", "T1")
+        assert second.start > first.start
+
+    def test_custom_clock(self):
+        now = [10.0]
+        tracer = RecordingTracer(clock=lambda: now[0])
+        span = tracer.start("wait", "T1")
+        now[0] = 13.5
+        tracer.end(span)
+        assert span.start == 10.0
+        assert span.duration == 3.5
+
+    def test_alias_redirects_new_spans(self):
+        tracer = RecordingTracer()
+        tracer.alias("t.0.1", "T1")
+        span = tracer.start("validate", "t.0.1")
+        assert span.txn == "T1"
+        assert [s.kind for s in tracer.spans_for("T1")] == ["validate"]
+        assert tracer.spans_for("t.0.1") == tracer.spans_for("T1")
+
+    def test_alias_rehomes_earlier_spans(self):
+        # The protocol's `define` event fires before the adapter can
+        # register the alias; it must still land in the engine group.
+        tracer = RecordingTracer()
+        tracer.start("txn", "T1")
+        define = tracer.event("define", "t.0.1")
+        tracer.alias("t.0.1", "T1")
+        assert define.txn == "T1"
+        kinds = [s.kind for s in tracer.spans_for("T1")]
+        assert kinds == ["txn", "define"]
+        assert tracer.spans_for("t.0.1") == tracer.spans_for("T1")
+
+    def test_queries(self):
+        tracer = RecordingTracer()
+        tracer.start("txn", "T1")
+        tracer.event("arrive", "T1")
+        tracer.event("arrive", "T2")
+        assert len(tracer) == 3
+        assert tracer.kinds() == {"txn", "arrive"}
+        assert len(tracer.of_kind("arrive")) == 2
+
+    def test_double_end_is_ignored(self):
+        tracer = RecordingTracer()
+        span = tracer.start("wait", "T1")
+        tracer.end(span, first=True)
+        first_end = span.end
+        tracer.end(span, second=True)
+        assert span.end == first_end
+        assert "second" not in span.attrs
+
+
+class TestSpan:
+    def test_round_trip_dict(self):
+        span = Span(
+            span_id=7,
+            kind="wait",
+            txn="T3",
+            start=1.5,
+            end=2.5,
+            parent_id=2,
+            attrs={"entity": "x"},
+        )
+        assert Span.from_dict(span.to_dict()) == span
+
+    def test_open_span_round_trip(self):
+        span = Span(span_id=1, kind="txn", txn="T1", start=0.0)
+        restored = Span.from_dict(span.to_dict())
+        assert restored.end is None
+        assert restored == span

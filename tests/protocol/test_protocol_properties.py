@@ -19,7 +19,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core import Domain, Predicate, Schema, Spec
-from repro.errors import ProtocolError, ReproError
+from repro.errors import ProtocolError
 from repro.protocol import Outcome, TransactionManager, TxnPhase
 from repro.storage import Database
 

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+from repro.obs import MetricsRegistry
 from repro.sim import RunMetrics, TxnMetrics
 
 
@@ -57,6 +58,21 @@ class TestRunMetrics:
         assert run.mean_latency == 0.0
         assert run.max_wait == 0.0
 
+    def test_empty_run_percentiles(self):
+        run = RunMetrics("s", "w")
+        assert run.latency_percentile(50) == 0.0
+        assert run.wait_percentile(99) == 0.0
+
+    def test_all_gave_up(self):
+        run = RunMetrics("s", "w")
+        for name in ("A", "B"):
+            run.txn(name).gave_up = True
+        run.makespan = 5.0
+        assert run.committed_count == 0
+        assert run.mean_latency == 0.0
+        assert run.throughput == 0.0
+        assert run.latency_percentile(95) == 0.0
+
     def test_summary_row_columns(self):
         row = self._metrics().summary_row()
         assert row["scheduler"] == "test-sched"
@@ -71,4 +87,37 @@ class TestRunMetrics:
             "wasted_time",
             "makespan",
             "mean_latency",
+            "latency_p50",
+            "latency_p95",
+            "latency_p99",
+            "wait_p50",
+            "wait_p95",
+            "wait_p99",
         }
+
+    def test_summary_row_percentiles_from_txn_fallback(self):
+        # No record_* calls were made, so the registry histograms are
+        # empty; percentiles fall back to per-transaction aggregates.
+        row = self._metrics().summary_row()
+        assert row["latency_p50"] == 10.0
+        assert row["latency_p99"] == 20.0
+        assert row["wait_p50"] == 3.0
+
+    def test_record_methods_feed_registry(self):
+        run = RunMetrics("s", "w")
+        run.record_wait("A")
+        run.record_wait_time("A", 2.0)
+        run.record_wait("B")
+        run.record_wait_time("B", 6.0)
+        run.record_commit("A", commit_time=10.0)
+        run.record_commit("B", commit_time=30.0)
+        run.record_restart("C", wasted=1.5)
+        run.record_gave_up("C")
+        assert isinstance(run.registry, MetricsRegistry)
+        assert run.total_waits == 2
+        assert run.total_restarts == 1
+        assert run.gave_up_count == 1
+        assert run.latency_percentile(50) == 10.0
+        assert run.latency_percentile(99) == 30.0
+        assert run.wait_percentile(50) == 2.0
+        assert run.wait_percentile(99) == 6.0

@@ -114,6 +114,71 @@ class TestDot:
         assert "cluster_0" in out and "cluster_1" in out
 
 
+class TestTrace:
+    def _record(self, tmp_path, *extra):
+        path = tmp_path / "trace.jsonl"
+        args = [
+            "trace", str(path), "--record",
+            "--designers", "10", "--think", "1", "--seed", "3",
+        ]
+        assert main(args + list(extra)) == 0
+        return path
+
+    def test_record_then_replay(self, tmp_path, capsys):
+        path = self._record(tmp_path)
+        out = capsys.readouterr().out
+        assert "recorded" in out and str(path) in out
+        assert main(["trace", str(path)]) == 0
+        timeline = capsys.readouterr().out
+        assert "== D0 ==" in timeline
+        for kind in ("arrive", "wait", "validate", "commit"):
+            assert kind in timeline
+
+    def test_txn_filter(self, tmp_path, capsys):
+        path = self._record(tmp_path)
+        capsys.readouterr()
+        assert main(["trace", str(path), "--txn", "D2"]) == 0
+        out = capsys.readouterr().out
+        assert "== D2 ==" in out
+        assert "== D0 ==" not in out
+
+    def test_kind_filter_and_stats(self, tmp_path, capsys):
+        path = self._record(tmp_path)
+        capsys.readouterr()
+        assert main(["trace", str(path), "--kind", "wait", "--stats"]) == 0
+        out = capsys.readouterr().out
+        assert "wait" in out
+        assert "commit" not in out
+
+    def test_no_matching_spans(self, tmp_path, capsys):
+        path = self._record(tmp_path)
+        capsys.readouterr()
+        assert main(["trace", str(path), "--txn", "nope"]) == 0
+        assert "(no spans match)" in capsys.readouterr().out
+
+    def test_record_with_timeline(self, tmp_path, capsys):
+        self._record(tmp_path, "--timeline")
+        out = capsys.readouterr().out
+        assert "recorded" in out
+        assert "== D0 ==" in out
+
+
+class TestShowdownTrace:
+    def test_trace_flag_writes_jsonl(self, tmp_path, capsys):
+        from repro.obs import load_jsonl
+
+        path = tmp_path / "showdown.jsonl"
+        code = main(
+            ["showdown", "--designers", "3", "--trace", str(path)]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "trace:" in out
+        spans = load_jsonl(path)
+        assert spans
+        assert {"arrive", "commit"} <= {span.kind for span in spans}
+
+
 class TestParser:
     def test_missing_command_exits(self):
         with pytest.raises(SystemExit):

@@ -25,7 +25,13 @@ def _documented_modules(name: str) -> set[str]:
 
 @pytest.mark.parametrize(
     "doc",
-    ["README.md", "DESIGN.md", "docs/paper_map.md", "docs/protocol.md"],
+    [
+        "README.md",
+        "DESIGN.md",
+        "docs/paper_map.md",
+        "docs/protocol.md",
+        "docs/observability.md",
+    ],
 )
 def test_referenced_modules_exist(doc):
     for dotted in _documented_modules(doc):

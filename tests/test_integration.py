@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
 
 import repro
 from repro.classes import classify, figure2_region
@@ -18,7 +17,6 @@ from repro.protocol import (
     Outcome,
     SatSelector,
     TransactionManager,
-    TxnPhase,
 )
 from repro.sat import CNFFormula
 from repro.schedules import Schedule
