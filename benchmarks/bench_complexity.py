@@ -96,7 +96,16 @@ def test_t1_execution_correctness(benchmark):
 
 
 def test_p3_cpc_polynomial_vs_sr_exponential(benchmark):
-    """CPC (per-conjunct graph acyclicity) vs SR (exhaustive) cost."""
+    """CPC (per-conjunct graph acyclicity) vs SR recognition cost.
+
+    The NP-completeness exhibit times the *definitional* SR test — the
+    all-permutations sweep — since that is the cost the complexity
+    claim is about.  The production tester (pruned backtracking) is
+    timed alongside to show how far instance-level pruning gets on
+    random schedules, but NP-completeness is a worst-case statement,
+    so no growth assertion is made about it.
+    """
+    from repro.classes.view import brute_force_view_serialization_order
 
     def sweep():
         rows = []
@@ -109,20 +118,26 @@ def test_p3_cpc_polynomial_vs_sr_exponential(benchmark):
             is_conflict_predicate_correct(schedule, objects)
             cpc_time = time.perf_counter() - start
             start = time.perf_counter()
+            brute_force_view_serialization_order(schedule)
+            sweep_time = time.perf_counter() - start
+            start = time.perf_counter()
             is_view_serializable(schedule)
-            sr_time = time.perf_counter() - start
-            rows.append((num_txns, cpc_time, sr_time))
+            pruned_time = time.perf_counter() - start
+            rows.append((num_txns, cpc_time, sweep_time, pruned_time))
         return rows
 
     rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
     report(
         "P3: recognition cost, CPC (polynomial) vs SR (NP-complete)",
         "\n".join(
-            f"  n={n}  CPC {cpc * 1e6:9.1f} µs   SR {sr * 1e6:9.1f} µs"
-            for n, cpc, sr in rows
+            f"  n={n}  CPC {cpc * 1e6:9.1f} µs   "
+            f"SR-sweep {sweep_us * 1e6:9.1f} µs   "
+            f"SR-pruned {pruned * 1e6:9.1f} µs"
+            for n, cpc, sweep_us, pruned in rows
         ),
     )
-    # The SR tester's cost must grow much faster than CPC's.
+    # The definitional SR sweep's cost must grow much faster than
+    # CPC's (factorially in the number of transactions).
     assert rows[-1][2] > rows[-1][1]
 
 

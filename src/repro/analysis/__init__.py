@@ -19,6 +19,7 @@ from .census import (
     census_of_random_schedules,
     example1_programs,
     figure2_reachability,
+    schedule_fingerprint,
 )
 from .reporting import region_report, text_table
 
@@ -37,6 +38,7 @@ __all__ = [
     "figure2_reachability",
     "leaf_transactions_from_programs",
     "region_report",
+    "schedule_fingerprint",
     "schedule_to_execution",
     "text_table",
 ]

@@ -15,17 +15,23 @@ from .graphs import has_cycle, topological_order
 
 def conflict_graph(schedule: Schedule) -> dict[str, set[str]]:
     """The precedence graph: edge ``A → B`` when a step of ``A``
-    conflicts with and precedes a step of ``B``."""
-    adjacency: dict[str, set[str]] = {
-        txn: set() for txn in schedule.transactions
-    }
-    ops = schedule.operations
-    for i, first in enumerate(ops):
-        for j in range(i + 1, len(ops)):
-            second = ops[j]
-            if first.conflicts_with(second):
-                adjacency[first.txn].add(second.txn)
-    return adjacency
+    conflicts with and precedes a step of ``B``.  Memoized per
+    schedule (the classifier, the census, and the DOT exporter all ask
+    for the same graph)."""
+
+    def build() -> dict[str, set[str]]:
+        adjacency: dict[str, set[str]] = {
+            txn: set() for txn in schedule.transactions
+        }
+        ops = schedule.operations
+        for i, first in enumerate(ops):
+            for j in range(i + 1, len(ops)):
+                second = ops[j]
+                if first.conflicts_with(second):
+                    adjacency[first.txn].add(second.txn)
+        return adjacency
+
+    return schedule.memo("conflict_graph", build)
 
 
 def is_conflict_serializable(schedule: Schedule) -> bool:

@@ -168,7 +168,7 @@ REGION_4 = PaperExample(
 )
 
 REGION_5 = PaperExample(
-    name="Figure 2 region 5 (SR − PWCSR)",
+    name="Figure 2 region 5 ((SR ∩ MVCSR) − PWCSR)",
     schedule=Schedule.parse("r1(x) w2(x) w1(x) w3(x)"),
     objects=_objects("x"),
     claimed_region=5,
@@ -200,7 +200,7 @@ REGION_6 = PaperExample(
 )
 
 REGION_7 = PaperExample(
-    name="Figure 2 region 7 (MVCSR − PWCSR)",
+    name="Figure 2 region 7 (MVCSR − (PWCSR ∪ SR))",
     schedule=Schedule.parse("r1(x) w2(x) w1(x)"),
     objects=_objects("x"),
     claimed_region=7,

@@ -11,6 +11,13 @@ are retained, so the final read simply selects the serial order's last
 version (the paper's region-7 note — "if the final read is of the
 version created by t₂ …" — relies on exactly this).
 
+Recognition is NP-complete, but the search is pruned backtracking over
+serial orders, not a sweep of all ``n!`` permutations: a read's
+required version depends only on the transactions placed *before* its
+reader, so every prefix whose most recent writer cannot serve some
+read is cut immediately.  :func:`brute_force_mv_view_serialization_order`
+keeps the all-permutations sweep as the differential-testing oracle.
+
 **MVCSR.**  The paper (following [Papadimitriou 1986]) notes the only
 remaining conflicts under multiple versions are *reads before writes*
 on the same item.  The test is acyclicity of the read-before-write
@@ -21,6 +28,7 @@ no inter-transaction edge.
 from __future__ import annotations
 
 from itertools import permutations
+from typing import Iterator
 
 from ..schedules.schedule import Schedule
 from .graphs import has_cycle, topological_order
@@ -28,23 +36,27 @@ from .graphs import has_cycle, topological_order
 
 def mv_conflict_graph(schedule: Schedule) -> dict[str, set[str]]:
     """Read-before-write graph: edge ``A → B`` when ``A`` reads ``e``
-    and ``B`` later writes ``e`` (``A ≠ B``)."""
-    adjacency: dict[str, set[str]] = {
-        txn: set() for txn in schedule.transactions
-    }
-    ops = schedule.operations
-    for i, first in enumerate(ops):
-        if not first.is_read:
-            continue
-        for j in range(i + 1, len(ops)):
-            second = ops[j]
-            if (
-                second.is_write
-                and second.entity == first.entity
-                and second.txn != first.txn
-            ):
-                adjacency[first.txn].add(second.txn)
-    return adjacency
+    and ``B`` later writes ``e`` (``A ≠ B``).  Memoized per schedule."""
+
+    def build() -> dict[str, set[str]]:
+        adjacency: dict[str, set[str]] = {
+            txn: set() for txn in schedule.transactions
+        }
+        ops = schedule.operations
+        for i, first in enumerate(ops):
+            if not first.is_read:
+                continue
+            for j in range(i + 1, len(ops)):
+                second = ops[j]
+                if (
+                    second.is_write
+                    and second.entity == first.entity
+                    and second.txn != first.txn
+                ):
+                    adjacency[first.txn].add(second.txn)
+        return adjacency
+
+    return schedule.memo("mv_conflict_graph", build)
 
 
 def is_mv_conflict_serializable(schedule: Schedule) -> bool:
@@ -108,14 +120,10 @@ def _serial_read_ok(
     )
 
 
-def mv_view_serialization_order(
+def brute_force_mv_view_serialization_order(
     schedule: Schedule,
 ) -> tuple[str, ...] | None:
-    """A serial order realizable by some version function, or ``None``.
-
-    Exhaustive over serial orders (the polynomial test for general
-    MVSR does not exist unless P = NP; recognition is NP-complete).
-    """
+    """The literal all-permutations MVSR test (differential oracle)."""
     ops = schedule.operations
     read_indices = [i for i, op in enumerate(ops) if op.is_read]
     for order in permutations(schedule.transactions):
@@ -128,6 +136,95 @@ def mv_view_serialization_order(
     return None
 
 
+def _mv_witness_orders(schedule: Schedule) -> Iterator[tuple[str, ...]]:
+    """Yield every MVSR witness order, pruned.
+
+    A read's required writer is the most recently *placed* transaction
+    whose program writes the entity (or the reader's own earlier write,
+    or the initial version), so each transaction's reads can be checked
+    the moment it is placed: the required writer's first version of the
+    entity must exist before the read occurs in the actual schedule.
+    Enumerates exactly the witnesses of the brute-force sweep, in the
+    same order.
+    """
+    ops = schedule.operations
+    txns = schedule.transactions
+    programs = schedule.programs()
+
+    # Reads not shadowed by the reader's own earlier write, and the
+    # schedule position of every transaction's first write per entity.
+    external: dict[str, list[tuple[int, str]]] = {
+        txn: [] for txn in txns
+    }
+    written: dict[str, set[str]] = {txn: set() for txn in txns}
+    first_write: dict[tuple[str, str], int] = {}
+    for index, op in enumerate(ops):
+        if op.is_read:
+            if op.entity not in written[op.txn]:
+                external[op.txn].append((index, op.entity))
+        else:
+            written[op.txn].add(op.entity)
+            first_write.setdefault((op.txn, op.entity), index)
+
+    writes_of = {
+        txn: {op.entity for op in programs[txn] if op.is_write}
+        for txn in txns
+    }
+
+    placed: set[str] = set()
+    order: list[str] = []
+    last_writer: dict[str, str] = {}
+
+    def placeable(txn: str) -> bool:
+        for read_index, entity in external[txn]:
+            writer = last_writer.get(entity)
+            if writer is None:
+                continue  # initial version, always available
+            if first_write[(writer, entity)] >= read_index:
+                return False
+        return True
+
+    def backtrack() -> Iterator[tuple[str, ...]]:
+        if len(order) == len(txns):
+            yield tuple(order)
+            return
+        for txn in txns:
+            if txn in placed or not placeable(txn):
+                continue
+            placed.add(txn)
+            order.append(txn)
+            undo = [
+                (entity, last_writer.get(entity))
+                for entity in writes_of[txn]
+            ]
+            for entity in writes_of[txn]:
+                last_writer[entity] = txn
+            yield from backtrack()
+            for entity, previous in undo:
+                if previous is None:
+                    del last_writer[entity]
+                else:
+                    last_writer[entity] = previous
+            order.pop()
+            placed.discard(txn)
+
+    yield from backtrack()
+
+
+def mv_view_serialization_order(
+    schedule: Schedule,
+) -> tuple[str, ...] | None:
+    """A serial order realizable by some version function, or ``None``.
+
+    Pruned backtracking over serial orders (the polynomial test for
+    general MVSR does not exist unless P = NP; recognition is
+    NP-complete, so the worst case stays exponential).
+    """
+    for order in _mv_witness_orders(schedule):
+        return order
+    return None
+
+
 def is_mv_view_serializable(schedule: Schedule) -> bool:
-    """MVSR membership (exhaustive)."""
+    """MVSR membership (pruned exhaustive search)."""
     return mv_view_serialization_order(schedule) is not None

@@ -36,25 +36,30 @@ def cpc_graphs(
     drawn when ``A`` reads an item, ``B`` later writes that item, and
     the item belongs to the conjunct.
     """
-    graphs: dict[frozenset[str], dict[str, set[str]]] = {}
-    ops = schedule.operations
-    for obj in normalize_objects(constraint):
-        adjacency: dict[str, set[str]] = {
-            txn: set() for txn in schedule.transactions
-        }
-        for i, first in enumerate(ops):
-            if not first.is_read or first.entity not in obj:
-                continue
-            for j in range(i + 1, len(ops)):
-                second = ops[j]
-                if (
-                    second.is_write
-                    and second.entity == first.entity
-                    and second.txn != first.txn
-                ):
-                    adjacency[first.txn].add(second.txn)
-        graphs[obj] = adjacency
-    return graphs
+    normalized = normalize_objects(constraint)
+
+    def build() -> dict[frozenset[str], dict[str, set[str]]]:
+        graphs: dict[frozenset[str], dict[str, set[str]]] = {}
+        ops = schedule.operations
+        for obj in normalized:
+            adjacency: dict[str, set[str]] = {
+                txn: set() for txn in schedule.transactions
+            }
+            for i, first in enumerate(ops):
+                if not first.is_read or first.entity not in obj:
+                    continue
+                for j in range(i + 1, len(ops)):
+                    second = ops[j]
+                    if (
+                        second.is_write
+                        and second.entity == first.entity
+                        and second.txn != first.txn
+                    ):
+                        adjacency[first.txn].add(second.txn)
+            graphs[obj] = adjacency
+        return graphs
+
+    return schedule.memo(("cpc_graphs", normalized), build)
 
 
 def is_conflict_predicate_correct(

@@ -3,9 +3,16 @@
 A schedule is view serializable when it is view equivalent to some
 serial schedule: same transactions, every read observes the same
 writer, and every entity has the same final writer.  Recognition is
-NP-complete [Papadimitriou 1979], and the implementation here is the
-honest exhaustive test over all serial orders — fine for the ≤ 8
-transaction schedules the paper's examples and our census use.
+NP-complete [Papadimitriou 1979]; nothing beats exponential worst
+cases, but the search here is a *pruned backtracking* over serial
+orders rather than a sweep of all ``n!`` permutations: transactions
+are placed one at a time, and a prefix is abandoned as soon as a
+placed transaction's reads-from or an entity's final writer can no
+longer match the schedule's.  A placed transaction's view is fully
+determined by its predecessors, so every cut is sound; the first
+witness found is the same one the permutation sweep would return.
+:func:`brute_force_view_serialization_order` keeps the literal
+all-permutations test as the differential-testing oracle.
 
 The module also implements Lemma 3: the four conditions under which an
 execution ``(R, X)`` of the paper's model is view serializable.
@@ -13,15 +20,15 @@ execution ``(R, X)`` of the paper's model is view serializable.
 
 from __future__ import annotations
 
-from itertools import permutations
+from typing import Iterator
 
-from ..core.execution import Execution
+from ..core.execution import Execution, source_provides
 from ..core.states import VersionState
 from ..schedules.schedule import Schedule
 
 
 def is_view_serializable(schedule: Schedule) -> bool:
-    """SR membership by exhaustive comparison with serial schedules."""
+    """SR membership via the pruned serial-order search."""
     return view_serialization_order(schedule) is not None
 
 
@@ -29,9 +36,8 @@ def view_serialization_order(
     schedule: Schedule,
 ) -> tuple[str, ...] | None:
     """A serial order the schedule is view equivalent to, or ``None``."""
-    for order, serial in schedule.serializations():
-        if schedule.view_equivalent(serial):
-            return order
+    for order in _view_witness_orders(schedule):
+        return order
     return None
 
 
@@ -41,11 +47,108 @@ def count_view_serial_orders(schedule: Schedule) -> int:
     Used by the census to distinguish "rigid" schedules (exactly one
     witnessing order) from flexible ones.
     """
-    return sum(
-        1
-        for _, serial in schedule.serializations()
-        if schedule.view_equivalent(serial)
-    )
+    return sum(1 for _ in _view_witness_orders(schedule))
+
+
+def brute_force_view_serialization_order(
+    schedule: Schedule,
+) -> tuple[str, ...] | None:
+    """The literal all-permutations SR test (differential oracle).
+
+    Compares the schedule against every serial schedule with
+    :meth:`Schedule.view_equivalent` — the definition, executable.  The
+    pruned search must agree with this on every input.
+    """
+    for order, serial in schedule.serializations():
+        if schedule.view_equivalent(serial):
+            return order
+    return None
+
+
+def _view_witness_orders(
+    schedule: Schedule,
+) -> Iterator[tuple[str, ...]]:
+    """Yield every view-equivalence witness order, pruned.
+
+    Once a transaction is placed, its serial-schedule view is fixed:
+    each of its reads observes its own earlier write (if its program
+    has one) or the most recently placed writer of the entity.  A
+    write may not be placed after the entity's required final writer.
+    Checking both at placement time prunes whole permutation subtrees
+    while enumerating exactly the witnesses the brute-force sweep
+    finds, in the same order.
+    """
+    txns = schedule.transactions
+    programs = schedule.programs()
+    sources = schedule.read_sources()
+    finals = schedule.final_writers()
+
+    # Per-transaction serial read requirements.  A read shadowed by the
+    # transaction's own earlier write observes that write in *every*
+    # serial schedule: if the interleaving disagrees, no witness exists.
+    external: dict[str, tuple[tuple[str, str | None], ...]] = {}
+    for txn, ops in programs.items():
+        written: set[str] = set()
+        occurrence: dict[str, int] = {}
+        requirements: dict[tuple[str, str | None], None] = {}
+        for op in ops:
+            if op.is_read:
+                index = occurrence.get(op.entity, 0)
+                occurrence[op.entity] = index + 1
+                required = sources[(txn, op.entity, index)]
+                if op.entity in written:
+                    if required != txn:
+                        return
+                else:
+                    requirements[(op.entity, required)] = None
+            if op.is_write:
+                written.add(op.entity)
+        external[txn] = tuple(requirements)
+
+    writes_of = {
+        txn: {op.entity for op in ops if op.is_write}
+        for txn, ops in programs.items()
+    }
+
+    placed: set[str] = set()
+    order: list[str] = []
+    last_writer: dict[str, str] = {}
+
+    def placeable(txn: str) -> bool:
+        for entity, required in external[txn]:
+            if last_writer.get(entity) != required:
+                return False
+        for entity in writes_of[txn]:
+            final = finals[entity]
+            if final != txn and final in placed:
+                return False
+        return True
+
+    def backtrack() -> Iterator[tuple[str, ...]]:
+        if len(order) == len(txns):
+            yield tuple(order)
+            return
+        for txn in txns:
+            if txn in placed or not placeable(txn):
+                continue
+            placed.add(txn)
+            order.append(txn)
+            undo = [
+                (entity, last_writer.get(entity))
+                for entity in writes_of[txn]
+            ]
+            for entity in writes_of[txn]:
+                last_writer[entity] = txn
+            yield from backtrack()
+            for entity, previous in undo:
+                if previous is None:
+                    del last_writer[entity]
+                else:
+                    last_writer[entity] = previous
+            order.pop()
+            placed.discard(txn)
+
+    yield from backtrack()
 
 
 # ---------------------------------------------------------------------------
@@ -63,8 +166,13 @@ def lemma3_view_serialization(
     1. the database system conforms to the standard model — callers are
        responsible for building standard-model executions (the function
        itself only needs conditions 2–4);
-    2. every transaction participates in ``R`` (has some successor and
-       some predecessor);
+    2. every transaction participates in ``R`` (has some successor
+       *and* some predecessor).  The paper's ``R`` includes the
+       pseudo-transactions: ``t_0`` precedes a transaction whose input
+       state the initial database offers, and ``t_f`` succeeds a
+       transaction whose result is the final state — so chain endpoints
+       participate through ``t_0``/``t_f`` even though the repository's
+       ``R`` relates only real subtransactions;
     3. there is a bijection ``f : T → {0, …, |T|−1}`` such that
        ``f(t_i) < f(t_j)`` implies ``(t_j, t_i) ∉ R``;
     4. consecutive transactions chain their states:
@@ -74,24 +182,32 @@ def lemma3_view_serialization(
     """
     children = list(execution.transaction.child_names)
     relation = execution.reads_from
-
-    # Condition 2: no isolated transactions.
-    for child in children:
-        has_successor = any(a == child for (a, b) in relation)
-        has_predecessor = any(b == child for (a, b) in relation)
-        if not (has_successor or has_predecessor) and len(children) > 1:
-            return None
-
     results = execution.results()
-    for order in permutations(children):
-        # Condition 3: f must not order any R pair backwards.
-        position = {name: index for index, name in enumerate(order)}
-        if any(
-            position[a] > position[b]
-            for (a, b) in relation
-            if a in position and b in position
-        ):
-            continue
+
+    # Condition 2: every transaction participates in R, counting the
+    # implicit t_0 (initial-state supplier) and t_f (final-state
+    # reader) edges.  A transaction with no successor — real or t_f —
+    # cannot sit inside the chain conditions 3–4 build, and likewise
+    # for predecessors.
+    if len(children) > 1:
+        final = execution.final_state.as_dict()
+        for child in children:
+            has_successor = any(
+                a == child for (a, b) in relation
+            ) or results[child].as_dict() == final
+            if not has_successor:
+                return None
+            state = execution.input_state(child)
+            has_predecessor = any(
+                b == child for (a, b) in relation
+            ) or all(
+                source_provides(execution.initial, entity, state[entity])
+                for entity in state
+            )
+            if not has_predecessor:
+                return None
+
+    for order in _lemma3_orders(children, relation):
         # Condition 4: consecutive chaining of version states.
         chained = True
         for index in range(len(order) - 1):
@@ -104,6 +220,41 @@ def lemma3_view_serialization(
         if chained:
             return tuple(str(name) for name in order)
     return None
+
+
+def _lemma3_orders(children, relation) -> Iterator[tuple]:
+    """Orders satisfying condition 3, by pruned backtracking.
+
+    Placing transactions left to right, a candidate is admissible only
+    when no *unplaced* transaction must precede it — i.e. appending it
+    cannot order an ``R`` pair backwards.  This enumerates exactly the
+    permutations the old ``itertools.permutations`` filter accepted,
+    in the same order, without visiting doomed prefixes.
+    """
+    predecessors: dict[object, set[object]] = {
+        child: set() for child in children
+    }
+    for a, b in relation:
+        if a != b and a in predecessors and b in predecessors:
+            predecessors[b].add(a)
+
+    placed: set[object] = set()
+    order: list[object] = []
+
+    def backtrack() -> Iterator[tuple]:
+        if len(order) == len(children):
+            yield tuple(order)
+            return
+        for child in children:
+            if child in placed or predecessors[child] - placed:
+                continue
+            placed.add(child)
+            order.append(child)
+            yield from backtrack()
+            order.pop()
+            placed.discard(child)
+
+    yield from backtrack()
 
 
 def execution_is_view_serializable(execution: Execution) -> bool:

@@ -86,6 +86,7 @@ def _cmd_census(args: argparse.Namespace) -> int:
             entities=("x", "y"),
             objects=[{"x"}, {"y"}],
             seed=args.seed,
+            exact=args.exact,
         )
         print(
             f"random census: {result.total} schedules "
@@ -93,11 +94,25 @@ def _cmd_census(args: argparse.Namespace) -> int:
         )
     else:
         result = census_of_programs(
-            example1_programs(), [{"x"}, {"y"}]
+            example1_programs(),
+            [{"x"}, {"y"}],
+            limit=args.limit,
+            exact=args.exact,
+            jobs=args.jobs,
         )
-        print("exhaustive census of Example 1's programs")
+        mode = "exact" if args.exact else "fast"
+        workers = f", {args.jobs} jobs" if args.jobs > 1 else ""
+        print(
+            f"exhaustive census of Example 1's programs "
+            f"({mode} classifier{workers})"
+        )
     print(region_report(result.by_region))
     print(f"containment violations: {result.containment_failures}")
+    if not args.random:
+        print(
+            f"classification cache hits: {result.cache_hits}"
+            f"/{result.total}"
+        )
     print("strict gains:")
     for label, gain in result.strict_gains().items():
         print(f"  {label:14s} {gain}")
@@ -264,6 +279,19 @@ def build_parser() -> argparse.ArgumentParser:
     census.add_argument("--transactions", type=int, default=3)
     census.add_argument("--ops", type=int, default=3)
     census.add_argument("--seed", type=int, default=0)
+    census.add_argument(
+        "--jobs", type=int, default=1,
+        help="stripe the exhaustive census over N worker processes",
+    )
+    census.add_argument(
+        "--limit", type=int, default=None,
+        help="cap the number of interleavings examined",
+    )
+    census.add_argument(
+        "--exact", action="store_true",
+        help="run every class tester on every schedule "
+        "(disable the staged fast path)",
+    )
     census.set_defaults(func=_cmd_census)
 
     admission = sub.add_parser(

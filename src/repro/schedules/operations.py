@@ -46,6 +46,16 @@ class Operation:
             raise ScheduleError("operation needs a transaction id")
         if not self.entity:
             raise ScheduleError("operation needs an entity")
+        # Operations are hashed constantly (conflict fingerprints,
+        # occurrence counting, precedence graphs); hashing the enum
+        # member on every lookup dominated census profiles, so the
+        # hash is computed once at construction.
+        object.__setattr__(
+            self, "_hash", hash((self.txn, self.kind, self.entity))
+        )
+
+    def __hash__(self) -> int:
+        return self._hash  # type: ignore[attr-defined]
 
     @property
     def is_read(self) -> bool:

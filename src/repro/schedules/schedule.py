@@ -14,13 +14,17 @@ provides everything the Section-4 correctness-class testers need:
 * a compact parser for the paper's figures:
   ``Schedule.parse("r1(x) w1(x) r2(x) w2(y)")``.
 
-Schedules are immutable and hashable.
+Schedules are immutable and hashable.  Derived structures the class
+testers ask for repeatedly — programs, reads-from, final writers,
+occurrence numbers, the conflict fingerprint, precedence graphs — are
+memoized per instance (:meth:`Schedule.memo`); treat every returned
+container as read-only.
 """
 
 from __future__ import annotations
 
 import re
-from typing import Iterable, Iterator, Sequence
+from typing import Callable, Iterable, Iterator, Sequence
 
 from ..errors import ScheduleError
 from .operations import Operation, OpType
@@ -38,11 +42,26 @@ _KIND_BY_LETTER = {
 class Schedule:
     """An immutable totally-ordered sequence of operations."""
 
-    __slots__ = ("_ops", "_hash")
+    __slots__ = ("_ops", "_hash", "_memo")
 
     def __init__(self, operations: Iterable[Operation]) -> None:
         self._ops: tuple[Operation, ...] = tuple(operations)
         self._hash: int | None = None
+        self._memo: dict[object, object] = {}
+
+    def memo(self, key: object, factory: "Callable[[], object]") -> object:
+        """Per-schedule memo cache for derived structures.
+
+        The class testers recompute programs, reads-from maps, and
+        precedence graphs many times per classification; immutability
+        makes them safe to compute once.  Callers must not mutate the
+        cached value.
+        """
+        try:
+            return self._memo[key]
+        except KeyError:
+            value = self._memo[key] = factory()
+            return value
 
     # -- construction ------------------------------------------------------
 
@@ -120,17 +139,34 @@ class Schedule:
     def __repr__(self) -> str:
         return f"Schedule({self})"
 
+    def __getstate__(self) -> tuple[Operation, ...]:
+        # Ship only the operations across process boundaries (the
+        # census workers re-derive the memo cache locally).
+        return self._ops
+
+    def __setstate__(self, state: tuple[Operation, ...]) -> None:
+        self._ops = state
+        self._hash = None
+        self._memo = {}
+
     @property
     def transactions(self) -> tuple[str, ...]:
         """Transaction ids in first-appearance order."""
-        seen: dict[str, None] = {}
-        for op in self._ops:
-            seen.setdefault(op.txn, None)
-        return tuple(seen)
+
+        def build() -> tuple[str, ...]:
+            seen: dict[str, None] = {}
+            for op in self._ops:
+                seen.setdefault(op.txn, None)
+            return tuple(seen)
+
+        return self.memo("transactions", build)
 
     @property
     def entities(self) -> frozenset[str]:
-        return frozenset(op.entity for op in self._ops)
+        return self.memo(
+            "entities",
+            lambda: frozenset(op.entity for op in self._ops),
+        )
 
     def program(self, txn: str) -> tuple[Operation, ...]:
         """The operations of one transaction, in schedule order.
@@ -141,10 +177,13 @@ class Schedule:
         return tuple(op for op in self._ops if op.txn == txn)
 
     def programs(self) -> dict[str, tuple[Operation, ...]]:
-        result: dict[str, list[Operation]] = {}
-        for op in self._ops:
-            result.setdefault(op.txn, []).append(op)
-        return {txn: tuple(ops) for txn, ops in result.items()}
+        def build() -> dict[str, tuple[Operation, ...]]:
+            result: dict[str, list[Operation]] = {}
+            for op in self._ops:
+                result.setdefault(op.txn, []).append(op)
+            return {txn: tuple(ops) for txn, ops in result.items()}
+
+        return self.memo("programs", build)
 
     def is_serial(self) -> bool:
         """No transaction interleaves with another."""
@@ -186,28 +225,36 @@ class Schedule:
         program order, making the mapping comparable across schedules
         with the same programs (the basis of view equivalence).
         """
-        counters: dict[tuple[str, str], int] = {}
-        sources: dict[tuple[str, str, int], str | None] = {}
-        last_writer: dict[str, str] = {}
-        for op in self._ops:
-            if op.is_read:
-                key = (op.txn, op.entity)
-                occurrence = counters.get(key, 0)
-                counters[key] = occurrence + 1
-                sources[(op.txn, op.entity, occurrence)] = last_writer.get(
-                    op.entity
-                )
-            else:
-                last_writer[op.entity] = op.txn
-        return sources
+
+        def build() -> dict[tuple[str, str, int], str | None]:
+            counters: dict[tuple[str, str], int] = {}
+            sources: dict[tuple[str, str, int], str | None] = {}
+            last_writer: dict[str, str] = {}
+            for op in self._ops:
+                if op.is_read:
+                    key = (op.txn, op.entity)
+                    occurrence = counters.get(key, 0)
+                    counters[key] = occurrence + 1
+                    sources[(op.txn, op.entity, occurrence)] = (
+                        last_writer.get(op.entity)
+                    )
+                else:
+                    last_writer[op.entity] = op.txn
+            return sources
+
+        return self.memo("read_sources", build)
 
     def final_writers(self) -> dict[str, str]:
         """The transaction writing the surviving version of each entity."""
-        result: dict[str, str] = {}
-        for op in self._ops:
-            if op.is_write:
-                result[op.entity] = op.txn
-        return result
+
+        def build() -> dict[str, str]:
+            result: dict[str, str] = {}
+            for op in self._ops:
+                if op.is_write:
+                    result[op.entity] = op.txn
+            return result
+
+        return self.memo("final_writers", build)
 
     def view_equivalent(self, other: "Schedule") -> bool:
         """Classical view equivalence (same reads, same final state).
@@ -235,26 +282,54 @@ class Schedule:
         """Same programs and same order on all conflicting pairs."""
         if self.programs() != other.programs():
             return False
-        own = {
-            (self._ops[i], self._ops[j], self._occurrence_key(i, j))
-            for i, j in self.conflict_pairs()
-        }
-        theirs = {
-            (other._ops[i], other._ops[j], other._occurrence_key(i, j))
-            for i, j in other.conflict_pairs()
-        }
-        return own == theirs
+        return self.conflict_fingerprint() == other.conflict_fingerprint()
+
+    def occurrence_numbers(self) -> tuple[int, ...]:
+        """Occurrence number of every step, computed in one pass.
+
+        ``occurrence_numbers()[i]`` counts how many earlier steps are
+        identical to step ``i`` — the disambiguator for programs that
+        repeat an operation.  (The old per-pair prefix rescan made
+        :meth:`conflict_equivalent` cubic in the schedule length.)
+        """
+
+        def build() -> tuple[int, ...]:
+            counts: dict[Operation, int] = {}
+            numbers: list[int] = []
+            for op in self._ops:
+                seen = counts.get(op, 0)
+                counts[op] = seen + 1
+                numbers.append(seen)
+            return tuple(numbers)
+
+        return self.memo("occurrence_numbers", build)
+
+    def conflict_fingerprint(
+        self,
+    ) -> frozenset[tuple[Operation, Operation, int, int]]:
+        """The order of all conflicting pairs, as a comparable set.
+
+        Each element is ``(first, second, occ_first, occ_second)`` for a
+        conflicting pair with ``first`` scheduled earlier.  Two
+        schedules over the same programs are conflict equivalent iff
+        their fingerprints are equal; the census also uses the
+        fingerprint to recognise classification-equivalent
+        interleavings.
+        """
+
+        def build() -> frozenset[tuple[Operation, Operation, int, int]]:
+            numbers = self.occurrence_numbers()
+            return frozenset(
+                (self._ops[i], self._ops[j], numbers[i], numbers[j])
+                for i, j in self.conflict_pairs()
+            )
+
+        return self.memo("conflict_fingerprint", build)
 
     def _occurrence_key(self, i: int, j: int) -> tuple[int, int]:
         """Disambiguate repeated identical operations within programs."""
-
-        def occurrence(index: int) -> int:
-            op = self._ops[index]
-            return sum(
-                1 for earlier in self._ops[:index] if earlier == op
-            )
-
-        return (occurrence(i), occurrence(j))
+        numbers = self.occurrence_numbers()
+        return (numbers[i], numbers[j])
 
     # -- projections (for predicate-wise classes) ----------------------------------
 
@@ -263,12 +338,20 @@ class Schedule:
 
         Transactions whose every operation is dropped disappear from
         the projection.  Returns ``None`` when nothing remains.
+
+        Memoized: the predicate-wise testers (PWCSR, PWSR, PC) each
+        project onto the same conjuncts, and the projected schedule
+        carries its own memo cache for their serializability searches.
         """
         keep = frozenset(entities)
-        ops = [op for op in self._ops if op.entity in keep]
-        if not ops:
-            return None
-        return Schedule(ops)
+
+        def build() -> "Schedule | None":
+            ops = [op for op in self._ops if op.entity in keep]
+            if not ops:
+                return None
+            return Schedule(ops)
+
+        return self.memo(("project_entities", keep), build)
 
     def project_transactions(self, txns: Iterable[str]) -> "Schedule | None":
         keep = frozenset(txns)

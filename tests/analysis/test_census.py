@@ -93,6 +93,77 @@ class TestFigure2Reachability:
             assert schedule.entities <= mentioned, name
 
 
+class TestCensusEngines:
+    """The dedup cache, exact mode, and jobs fan-out change nothing
+    but the wall clock."""
+
+    @staticmethod
+    def counts(result):
+        return (
+            result.total,
+            result.by_region,
+            result.by_class,
+            result.containment_failures,
+        )
+
+    def test_exact_mode_counts_identical(self):
+        fast = census_of_programs(example1_programs(), [{"x"}, {"y"}])
+        exact = census_of_programs(
+            example1_programs(), [{"x"}, {"y"}], exact=True
+        )
+        assert self.counts(fast) == self.counts(exact)
+
+    def test_dedup_counts_identical_and_cache_hits(self):
+        cached = census_of_programs(example1_programs(), [{"x"}, {"y"}])
+        uncached = census_of_programs(
+            example1_programs(), [{"x"}, {"y"}], dedup=False
+        )
+        assert self.counts(cached) == self.counts(uncached)
+        assert cached.cache_hits > 0
+        assert uncached.cache_hits == 0
+
+    def test_jobs_merge_equals_single_process(self):
+        single = census_of_programs(example1_programs(), [{"x"}, {"y"}])
+        striped = census_of_programs(
+            example1_programs(), [{"x"}, {"y"}], jobs=2
+        )
+        # cache_hits may differ (per-worker caches); the counts not.
+        assert self.counts(single) == self.counts(striped)
+
+    def test_merge_sums_fields(self):
+        a = CensusResult(
+            total=2,
+            by_region={9: 2},
+            by_class={"CSR": 2},
+            cache_hits=1,
+        )
+        b = CensusResult(
+            total=3,
+            by_region={9: 1, 6: 2},
+            by_class={"CSR": 1, "SR": 3},
+            containment_failures=1,
+        )
+        merged = a.merge(b)
+        assert merged is a
+        assert merged.total == 5
+        assert merged.by_region == {9: 3, 6: 2}
+        assert merged.by_class == {"CSR": 3, "SR": 3}
+        assert merged.containment_failures == 1
+        assert merged.cache_hits == 1
+
+    def test_fingerprint_groups_equivalent_interleavings(self):
+        from repro.analysis import schedule_fingerprint
+
+        a = Schedule.parse("r1(x) r2(y) w1(x)")
+        b = Schedule.parse("r2(y) r1(x) w1(x)")  # swap non-conflicting
+        c = Schedule.parse("r1(x) w1(x) r2(y)")
+        assert schedule_fingerprint(a) == schedule_fingerprint(b)
+        assert schedule_fingerprint(a) == schedule_fingerprint(c)
+        d = Schedule.parse("r1(x) w2(x)")
+        e = Schedule.parse("w2(x) r1(x)")  # conflict order flipped
+        assert schedule_fingerprint(d) != schedule_fingerprint(e)
+
+
 class TestRandomCensus:
     def test_reproducible(self):
         a = census_of_random_schedules(30, seed=5)

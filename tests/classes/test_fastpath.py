@@ -1,0 +1,147 @@
+"""Differential tests for the staged classifier and pruned searches.
+
+The fast paths are only admissible because they are *invisible*: the
+staged ``classify()`` must return the same vector as the exact
+all-testers mode, and the pruned SR/MVSR backtracking must return the
+same witness as the literal all-permutations sweep.  These tests
+enforce both claims exhaustively over every interleaving of the
+Figure-2 program families and on random schedules.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import REGION_FAMILIES
+from repro.classes import classify
+from repro.classes.multiversion import (
+    brute_force_mv_view_serialization_order,
+    mv_view_serialization_order,
+)
+from repro.classes.view import (
+    brute_force_view_serialization_order,
+    view_serialization_order,
+)
+from repro.obs import RecordingTracer
+from repro.schedules import Schedule, interleavings, random_schedule
+
+
+def family_interleavings():
+    """Every interleaving of every Figure-2 program family."""
+    for name, (text, objects) in REGION_FAMILIES.items():
+        programs = Schedule.parse(text).programs()
+        for schedule in interleavings(programs):
+            yield name, schedule, objects
+
+
+FAMILY_CASES = list(family_interleavings())
+
+
+class TestFastVsExactClassify:
+    def test_agree_on_every_family_interleaving(self):
+        """The tentpole invariant: staged == exact, everywhere."""
+        for name, schedule, objects in FAMILY_CASES:
+            fast = classify(schedule, objects)
+            exact = classify(schedule, objects, exact=True)
+            assert fast == exact, f"{name}: {schedule}"
+
+    @settings(max_examples=80, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=100_000),
+        num_txns=st.integers(min_value=2, max_value=4),
+        ops=st.integers(min_value=1, max_value=3),
+        split=st.booleans(),
+    )
+    def test_agree_on_random_schedules(self, seed, num_txns, ops, split):
+        schedule = random_schedule(num_txns, ops, ["x", "y"], seed=seed)
+        constraint = [{"x"}, {"y"}] if split else [{"x", "y"}]
+        fast = classify(schedule, constraint)
+        exact = classify(schedule, constraint, exact=True)
+        assert fast == exact, str(schedule)
+
+
+class TestPrunedSearchesMatchBruteForce:
+    def test_sr_witness_on_every_family_interleaving(self):
+        for name, schedule, _ in FAMILY_CASES:
+            assert view_serialization_order(
+                schedule
+            ) == brute_force_view_serialization_order(schedule), (
+                f"{name}: {schedule}"
+            )
+
+    def test_mvsr_witness_on_every_family_interleaving(self):
+        for name, schedule, _ in FAMILY_CASES:
+            assert mv_view_serialization_order(
+                schedule
+            ) == brute_force_mv_view_serialization_order(schedule), (
+                f"{name}: {schedule}"
+            )
+
+    @settings(max_examples=80, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=100_000),
+        num_txns=st.integers(min_value=2, max_value=4),
+    )
+    def test_witnesses_on_random_schedules(self, seed, num_txns):
+        schedule = random_schedule(num_txns, 3, ["x", "y"], seed=seed)
+        assert view_serialization_order(
+            schedule
+        ) == brute_force_view_serialization_order(schedule)
+        assert mv_view_serialization_order(
+            schedule
+        ) == brute_force_mv_view_serialization_order(schedule)
+
+
+class TestStagedShortCircuiting:
+    """The fast path must actually *skip* the tests the lattice decides."""
+
+    def _check_spans(self, schedule, objects, exact):
+        tracer = RecordingTracer()
+        classify(schedule, objects, tracer, exact=exact)
+        return [
+            span.attrs["cls"] for span in tracer.of_kind("class.check")
+        ]
+
+    def test_csr_schedule_runs_one_test(self):
+        schedule = Schedule.parse("r1(x) w1(x) r2(x) w2(y)")
+        assert self._check_spans(schedule, [{"x"}, {"y"}], False) == [
+            "CSR"
+        ]
+
+    def test_exact_mode_runs_all_eight(self):
+        schedule = Schedule.parse("r1(x) w1(x) r2(x) w2(y)")
+        spans = self._check_spans(schedule, [{"x"}, {"y"}], True)
+        assert sorted(spans) == sorted(
+            ["CSR", "SR", "MVCSR", "MVSR", "PWCSR", "PWSR", "CPC", "PC"]
+        )
+
+    def test_mvcsr_skips_the_mvsr_search(self):
+        # Example 1: MVCSR but not CSR, so MVSR is lattice-derived.
+        schedule = Schedule.parse(
+            "r1(x) w1(x) r2(x) r2(y) w2(y) r1(y) w1(y)"
+        )
+        spans = self._check_spans(schedule, [{"x"}, {"y"}], False)
+        assert "MVSR" not in spans
+        assert "MVCSR" in spans
+
+    def test_non_mvsr_skips_the_sr_search(self):
+        # Region 1: not MVSR, hence ¬SR is derived and never searched.
+        schedule = Schedule.parse("r1(x) r2(x) w1(x) w2(x)")
+        spans = self._check_spans(schedule, [{"x"}], False)
+        assert "MVSR" in spans
+        assert "SR" not in spans
+
+    @pytest.mark.parametrize("exact", [False, True])
+    def test_span_verdicts_match_membership(self, exact):
+        schedule = Schedule.parse(
+            "r1(x) w1(x) r2(x) r2(y) w2(y) r1(y) w1(y)"
+        )
+        tracer = RecordingTracer()
+        membership = classify(
+            schedule, [{"x"}, {"y"}], tracer, exact=exact
+        )
+        vector = membership.as_dict()
+        for span in tracer.of_kind("class.check"):
+            assert span.attrs["member"] == vector[span.attrs["cls"]]

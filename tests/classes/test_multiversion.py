@@ -112,3 +112,21 @@ class TestMVSR:
             schedule = Schedule.parse(text)
             if is_mv_conflict_serializable(schedule):
                 assert is_mv_view_serializable(schedule), text
+
+    def test_pruned_search_matches_brute_force(self):
+        from repro.classes.multiversion import (
+            brute_force_mv_view_serialization_order,
+        )
+
+        for text in [
+            "r1(x) w1(x) r2(x) r2(y) w2(y) r1(y) w1(y)",
+            "r1(x) w2(x) w1(x)",
+            "r1(x) r2(x) w1(x) w2(x)",
+            "r2(x) w1(x) r1(y) w2(y)",
+            "w1(x) r1(x) w2(x) r2(x)",
+            "r1(x) w2(x) w1(x) w3(x)",
+        ]:
+            schedule = Schedule.parse(text)
+            assert mv_view_serialization_order(
+                schedule
+            ) == brute_force_mv_view_serialization_order(schedule), text

@@ -112,3 +112,41 @@ class TestLemma3:
             state,
         )
         assert lemma3_view_serialization(execution) is None
+
+    def test_sink_only_transaction_fails_condition2(self):
+        """Regression: condition 2 needs a successor AND a predecessor.
+
+        t3 reads t1's result but nothing — no real transaction and not
+        ``t_f`` (its result is not the final state) — ever reads t3's.
+        A check accepting *either* end of an ``R`` edge would wave the
+        execution through; Lemma 3 requires both.
+        """
+        from repro.core import DatabaseState, Execution, VersionState
+
+        schema = Schema.of("x", "y", domain=Domain.interval(0, 100))
+        programs = Schedule.parse(
+            "r1(x) w1(x) r2(x) w2(y) r3(x)"
+        ).programs()
+        root = leaf_transactions_from_programs(
+            schema,
+            programs,
+            Predicate.parse("x >= 0 & y >= 0"),
+            lambda txn, entity: Const(int(txn)),
+        )
+        initial = UniqueState(schema, {"x": 10, "y": 20})
+        c1, c2, c3 = root.child_names
+        state0 = VersionState(schema, initial.as_dict())
+        after1 = VersionState(
+            schema, root.child(c1).apply(state0).as_dict()
+        )
+        after2 = VersionState(
+            schema, root.child(c2).apply(after1).as_dict()
+        )
+        execution = Execution(
+            root,
+            DatabaseState.single(initial),
+            [(c1, c2), (c1, c3)],
+            {c1: state0, c2: after1, c3: after1},
+            after2,  # final state comes from t2, not the read-only t3
+        )
+        assert lemma3_view_serialization(execution) is None

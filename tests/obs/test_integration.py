@@ -129,7 +129,7 @@ class TestClassifierTracing:
 
         tracer = RecordingTracer()
         schedule = Schedule.parse("r1(x) w1(x) r2(x) w2(y)")
-        membership = classify(schedule, tracer=tracer)
+        membership = classify(schedule, tracer=tracer, exact=True)
         checks = tracer.of_kind("class.check")
         assert {span.attrs["cls"] for span in checks} == {
             "CSR", "SR", "MVCSR", "MVSR", "PWCSR", "PWSR", "CPC", "PC",
@@ -138,6 +138,19 @@ class TestClassifierTracing:
             span.attrs["cls"]: span.attrs["member"] for span in checks
         }
         assert verdicts["CSR"] == membership.csr
+
+    def test_fast_path_traces_only_the_tests_that_run(self):
+        from repro.classes import classify
+        from repro.schedules import Schedule
+
+        tracer = RecordingTracer()
+        schedule = Schedule.parse("r1(x) w1(x) r2(x) w2(y)")
+        membership = classify(schedule, tracer=tracer)
+        checks = tracer.of_kind("class.check")
+        # A CSR schedule settles all eight classes with one graph
+        # check; lattice-derived memberships produce no span.
+        assert [span.attrs["cls"] for span in checks] == ["CSR"]
+        assert membership.csr and membership.pc
 
     def test_default_is_untraced(self):
         from repro.classes import classify

@@ -126,6 +126,45 @@ class TestConflicts:
         d = Schedule.parse("w2(x) r1(x)")
         assert not c.conflict_equivalent(d)
 
+    def test_occurrence_numbers_match_prefix_rescan(self):
+        # The one-pass computation must agree with the definition:
+        # numbers[i] == how many earlier steps are identical to step i.
+        schedule = Schedule.parse(
+            "r1(x) w1(x) r1(x) w2(x) r1(x) w1(x) r2(y) w2(x)"
+        )
+        numbers = schedule.occurrence_numbers()
+        ops = schedule.operations
+        assert len(numbers) == len(ops)
+        for i, op in enumerate(ops):
+            assert numbers[i] == sum(
+                1 for earlier in ops[:i] if earlier == op
+            ), i
+
+    def test_conflict_equivalence_with_repeated_operations(self):
+        # Occurrence numbers keep the two w1(x) writes distinguishable.
+        a = Schedule.parse("w1(x) r2(y) w2(x) w1(x)")
+        b = Schedule.parse("r2(y) w1(x) w2(x) w1(x)")
+        assert a.conflict_equivalent(b)
+        c = Schedule.parse("w1(x) w1(x) r2(y) w2(x)")
+        assert not a.conflict_equivalent(c)
+
+
+class TestMemoAndPickling:
+    def test_memo_caches_derived_structures(self):
+        schedule = Schedule.parse("r1(x) w1(x) r2(x)")
+        assert schedule.read_sources() is schedule.read_sources()
+        assert schedule.programs() is schedule.programs()
+        assert schedule.final_writers() is schedule.final_writers()
+
+    def test_pickle_round_trip_drops_memo(self):
+        import pickle
+
+        schedule = Schedule.parse("r1(x) w1(x) r2(x)")
+        schedule.read_sources()  # populate the memo
+        clone = pickle.loads(pickle.dumps(schedule))
+        assert clone == schedule and hash(clone) == hash(schedule)
+        assert clone.read_sources() == schedule.read_sources()
+
 
 class TestProjections:
     def test_project_entities_examples_3a_3b(self):

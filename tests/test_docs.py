@@ -29,6 +29,7 @@ def _documented_modules(name: str) -> set[str]:
         "README.md",
         "DESIGN.md",
         "docs/paper_map.md",
+        "docs/performance.md",
         "docs/protocol.md",
         "docs/observability.md",
     ],
