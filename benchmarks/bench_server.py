@@ -1,0 +1,88 @@
+"""Experiment S1 — served-traffic throughput and latency.
+
+The in-process protocol loop (``bench_protocol.py``) measures the
+manager alone; these benchmarks measure the same lifecycle **through
+the server stack** — framing, command queue, dispatcher — so the wire
+overhead is an explicit number rather than folklore.
+
+* ``test_server_request_roundtrip`` — single-client ping round-trip
+  (pure stack overhead, no protocol work);
+* ``test_server_lifecycle_throughput`` — define → validate → read →
+  write → commit over one connection;
+* ``test_server_loadgen_mixed`` — the headline number: the loadgen's
+  mixed CAD workload over 8 concurrent connections, reported as
+  committed transactions/second (the same figure ``repro loadgen``
+  writes to ``BENCH_server.json``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.server import Client, ServerConfig, ServerThread, build_workload
+from repro.server.loadgen import run_loadgen
+
+from conftest import report
+
+
+def _workload():
+    return build_workload("cad", transactions=8, seed=3)
+
+
+def test_server_request_roundtrip(benchmark):
+    benchmark.group = "server"
+    with ServerThread(_workload().fresh_database) as handle:
+        with Client.connect("127.0.0.1", handle.port) as client:
+            benchmark(client.ping)
+
+
+def test_server_lifecycle_throughput(benchmark):
+    benchmark.group = "server"
+    with ServerThread(_workload().fresh_database) as handle:
+        with Client.connect("127.0.0.1", handle.port) as client:
+            counter = [0]
+
+            def one_transaction():
+                counter[0] += 1
+                txn = client.define(
+                    updates=["m0_e1"], input_constraint="m0_e0 >= 0"
+                )
+                client.validate(txn)
+                value = client.read(txn, "m0_e0")
+                client.write(
+                    txn, "m0_e1", (value + counter[0]) % 1000
+                )
+                client.commit(txn)
+
+            benchmark(one_transaction)
+
+
+def test_server_loadgen_mixed(benchmark):
+    """S1 headline: mixed workload over 8 concurrent connections."""
+    benchmark.group = "server"
+    workload = _workload()
+
+    def one_replay():
+        with ServerThread(
+            workload.fresh_database, ServerConfig(port=0)
+        ) as handle:
+            return asyncio.run(
+                run_loadgen(
+                    workload,
+                    clients=8,
+                    port=handle.port,
+                    connect_retries=2,
+                )
+            )
+
+    result = benchmark.pedantic(one_replay, rounds=3, iterations=1)
+    assert result.protocol_errors == 0
+    report(
+        "S1 server loadgen (8 clients, mixed CAD)",
+        f"committed {result.committed}/{result.scripts}, "
+        f"throughput {result.throughput:.1f} txn/s, "
+        f"p95 request latency "
+        f"{result.latency.percentile(95) * 1000:.2f} ms, "
+        f"busy retries {result.busy_retries}, "
+        f"restarts {result.restarts}",
+    )

@@ -8,7 +8,10 @@ Subcommands:
 * ``admission`` — the admitted-interleavings ladder (D1);
 * ``showdown`` — the P1 scheduler comparison on a CAD workload;
 * ``trace`` — record or replay a transaction-lifecycle trace (JSONL);
-* ``dot`` — export a schedule's precedence graphs as Graphviz DOT.
+* ``dot`` — export a schedule's precedence graphs as Graphviz DOT;
+* ``serve`` — run the Section-5 manager as a JSON-lines TCP service;
+* ``loadgen`` — replay a workload against a running server and write
+  ``BENCH_server.json``.
 """
 
 from __future__ import annotations
@@ -16,6 +19,19 @@ from __future__ import annotations
 import argparse
 import sys
 from typing import Sequence
+
+
+def _positive_int(text: str) -> int:
+    """argparse type for options that must be an integer >= 1."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"{text!r} is not an integer"
+        ) from None
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
 
 
 def _parse_objects(text: str | None, schedule) -> list[set[str]]:
@@ -244,6 +260,106 @@ def _cmd_dot(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import signal
+
+    from .server import ServerConfig, TransactionServer, build_workload
+
+    workload = build_workload(
+        args.workload, transactions=args.transactions, seed=args.seed
+    )
+    config = ServerConfig(
+        host=args.host,
+        port=args.port,
+        queue_size=args.queue_size,
+        request_timeout=args.request_timeout,
+        session_timeout=args.session_timeout,
+    )
+
+    async def _run() -> None:
+        server = TransactionServer(
+            workload.fresh_database(), config=config
+        )
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, stop.set)
+            except (NotImplementedError, RuntimeError, ValueError):
+                pass  # non-Unix loop or non-main thread; Ctrl-C still raises
+        await server.start()
+        print(
+            f"repro serve: {workload.name} listening on "
+            f"{config.host}:{server.port}",
+            flush=True,
+        )
+        await stop.wait()
+        print("repro serve: draining", flush=True)
+        await server.shutdown()
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .server.loadgen import (
+        build_workload,
+        report_table,
+        run_loadgen,
+    )
+
+    workload = build_workload(
+        args.workload,
+        transactions=args.transactions,
+        think=args.think,
+        seed=args.seed,
+    )
+    try:
+        report = asyncio.run(
+            run_loadgen(
+                workload,
+                clients=args.clients,
+                host=args.host,
+                port=args.port,
+                think_scale=args.think_scale,
+                max_restarts=args.max_restarts,
+                connect_retries=args.connect_retries,
+                seed=args.seed,
+            )
+        )
+    except ConnectionError as error:
+        print(
+            f"error: cannot reach server at {args.host}:{args.port} "
+            f"({error})",
+            file=sys.stderr,
+        )
+        return 2
+    except OSError as error:
+        print(
+            f"error: cannot reach server at {args.host}:{args.port} "
+            f"({error})",
+            file=sys.stderr,
+        )
+        return 2
+    print(report_table(report))
+    if args.output:
+        report.write(args.output)
+        print(f"bench -> {args.output}")
+    if report.protocol_errors:
+        print(
+            f"error: {report.protocol_errors} wire-protocol errors",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -280,8 +396,9 @@ def build_parser() -> argparse.ArgumentParser:
     census.add_argument("--ops", type=int, default=3)
     census.add_argument("--seed", type=int, default=0)
     census.add_argument(
-        "--jobs", type=int, default=1,
-        help="stripe the exhaustive census over N worker processes",
+        "--jobs", type=_positive_int, default=1,
+        help="stripe the exhaustive census over N worker processes "
+        "(must be >= 1)",
     )
     census.add_argument(
         "--limit", type=int, default=None,
@@ -357,6 +474,74 @@ def build_parser() -> argparse.ArgumentParser:
     )
     dot.add_argument("--objects")
     dot.set_defaults(func=_cmd_dot)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the Section-5 manager as a JSON-lines TCP service",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=7455,
+        help="TCP port (0 = ephemeral; default 7455)",
+    )
+    serve.add_argument(
+        "--workload", choices=("cad", "oltp"), default="cad",
+        help="workload whose database schema to serve "
+        "(must match the loadgen's)",
+    )
+    serve.add_argument("--transactions", type=_positive_int, default=16)
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument(
+        "--queue-size", type=_positive_int, default=256,
+        help="command-queue bound; overflow answers BUSY",
+    )
+    serve.add_argument(
+        "--request-timeout", type=float, default=5.0,
+        help="seconds a request may stay queued or parked",
+    )
+    serve.add_argument(
+        "--session-timeout", type=float, default=300.0,
+        help="idle seconds before a connection is closed",
+    )
+    serve.set_defaults(func=_cmd_serve)
+
+    loadgen = sub.add_parser(
+        "loadgen",
+        help="replay a workload against a running server",
+    )
+    loadgen.add_argument("--host", default="127.0.0.1")
+    loadgen.add_argument("--port", type=int, default=7455)
+    loadgen.add_argument(
+        "--clients", type=_positive_int, default=8,
+        help="number of concurrent connections",
+    )
+    loadgen.add_argument(
+        "--workload", choices=("cad", "oltp"), default="cad",
+        help="workload to replay (must match the server's)",
+    )
+    loadgen.add_argument("--transactions", type=_positive_int, default=16)
+    loadgen.add_argument("--seed", type=int, default=0)
+    loadgen.add_argument(
+        "--think", type=float, default=0.0,
+        help="scripted think time in virtual units (see --think-scale)",
+    )
+    loadgen.add_argument(
+        "--think-scale", type=float, default=0.0,
+        help="wall seconds per virtual think unit (0 = no sleeping)",
+    )
+    loadgen.add_argument(
+        "--max-restarts", type=_positive_int, default=8,
+        help="restart attempts per script before giving up",
+    )
+    loadgen.add_argument(
+        "--connect-retries", type=int, default=25,
+        help="connection attempts while waiting for the server",
+    )
+    loadgen.add_argument(
+        "--output", default="BENCH_server.json",
+        help="bench JSON path ('' = don't write)",
+    )
+    loadgen.set_defaults(func=_cmd_loadgen)
 
     return parser
 

@@ -1,0 +1,379 @@
+"""Client library for the transaction service — sync and asyncio.
+
+:class:`AsyncClient` multiplexes pipelined requests over one
+connection (each request carries a fresh id; responses resolve by id,
+so a parked request — a blocked read, a commit waiting on a
+predecessor — does not stall later ones).  :class:`Client` is the
+synchronous counterpart: one request at a time over a blocking socket,
+for scripts and tests.
+
+Both surface failed responses as the typed exceptions of
+:mod:`repro.server.errors` (``BusyError``, ``RequestTimeout``,
+``RemoteAborted``, …) and collect unsolicited server events — most
+importantly cascading-abort notifications — on ``client.events``
+(the async client additionally feeds ``event_queue`` for awaiting).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import socket
+from typing import Any, Iterable
+
+from .errors import ServerError, error_for_code
+from .protocol import (
+    MAX_FRAME_BYTES,
+    decode_frame,
+    encode_frame,
+    is_event,
+)
+
+
+def _raise_for_response(response: dict[str, Any]) -> dict[str, Any]:
+    if response.get("ok"):
+        return response
+    error = response.get("error") or {}
+    raise error_for_code(
+        str(error.get("code", "INTERNAL")),
+        str(error.get("message", "request failed")),
+        error.get("details"),
+    )
+
+
+def _define_params(
+    updates: Iterable[str],
+    input_constraint: str,
+    output_condition: str,
+    parent: str | None,
+    predecessors: Iterable[str],
+) -> dict[str, Any]:
+    params: dict[str, Any] = {
+        "updates": list(updates),
+        "input": input_constraint,
+        "output": output_condition,
+    }
+    if parent is not None:
+        params["parent"] = parent
+    predecessors = list(predecessors)
+    if predecessors:
+        params["predecessors"] = predecessors
+    return params
+
+
+class AsyncClient:
+    """One connection, pipelined requests, background frame router."""
+
+    def __init__(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        self._reader = reader
+        self._writer = writer
+        self._ids = itertools.count(1)
+        self._pending: dict[int, "asyncio.Future[dict[str, Any]]"] = {}
+        self.events: list[dict[str, Any]] = []
+        self.event_queue: "asyncio.Queue[dict[str, Any]]" = (
+            asyncio.Queue()
+        )
+        self._closed = False
+        self._reader_task = asyncio.create_task(
+            self._read_loop(), name="repro-client-reader"
+        )
+
+    @classmethod
+    async def connect(
+        cls,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        retries: int = 0,
+        retry_delay: float = 0.2,
+    ) -> "AsyncClient":
+        """Connect, optionally retrying while the server comes up."""
+        last: OSError | None = None
+        for attempt in range(retries + 1):
+            try:
+                reader, writer = await asyncio.open_connection(
+                    host, port, limit=MAX_FRAME_BYTES + 2
+                )
+                return cls(reader, writer)
+            except OSError as error:
+                last = error
+                if attempt < retries:
+                    await asyncio.sleep(retry_delay)
+        assert last is not None
+        raise last
+
+    async def _read_loop(self) -> None:
+        try:
+            while True:
+                line = await self._reader.readline()
+                if not line:
+                    break
+                frame = decode_frame(line)
+                if is_event(frame):
+                    self.events.append(frame)
+                    self.event_queue.put_nowait(frame)
+                    continue
+                future = self._pending.pop(frame.get("id"), None)
+                if future is not None and not future.done():
+                    future.set_result(frame)
+        except (ConnectionError, asyncio.CancelledError, ServerError):
+            pass
+        finally:
+            self._closed = True
+            for future in self._pending.values():
+                if not future.done():
+                    future.set_exception(
+                        ConnectionError("connection closed by server")
+                    )
+            self._pending.clear()
+
+    async def request(self, op: str, **params: Any) -> dict[str, Any]:
+        """Send one request and await its response (raises on error)."""
+        if self._closed:
+            raise ConnectionError("client is closed")
+        request_id = next(self._ids)
+        future: "asyncio.Future[dict[str, Any]]" = (
+            asyncio.get_running_loop().create_future()
+        )
+        self._pending[request_id] = future
+        self._writer.write(
+            encode_frame({"id": request_id, "op": op, **params})
+        )
+        await self._writer.drain()
+        response = await future
+        return _raise_for_response(response)
+
+    async def close(self) -> None:
+        self._closed = True
+        self._reader_task.cancel()
+        try:
+            await self._reader_task
+        except asyncio.CancelledError:
+            pass
+        try:
+            self._writer.close()
+            await self._writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+    # -- convenience lifecycle wrappers --------------------------------------
+
+    async def hello(self) -> dict[str, Any]:
+        return await self.request("hello")
+
+    async def ping(self) -> bool:
+        return bool((await self.request("ping")).get("pong"))
+
+    async def stats(self) -> dict[str, Any]:
+        return await self.request("stats")
+
+    async def define(
+        self,
+        updates: Iterable[str] = (),
+        input_constraint: str = "true",
+        output_condition: str = "true",
+        parent: str | None = None,
+        predecessors: Iterable[str] = (),
+    ) -> str:
+        response = await self.request(
+            "define",
+            **_define_params(
+                updates,
+                input_constraint,
+                output_condition,
+                parent,
+                predecessors,
+            ),
+        )
+        return str(response["txn"])
+
+    async def validate(self, txn: str) -> dict[str, Any]:
+        return await self.request("validate", txn=txn)
+
+    async def read(self, txn: str, entity: str) -> int:
+        response = await self.request("read", txn=txn, entity=entity)
+        return int(response["value"])
+
+    async def write(
+        self, txn: str, entity: str, value: int
+    ) -> dict[str, Any]:
+        return await self.request(
+            "write", txn=txn, entity=entity, value=value
+        )
+
+    async def begin_write(self, txn: str, entity: str) -> dict[str, Any]:
+        return await self.request("begin_write", txn=txn, entity=entity)
+
+    async def end_write(
+        self, txn: str, entity: str, value: int
+    ) -> dict[str, Any]:
+        return await self.request(
+            "end_write", txn=txn, entity=entity, value=value
+        )
+
+    async def commit(self, txn: str) -> dict[str, Any]:
+        return await self.request("commit", txn=txn)
+
+    async def abort(
+        self, txn: str, reason: str | None = None
+    ) -> dict[str, Any]:
+        params: dict[str, Any] = {"txn": txn}
+        if reason is not None:
+            params["reason"] = reason
+        return await self.request("abort", **params)
+
+    async def view(self, txn: str) -> dict[str, int]:
+        return dict((await self.request("view", txn=txn))["view"])
+
+
+class Client:
+    """Blocking one-request-at-a-time client.
+
+    Unsolicited event frames that arrive while waiting for a response
+    are buffered on :attr:`events` (call :meth:`poll_events` to drain
+    them without issuing a request — it pings the server, which flushes
+    anything queued ahead of the pong).
+    """
+
+    def __init__(self, sock: socket.socket) -> None:
+        self._sock = sock
+        self._file = sock.makefile("rwb")
+        self._ids = itertools.count(1)
+        self.events: list[dict[str, Any]] = []
+
+    @classmethod
+    def connect(
+        cls,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        timeout: float = 30.0,
+        retries: int = 0,
+        retry_delay: float = 0.2,
+    ) -> "Client":
+        import time as _time
+
+        last: OSError | None = None
+        for attempt in range(retries + 1):
+            try:
+                sock = socket.create_connection(
+                    (host, port), timeout=timeout
+                )
+                return cls(sock)
+            except OSError as error:
+                last = error
+                if attempt < retries:
+                    _time.sleep(retry_delay)
+        assert last is not None
+        raise last
+
+    def request(self, op: str, **params: Any) -> dict[str, Any]:
+        request_id = next(self._ids)
+        self._file.write(
+            encode_frame({"id": request_id, "op": op, **params})
+        )
+        self._file.flush()
+        while True:
+            line = self._file.readline()
+            if not line:
+                raise ConnectionError("connection closed by server")
+            frame = decode_frame(line)
+            if is_event(frame):
+                self.events.append(frame)
+                continue
+            if frame.get("id") != request_id:
+                continue  # a stale parked response; not ours
+            return _raise_for_response(frame)
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        except (OSError, ValueError):
+            pass
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "Client":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- convenience lifecycle wrappers --------------------------------------
+
+    def hello(self) -> dict[str, Any]:
+        return self.request("hello")
+
+    def ping(self) -> bool:
+        return bool(self.request("ping").get("pong"))
+
+    def poll_events(self) -> list[dict[str, Any]]:
+        """Ping to flush queued notifications; return and clear them."""
+        self.ping()
+        drained = list(self.events)
+        self.events.clear()
+        return drained
+
+    def stats(self) -> dict[str, Any]:
+        return self.request("stats")
+
+    def define(
+        self,
+        updates: Iterable[str] = (),
+        input_constraint: str = "true",
+        output_condition: str = "true",
+        parent: str | None = None,
+        predecessors: Iterable[str] = (),
+    ) -> str:
+        response = self.request(
+            "define",
+            **_define_params(
+                updates,
+                input_constraint,
+                output_condition,
+                parent,
+                predecessors,
+            ),
+        )
+        return str(response["txn"])
+
+    def validate(self, txn: str) -> dict[str, Any]:
+        return self.request("validate", txn=txn)
+
+    def read(self, txn: str, entity: str) -> int:
+        return int(self.request("read", txn=txn, entity=entity)["value"])
+
+    def write(
+        self, txn: str, entity: str, value: int
+    ) -> dict[str, Any]:
+        return self.request("write", txn=txn, entity=entity, value=value)
+
+    def begin_write(self, txn: str, entity: str) -> dict[str, Any]:
+        return self.request("begin_write", txn=txn, entity=entity)
+
+    def end_write(
+        self, txn: str, entity: str, value: int
+    ) -> dict[str, Any]:
+        return self.request(
+            "end_write", txn=txn, entity=entity, value=value
+        )
+
+    def commit(self, txn: str) -> dict[str, Any]:
+        return self.request("commit", txn=txn)
+
+    def abort(
+        self, txn: str, reason: str | None = None
+    ) -> dict[str, Any]:
+        params: dict[str, Any] = {"txn": txn}
+        if reason is not None:
+            params["reason"] = reason
+        return self.request("abort", **params)
+
+    def view(self, txn: str) -> dict[str, int]:
+        return dict(self.request("view", txn=txn)["view"])

@@ -1,0 +1,167 @@
+"""The JSON-lines wire protocol: framing, requests, responses.
+
+One frame = one JSON object, UTF-8 encoded, terminated by ``\\n``, at
+most :data:`MAX_FRAME_BYTES` long.  Three frame shapes flow on a
+connection:
+
+* **request** (client → server)::
+
+      {"id": 7, "op": "read", "txn": "t.0.3", "entity": "x"}
+
+  ``id`` is a client-chosen non-negative integer echoed in the
+  response; ids may be pipelined (multiple requests in flight) and
+  responses may arrive out of order — blocked steps park server-side
+  and answer when granted.
+
+* **response** (server → client)::
+
+      {"id": 7, "ok": true, "value": 4}
+      {"id": 7, "ok": false, "error": {"code": "BUSY", "message": …}}
+
+* **event** (server → client, unsolicited; ``id`` is absent)::
+
+      {"event": "abort", "txn": "t.0.3", "reason": "…"}
+      {"event": "shutdown"}
+
+  Events notify a session about transactions it owns that were
+  terminated from outside — most importantly cascading aborts caused
+  by another session's abort or failed re-validation.
+
+The framing layer is deliberately dumb: it validates shape (dict, id,
+op types) and size only.  Everything semantic — op dispatch, parameter
+checking, ownership — lives in :mod:`repro.server.session`.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any
+
+from .errors import ErrorCode, MalformedFrame, error_payload
+
+MAX_FRAME_BYTES = 64 * 1024
+"""Upper bound on one encoded frame, newline included."""
+
+#: The operations the server implements (documented in docs/server.md).
+OPERATIONS = (
+    "hello",
+    "ping",
+    "stats",
+    "define",
+    "validate",
+    "read",
+    "begin_write",
+    "end_write",
+    "write",
+    "commit",
+    "abort",
+    "view",
+)
+
+
+def encode_frame(payload: dict[str, Any]) -> bytes:
+    """Serialize one frame (compact JSON + newline)."""
+    line = json.dumps(payload, separators=(",", ":"), sort_keys=True)
+    data = line.encode("utf-8") + b"\n"
+    if len(data) > MAX_FRAME_BYTES:
+        raise MalformedFrame(
+            f"frame of {len(data)} bytes exceeds {MAX_FRAME_BYTES}"
+        )
+    return data
+
+
+def decode_frame(line: bytes) -> dict[str, Any]:
+    """Parse one received line into a frame dict.
+
+    Raises :class:`MalformedFrame` on oversized input, bad UTF-8, bad
+    JSON, or a non-object top level.
+    """
+    if len(line) > MAX_FRAME_BYTES:
+        raise MalformedFrame(
+            f"frame of {len(line)} bytes exceeds {MAX_FRAME_BYTES}"
+        )
+    try:
+        text = line.decode("utf-8")
+    except UnicodeDecodeError as error:
+        raise MalformedFrame(f"frame is not UTF-8: {error}") from error
+    if not text.strip():
+        raise MalformedFrame("empty frame")
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as error:
+        raise MalformedFrame(f"frame is not JSON: {error}") from error
+    if not isinstance(payload, dict):
+        raise MalformedFrame(
+            f"frame must be a JSON object, got {type(payload).__name__}"
+        )
+    return payload
+
+
+@dataclass(frozen=True)
+class Request:
+    """A validated request frame: id, operation, and its parameters."""
+
+    request_id: int
+    op: str
+    params: dict[str, Any] = field(default_factory=dict)
+
+
+def parse_request(frame: dict[str, Any]) -> Request:
+    """Validate a decoded frame as a request.
+
+    Checks the ``id`` and ``op`` fields only; unknown operations are
+    reported by the dispatcher (which can echo the id) rather than
+    here, so a typo'd op never kills the connection.
+    """
+    if "id" not in frame:
+        raise MalformedFrame("request has no 'id'")
+    request_id = frame["id"]
+    if isinstance(request_id, bool) or not isinstance(request_id, int):
+        raise MalformedFrame(
+            f"request id must be an integer, got {request_id!r}"
+        )
+    if request_id < 0:
+        raise MalformedFrame(f"request id must be >= 0, got {request_id}")
+    op = frame.get("op")
+    if not isinstance(op, str) or not op:
+        raise MalformedFrame("request has no 'op' string")
+    params = {
+        key: value
+        for key, value in frame.items()
+        if key not in ("id", "op")
+    }
+    return Request(request_id, op, params)
+
+
+def ok_response(request_id: int, **fields: Any) -> dict[str, Any]:
+    """A success response frame."""
+    return {"id": request_id, "ok": True, **fields}
+
+
+def error_response(
+    request_id: int | None,
+    code: ErrorCode,
+    message: str,
+    **details: Any,
+) -> dict[str, Any]:
+    """A failure response frame.
+
+    ``request_id`` is ``None`` when the request's id could not be
+    recovered (undecodable frame).
+    """
+    return {
+        "id": request_id,
+        "ok": False,
+        "error": error_payload(code, message, **details),
+    }
+
+
+def event_frame(event: str, **fields: Any) -> dict[str, Any]:
+    """An unsolicited server → client notification frame."""
+    return {"event": event, **fields}
+
+
+def is_event(frame: dict[str, Any]) -> bool:
+    """Is a received frame an unsolicited event (vs. a response)?"""
+    return "event" in frame and "id" not in frame

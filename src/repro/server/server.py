@@ -1,0 +1,397 @@
+"""The asyncio JSON-lines TCP transaction server.
+
+:class:`TransactionServer` binds the wire protocol
+(:mod:`repro.server.protocol`) to the command dispatcher
+(:mod:`repro.server.session`): one reader loop per connection decodes
+frames and submits them, one writer task per connection drains an
+outbound queue (responses *and* unsolicited events), and exactly one
+dispatcher task touches the transaction manager.
+
+Robustness properties (exercised by ``tests/server/test_faults.py``):
+
+* **malformed frames** are answered with a ``MALFORMED`` error and
+  counted; after ``max_malformed`` bad frames the connection is closed
+  (an oversized frame closes immediately — the stream cannot be
+  resynchronised);
+* **per-session idle timeout** — a connection that sends nothing for
+  ``session_timeout`` seconds is torn down like a disconnect;
+* **per-request timeout** — enforced by the dispatcher whether the
+  command is still queued or parked on a blocked protocol step;
+* **backpressure** — a full command queue answers ``BUSY`` instantly;
+  a session whose outbound queue overflows drops notifications (never
+  blocks the dispatcher on a slow reader);
+* **disconnect cleanup** — a dropped connection's live transactions
+  are aborted through the command queue; resulting cascades notify the
+  surviving sessions that own affected transactions;
+* **graceful drain** — :meth:`shutdown` stops accepting, lets queued
+  work finish, aborts leftovers, sends every session a ``shutdown``
+  event, and closes.
+
+:class:`ServerThread` runs the whole stack on a background thread for
+synchronous callers (the sync client's tests, benchmarks).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import json
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from ..obs.metrics import MetricsRegistry
+from ..obs.trace import Tracer
+from ..protocol.scheduler import TransactionManager
+from ..storage.database import Database
+from .errors import ErrorCode, MalformedFrame
+from .protocol import (
+    MAX_FRAME_BYTES,
+    decode_frame,
+    encode_frame,
+    error_response,
+    event_frame,
+    parse_request,
+)
+from .session import CommandDispatcher, SessionState
+
+_CLOSE = object()
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Tunables; the defaults suit tests and local load generation."""
+
+    host: str = "127.0.0.1"
+    port: int = 0  # 0 = ephemeral; read the bound port off the server
+    queue_size: int = 256
+    request_timeout: float = 5.0
+    session_timeout: float = 300.0
+    max_malformed: int = 8
+    drain_grace: float = 2.0
+    outbound_queue: int = 1024
+
+
+@dataclass
+class _Connection:
+    session: SessionState
+    writer: asyncio.StreamWriter
+    out_queue: "asyncio.Queue[Any]"
+    writer_task: asyncio.Task | None = None
+    malformed: int = 0
+    pending: set = field(default_factory=set)
+
+
+class TransactionServer:
+    """Serve the §5 transaction lifecycle over JSON-lines TCP."""
+
+    def __init__(
+        self,
+        database: Database,
+        config: ServerConfig | None = None,
+        registry: MetricsRegistry | None = None,
+        tracer: Tracer | None = None,
+    ) -> None:
+        self._config = config or ServerConfig()
+        self._registry = registry or MetricsRegistry()
+        self._manager = TransactionManager(
+            database, tracer=tracer, registry=self._registry
+        )
+        self._dispatcher = CommandDispatcher(
+            self._manager,
+            registry=self._registry,
+            queue_size=self._config.queue_size,
+            request_timeout=self._config.request_timeout,
+        )
+        self._server: asyncio.AbstractServer | None = None
+        self._dispatcher_task: asyncio.Task | None = None
+        self._connections: dict[int, _Connection] = {}
+        self._session_ids = itertools.count(1)
+        self._stopping = False
+
+    # -- accessors -----------------------------------------------------------
+
+    @property
+    def config(self) -> ServerConfig:
+        return self._config
+
+    @property
+    def registry(self) -> MetricsRegistry:
+        return self._registry
+
+    @property
+    def manager(self) -> TransactionManager:
+        return self._manager
+
+    @property
+    def dispatcher(self) -> CommandDispatcher:
+        return self._dispatcher
+
+    @property
+    def port(self) -> int:
+        assert self._server is not None, "server not started"
+        return self._server.sockets[0].getsockname()[1]
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return (self._config.host, self.port)
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def start(self) -> None:
+        self._dispatcher_task = asyncio.create_task(
+            self._dispatcher.run(), name="repro-dispatcher"
+        )
+        self._server = await asyncio.start_server(
+            self._handle_connection,
+            self._config.host,
+            self._config.port,
+            limit=MAX_FRAME_BYTES + 2,
+        )
+
+    async def serve_until(self, stop: asyncio.Event) -> None:
+        """Start, run until ``stop`` is set, then drain and shut down."""
+        await self.start()
+        await stop.wait()
+        await self.shutdown()
+
+    async def shutdown(self) -> None:
+        """Graceful drain: see the module docstring for the order."""
+        if self._stopping:
+            return
+        self._stopping = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        await self._dispatcher.drain(self._config.drain_grace)
+        for connection in list(self._connections.values()):
+            self._send(connection, event_frame("shutdown"))
+            self._send(connection, _CLOSE)
+        await self._dispatcher.stop()
+        if self._dispatcher_task is not None:
+            await self._dispatcher_task
+        for connection in list(self._connections.values()):
+            if connection.writer_task is not None:
+                try:
+                    await asyncio.wait_for(connection.writer_task, 1.0)
+                except (asyncio.TimeoutError, asyncio.CancelledError):
+                    connection.writer_task.cancel()
+
+    # -- per-connection plumbing ---------------------------------------------
+
+    def _send(self, connection: _Connection, payload: Any) -> None:
+        """Queue an outbound frame; never blocks the caller.
+
+        A slow reader whose outbound queue is full loses notifications
+        (counted) rather than stalling the dispatcher.
+        """
+        try:
+            connection.out_queue.put_nowait(payload)
+        except asyncio.QueueFull:
+            self._registry.counter("server.notify_dropped").inc()
+
+    async def _writer_loop(self, connection: _Connection) -> None:
+        try:
+            while True:
+                payload = await connection.out_queue.get()
+                if payload is _CLOSE:
+                    break
+                connection.writer.write(encode_frame(payload))
+                await connection.writer.drain()
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            try:
+                connection.writer.close()
+            except Exception:  # noqa: BLE001 — already torn down
+                pass
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        session_id = next(self._session_ids)
+        out_queue: "asyncio.Queue[Any]" = asyncio.Queue(
+            maxsize=self._config.outbound_queue
+        )
+        connection = _Connection(
+            session=SessionState(
+                session_id=session_id,
+                notify=lambda payload: self._send(
+                    self._connections[session_id], payload
+                )
+                if session_id in self._connections
+                else None,
+                peer=str(writer.get_extra_info("peername", "")),
+            ),
+            writer=writer,
+            out_queue=out_queue,
+        )
+        self._connections[session_id] = connection
+        connection.writer_task = asyncio.create_task(
+            self._writer_loop(connection),
+            name=f"repro-writer-{session_id}",
+        )
+        self._registry.gauge("server.sessions").inc()
+        try:
+            await self._read_loop(connection, reader)
+        finally:
+            self._registry.gauge("server.sessions").dec()
+            self._connections.pop(session_id, None)
+            await self._dispatcher.close_session(connection.session)
+            self._send(connection, _CLOSE)
+
+    async def _read_loop(
+        self, connection: _Connection, reader: asyncio.StreamReader
+    ) -> None:
+        while True:
+            try:
+                line = await asyncio.wait_for(
+                    reader.readline(), self._config.session_timeout
+                )
+            except asyncio.TimeoutError:
+                self._registry.counter("server.idle_closed").inc()
+                return
+            except ValueError:
+                # Oversized frame: the stream cannot be resynchronised.
+                self._registry.counter("server.malformed").inc()
+                self._send(
+                    connection,
+                    error_response(
+                        None,
+                        ErrorCode.MALFORMED,
+                        f"frame exceeds {MAX_FRAME_BYTES} bytes",
+                    ),
+                )
+                return
+            except ConnectionError:
+                return
+            if not line:
+                return  # EOF
+            if not line.strip():
+                continue  # blank keep-alive line
+            if not self._handle_frame(connection, line):
+                return
+
+    def _handle_frame(
+        self, connection: _Connection, line: bytes
+    ) -> bool:
+        """Process one frame; returns False to close the connection."""
+        try:
+            frame = decode_frame(line)
+            request = parse_request(frame)
+        except MalformedFrame as error:
+            connection.malformed += 1
+            self._registry.counter("server.malformed").inc()
+            request_id = self._recover_id(line)
+            self._send(
+                connection,
+                error_response(
+                    request_id, ErrorCode.MALFORMED, str(error)
+                ),
+            )
+            return connection.malformed < self._config.max_malformed
+        outcome = self._dispatcher.submit(connection.session, request)
+        if isinstance(outcome, dict):
+            self._send(connection, outcome)
+            return True
+        connection.pending.add(outcome)
+
+        def _deliver(future: "asyncio.Future[dict]") -> None:
+            connection.pending.discard(future)
+            if future.cancelled():
+                return
+            self._send(connection, future.result())
+
+        outcome.add_done_callback(_deliver)
+        return True
+
+    @staticmethod
+    def _recover_id(line: bytes) -> int | None:
+        """Best-effort request id for a malformed frame's response."""
+        try:
+            frame = json.loads(line.decode("utf-8", "replace"))
+        except json.JSONDecodeError:
+            return None
+        if not isinstance(frame, dict):
+            return None
+        request_id = frame.get("id")
+        if isinstance(request_id, bool) or not isinstance(
+            request_id, int
+        ):
+            return None
+        return request_id if request_id >= 0 else None
+
+
+class ServerThread:
+    """Run a :class:`TransactionServer` on a background event loop.
+
+    For synchronous callers — the sync client, benchmarks, and the CI
+    smoke test.  Use as a context manager::
+
+        with ServerThread(lambda: make_database()) as handle:
+            client = Client.connect("127.0.0.1", handle.port)
+    """
+
+    def __init__(
+        self,
+        database_factory: Callable[[], Database],
+        config: ServerConfig | None = None,
+        registry: MetricsRegistry | None = None,
+    ) -> None:
+        self._database_factory = database_factory
+        self._config = config or ServerConfig()
+        self._registry = registry
+        self._ready = threading.Event()
+        self._stop: asyncio.Event | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+        self._error: BaseException | None = None
+        self.port: int | None = None
+        self.server: TransactionServer | None = None
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+        try:
+            self.server = TransactionServer(
+                self._database_factory(),
+                config=self._config,
+                registry=self._registry,
+            )
+            await self.server.start()
+            self.port = self.server.port
+        except BaseException as error:  # noqa: BLE001 — reported to caller
+            self._error = error
+            self._ready.set()
+            raise
+        self._ready.set()
+        await self._stop.wait()
+        await self.server.shutdown()
+
+    def start(self) -> "ServerThread":
+        self._thread = threading.Thread(
+            target=lambda: asyncio.run(self._main()),
+            name="repro-server",
+            daemon=True,
+        )
+        self._thread.start()
+        self._ready.wait(timeout=10.0)
+        if self._error is not None:
+            raise RuntimeError(
+                f"server failed to start: {self._error}"
+            ) from self._error
+        if self.port is None:
+            raise RuntimeError("server did not come up within 10s")
+        return self
+
+    def stop(self) -> None:
+        if self._loop is not None and self._stop is not None:
+            self._loop.call_soon_threadsafe(self._stop.set)
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+
+    def __enter__(self) -> "ServerThread":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()

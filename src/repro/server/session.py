@@ -1,0 +1,790 @@
+"""Sessions and the command queue over the single-threaded manager.
+
+**The invariant this module exists to protect:**
+:class:`~repro.protocol.scheduler.TransactionManager` is synchronous,
+single-threaded, and non-reentrant — every method mutates shared lock,
+version, and record state with no internal synchronisation.  The server
+therefore funnels *every* manager call through one bounded
+:class:`asyncio.Queue` drained by one dispatcher task
+(:meth:`CommandDispatcher.run`).  Connection handlers never touch the
+manager; they submit :class:`Command` objects and await futures.  Even
+the resumption of parked (blocked) requests happens inside the
+dispatcher's current iteration, so at no point do two manager calls
+interleave.
+
+Blocking semantics: the manager expresses blocking as ``BLOCKED``
+step results plus ``unblocked`` lists on later results (lock-queue
+drainage).  The dispatcher turns that into *server-side parking*: a
+blocked request's command is filed under its transaction in a wait map
+and the response is sent only when the step finally completes, fails,
+or its deadline passes (``TIMEOUT``).  At most one request may be
+parked per transaction (``CONFLICT`` otherwise).
+
+Backpressure: ``submit`` never waits.  A full command queue yields an
+immediate ``BUSY`` error — the client backs off — instead of unbounded
+buffering inside the server.
+
+Cascading aborts: whenever an abort cascade touches a transaction,
+any request parked on it fails with ``ABORTED`` and the owning session
+receives an unsolicited ``{"event": "abort", …}`` frame, so a session
+learns that *another* session's write or abort invalidated its
+transaction without having to poll.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from ..core.predicates import Predicate
+from ..core.transactions import Spec
+from ..errors import (
+    PredicateParseError,
+    ProtocolError,
+    ReproError,
+    TransactionAborted,
+)
+from ..obs.metrics import MetricsRegistry
+from ..protocol.events import EventKind
+from ..protocol.scheduler import (
+    Outcome,
+    StepResult,
+    TransactionManager,
+    TxnPhase,
+)
+from .errors import (
+    ConflictingRequest,
+    ErrorCode,
+    InvalidArgument,
+    NotOwner,
+    ServerError,
+    UnknownOperation,
+    UnknownTransaction,
+)
+from .protocol import Request, error_response, event_frame, ok_response
+
+PARKED = object()
+"""Sentinel returned by op handlers that parked their command."""
+
+_STOP = object()
+"""Queue sentinel that terminates the dispatcher loop."""
+
+
+@dataclass
+class SessionState:
+    """One connected client: identity, owned transactions, notifier.
+
+    ``notify`` delivers an unsolicited event frame to the session's
+    connection (non-blocking; the transport buffers).  ``owned`` is the
+    set of transaction names this session defined — only the owner may
+    drive a transaction's lifecycle, and only the owner is notified
+    when it is aborted from outside.
+    """
+
+    session_id: int
+    notify: Callable[[dict[str, Any]], None]
+    peer: str = ""
+    owned: set[str] = field(default_factory=set)
+    closed: bool = False
+
+    @property
+    def name(self) -> str:
+        return f"s{self.session_id}"
+
+
+@dataclass
+class Command:
+    """One submitted request on its way through the dispatcher."""
+
+    session: SessionState
+    request_id: int
+    op: str
+    params: dict[str, Any]
+    future: "asyncio.Future[dict[str, Any]]"
+    enqueued_at: float
+    deadline: float
+    parked_on: str | None = None
+    blocked_entity: str | None = None
+    timer: asyncio.TimerHandle | None = None
+
+
+_REQUIRED = object()
+
+
+class CommandDispatcher:
+    """Serializes all manager access through one bounded queue."""
+
+    def __init__(
+        self,
+        manager: TransactionManager,
+        *,
+        registry: MetricsRegistry | None = None,
+        queue_size: int = 256,
+        request_timeout: float = 5.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self._tm = manager
+        self._registry = registry
+        self._queue: "asyncio.Queue[Command | object]" = asyncio.Queue(
+            maxsize=max(1, queue_size)
+        )
+        self._request_timeout = request_timeout
+        self._clock = clock
+        # txn name -> the one command parked on it.
+        self._lock_waiters: dict[str, Command] = {}
+        self._commit_waiters: dict[str, Command] = {}
+        self._owners: dict[str, SessionState] = {}
+        self._draining = False
+        self._stopped = False
+
+    # -- metrics helpers -----------------------------------------------------
+
+    def _count(self, name: str, amount: float = 1.0) -> None:
+        if self._registry is not None:
+            self._registry.counter(name).inc(amount)
+
+    def _observe(self, name: str, value: float) -> None:
+        if self._registry is not None:
+            self._registry.histogram(name).observe(value)
+
+    def _gauge_set(self, name: str, value: float) -> None:
+        if self._registry is not None:
+            self._registry.gauge(name).set(value)
+
+    # -- accessors -----------------------------------------------------------
+
+    @property
+    def manager(self) -> TransactionManager:
+        return self._tm
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    @property
+    def queue_depth(self) -> int:
+        return self._queue.qsize()
+
+    @property
+    def parked_count(self) -> int:
+        return len(self._lock_waiters) + len(self._commit_waiters)
+
+    def owner_of(self, txn: str) -> SessionState | None:
+        return self._owners.get(txn)
+
+    # -- submission ----------------------------------------------------------
+
+    def submit(
+        self, session: SessionState, request: Request
+    ) -> "asyncio.Future[dict[str, Any]] | dict[str, Any]":
+        """Enqueue a request; never blocks.
+
+        Returns the command's future, or an immediate error response
+        dict when the request cannot be admitted (``BUSY`` /
+        ``SHUTTING_DOWN``).
+        """
+        if self._draining or self._stopped:
+            return error_response(
+                request.request_id,
+                ErrorCode.SHUTTING_DOWN,
+                "server is draining; no new requests admitted",
+            )
+        now = self._clock()
+        loop = asyncio.get_running_loop()
+        command = Command(
+            session=session,
+            request_id=request.request_id,
+            op=request.op,
+            params=request.params,
+            future=loop.create_future(),
+            enqueued_at=now,
+            deadline=now + self._request_timeout,
+        )
+        try:
+            self._queue.put_nowait(command)
+        except asyncio.QueueFull:
+            self._count("server.busy")
+            return error_response(
+                request.request_id,
+                ErrorCode.BUSY,
+                "command queue full; back off and retry",
+                queue_size=self._queue.maxsize,
+            )
+        self._count("server.requests")
+        self._count(f"server.requests.{request.op}")
+        self._gauge_set("server.queue.depth", self._queue.qsize())
+        return command.future
+
+    async def submit_internal(
+        self, session: SessionState, op: str, params: dict[str, Any]
+    ) -> dict[str, Any] | None:
+        """Server-originated command (session cleanup): waits for queue
+        space instead of failing ``BUSY``, and is a no-op mid-drain
+        (the drain itself aborts every live transaction)."""
+        if self._draining or self._stopped:
+            return None
+        now = self._clock()
+        loop = asyncio.get_running_loop()
+        command = Command(
+            session=session,
+            request_id=-1,
+            op=op,
+            params=params,
+            future=loop.create_future(),
+            enqueued_at=now,
+            deadline=now + self._request_timeout,
+        )
+        await self._queue.put(command)
+        return await command.future
+
+    # -- the dispatcher loop -------------------------------------------------
+
+    async def run(self) -> None:
+        """Drain the command queue forever (until :meth:`stop`).
+
+        This coroutine is the **only** code path that calls into the
+        transaction manager.
+        """
+        while True:
+            item = await self._queue.get()
+            if item is _STOP:
+                break
+            assert isinstance(item, Command)
+            self._gauge_set("server.queue.depth", self._queue.qsize())
+            now = self._clock()
+            self._observe("server.queue.wait", now - item.enqueued_at)
+            if item.future.cancelled():
+                continue
+            if now > item.deadline:
+                self._resolve(
+                    item,
+                    error_response(
+                        item.request_id,
+                        ErrorCode.TIMEOUT,
+                        "request timed out in the command queue",
+                    ),
+                )
+                continue
+            self._run_command(item)
+        self._stopped = True
+
+    async def stop(self) -> None:
+        """Terminate :meth:`run` after the already-queued commands."""
+        self._draining = True
+        await self._queue.put(_STOP)
+
+    async def drain(self, grace: float = 2.0) -> None:
+        """Graceful shutdown: stop admitting, finish, abort leftovers.
+
+        1. flips to draining (new submits get ``SHUTTING_DOWN``);
+        2. waits up to ``grace`` seconds for the queue and the parked
+           requests to empty naturally;
+        3. fails whatever is still parked with ``SHUTTING_DOWN``;
+        4. aborts every live top-level transaction so lock and version
+           state is clean (owners receive abort events first, then the
+           transport layer sends ``{"event": "shutdown"}``).
+        """
+        self._draining = True
+        deadline = self._clock() + grace
+        while (
+            self._queue.qsize() or self.parked_count
+        ) and self._clock() < deadline:
+            await asyncio.sleep(0.02)
+        for store in (self._lock_waiters, self._commit_waiters):
+            for command in list(store.values()):
+                self._unpark(command)
+                self._resolve(
+                    command,
+                    error_response(
+                        command.request_id,
+                        ErrorCode.SHUTTING_DOWN,
+                        "server shut down while the request was parked",
+                    ),
+                )
+        root = self._tm.root
+        for child in self._tm.children_of(root):
+            if not self._tm.record(child).terminated:
+                cascade = self._tm.abort(child, reason="server shutdown")
+                self._after_abort(cascade)
+
+    # -- command execution ---------------------------------------------------
+
+    def _run_command(self, command: Command) -> None:
+        try:
+            result = self._execute(command)
+        except ServerError as error:
+            result = error_response(
+                command.request_id,
+                error.code,
+                str(error),
+                **error.details,
+            )
+        except TransactionAborted as error:
+            result = error_response(
+                command.request_id, ErrorCode.ABORTED, str(error)
+            )
+        except ProtocolError as error:
+            result = error_response(
+                command.request_id, ErrorCode.PROTOCOL, str(error)
+            )
+        except ReproError as error:
+            result = error_response(
+                command.request_id, ErrorCode.INVALID_ARG, str(error)
+            )
+        except Exception as error:  # noqa: BLE001 — fault barrier
+            result = error_response(
+                command.request_id,
+                ErrorCode.INTERNAL,
+                f"{type(error).__name__}: {error}",
+            )
+        if result is PARKED:
+            return
+        self._resolve(command, result)
+
+    def _resolve(self, command: Command, response: dict[str, Any]) -> None:
+        if command.timer is not None:
+            command.timer.cancel()
+            command.timer = None
+        if not command.future.done():
+            command.future.set_result(response)
+        self._observe(
+            "server.request.latency",
+            self._clock() - command.enqueued_at,
+        )
+        if response.get("ok") is False:
+            code = response.get("error", {}).get("code", "INTERNAL")
+            self._count(f"server.errors.{code}")
+
+    def _execute(self, command: Command) -> dict[str, Any] | object:
+        op = command.op
+        if op == "ping":
+            return ok_response(command.request_id, pong=True)
+        if op == "hello":
+            return self._op_hello(command)
+        if op == "stats":
+            return self._op_stats(command)
+        if op == "define":
+            return self._op_define(command)
+        if op == "validate":
+            return self._op_validate(command)
+        if op == "read":
+            return self._op_read(command)
+        if op == "begin_write":
+            return self._op_begin_write(command)
+        if op == "end_write":
+            return self._op_end_write(command)
+        if op == "write":
+            return self._op_write(command)
+        if op == "commit":
+            return self._op_commit(command)
+        if op == "abort":
+            return self._op_abort(command)
+        if op == "view":
+            return self._op_view(command)
+        raise UnknownOperation(f"unknown operation {op!r}")
+
+    # -- parameter plumbing --------------------------------------------------
+
+    @staticmethod
+    def _str_param(
+        params: dict[str, Any], key: str, default: Any = _REQUIRED
+    ) -> str:
+        value = params.get(key, default)
+        if value is _REQUIRED:
+            raise InvalidArgument(f"missing required parameter {key!r}")
+        if not isinstance(value, str) or not value:
+            raise InvalidArgument(
+                f"parameter {key!r} must be a non-empty string"
+            )
+        return value
+
+    @staticmethod
+    def _int_param(params: dict[str, Any], key: str) -> int:
+        value = params.get(key, _REQUIRED)
+        if value is _REQUIRED:
+            raise InvalidArgument(f"missing required parameter {key!r}")
+        if isinstance(value, bool) or not isinstance(value, int):
+            raise InvalidArgument(
+                f"parameter {key!r} must be an integer, got {value!r}"
+            )
+        return value
+
+    @staticmethod
+    def _name_list_param(
+        params: dict[str, Any], key: str
+    ) -> list[str]:
+        value = params.get(key, [])
+        if not isinstance(value, list) or any(
+            not isinstance(item, str) for item in value
+        ):
+            raise InvalidArgument(
+                f"parameter {key!r} must be a list of strings"
+            )
+        return value
+
+    def _owned_txn(self, command: Command, key: str = "txn") -> str:
+        """Resolve + authorise the transaction a request targets."""
+        name = self._str_param(command.params, key)
+        try:
+            self._tm.record(name)
+        except ProtocolError:
+            raise UnknownTransaction(
+                f"unknown transaction {name!r}"
+            ) from None
+        if name not in command.session.owned:
+            raise NotOwner(
+                f"transaction {name} belongs to another session"
+            )
+        return name
+
+    @staticmethod
+    def _parse_predicate(text: str, role: str) -> Predicate:
+        try:
+            return Predicate.parse(text)
+        except PredicateParseError as error:
+            raise InvalidArgument(
+                f"unparseable {role} predicate {text!r}: {error}"
+            ) from error
+
+    # -- operations ----------------------------------------------------------
+
+    def _op_hello(self, command: Command) -> dict[str, Any]:
+        return ok_response(
+            command.request_id,
+            server="repro",
+            protocol=1,
+            session=command.session.name,
+            root=self._tm.root,
+            entities=sorted(self._tm.database.schema.names),
+            constraint=str(self._tm.database.constraint),
+        )
+
+    def _op_stats(self, command: Command) -> dict[str, Any]:
+        snapshot = (
+            self._registry.snapshot() if self._registry is not None else {}
+        )
+        return ok_response(
+            command.request_id,
+            stats=snapshot,
+            queue_depth=self._queue.qsize(),
+            parked=self.parked_count,
+        )
+
+    def _op_define(self, command: Command) -> dict[str, Any]:
+        params = command.params
+        parent = params.get("parent") or self._tm.root
+        if not isinstance(parent, str):
+            raise InvalidArgument("parameter 'parent' must be a string")
+        if parent != self._tm.root:
+            # Nesting below a session's own transactions is allowed;
+            # nesting below someone else's tree is not.
+            try:
+                self._tm.record(parent)
+            except ProtocolError:
+                raise UnknownTransaction(
+                    f"unknown parent {parent!r}"
+                ) from None
+            if parent not in command.session.owned:
+                raise NotOwner(
+                    f"parent {parent} belongs to another session"
+                )
+        spec = Spec(
+            self._parse_predicate(
+                self._str_param(params, "input", "true"), "input"
+            ),
+            self._parse_predicate(
+                self._str_param(params, "output", "true"), "output"
+            ),
+        )
+        updates = self._name_list_param(params, "updates")
+        # Cross-session cooperation edges: predecessors may be owned by
+        # any session.  Aborted or vanished predecessors are dropped —
+        # they can never commit, so the ordering obligation is vacuous
+        # (mirrors the scheduler adapter).
+        predecessors = []
+        for predecessor in self._name_list_param(params, "predecessors"):
+            try:
+                record = self._tm.record(predecessor)
+            except ProtocolError:
+                continue
+            if record.phase is not TxnPhase.ABORTED:
+                predecessors.append(predecessor)
+        name = self._tm.define(
+            parent, spec, updates, predecessors=predecessors
+        )
+        command.session.owned.add(name)
+        self._owners[name] = command.session
+        self._count("server.txns.defined")
+        return ok_response(command.request_id, txn=name)
+
+    def _op_validate(self, command: Command) -> dict[str, Any] | object:
+        name = self._owned_txn(command)
+        step = self._tm.validate(name)
+        if step.outcome is Outcome.BLOCKED:
+            return self._park(
+                command, name, self._lock_waiters, step.blocked_on
+            )
+        if step.outcome is Outcome.FAILED:
+            self._apply_side_effects(step)
+            return ok_response(
+                command.request_id,
+                outcome="failed",
+                reason=step.reason,
+                aborted=step.aborted,
+            )
+        self._apply_side_effects(step)
+        assigned = {
+            item: str(version)
+            for item, version in sorted(
+                self._tm.assigned_versions(name).items()
+            )
+        }
+        return ok_response(
+            command.request_id, outcome="ok", assigned=assigned
+        )
+
+    def _op_read(self, command: Command) -> dict[str, Any] | object:
+        name = self._owned_txn(command)
+        entity = self._str_param(command.params, "entity")
+        step = self._tm.read(name, entity)
+        if step.outcome is Outcome.BLOCKED:
+            return self._park(
+                command, name, self._lock_waiters, step.blocked_on
+            )
+        self._apply_side_effects(step)
+        return ok_response(command.request_id, value=step.value)
+
+    def _op_begin_write(self, command: Command) -> dict[str, Any]:
+        name = self._owned_txn(command)
+        entity = self._str_param(command.params, "entity")
+        step = self._tm.begin_write(name, entity)
+        self._apply_side_effects(step)
+        return ok_response(command.request_id)
+
+    def _op_end_write(self, command: Command) -> dict[str, Any]:
+        name = self._owned_txn(command)
+        entity = self._str_param(command.params, "entity")
+        value = self._int_param(command.params, "value")
+        step = self._tm.end_write(name, entity, value)
+        self._apply_side_effects(step)
+        return ok_response(
+            command.request_id,
+            aborted=step.aborted,
+            reassigned=step.reassigned,
+        )
+
+    def _op_write(self, command: Command) -> dict[str, Any]:
+        name = self._owned_txn(command)
+        entity = self._str_param(command.params, "entity")
+        value = self._int_param(command.params, "value")
+        self._tm.begin_write(name, entity)
+        step = self._tm.end_write(name, entity, value)
+        self._apply_side_effects(step)
+        return ok_response(
+            command.request_id,
+            aborted=step.aborted,
+            reassigned=step.reassigned,
+        )
+
+    def _op_commit(self, command: Command) -> dict[str, Any] | object:
+        name = self._owned_txn(command)
+        ok, reason = self._tm.can_commit(name)
+        if not ok and "predecessor" in reason:
+            return self._park(command, name, self._commit_waiters, None)
+        if not ok:
+            return ok_response(
+                command.request_id, outcome="failed", reason=reason
+            )
+        step = self._tm.commit(name)
+        self._count("server.txns.committed")
+        self._apply_side_effects(step)
+        return ok_response(command.request_id, outcome="committed")
+
+    def _op_abort(self, command: Command) -> dict[str, Any]:
+        name = self._owned_txn(command)
+        reason = command.params.get("reason")
+        if reason is not None and not isinstance(reason, str):
+            raise InvalidArgument("parameter 'reason' must be a string")
+        cascade = self._tm.abort(name, reason=reason or "client requested")
+        self._count("server.txns.aborted")
+        # The requester learns its own abort from the response; only
+        # cascade victims are notified.
+        self._after_abort(cascade, notify_exclude={name})
+        return ok_response(
+            command.request_id,
+            outcome="aborted",
+            cascade=[other for other in cascade if other != name],
+        )
+
+    def _op_view(self, command: Command) -> dict[str, Any]:
+        name = self._owned_txn(command)
+        return ok_response(command.request_id, view=self._tm.view(name))
+
+    # -- parking & side effects ----------------------------------------------
+
+    def _park(
+        self,
+        command: Command,
+        txn: str,
+        store: dict[str, Command],
+        entity: str | None,
+    ) -> object:
+        if txn in self._lock_waiters or txn in self._commit_waiters:
+            raise ConflictingRequest(
+                f"another request is already parked on {txn}"
+            )
+        command.parked_on = txn
+        command.blocked_entity = entity
+        store[txn] = command
+        self._count("server.parked")
+        remaining = command.deadline - self._clock()
+        loop = asyncio.get_running_loop()
+        if remaining <= 0:
+            self._expire(command)
+            return PARKED
+        command.timer = loop.call_later(
+            remaining, self._expire, command
+        )
+        return PARKED
+
+    def _unpark(self, command: Command) -> None:
+        if command.parked_on is None:
+            return
+        self._lock_waiters.pop(command.parked_on, None)
+        self._commit_waiters.pop(command.parked_on, None)
+        command.parked_on = None
+        if command.timer is not None:
+            command.timer.cancel()
+            command.timer = None
+
+    def _expire(self, command: Command) -> None:
+        """Deadline callback for a parked command.
+
+        The underlying lock request stays queued with the manager (the
+        protocol tolerates that — a later grant just means the lock is
+        held); the *client* is released with ``TIMEOUT`` and should
+        abort or retry.
+        """
+        if command.parked_on is None:
+            return
+        what = (
+            f"write on {command.blocked_entity}"
+            if command.blocked_entity
+            else "partial-order predecessors"
+        )
+        self._unpark(command)
+        self._count("server.timeouts")
+        self._resolve(
+            command,
+            error_response(
+                command.request_id,
+                ErrorCode.TIMEOUT,
+                f"{command.op} timed out waiting on {what}",
+            ),
+        )
+
+    def _apply_side_effects(self, step: StepResult) -> None:
+        """Propagate one step's aborted/unblocked lists to parked
+        commands and owning sessions (runs inside the dispatcher
+        iteration — the single-threaded invariant holds)."""
+        if step.aborted:
+            self._after_abort(step.aborted)
+            return  # _after_abort already resumes waiters + ripeness
+        for name in step.unblocked:
+            self._resume_lock_waiter(name)
+        self._check_commit_waiters()
+
+    def _after_abort(
+        self,
+        cascade: list[str],
+        notify_exclude: frozenset[str] | set[str] = frozenset(),
+    ) -> None:
+        for name in cascade:
+            for store in (self._lock_waiters, self._commit_waiters):
+                command = store.get(name)
+                if command is None:
+                    continue
+                self._unpark(command)
+                self._resolve(
+                    command,
+                    error_response(
+                        command.request_id,
+                        ErrorCode.ABORTED,
+                        f"transaction {name} aborted: "
+                        f"{self._abort_reason(name)}",
+                    ),
+                )
+            session = self._owners.get(name)
+            if (
+                session is not None
+                and not session.closed
+                and name not in notify_exclude
+            ):
+                session.notify(
+                    event_frame(
+                        "abort",
+                        txn=name,
+                        reason=self._abort_reason(name),
+                    )
+                )
+                self._count("server.notifications")
+        # An abort releases W locks and expunges versions, which can
+        # unblock any parked reader — the manager does not report those
+        # grants, so re-run every lock waiter (they re-park if still
+        # blocked, keeping their original deadline).
+        self._resume_all_lock_waiters()
+        self._check_commit_waiters()
+
+    def _abort_reason(self, name: str) -> str:
+        for event in reversed(list(self._tm.log)):
+            if event.kind is EventKind.ABORT and event.txn == name:
+                return str(event.details.get("reason", "aborted"))
+        return "aborted"
+
+    def _resume_lock_waiter(self, name: str) -> None:
+        command = self._lock_waiters.get(name)
+        if command is None:
+            return
+        self._unpark(command)
+        self._run_command(command)
+
+    def _resume_all_lock_waiters(self) -> None:
+        for command in list(self._lock_waiters.values()):
+            self._unpark(command)
+            self._run_command(command)
+
+    def _check_commit_waiters(self) -> None:
+        """Resume commit-parked commands whose predecessors resolved."""
+        for name, command in list(self._commit_waiters.items()):
+            if name not in self._commit_waiters:
+                continue  # resolved by a recursive resume
+            ok, reason = self._tm.can_commit(name)
+            if ok or "predecessor" not in (reason or ""):
+                self._unpark(command)
+                self._run_command(command)
+
+    # -- session lifecycle ---------------------------------------------------
+
+    async def close_session(self, session: SessionState) -> None:
+        """Tear down a disconnected session: abort its live work.
+
+        Aborts cascade through the manager as usual, so transactions in
+        *other* sessions that read this session's versions are aborted
+        and notified — the "killed client mid-transaction" path.
+        """
+        session.closed = True
+        live = [
+            name
+            for name in sorted(session.owned)
+            if not self._tm.record(name).terminated
+        ]
+        for name in live:
+            if self._tm.record(name).terminated:
+                continue  # an earlier cascade got it
+            await self.submit_internal(
+                session,
+                "abort",
+                {"txn": name, "reason": "session disconnected"},
+            )

@@ -25,7 +25,13 @@ from repro.classes.view import (
     view_serialization_order,
 )
 from repro.obs import RecordingTracer
-from repro.schedules import Schedule, interleavings, random_schedule
+from repro.schedules import (
+    Operation,
+    OpType,
+    Schedule,
+    interleavings,
+    random_schedule,
+)
 
 
 def family_interleavings():
@@ -60,6 +66,50 @@ class TestFastVsExactClassify:
         fast = classify(schedule, constraint)
         exact = classify(schedule, constraint, exact=True)
         assert fast == exact, str(schedule)
+
+
+def _operations() -> st.SearchStrategy[Operation]:
+    """One read or write by transaction 1–3 on entity x or y."""
+    return st.builds(
+        Operation,
+        st.sampled_from(["1", "2", "3"]),
+        st.sampled_from([OpType.READ, OpType.WRITE]),
+        st.sampled_from(["x", "y"]),
+    )
+
+
+def _schedules() -> st.SearchStrategy[Schedule]:
+    """Schedules drawn directly from operation-list strategies.
+
+    Unlike ``random_schedule`` (seeded generator, uniform shapes), this
+    lets hypothesis *shrink* failures to minimal schedules and explore
+    degenerate shapes the generator never emits: single-transaction
+    schedules, repeated identical operations, blind writes, entirely
+    read-only schedules.
+    """
+    return st.lists(_operations(), min_size=1, max_size=10).map(Schedule)
+
+
+class TestFastVsExactClassifyPropertyBased:
+    """Satellite: strategy-generated (not seed-based) agreement check."""
+
+    @settings(max_examples=150, deadline=None)
+    @given(schedule=_schedules(), split=st.booleans())
+    def test_agree_on_generated_schedules(self, schedule, split):
+        constraint = [{"x"}, {"y"}] if split else [{"x", "y"}]
+        fast = classify(schedule, constraint)
+        exact = classify(schedule, constraint, exact=True)
+        assert fast == exact, str(schedule)
+
+    @settings(max_examples=60, deadline=None)
+    @given(schedule=_schedules())
+    def test_witnesses_agree_on_generated_schedules(self, schedule):
+        assert view_serialization_order(
+            schedule
+        ) == brute_force_view_serialization_order(schedule), str(schedule)
+        assert mv_view_serialization_order(
+            schedule
+        ) == brute_force_mv_view_serialization_order(schedule), str(schedule)
 
 
 class TestPrunedSearchesMatchBruteForce:

@@ -1,0 +1,51 @@
+"""Shared helpers for the server tests.
+
+There is no pytest-asyncio in the dependency set, so every async test
+runs through :func:`run` (``asyncio.run`` plus a watchdog timeout) and
+servers are managed with the :func:`serving` async context manager.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+
+from repro.core.entities import Domain, Entity, Schema
+from repro.core.predicates import Predicate
+from repro.server import ServerConfig, TransactionServer
+from repro.storage.database import Database
+
+
+def tiny_db() -> Database:
+    """Two entities, trivial constraint, initial value 1 each."""
+    schema = Schema(
+        [
+            Entity("x", Domain.interval(0, 100)),
+            Entity("y", Domain.interval(0, 100)),
+        ]
+    )
+    return Database(
+        schema, Predicate.parse("x >= 0 & y >= 0"), {"x": 1, "y": 1}
+    )
+
+
+def run(coro, timeout: float = 30.0):
+    """Run one async test body with a hang watchdog."""
+    async def _guarded():
+        return await asyncio.wait_for(coro, timeout=timeout)
+
+    return asyncio.run(_guarded())
+
+
+@contextlib.asynccontextmanager
+async def serving(database: Database | None = None, **config_kw):
+    """A started :class:`TransactionServer` on an ephemeral port."""
+    server = TransactionServer(
+        database if database is not None else tiny_db(),
+        ServerConfig(port=0, **config_kw),
+    )
+    await server.start()
+    try:
+        yield server
+    finally:
+        await server.shutdown()

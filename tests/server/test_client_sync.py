@@ -1,0 +1,92 @@
+"""The blocking client against a background-thread server."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.server import (
+    Client,
+    RemoteAborted,
+    ServerConfig,
+    ServerThread,
+    UnknownTransaction,
+)
+
+from .conftest import tiny_db
+
+
+@pytest.fixture()
+def server():
+    with ServerThread(tiny_db) as handle:
+        yield handle
+
+
+class TestSyncClient:
+    def test_full_lifecycle(self, server):
+        with Client.connect("127.0.0.1", server.port) as client:
+            assert client.ping()
+            hello = client.hello()
+            assert hello["entities"] == ["x", "y"]
+            txn = client.define(
+                updates=["x"],
+                input_constraint="x >= 0",
+                output_condition="x >= 0",
+            )
+            assert client.validate(txn)["outcome"] == "ok"
+            value = client.read(txn, "x")
+            client.write(txn, "x", value + 2)
+            assert client.view(txn)["x"] == value + 2
+            assert client.commit(txn)["outcome"] == "committed"
+
+    def test_typed_errors(self, server):
+        with Client.connect("127.0.0.1", server.port) as client:
+            with pytest.raises(UnknownTransaction):
+                client.read("t.404", "x")
+
+    def test_poll_events_surfaces_cascading_abort(self, server):
+        with Client.connect("127.0.0.1", server.port) as writer_client:
+            with Client.connect("127.0.0.1", server.port) as reader:
+                ta = writer_client.define(updates=["x"])
+                writer_client.validate(ta)
+                writer_client.write(ta, "x", 7)
+                tb = reader.define(input_constraint="x >= 5")
+                reader.validate(tb)
+                assert reader.read(tb, "x") == 7
+                writer_client.abort(ta)
+                events = reader.poll_events()
+                assert any(
+                    event["event"] == "abort" and event["txn"] == tb
+                    for event in events
+                )
+                with pytest.raises(RemoteAborted):
+                    reader.read(tb, "x")
+
+    def test_stats_roundtrip(self, server):
+        with Client.connect("127.0.0.1", server.port) as client:
+            client.ping()
+            stats = client.stats()
+            assert stats["stats"]["counters"]["server.requests"] >= 1
+
+
+class TestServerThread:
+    def test_context_manager_binds_an_ephemeral_port(self):
+        with ServerThread(
+            tiny_db, ServerConfig(port=0, queue_size=8)
+        ) as handle:
+            assert handle.port
+            with Client.connect("127.0.0.1", handle.port) as client:
+                assert client.ping()
+
+    def test_two_servers_coexist(self):
+        with ServerThread(tiny_db) as first, ServerThread(tiny_db) as second:
+            assert first.port != second.port
+            with Client.connect("127.0.0.1", first.port) as a:
+                with Client.connect("127.0.0.1", second.port) as b:
+                    ta = a.define(updates=["x"])
+                    a.validate(ta)
+                    a.write(ta, "x", 50)
+                    a.commit(ta)
+                    tb = b.define(input_constraint="x >= 0")
+                    b.validate(tb)
+                    # Isolated databases: B's server never saw 50.
+                    assert b.read(tb, "x") == 1

@@ -1,0 +1,147 @@
+"""Framing-layer tests: encode/decode, request parsing, error codes."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.server.errors import (
+    WIRE_FAULT_CODES,
+    BusyError,
+    ErrorCode,
+    MalformedFrame,
+    RemoteAborted,
+    ServerError,
+    error_for_code,
+    error_payload,
+)
+from repro.server.protocol import (
+    MAX_FRAME_BYTES,
+    decode_frame,
+    encode_frame,
+    error_response,
+    event_frame,
+    is_event,
+    ok_response,
+    parse_request,
+)
+
+
+class TestFraming:
+    def test_roundtrip(self):
+        payload = {"id": 3, "op": "read", "txn": "t.0", "entity": "x"}
+        data = encode_frame(payload)
+        assert data.endswith(b"\n")
+        assert data.count(b"\n") == 1
+        assert decode_frame(data) == payload
+
+    def test_compact_and_sorted(self):
+        data = encode_frame({"b": 1, "a": 2})
+        assert data == b'{"a":2,"b":1}\n'
+
+    def test_encode_oversized(self):
+        with pytest.raises(MalformedFrame, match="exceeds"):
+            encode_frame({"pad": "x" * MAX_FRAME_BYTES})
+
+    def test_decode_oversized(self):
+        line = b'{"pad": "' + b"x" * MAX_FRAME_BYTES + b'"}\n'
+        with pytest.raises(MalformedFrame, match="exceeds"):
+            decode_frame(line)
+
+    def test_decode_bad_utf8(self):
+        with pytest.raises(MalformedFrame, match="not UTF-8"):
+            decode_frame(b'{"id": \xff\xfe}\n')
+
+    def test_decode_bad_json(self):
+        with pytest.raises(MalformedFrame, match="not JSON"):
+            decode_frame(b"{nope\n")
+
+    def test_decode_non_object(self):
+        with pytest.raises(MalformedFrame, match="JSON object"):
+            decode_frame(b"[1, 2]\n")
+
+    def test_decode_empty(self):
+        with pytest.raises(MalformedFrame, match="empty"):
+            decode_frame(b"   \n")
+
+
+class TestParseRequest:
+    def test_splits_params(self):
+        request = parse_request(
+            {"id": 7, "op": "read", "txn": "t.0", "entity": "x"}
+        )
+        assert request.request_id == 7
+        assert request.op == "read"
+        assert request.params == {"txn": "t.0", "entity": "x"}
+
+    @pytest.mark.parametrize(
+        "frame",
+        [
+            {"op": "ping"},  # no id
+            {"id": "7", "op": "ping"},  # string id
+            {"id": True, "op": "ping"},  # bool id
+            {"id": -1, "op": "ping"},  # negative id
+            {"id": 7},  # no op
+            {"id": 7, "op": ""},  # empty op
+            {"id": 7, "op": 3},  # non-string op
+        ],
+    )
+    def test_rejects_bad_shapes(self, frame):
+        with pytest.raises(MalformedFrame):
+            parse_request(frame)
+
+    def test_unknown_op_is_not_a_framing_error(self):
+        # Typo'd ops parse fine; the dispatcher answers UNKNOWN_OP so
+        # the connection survives.
+        assert parse_request({"id": 1, "op": "nope"}).op == "nope"
+
+
+class TestResponses:
+    def test_ok_response(self):
+        assert ok_response(4, value=9) == {"id": 4, "ok": True, "value": 9}
+
+    def test_error_response(self):
+        frame = error_response(4, ErrorCode.BUSY, "full", queue_size=2)
+        assert frame["id"] == 4
+        assert frame["ok"] is False
+        assert frame["error"]["code"] == "BUSY"
+        assert frame["error"]["details"] == {"queue_size": 2}
+        # JSON-serializable end to end.
+        json.dumps(frame)
+
+    def test_error_response_without_id(self):
+        assert error_response(None, ErrorCode.MALFORMED, "bad")["id"] is None
+
+    def test_event_frames(self):
+        frame = event_frame("abort", txn="t.1", reason="cascade")
+        assert is_event(frame)
+        assert not is_event(ok_response(1))
+        assert not is_event(error_response(1, ErrorCode.BUSY, "x"))
+
+
+class TestErrorCodes:
+    def test_error_for_code_maps_to_typed_exceptions(self):
+        assert isinstance(error_for_code("BUSY", "m"), BusyError)
+        assert isinstance(error_for_code("ABORTED", "m"), RemoteAborted)
+
+    def test_every_code_has_a_class(self):
+        for code in ErrorCode:
+            error = error_for_code(code.value, "m")
+            assert error.code is code
+
+    def test_unknown_code_degrades_to_internal(self):
+        error = error_for_code("WAT", "m")
+        assert isinstance(error, ServerError)
+        assert error.code is ErrorCode.INTERNAL
+
+    def test_wire_fault_codes(self):
+        assert ErrorCode.MALFORMED in WIRE_FAULT_CODES
+        assert ErrorCode.INTERNAL in WIRE_FAULT_CODES
+        # Expected application conditions are NOT wire faults.
+        assert ErrorCode.BUSY not in WIRE_FAULT_CODES
+        assert ErrorCode.ABORTED not in WIRE_FAULT_CODES
+        assert ErrorCode.TIMEOUT not in WIRE_FAULT_CODES
+
+    def test_payload_omits_empty_details(self):
+        assert "details" not in error_payload(ErrorCode.BUSY, "m")

@@ -1,0 +1,266 @@
+"""End-to-end lifecycle tests over a real socket (async client)."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.server import (
+    AsyncClient,
+    InvalidArgument,
+    NotOwner,
+    RemoteProtocolError,
+    UnknownOperation,
+    UnknownTransaction,
+)
+
+from .conftest import run, serving
+
+
+class TestLifecycle:
+    def test_hello_describes_the_database(self):
+        async def body():
+            async with serving() as server:
+                client = await AsyncClient.connect(
+                    "127.0.0.1", server.port
+                )
+                hello = await client.hello()
+                await client.close()
+                return hello
+
+        hello = run(body())
+        assert hello["server"] == "repro"
+        assert hello["root"] == "t"
+        assert hello["entities"] == ["x", "y"]
+        assert hello["session"] == "s1"
+
+    def test_full_commit_cycle_and_visibility(self):
+        async def body():
+            async with serving() as server:
+                client = await AsyncClient.connect(
+                    "127.0.0.1", server.port
+                )
+                txn = await client.define(
+                    updates=["x"],
+                    input_constraint="x >= 0",
+                    output_condition="x >= 0",
+                )
+                validated = await client.validate(txn)
+                assert validated["outcome"] == "ok"
+                assert "x" in validated["assigned"]
+                value = await client.read(txn, "x")
+                await client.write(txn, "x", value + 5)
+                committed = await client.commit(txn)
+                assert committed["outcome"] == "committed"
+                # A later transaction observes the committed write.
+                reader = await client.define(input_constraint="x >= 0")
+                await client.validate(reader)
+                seen = await client.read(reader, "x")
+                await client.abort(reader)
+                await client.close()
+                return value, seen
+
+        before, after = run(body())
+        assert after == before + 5
+
+    def test_begin_end_write_and_view(self):
+        async def body():
+            async with serving() as server:
+                client = await AsyncClient.connect(
+                    "127.0.0.1", server.port
+                )
+                txn = await client.define(
+                    updates=["y"], input_constraint="y >= 0"
+                )
+                await client.validate(txn)
+                await client.begin_write(txn, "y")
+                await client.end_write(txn, "y", 42)
+                view = await client.view(txn)
+                await client.abort(txn)
+                await client.close()
+                return view
+
+        assert run(body())["y"] == 42
+
+    def test_failed_validation_reports_not_raises(self):
+        async def body():
+            async with serving() as server:
+                client = await AsyncClient.connect(
+                    "127.0.0.1", server.port
+                )
+                txn = await client.define(input_constraint="x >= 50")
+                result = await client.validate(txn)
+                await client.close()
+                return result
+
+        result = run(body())
+        assert result["outcome"] == "failed"
+        assert result["reason"]
+
+    def test_pipelined_requests_on_one_connection(self):
+        async def body():
+            async with serving() as server:
+                client = await AsyncClient.connect(
+                    "127.0.0.1", server.port
+                )
+                pongs = await asyncio.gather(
+                    *(client.ping() for _ in range(20))
+                )
+                await client.close()
+                return pongs
+
+        assert run(body()) == [True] * 20
+
+    def test_subtransaction_under_own_parent(self):
+        async def body():
+            async with serving() as server:
+                client = await AsyncClient.connect(
+                    "127.0.0.1", server.port
+                )
+                parent = await client.define(updates=["x", "y"])
+                await client.validate(parent)
+                child = await client.define(
+                    updates=["x"],
+                    input_constraint="x >= 0",
+                    parent=parent,
+                )
+                await client.validate(child)
+                await client.write(child, "x", 9)
+                committed = await client.commit(child)
+                await client.abort(parent)
+                await client.close()
+                return committed
+
+        assert run(body())["outcome"] == "committed"
+
+
+class TestSessionIsolation:
+    def test_other_sessions_transactions_are_protected(self):
+        async def body():
+            async with serving() as server:
+                a = await AsyncClient.connect("127.0.0.1", server.port)
+                b = await AsyncClient.connect("127.0.0.1", server.port)
+                txn = await a.define(updates=["x"])
+                with pytest.raises(NotOwner):
+                    await b.validate(txn)
+                await a.close()
+                await b.close()
+
+        run(body())
+
+    def test_cross_session_predecessor_parks_commit(self):
+        async def body():
+            async with serving() as server:
+                a = await AsyncClient.connect("127.0.0.1", server.port)
+                b = await AsyncClient.connect("127.0.0.1", server.port)
+                first = await a.define(updates=["x"])
+                await a.validate(first)
+                second = await b.define(
+                    updates=["y"], predecessors=[first]
+                )
+                await b.validate(second)
+                # B's commit must wait for A's — it parks server-side.
+                commit_task = asyncio.create_task(b.commit(second))
+                await asyncio.sleep(0.1)
+                assert not commit_task.done()
+                assert (await a.commit(first))["outcome"] == "committed"
+                result = await commit_task
+                await a.close()
+                await b.close()
+                return result
+
+        assert run(body())["outcome"] == "committed"
+
+
+class TestRequestValidation:
+    def test_unknown_op_keeps_connection_alive(self):
+        async def body():
+            async with serving() as server:
+                client = await AsyncClient.connect(
+                    "127.0.0.1", server.port
+                )
+                with pytest.raises(UnknownOperation):
+                    await client.request("frobnicate")
+                alive = await client.ping()
+                await client.close()
+                return alive
+
+        assert run(body()) is True
+
+    def test_unknown_transaction(self):
+        async def body():
+            async with serving() as server:
+                client = await AsyncClient.connect(
+                    "127.0.0.1", server.port
+                )
+                with pytest.raises(UnknownTransaction):
+                    await client.read("t.99", "x")
+                await client.close()
+
+        run(body())
+
+    def test_unparseable_predicate(self):
+        async def body():
+            async with serving() as server:
+                client = await AsyncClient.connect(
+                    "127.0.0.1", server.port
+                )
+                with pytest.raises(InvalidArgument, match="input"):
+                    await client.define(input_constraint="x >>>> 1")
+                await client.close()
+
+        run(body())
+
+    def test_missing_and_mistyped_params(self):
+        async def body():
+            async with serving() as server:
+                client = await AsyncClient.connect(
+                    "127.0.0.1", server.port
+                )
+                txn = await client.define(updates=["x"])
+                with pytest.raises(InvalidArgument, match="entity"):
+                    await client.request("read", txn=txn)
+                with pytest.raises(InvalidArgument, match="updates"):
+                    await client.request("define", updates="x")
+                await client.close()
+
+        run(body())
+
+    def test_illegal_step_maps_to_protocol_error(self):
+        async def body():
+            async with serving() as server:
+                client = await AsyncClient.connect(
+                    "127.0.0.1", server.port
+                )
+                txn = await client.define(updates=["x"])
+                # Reading before validation is an illegal phase step.
+                with pytest.raises(RemoteProtocolError):
+                    await client.read(txn, "x")
+                await client.close()
+
+        run(body())
+
+
+class TestStats:
+    def test_stats_exposes_server_metrics(self):
+        async def body():
+            async with serving() as server:
+                client = await AsyncClient.connect(
+                    "127.0.0.1", server.port
+                )
+                await client.ping()
+                txn = await client.define(updates=["x"])
+                await client.abort(txn)
+                stats = await client.stats()
+                await client.close()
+                return stats
+
+        stats = run(body())
+        counters = stats["stats"]["counters"]
+        assert counters["server.requests"] >= 3
+        assert counters["server.txns.defined"] == 1
+        assert counters["server.txns.aborted"] == 1
+        assert "server.request.latency" in stats["stats"]["histograms"]
+        assert stats["queue_depth"] == 0
+        assert stats["parked"] == 0

@@ -179,6 +179,90 @@ class TestShowdownTrace:
         assert {"arrive", "commit"} <= {span.kind for span in spans}
 
 
+class TestCensusJobsValidation:
+    @pytest.mark.parametrize("jobs", ["0", "-3", "two"])
+    def test_rejects_bad_jobs(self, jobs, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["census", "--jobs", jobs])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "--jobs" in err
+        assert "must be >= 1" in err or "not an integer" in err
+
+    def test_accepts_one(self, capsys):
+        assert main(["census", "--jobs", "1", "--limit", "5"]) == 0
+
+
+class TestServeLoadgenParsers:
+    def test_serve_defaults(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(["serve"])
+        assert args.port == 7455
+        assert args.workload == "cad"
+        assert args.queue_size == 256
+
+    def test_loadgen_defaults(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(["loadgen"])
+        assert args.clients == 8
+        assert args.output == "BENCH_server.json"
+
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["loadgen", "--clients", "0"],
+            ["serve", "--queue-size", "0"],
+            ["serve", "--workload", "tpcc"],
+        ],
+    )
+    def test_rejects_bad_values(self, argv):
+        with pytest.raises(SystemExit) as excinfo:
+            main(argv)
+        assert excinfo.value.code == 2
+
+
+class TestLoadgenCommand:
+    def test_unreachable_server_exits_2(self, capsys):
+        code = main(
+            [
+                "loadgen",
+                "--port", "1",
+                "--connect-retries", "0",
+                "--transactions", "1",
+                "--output", "",
+            ]
+        )
+        assert code == 2
+        assert "cannot reach server" in capsys.readouterr().err
+
+    def test_against_running_server(self, tmp_path, capsys):
+        import json
+
+        from repro.server import ServerThread
+        from repro.server.loadgen import build_workload
+
+        workload = build_workload("cad", transactions=4, seed=0)
+        bench = tmp_path / "BENCH_server.json"
+        with ServerThread(workload.fresh_database) as handle:
+            code = main(
+                [
+                    "loadgen",
+                    "--port", str(handle.port),
+                    "--transactions", "4",
+                    "--clients", "2",
+                    "--output", str(bench),
+                ]
+            )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "wire-protocol errors: 0" in out
+        data = json.loads(bench.read_text())
+        assert data["protocol_errors"] == 0
+        assert data["committed"] + data["gave_up"] == 4
+
+
 class TestParser:
     def test_missing_command_exits(self):
         with pytest.raises(SystemExit):

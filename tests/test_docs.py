@@ -32,6 +32,7 @@ def _documented_modules(name: str) -> set[str]:
         "docs/performance.md",
         "docs/protocol.md",
         "docs/observability.md",
+        "docs/server.md",
     ],
 )
 def test_referenced_modules_exist(doc):
