@@ -9,7 +9,9 @@ Subcommands:
 * ``showdown`` — the P1 scheduler comparison on a CAD workload;
 * ``trace`` — record or replay a transaction-lifecycle trace (JSONL);
 * ``dot`` — export a schedule's precedence graphs as Graphviz DOT;
-* ``serve`` — run the Section-5 manager as a JSON-lines TCP service;
+* ``serve`` — run the Section-5 manager as a JSON-lines TCP service
+  (``--wal-dir`` makes it durable: WAL + checkpoints + recovery);
+* ``recover`` — run verified crash recovery over a WAL directory;
 * ``loadgen`` — replay a workload against a running server and write
   ``BENCH_server.json``.
 """
@@ -19,6 +21,18 @@ from __future__ import annotations
 import argparse
 import sys
 from typing import Sequence
+
+
+def _version() -> str:
+    """The installed distribution's version, or the source tree's."""
+    try:
+        from importlib.metadata import PackageNotFoundError, version
+
+        return version("repro")
+    except PackageNotFoundError:
+        from . import __version__
+
+        return __version__
 
 
 def _positive_int(text: str) -> int:
@@ -275,12 +289,28 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         queue_size=args.queue_size,
         request_timeout=args.request_timeout,
         session_timeout=args.session_timeout,
+        wal_dir=args.wal_dir,
+        flush_interval=args.flush_interval,
+        checkpoint_every=args.checkpoint_every,
+        retain=args.retain,
+        strict=args.strict,
     )
 
     async def _run() -> None:
         server = TransactionServer(
             workload.fresh_database(), config=config
         )
+        if server.recovery is not None:
+            summary = server.recovery.summary()
+            print(
+                "repro serve: recovered "
+                f"{args.wal_dir} (committed={summary['committed']}, "
+                f"replayed={summary['records_replayed']}, "
+                f"aborted in flight="
+                f"{len(summary['aborted_in_flight'])}, "
+                f"{summary['recovery_ms']} ms)",
+                flush=True,
+            )
         stop = asyncio.Event()
         loop = asyncio.get_running_loop()
         for signum in (signal.SIGINT, signal.SIGTERM):
@@ -289,9 +319,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             except (NotImplementedError, RuntimeError, ValueError):
                 pass  # non-Unix loop or non-main thread; Ctrl-C still raises
         await server.start()
+        durable = f" (wal: {args.wal_dir})" if args.wal_dir else ""
         print(
             f"repro serve: {workload.name} listening on "
-            f"{config.host}:{server.port}",
+            f"{config.host}:{server.port}{durable}",
             flush=True,
         )
         await stop.wait()
@@ -302,6 +333,60 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         asyncio.run(_run())
     except KeyboardInterrupt:
         pass
+    except Exception as error:  # noqa: BLE001 — recovery refusal path
+        from .errors import DurabilityError
+
+        if isinstance(error, DurabilityError):
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        raise
+    return 0
+
+
+def _cmd_recover(args: argparse.Namespace) -> int:
+    import json
+
+    from .durability import recover
+    from .errors import DurabilityError
+    from .obs.metrics import MetricsRegistry
+
+    registry = MetricsRegistry()
+    try:
+        result = recover(
+            args.wal_dir,
+            verify=args.verify,
+            strict=args.strict,
+            registry=registry,
+        )
+    except DurabilityError as error:
+        if args.json:
+            print(json.dumps({"ok": False, "error": str(error)}))
+        else:
+            print(f"error: {error}", file=sys.stderr)
+        return 2
+    summary = result.summary()
+    if args.json:
+        print(json.dumps(summary, indent=2, sort_keys=True))
+    else:
+        print(f"wal dir:            {args.wal_dir}")
+        print(f"checkpoint lsn:     {summary['checkpoint_lsn']}")
+        print(f"last lsn:           {summary['last_lsn']}")
+        print(f"records replayed:   {summary['records_replayed']}")
+        print(f"torn tail:          {summary['torn_tail_truncated']}")
+        print(f"committed txns:     {summary['committed']}")
+        print(
+            f"aborted in flight:  {summary['aborted_in_flight']} "
+            f"(cascaded: {summary['cascaded_aborts']})"
+        )
+        print(f"cascaded commits:   {summary['cascaded_commits']}")
+        print(f"recovery time:      {summary['recovery_ms']} ms")
+        if args.verify:
+            status = "VERIFIED" if result.verified else "FAILED"
+            print(f"verification:       {status}")
+            for violation in summary["violations"]:
+                print(f"  violation: {violation}")
+    if args.verify and not result.verified:
+        return 1
     return 0
 
 
@@ -367,6 +452,11 @@ def build_parser() -> argparse.ArgumentParser:
             "Korth & Speegle (SIGMOD 1988), 'Formal Model of "
             "Correctness Without Serializability' — reproduction tools"
         ),
+    )
+    parser.add_argument(
+        "--version",
+        action="version",
+        version=f"%(prog)s {_version()}",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -503,7 +593,53 @@ def build_parser() -> argparse.ArgumentParser:
         "--session-timeout", type=float, default=300.0,
         help="idle seconds before a connection is closed",
     )
+    serve.add_argument(
+        "--wal-dir", default=None,
+        help="durability: WAL + checkpoint directory (recovered on "
+        "start; omit for a purely in-memory server)",
+    )
+    serve.add_argument(
+        "--flush-interval", type=float, default=0.005,
+        help="group-commit fsync window in seconds "
+        "(<= 0 = fsync every commit; default 0.005)",
+    )
+    serve.add_argument(
+        "--checkpoint-every", type=_positive_int, default=512,
+        help="WAL records between checkpoints (default 512)",
+    )
+    serve.add_argument(
+        "--retain", type=_positive_int, default=3,
+        help="checkpoints to retain (default 3)",
+    )
+    serve.add_argument(
+        "--strict", action="store_true",
+        help="run the manager in strict mode (ST histories; reads and "
+        "writes block on uncommitted versions)",
+    )
     serve.set_defaults(func=_cmd_serve)
+
+    recover = sub.add_parser(
+        "recover",
+        help="run verified crash recovery over a WAL directory",
+    )
+    recover.add_argument(
+        "--wal-dir", required=True,
+        help="the WAL + checkpoint directory to recover",
+    )
+    recover.add_argument(
+        "--verify", action=argparse.BooleanOptionalAction, default=True,
+        help="verify the recovered state (committed-prefix equality + "
+        "consistency predicate); exit 1 on failure",
+    )
+    recover.add_argument(
+        "--strict", action="store_true",
+        help="materialize the recovered manager in strict mode",
+    )
+    recover.add_argument(
+        "--json", action="store_true",
+        help="print the recovery summary as JSON",
+    )
+    recover.set_defaults(func=_cmd_recover)
 
     loadgen = sub.add_parser(
         "loadgen",

@@ -1,0 +1,43 @@
+"""Durability: write-ahead log, checkpoints, and verified recovery.
+
+The paper's opening criticism of serializability is that it admits
+schedules hostile to crash recovery; :mod:`repro.schedules.recovery`
+encodes the RC/ACA/ST hierarchy at the model level.  This package makes
+the complementary systems argument: it gives the Section-5 transaction
+manager a write-ahead log with group commit, periodic checkpoints, and
+a recovery pass whose result is *verified* — the recovered state must
+be exactly the committed prefix of the pre-crash execution and satisfy
+the database consistency predicate, or the service refuses to start.
+
+Layout
+------
+``records``     WAL record types, JSONL encoding, checksums.
+``crashpoints`` Fault-injection hooks (``CrashPoint``) used by tests.
+``wal``         The append-only segmented log with group commit.
+``snapshot``    Atomic checkpoint files with retention.
+``state``       The logical replay state (redo, undo, materialize).
+``recovery``    The recovery pass plus independent verification.
+``manager``     :class:`DurableTransactionManager` — WAL-backed §5.
+``harness``     Crash-simulation harness driving the crash points.
+``history``     WAL records → flat schedules for RC/ACA/ST checks.
+"""
+
+from .crashpoints import CRASH_POINTS, CrashPoints, SimulatedCrash
+from .harness import CrashOutcome, simulate_crash
+from .manager import DurableTransactionManager
+from .records import WalRecord
+from .recovery import RecoveryResult, recover
+from .wal import WriteAheadLog
+
+__all__ = [
+    "CRASH_POINTS",
+    "CrashOutcome",
+    "CrashPoints",
+    "DurableTransactionManager",
+    "RecoveryResult",
+    "SimulatedCrash",
+    "WalRecord",
+    "WriteAheadLog",
+    "recover",
+    "simulate_crash",
+]

@@ -1,0 +1,120 @@
+"""Crash-point fault injection for the durability subsystem.
+
+A :class:`CrashPoint` is a named location in the WAL/checkpoint code
+where a test can arm a simulated crash.  The instrumented code calls
+:meth:`CrashPoints.check` (or :meth:`CrashPoints.hit` when it needs to
+do partial work first, e.g. writing half a record); when the armed hit
+count is reached a :class:`SimulatedCrash` propagates, abandoning all
+in-memory state exactly as a SIGKILL would.  Recovery then runs against
+whatever bytes "survived" — all written bytes for a process kill, only
+fsynced bytes for a power loss (see :mod:`repro.durability.harness`).
+
+The registry is instance-scoped (no global mutable state): production
+code uses the inert :data:`NULL_CRASH_POINTS`, tests construct their
+own registry and thread it through the WAL/checkpoint/manager stack.
+"""
+
+from __future__ import annotations
+
+from ..errors import DurabilityError
+
+CRASH_POINTS: tuple[str, ...] = (
+    "wal.mid_record",
+    "wal.before_flush",
+    "wal.after_flush",
+    "checkpoint.mid_write",
+    "checkpoint.before_rename",
+    "checkpoint.after_rename",
+    "checkpoint.after_retention",
+)
+"""Every registered crash point, in rough execution order.
+
+``wal.mid_record``
+    Half of a WAL record's bytes reach the OS, then the crash — the
+    torn-tail case replay must truncate.
+``wal.before_flush`` / ``wal.after_flush``
+    Either side of the group-commit fsync.
+``checkpoint.mid_write``
+    Partway through writing the checkpoint temp file.
+``checkpoint.before_rename`` / ``checkpoint.after_rename``
+    Either side of the atomic rename that publishes a checkpoint.
+``checkpoint.after_retention``
+    After old checkpoints were removed but before segment cleanup.
+"""
+
+
+class SimulatedCrash(BaseException):
+    """An injected crash — deliberately *not* an :class:`Exception`.
+
+    Deriving from :class:`BaseException` lets it pierce ``except
+    Exception`` fault barriers (the server dispatcher's, pytest
+    helpers'), the same way a real SIGKILL ignores them.
+    """
+
+    def __init__(self, point: str) -> None:
+        super().__init__(f"simulated crash at {point}")
+        self.point = point
+
+
+class CrashPoints:
+    """An armable registry of crash points.
+
+    Arm a point with :meth:`arm`; the Nth time instrumented code hits
+    it, the crash fires.  Hit counts for every point are recorded even
+    when unarmed, so tests can discover how often each point is
+    exercised by a given workload before sweeping it.
+    """
+
+    def __init__(self) -> None:
+        self._armed: dict[str, int] = {}
+        self.hits: dict[str, int] = {point: 0 for point in CRASH_POINTS}
+        self.fired: str | None = None
+
+    def arm(self, point: str, at_hit: int = 1) -> None:
+        """Fire :class:`SimulatedCrash` on the ``at_hit``-th hit.
+
+        The count is relative to *now*: hits recorded before arming
+        (e.g. by a bootstrap checkpoint) do not bring the crash
+        closer.
+        """
+        if point not in CRASH_POINTS:
+            raise DurabilityError(f"unknown crash point {point!r}")
+        if at_hit < 1:
+            raise DurabilityError("at_hit must be >= 1")
+        self._armed[point] = self.hits[point] + at_hit
+
+    def disarm(self, point: str | None = None) -> None:
+        if point is None:
+            self._armed.clear()
+        else:
+            self._armed.pop(point, None)
+
+    def hit(self, point: str) -> bool:
+        """Record a hit; return ``True`` when the caller must crash.
+
+        Callers that need to do partial work before dying (torn
+        records, half-written checkpoints) use the boolean and raise
+        :class:`SimulatedCrash` themselves; everyone else should call
+        :meth:`check`.
+        """
+        if point not in self.hits:
+            raise DurabilityError(f"unknown crash point {point!r}")
+        self.hits[point] += 1
+        armed_at = self._armed.get(point)
+        if armed_at is not None and self.hits[point] >= armed_at:
+            del self._armed[point]
+            self.fired = point
+            return True
+        return False
+
+    def check(self, point: str) -> None:
+        """Hit the point and raise :class:`SimulatedCrash` if armed."""
+        if self.hit(point):
+            raise SimulatedCrash(point)
+
+
+NULL_CRASH_POINTS = CrashPoints()
+"""A shared, never-armed registry for production paths.
+
+Nothing ever arms it, so its only cost is the hit counters.
+"""

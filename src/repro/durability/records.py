@@ -1,0 +1,130 @@
+"""WAL record types and their JSONL wire format.
+
+The log is *logical*: one record per successful manager operation, at
+the granularity of the Section-5 protocol's own API (define, validate,
+read, write, commit, abort, …), not physical page images.  Replay is
+therefore a deterministic re-application of protocol state transitions
+— and because the manager's version sequence stamps are restored across
+checkpoints (see :attr:`VersionStore.sequence_watermark`), every WRITE
+record's logged stamp must reproduce exactly, which replay asserts.
+
+Wire format: one JSON object per line,
+
+    {"lsn": 17, "op": "commit", "txn": "t.3", "data": {...}, "crc": N}
+
+``crc`` is the CRC-32 of the canonical JSON of the other four fields.
+A record that fails to parse or checksum at the *tail* of the newest
+segment is a torn write (crash mid-append) and is truncated; anywhere
+else it is corruption and recovery refuses to proceed.
+"""
+
+from __future__ import annotations
+
+import json
+import zlib
+from dataclasses import dataclass
+from typing import Any
+
+from ..errors import DurabilityError
+
+# Logical operation kinds, mirroring the manager's API.
+OP_DEFINE = "define"
+OP_VALIDATE = "validate"
+OP_REASSIGN = "reassign"
+OP_READ = "read"
+OP_WRITE = "write"
+OP_COMMIT = "commit"
+OP_UNDO_COMMIT = "undo_commit"
+OP_ABORT = "abort"
+
+ALL_OPS = frozenset(
+    {
+        OP_DEFINE,
+        OP_VALIDATE,
+        OP_REASSIGN,
+        OP_READ,
+        OP_WRITE,
+        OP_COMMIT,
+        OP_UNDO_COMMIT,
+        OP_ABORT,
+    }
+)
+
+#: Ops whose loss would lose an acknowledged state transition a client
+#: may have observed — these schedule a group-commit flush.
+DURABLE_OPS = frozenset({OP_COMMIT, OP_UNDO_COMMIT, OP_ABORT})
+
+
+def _canonical(payload: dict[str, Any]) -> bytes:
+    return json.dumps(
+        payload, sort_keys=True, separators=(",", ":")
+    ).encode("utf-8")
+
+
+@dataclass(frozen=True)
+class WalRecord:
+    """One logical WAL record."""
+
+    lsn: int
+    op: str
+    txn: str
+    data: dict[str, Any]
+
+    def __post_init__(self) -> None:
+        if self.op not in ALL_OPS:
+            raise DurabilityError(f"unknown WAL op {self.op!r}")
+
+    @property
+    def durable(self) -> bool:
+        return self.op in DURABLE_OPS
+
+    def encode(self) -> bytes:
+        """The record as one newline-terminated JSONL line."""
+        payload = {
+            "lsn": self.lsn,
+            "op": self.op,
+            "txn": self.txn,
+            "data": self.data,
+        }
+        payload["crc"] = zlib.crc32(_canonical(payload))
+        return _canonical(payload) + b"\n"
+
+    @classmethod
+    def decode(cls, line: bytes) -> "WalRecord":
+        """Parse one line; raises :class:`TornRecord` on any damage.
+
+        Damage is indistinguishable between "torn tail" and "bit rot"
+        at the record level — the *position* of the bad record (tail of
+        the newest segment or not) decides which, and that is the
+        replayer's call.
+        """
+        try:
+            payload = json.loads(line)
+        except (ValueError, UnicodeDecodeError) as error:
+            raise TornRecord(f"undecodable WAL line: {error}") from None
+        if not isinstance(payload, dict) or set(payload) != {
+            "lsn",
+            "op",
+            "txn",
+            "data",
+            "crc",
+        }:
+            raise TornRecord("malformed WAL record shape")
+        crc = payload.pop("crc")
+        if crc != zlib.crc32(_canonical(payload)):
+            raise TornRecord(
+                f"checksum mismatch on WAL record lsn={payload.get('lsn')}"
+            )
+        try:
+            return cls(
+                lsn=payload["lsn"],
+                op=payload["op"],
+                txn=payload["txn"],
+                data=payload["data"],
+            )
+        except DurabilityError as error:
+            raise TornRecord(str(error)) from None
+
+
+class TornRecord(DurabilityError):
+    """A WAL line that fails to parse or checksum."""

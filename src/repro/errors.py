@@ -91,3 +91,11 @@ class ValidationFailure(ProtocolError):
 
 class SimulationError(ReproError):
     """The discrete-event simulation engine was misused."""
+
+
+class DurabilityError(ReproError):
+    """The durability subsystem (WAL, checkpoints) hit an invalid state."""
+
+
+class RecoveryError(DurabilityError):
+    """Crash recovery failed or the recovered state failed verification."""

@@ -33,8 +33,8 @@ long-duration transactions.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
-from typing import Iterable
+from dataclasses import dataclass, field, replace
+from typing import Iterable, Iterator
 
 from ..core.naming import TxnName
 from ..core.orders import PartialOrder
@@ -137,8 +137,10 @@ class TransactionManager:
         root_spec: Spec | None = None,
         tracer: Tracer | None = None,
         registry: MetricsRegistry | None = None,
+        strict: bool = False,
     ) -> None:
         self._db = database
+        self._strict = strict
         self._selector: VersionSelector = (
             selector if selector is not None else BacktrackingSelector()
         )
@@ -222,6 +224,24 @@ class TransactionManager:
     @property
     def locks(self) -> LockTable:
         return self._locks
+
+    @property
+    def strict(self) -> bool:
+        """Whether the manager runs in strict (ST-producing) mode.
+
+        Strict mode trades the protocol's freedom to read and
+        overwrite uncommitted versions for strictness of the resulting
+        history: validation only assigns versions with relatively
+        committed authors, and reads/writes block while an uncommitted
+        sibling's version of the item is live.  This makes recovered
+        histories ST at the cost of reintroducing blocking (and hence
+        potential deadlock, which the server resolves by timeout).
+        """
+        return self._strict
+
+    def iter_records(self) -> Iterator[TxnRecord]:
+        """All transaction records, including the root (§5 bookkeeping)."""
+        return iter(self._records.values())
 
     def record(self, txn: str) -> TxnRecord:
         try:
@@ -381,6 +401,34 @@ class TransactionManager:
                 return StepResult(Outcome.BLOCKED, blocked_on=item)
 
         d_sets = self._compute_d_sets(record)
+        if self._strict:
+            blocked_item: str | None = None
+            strict_sets: dict[str, DSet] = {}
+            for item, d_set in d_sets.items():
+                kept = tuple(
+                    version
+                    for version in d_set.candidates
+                    if self._strict_visible(txn, version)
+                )
+                if not kept:
+                    blocked_item = item
+                    break
+                strict_sets[item] = replace(d_set, candidates=kept)
+            if blocked_item is not None:
+                # Every candidate for this item is an uncommitted
+                # sibling's version: wait for the author to terminate
+                # rather than read dirty data (strictness).
+                self._log.record(
+                    EventKind.BLOCKED, txn, entity=blocked_item
+                )
+                if span is not None:
+                    tracer.end(
+                        span, outcome="blocked", blocked_on=blocked_item
+                    )
+                return StepResult(
+                    Outcome.BLOCKED, blocked_on=blocked_item
+                )
+            d_sets = strict_sets
         assignment = self._select(
             txn, d_sets, record.spec.input_constraint
         )
@@ -502,6 +550,13 @@ class TransactionManager:
         self._require_active(record)
         if record.phase is not TxnPhase.VALIDATED:
             raise ProtocolError(f"{txn} must validate before reading")
+        if self._strict:
+            assigned = record.assigned.get(entity)
+            if assigned is not None and not self._strict_visible(
+                txn, assigned
+            ):
+                self._log.record(EventKind.BLOCKED, txn, entity=entity)
+                return StepResult(Outcome.BLOCKED, blocked_on=entity)
         if self._locks.holds(txn, entity, LockMode.R):
             pass  # repeated read: lock already held
         else:
@@ -539,6 +594,13 @@ class TransactionManager:
             raise ProtocolError(
                 f"{txn} did not declare {entity} in its update set"
             )
+        if self._strict:
+            blocker = self._strict_write_blocker(txn, entity)
+            if blocker is not None:
+                # Strictness also forbids overwriting uncommitted data:
+                # wait for the earlier writer to terminate.
+                self._log.record(EventKind.BLOCKED, txn, entity=entity)
+                return StepResult(Outcome.BLOCKED, blocked_on=entity)
         outcome = self._locks.request(txn, entity, LockMode.W)
         assert outcome is LockOutcome.GRANTED, "writes never block"
         record.in_flight_writes.add(entity)
@@ -715,6 +777,30 @@ class TransactionManager:
                 version=str(new_version),
             )
         return True
+
+    def _strict_visible(self, txn: str, version: Version) -> bool:
+        """Is a version safe to expose to ``txn`` under strict mode?
+
+        Safe means its author has relatively committed (or it is the
+        initial ``t_0`` version, or the reader's own write).  Authors
+        without a live record — possible only for versions restored
+        from a checkpoint, whose authors had committed pre-crash — are
+        treated as committed.
+        """
+        author = version.author
+        if author is None or author == txn:
+            return True
+        author_record = self._records.get(author)
+        if author_record is None:
+            return True
+        return author_record.phase is TxnPhase.COMMITTED
+
+    def _strict_write_blocker(self, txn: str, entity: str) -> str | None:
+        """The author of a live uncommitted version of ``entity``, if any."""
+        for version in self._db.store.versions(entity):
+            if not self._strict_visible(txn, version):
+                return version.author
+        return None
 
     def _require_active(self, record: TxnRecord) -> None:
         if record.phase is TxnPhase.ABORTED:

@@ -95,8 +95,10 @@ class LoadgenReport:
     scripts: int
     wall_time: float = 0.0
     committed: int = 0
+    aborted: int = 0  # transaction instances that ended aborted
     restarts: int = 0
     gave_up: int = 0
+    disconnects: int = 0  # connections the server dropped mid-run
     requests: int = 0
     busy_retries: int = 0
     timeouts: int = 0
@@ -129,9 +131,11 @@ class LoadgenReport:
             "scripts": self.scripts,
             "wall_time_s": round(self.wall_time, 4),
             "committed": self.committed,
+            "aborted_txns": self.aborted,
             "throughput_txn_per_s": round(self.throughput, 2),
             "restarts": self.restarts,
             "gave_up": self.gave_up,
+            "disconnects": self.disconnects,
             "requests": self.requests,
             "request_latency_ms": latency_ms,
             "busy_retries": self.busy_retries,
@@ -325,6 +329,7 @@ class _Runner:
             if committed:
                 self.report.committed += 1
                 return
+            self.report.aborted += 1
             self.report.restarts += 1
             txn = None
             await asyncio.sleep(self.backoff * (0.5 + self.rng.random()))
@@ -381,17 +386,27 @@ async def run_loadgen(
         # Definition pass in script order so cooperation edges resolve
         # to already-defined siblings.
         predefined: dict[str, str] = {}
-        for script in workload.scripts:
-            predefined[script.txn_id] = await runner.define(
-                owner[script.txn_id], script
-            )
+        try:
+            for script in workload.scripts:
+                predefined[script.txn_id] = await runner.define(
+                    owner[script.txn_id], script
+                )
+        except OSError:
+            report.disconnects += 1
         started = time.perf_counter()
 
         async def drive(client: AsyncClient, scripts) -> None:
             for script in scripts:
-                await runner.run_script(
-                    client, script, predefined.get(script.txn_id)
-                )
+                try:
+                    await runner.run_script(
+                        client, script, predefined.get(script.txn_id)
+                    )
+                except OSError:
+                    # The server went away (e.g. the CI smoke test
+                    # SIGKILLs it mid-load).  Count it, drop this
+                    # connection's remaining scripts, keep the report.
+                    report.disconnects += 1
+                    return
 
         await asyncio.gather(
             *(
@@ -411,7 +426,7 @@ async def run_loadgen(
             report.server_stats = _trim_server_stats(
                 stats.get("stats", {})
             )
-        except (ServerError, ConnectionError):
+        except (ServerError, OSError):
             pass
     finally:
         for client in pool:
@@ -452,6 +467,8 @@ def report_table(report: LoadgenReport) -> str:
         f"wall time:           {data['wall_time_s']:.3f} s",
         f"committed:           {data['committed']}"
         f" ({data['throughput_txn_per_s']:.1f} txn/s)",
+        f"aborted txns:        {data['aborted_txns']}"
+        f" (disconnects: {data['disconnects']})",
         f"restarts:            {data['restarts']}"
         f" (gave up: {data['gave_up']})",
         f"requests:            {data['requests']}",

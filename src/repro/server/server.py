@@ -38,7 +38,10 @@ import itertools
 import json
 import threading
 from dataclasses import dataclass, field
-from typing import Any, Callable
+from typing import TYPE_CHECKING, Any, Callable
+
+if TYPE_CHECKING:  # pragma: no cover — typing only
+    from ..durability.recovery import RecoveryResult
 
 from ..obs.metrics import MetricsRegistry
 from ..obs.trace import Tracer
@@ -60,7 +63,17 @@ _CLOSE = object()
 
 @dataclass(frozen=True)
 class ServerConfig:
-    """Tunables; the defaults suit tests and local load generation."""
+    """Tunables; the defaults suit tests and local load generation.
+
+    Setting ``wal_dir`` turns on durability: the server recovers the
+    directory (or initializes it) through
+    :class:`~repro.durability.DurableTransactionManager` and refuses to
+    start when recovery verification fails.  ``flush_interval`` is the
+    group-commit window (``<= 0`` = fsync on every commit);
+    ``checkpoint_every`` counts WAL records between checkpoints.
+    ``strict`` runs the §5 manager in strict mode (ST histories; reads
+    and writes may block until the writer commits).
+    """
 
     host: str = "127.0.0.1"
     port: int = 0  # 0 = ephemeral; read the bound port off the server
@@ -70,6 +83,11 @@ class ServerConfig:
     max_malformed: int = 8
     drain_grace: float = 2.0
     outbound_queue: int = 1024
+    wal_dir: str | None = None
+    flush_interval: float = 0.005
+    checkpoint_every: int = 512
+    retain: int = 3
+    strict: bool = False
 
 
 @dataclass
@@ -94,9 +112,27 @@ class TransactionServer:
     ) -> None:
         self._config = config or ServerConfig()
         self._registry = registry or MetricsRegistry()
-        self._manager = TransactionManager(
-            database, tracer=tracer, registry=self._registry
-        )
+        self.recovery: "RecoveryResult | None" = None
+        if self._config.wal_dir:
+            from ..durability import DurableTransactionManager
+
+            self._manager, self.recovery = DurableTransactionManager.open(
+                self._config.wal_dir,
+                lambda: database,
+                flush_interval=self._config.flush_interval,
+                checkpoint_every=self._config.checkpoint_every,
+                retain=self._config.retain,
+                tracer=tracer,
+                registry=self._registry,
+                strict=self._config.strict,
+            )
+        else:
+            self._manager = TransactionManager(
+                database,
+                tracer=tracer,
+                registry=self._registry,
+                strict=self._config.strict,
+            )
         self._dispatcher = CommandDispatcher(
             self._manager,
             registry=self._registry,
@@ -105,6 +141,7 @@ class TransactionServer:
         )
         self._server: asyncio.AbstractServer | None = None
         self._dispatcher_task: asyncio.Task | None = None
+        self._flush_task: asyncio.Task | None = None
         self._connections: dict[int, _Connection] = {}
         self._session_ids = itertools.count(1)
         self._stopping = False
@@ -148,6 +185,25 @@ class TransactionServer:
             self._config.port,
             limit=MAX_FRAME_BYTES + 2,
         )
+        if self._config.wal_dir and self._config.flush_interval > 0:
+            self._flush_task = asyncio.create_task(
+                self._flush_loop(), name="repro-wal-flush"
+            )
+
+    async def _flush_loop(self) -> None:
+        """Drive the WAL's group-commit deadline.
+
+        ``maybe_flush`` is synchronous and the event loop is
+        single-threaded, so this never interleaves with a dispatcher
+        iteration mid-append.
+        """
+        interval = max(self._config.flush_interval / 2, 0.001)
+        flush = getattr(self._manager, "maybe_flush", None)
+        if flush is None:
+            return
+        while True:
+            await asyncio.sleep(interval)
+            flush()
 
     async def serve_until(self, stop: asyncio.Event) -> None:
         """Start, run until ``stop`` is set, then drain and shut down."""
@@ -170,6 +226,16 @@ class TransactionServer:
         await self._dispatcher.stop()
         if self._dispatcher_task is not None:
             await self._dispatcher_task
+        if self._flush_task is not None:
+            self._flush_task.cancel()
+            try:
+                await self._flush_task
+            except asyncio.CancelledError:
+                pass
+        close = getattr(self._manager, "close", None)
+        if close is not None:
+            # Durable manager: final checkpoint + flush, clean WAL.
+            close()
         for connection in list(self._connections.values()):
             if connection.writer_task is not None:
                 try:
@@ -363,7 +429,7 @@ class ServerThread:
         except BaseException as error:  # noqa: BLE001 — reported to caller
             self._error = error
             self._ready.set()
-            raise
+            return  # start() re-raises; don't also crash the thread
         self._ready.set()
         await self._stop.wait()
         await self.server.shutdown()

@@ -556,10 +556,15 @@ class CommandDispatcher:
         self._apply_side_effects(step)
         return ok_response(command.request_id, value=step.value)
 
-    def _op_begin_write(self, command: Command) -> dict[str, Any]:
+    def _op_begin_write(self, command: Command) -> dict[str, Any] | object:
         name = self._owned_txn(command)
         entity = self._str_param(command.params, "entity")
         step = self._tm.begin_write(name, entity)
+        if step.outcome is Outcome.BLOCKED:
+            # Strict mode: an uncommitted version of the entity exists.
+            return self._park(
+                command, name, self._lock_waiters, step.blocked_on
+            )
         self._apply_side_effects(step)
         return ok_response(command.request_id)
 
@@ -575,11 +580,17 @@ class CommandDispatcher:
             reassigned=step.reassigned,
         )
 
-    def _op_write(self, command: Command) -> dict[str, Any]:
+    def _op_write(self, command: Command) -> dict[str, Any] | object:
         name = self._owned_txn(command)
         entity = self._str_param(command.params, "entity")
         value = self._int_param(command.params, "value")
-        self._tm.begin_write(name, entity)
+        begin = self._tm.begin_write(name, entity)
+        if begin.outcome is Outcome.BLOCKED:
+            # Strict mode: re-run the whole write once unblocked
+            # (begin_write did not register anything while blocked).
+            return self._park(
+                command, name, self._lock_waiters, begin.blocked_on
+            )
         step = self._tm.end_write(name, entity, value)
         self._apply_side_effects(step)
         return ok_response(
@@ -600,6 +611,12 @@ class CommandDispatcher:
         step = self._tm.commit(name)
         self._count("server.txns.committed")
         self._apply_side_effects(step)
+        if getattr(self._tm, "strict", False):
+            # A commit makes the committer's versions strict-visible;
+            # the manager has no lock-queue grant to report for that,
+            # so re-run every parked waiter (they re-park if still
+            # blocked, keeping their original deadline).
+            self._resume_all_lock_waiters()
         return ok_response(command.request_id, outcome="committed")
 
     def _op_abort(self, command: Command) -> dict[str, Any]:

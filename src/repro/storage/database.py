@@ -54,6 +54,26 @@ class Database:
         self._store = VersionStore(schema, initial)
         self._initial = initial
 
+    @classmethod
+    def from_parts(
+        cls,
+        schema: Schema,
+        constraint: Predicate,
+        initial: "UniqueState | Mapping[str, int]",
+        store: VersionStore,
+    ) -> "Database":
+        """Attach an existing (e.g. recovered) store instead of a fresh one.
+
+        Used by crash recovery: the store was rebuilt from a checkpoint
+        snapshot plus WAL replay, so it must not be re-initialized from
+        ``initial``.  The store's schema must match.
+        """
+        if store.schema != schema:
+            raise SchemaError("store schema mismatch")
+        db = cls(schema, constraint, initial)
+        db._store = store
+        return db
+
     @property
     def schema(self) -> Schema:
         return self._schema

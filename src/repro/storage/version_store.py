@@ -10,9 +10,8 @@ cascading-abort handling relies on).
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass, field
-from typing import Iterable, Iterator
+from typing import Any, Iterable, Iterator
 
 from ..core.entities import Schema
 from ..core.states import DatabaseState, UniqueState
@@ -57,18 +56,35 @@ class VersionStore:
         if initial.schema != schema:
             raise SchemaError("initial state schema mismatch")
         self._schema = schema
-        self._sequence = itertools.count()
+        self._next_sequence = 0
         self._histories: dict[str, _EntityHistory] = {}
         for name in schema.names:
             history = _EntityHistory()
             history.versions.append(
-                Version(name, initial[name], None, next(self._sequence))
+                Version(name, initial[name], None, self._take_sequence())
             )
             self._histories[name] = history
+
+    def _take_sequence(self) -> int:
+        sequence = self._next_sequence
+        self._next_sequence += 1
+        return sequence
 
     @property
     def schema(self) -> Schema:
         return self._schema
+
+    @property
+    def sequence_watermark(self) -> int:
+        """The next creation stamp the store will issue.
+
+        The watermark never rewinds — not on :meth:`expunge_author`,
+        not on :meth:`prune`, and not across a snapshot/restore cycle —
+        so creation stamps stay unique and monotone for the lifetime of
+        the logical database, which recovery relies on to identify
+        versions by ``(entity, sequence)``.
+        """
+        return self._next_sequence
 
     def _history(self, entity: str) -> _EntityHistory:
         try:
@@ -81,7 +97,7 @@ class VersionStore:
     def write(self, entity: str, value: int, author: str | None) -> Version:
         """Create (and return) a new version; earlier versions survive."""
         self._schema[entity].validate(value)
-        version = Version(entity, value, author, next(self._sequence))
+        version = Version(entity, value, author, self._take_sequence())
         self._history(entity).versions.append(version)
         return version
 
@@ -154,6 +170,50 @@ class VersionStore:
         drop = max(0, len(history.versions) - keep_last)
         history.versions = history.versions[drop:]
         return drop
+
+    # -- durability bridge -------------------------------------------------------
+
+    def snapshot(self) -> dict[str, Any]:
+        """A JSON-serializable image of every live version.
+
+        Rows are emitted in creation-stamp order so a restored store
+        rebuilds identical per-entity histories.  ``next_sequence``
+        preserves the watermark across the cycle (see
+        :attr:`sequence_watermark`).
+        """
+        rows = sorted(
+            ([v.entity, v.value, v.author, v.sequence] for v in self),
+            key=lambda row: row[3],
+        )
+        return {"next_sequence": self._next_sequence, "versions": rows}
+
+    @classmethod
+    def from_snapshot(
+        cls, schema: Schema, snapshot: dict[str, Any]
+    ) -> "VersionStore":
+        """Rebuild a store from a :meth:`snapshot` image."""
+        store = cls.__new__(cls)
+        store._schema = schema
+        store._next_sequence = int(snapshot["next_sequence"])
+        store._histories = {name: _EntityHistory() for name in schema.names}
+        seen: set[int] = set()
+        for entity, value, author, sequence in snapshot["versions"]:
+            sequence = int(sequence)
+            if sequence in seen or sequence >= store._next_sequence:
+                raise SchemaError(
+                    f"corrupt snapshot: bad sequence stamp {sequence}"
+                )
+            seen.add(sequence)
+            schema[entity].validate(value)
+            store._history(entity).versions.append(
+                Version(entity, value, author, sequence)
+            )
+        for name in schema.names:
+            if not store._histories[name].versions:
+                raise SchemaError(
+                    f"corrupt snapshot: entity {name!r} has no versions"
+                )
+        return store
 
     # -- model bridge ------------------------------------------------------------
 

@@ -1,0 +1,92 @@
+"""Checkpoint store tests: atomic publication, retention, fallback."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.durability.snapshot import (
+    CheckpointStore,
+    checkpoint_lsn,
+    checkpoint_name,
+)
+from repro.errors import DurabilityError
+
+STATE_A = {"initial": {"x": 1}, "marker": "a"}
+STATE_B = {"initial": {"x": 2}, "marker": "b"}
+
+
+class TestWriteLoad:
+    def test_round_trip(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        path = store.write(STATE_A, last_lsn=7)
+        assert path.name == checkpoint_name(7)
+        assert store.load_newest() == (STATE_A, 7)
+
+    def test_newest_wins(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.write(STATE_A, last_lsn=7)
+        store.write(STATE_B, last_lsn=19)
+        assert store.load_newest() == (STATE_B, 19)
+
+    def test_empty_directory_loads_none(self, tmp_path):
+        assert CheckpointStore(tmp_path).load_newest() is None
+
+    def test_retain_must_be_positive(self, tmp_path):
+        with pytest.raises(DurabilityError, match="retain"):
+            CheckpointStore(tmp_path, retain=0)
+
+
+class TestCorruptFallback:
+    def test_falls_back_past_corrupt_newest(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.write(STATE_A, last_lsn=7)
+        newest = store.write(STATE_B, last_lsn=19)
+        newest.write_bytes(newest.read_bytes()[:-20])
+        assert store.load_newest() == (STATE_A, 7)
+
+    def test_tampered_state_fails_sha(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.write(STATE_A, last_lsn=7)
+        path = store.write(STATE_B, last_lsn=19)
+        payload = json.loads(path.read_bytes())
+        payload["state"]["initial"]["x"] = 999
+        path.write_text(json.dumps(payload))
+        assert store.load_newest() == (STATE_A, 7)
+
+    def test_renamed_checkpoint_rejected(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        path = store.write(STATE_A, last_lsn=7)
+        # A checkpoint whose filename LSN disagrees with its payload is
+        # not trusted (rename games must not change history).
+        path.rename(tmp_path / checkpoint_name(99))
+        assert store.load_newest() is None
+
+    def test_all_corrupt_loads_none(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        for lsn in (3, 9):
+            store.write(STATE_A, last_lsn=lsn)
+        for path in store.checkpoints():
+            path.write_text("not json at all")
+        assert store.load_newest() is None
+
+
+class TestRetention:
+    def test_prunes_beyond_retain(self, tmp_path):
+        store = CheckpointStore(tmp_path, retain=2)
+        for lsn in (5, 10, 15, 20):
+            store.write(STATE_A, last_lsn=lsn)
+        assert [checkpoint_lsn(p) for p in store.checkpoints()] == [
+            15,
+            20,
+        ]
+        assert store.oldest_retained_lsn() == 15
+
+    def test_prune_clears_stale_tmp_files(self, tmp_path):
+        store = CheckpointStore(tmp_path, retain=2)
+        leftover = tmp_path / (checkpoint_name(3) + ".tmp")
+        leftover.write_text("half a checkpoint")
+        store.write(STATE_A, last_lsn=5)
+        assert not leftover.exists()
+        assert store.load_newest() == (STATE_A, 5)

@@ -1,0 +1,128 @@
+"""Acceptance sweep: every crash point, both survival models.
+
+For EVERY registered :data:`CRASH_POINTS` entry, a crash followed by
+recovery must yield exactly the committed prefix — no committed write
+lost, no uncommitted write visible — and the recovered state must
+satisfy the consistency predicate (both enforced by the recovery
+pass's own verification, asserted here via ``recovery.verified``).
+
+The one permissible loss is the transaction whose *own* commit append
+was still in flight when the crash hit: its client never received an
+acknowledgment.  ``kill`` mode may lose it only to a torn record
+(``wal.mid_record``); ``powerloss`` also to an unflushed one
+(``wal.before_flush``).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.durability import simulate_crash
+from repro.durability.crashpoints import CRASH_POINTS
+from repro.durability.harness import MODES
+
+from .conftest import make_database, run_leaf
+
+#: Crash points at which the not-yet-acknowledged commit may vanish.
+LOSS_OK = {
+    "kill": {"wal.mid_record"},
+    "powerloss": {"wal.mid_record", "wal.before_flush"},
+}
+
+
+def workload(manager):
+    for index, (entity, value) in enumerate(
+        [("x", 11), ("y", 22), ("z", 33), ("x", 44), ("y", 55), ("z", 66)]
+    ):
+        run_leaf(manager, entity, value)
+    run_leaf(manager, "z", 77, commit=False)  # caught in flight
+
+
+def sweep_one(tmp_path, crash_point, mode, at_hit=1):
+    out = simulate_crash(
+        tmp_path,
+        make_database,
+        workload,
+        crash_point=crash_point,
+        at_hit=at_hit,
+        mode=mode,
+        flush_interval=0.0,  # sync commit: fsync per durable op
+        checkpoint_every=8,  # several checkpoints mid-workload
+    )
+    assert out.error is None, f"workload died of {out.error!r}"
+    assert out.fired, f"{crash_point} never fired in this workload"
+    assert out.recovery.verified, out.recovery.violations
+
+    pre = set(out.pre_crash_committed)
+    recovered = set(out.recovery.committed)
+    survivors_or_dead = recovered | set(out.recovery.undo.all_dead)
+
+    # No phantom commit: recovery never invents a commit the live
+    # manager had not performed.
+    assert recovered <= pre
+
+    # No committed write lost, except the single unacknowledged one.
+    missing = pre - survivors_or_dead
+    if crash_point in LOSS_OK[mode]:
+        assert len(missing) <= 1, missing
+    else:
+        assert missing == set(), missing
+
+    # No uncommitted write visible: every recovered version belongs to
+    # a (still-)committed author or is an initial version.
+    txns = out.recovery.state.txns
+    for version in out.recovery.manager.database.store:
+        if version.author is None:
+            continue
+        assert txns[version.author].phase == "committed", version
+
+    # The recovered world view is the committed prefix's view.
+    view = out.recovery.manager.view(out.recovery.manager.root)
+    assert out.recovery.manager.database.constraint.evaluate(view)
+    return out
+
+
+@pytest.mark.parametrize("mode", MODES)
+@pytest.mark.parametrize("crash_point", CRASH_POINTS)
+class TestEveryCrashPoint:
+    def test_first_hit(self, tmp_path, crash_point, mode):
+        sweep_one(tmp_path, crash_point, mode, at_hit=1)
+
+    def test_third_hit(self, tmp_path, crash_point, mode):
+        sweep_one(tmp_path, crash_point, mode, at_hit=3)
+
+
+class TestSweepDetails:
+    def test_kill_mode_keeps_all_acknowledged_commits(self, tmp_path):
+        out = sweep_one(tmp_path, "checkpoint.after_rename", "kill")
+        assert set(out.recovery.committed) | set(
+            out.recovery.undo.all_dead
+        ) >= set(out.pre_crash_committed)
+
+    def test_powerloss_is_a_prefix_of_kill(self, tmp_path):
+        kill = sweep_one(tmp_path / "kill", "wal.before_flush", "kill")
+        power = sweep_one(
+            tmp_path / "power", "wal.before_flush", "powerloss"
+        )
+        assert set(power.recovery.committed) <= set(
+            kill.recovery.committed
+        )
+
+    def test_unknown_point_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="unknown crash point"):
+            simulate_crash(
+                tmp_path,
+                make_database,
+                workload,
+                crash_point="wal.nonsense",
+            )
+
+    def test_unknown_mode_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="unknown crash mode"):
+            simulate_crash(
+                tmp_path,
+                make_database,
+                workload,
+                crash_point="wal.mid_record",
+                mode="meteor",
+            )

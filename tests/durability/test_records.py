@@ -1,0 +1,96 @@
+"""WAL record wire-format tests: encode/decode, CRC, field set."""
+
+from __future__ import annotations
+
+import json
+import zlib
+
+import pytest
+
+from repro.durability.records import (
+    ALL_OPS,
+    DURABLE_OPS,
+    TornRecord,
+    WalRecord,
+)
+from repro.errors import DurabilityError
+
+
+class TestEncodeDecode:
+    def test_round_trip(self):
+        record = WalRecord(
+            7, "commit", "t.3", {"released": {"x": 9}}
+        )
+        assert WalRecord.decode(record.encode().rstrip(b"\n")) == record
+
+    def test_round_trip_every_op(self):
+        for lsn, op in enumerate(sorted(ALL_OPS), start=1):
+            record = WalRecord(lsn, op, "t.0", {"k": [1, "a", None]})
+            decoded = WalRecord.decode(record.encode().rstrip(b"\n"))
+            assert decoded.op == op and decoded.lsn == lsn
+
+    def test_encoded_line_is_newline_terminated_json(self):
+        line = WalRecord(1, "read", "t.0", {"entity": "x"}).encode()
+        assert line.endswith(b"\n")
+        payload = json.loads(line)
+        assert set(payload) == {"lsn", "op", "txn", "data", "crc"}
+
+    def test_unknown_op_rejected_at_construction(self):
+        with pytest.raises(DurabilityError, match="unknown WAL op"):
+            WalRecord(1, "compact", "t.0", {})
+
+    def test_durable_flag_matches_durable_ops(self):
+        for op in sorted(ALL_OPS):
+            record = WalRecord(1, op, "t.0", {})
+            assert record.durable == (op in DURABLE_OPS)
+
+
+class TestDamageDetection:
+    def _line(self) -> bytes:
+        return WalRecord(4, "write", "t.1", {"entity": "x"}).encode()
+
+    def test_bit_flip_in_payload_fails_checksum(self):
+        line = bytearray(self._line().rstrip(b"\n"))
+        flip = line.index(b"x"[0])
+        line[flip] ^= 0x01
+        with pytest.raises(TornRecord, match="checksum mismatch"):
+            WalRecord.decode(bytes(line))
+
+    def test_truncated_line_is_torn(self):
+        line = self._line().rstrip(b"\n")
+        with pytest.raises(TornRecord):
+            WalRecord.decode(line[: len(line) // 2])
+
+    def test_non_json_is_torn(self):
+        with pytest.raises(TornRecord, match="undecodable"):
+            WalRecord.decode(b"\x00\xff garbage")
+
+    def test_missing_field_is_torn(self):
+        payload = {"lsn": 1, "op": "read", "txn": "t.0"}
+        payload["crc"] = zlib.crc32(
+            json.dumps(
+                payload, sort_keys=True, separators=(",", ":")
+            ).encode()
+        )
+        with pytest.raises(TornRecord, match="malformed"):
+            WalRecord.decode(json.dumps(payload).encode())
+
+    def test_extra_field_is_torn(self):
+        line = self._line().rstrip(b"\n")
+        payload = json.loads(line)
+        payload["extra"] = 1
+        with pytest.raises(TornRecord, match="malformed"):
+            WalRecord.decode(json.dumps(payload).encode())
+
+    def test_valid_record_with_bad_op_is_torn_not_crash(self):
+        payload = {"lsn": 1, "op": "vacuum", "txn": "t.0", "data": {}}
+        canonical = json.dumps(
+            payload, sort_keys=True, separators=(",", ":")
+        ).encode()
+        payload["crc"] = zlib.crc32(canonical)
+        with pytest.raises(TornRecord, match="unknown WAL op"):
+            WalRecord.decode(
+                json.dumps(
+                    payload, sort_keys=True, separators=(",", ":")
+                ).encode()
+            )

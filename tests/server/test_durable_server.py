@@ -1,0 +1,165 @@
+"""The durable server: WAL-backed restarts and strict-mode serving."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.durability.snapshot import CheckpointStore
+from repro.errors import RecoveryError
+from repro.server import Client, ServerConfig, ServerThread
+
+from .conftest import tiny_db
+
+
+def durable_config(wal_dir, **overrides) -> ServerConfig:
+    defaults = dict(
+        wal_dir=str(wal_dir),
+        flush_interval=0.005,
+        checkpoint_every=8,
+    )
+    defaults.update(overrides)
+    return ServerConfig(**defaults)
+
+
+class TestDurableServer:
+    def test_restart_preserves_committed_state(self, tmp_path):
+        wal_dir = tmp_path / "wal"
+        with ServerThread(
+            tiny_db, config=durable_config(wal_dir)
+        ) as handle:
+            assert handle.server.recovery is None  # fresh directory
+            with Client.connect("127.0.0.1", handle.port) as client:
+                txn = client.define(
+                    updates=["x"], input_constraint="x >= 0"
+                )
+                client.validate(txn)
+                client.write(txn, "x", 42)
+                assert client.commit(txn)["outcome"] == "committed"
+        with ServerThread(
+            tiny_db, config=durable_config(wal_dir)
+        ) as handle:
+            recovery = handle.server.recovery
+            assert recovery is not None and recovery.verified
+            with Client.connect("127.0.0.1", handle.port) as client:
+                txn = client.define(input_constraint="x >= 0")
+                client.validate(txn)
+                assert client.read(txn, "x") == 42
+
+    def test_in_flight_txn_rolled_back_across_restart(self, tmp_path):
+        wal_dir = tmp_path / "wal"
+        with ServerThread(
+            tiny_db, config=durable_config(wal_dir)
+        ) as handle:
+            with Client.connect("127.0.0.1", handle.port) as client:
+                committed = client.define(
+                    updates=["x"], input_constraint="x >= 0"
+                )
+                client.validate(committed)
+                client.write(committed, "x", 42)
+                client.commit(committed)
+                dangling = client.define(
+                    updates=["y"], input_constraint="y >= 0"
+                )
+                client.validate(dangling)
+                client.write(dangling, "y", 33)
+                # No commit: the shutdown checkpoint must still treat
+                # this as in flight and the restart must undo it.
+        with ServerThread(
+            tiny_db, config=durable_config(wal_dir)
+        ) as handle:
+            recovery = handle.server.recovery
+            assert recovery is not None and recovery.verified
+            # The disconnect already aborted the dangling transaction
+            # server-side; either way it must not survive as committed.
+            assert dangling not in recovery.committed
+            assert committed in recovery.committed
+            with Client.connect("127.0.0.1", handle.port) as client:
+                txn = client.define(
+                    input_constraint="x >= 0 & y >= 0"
+                )
+                client.validate(txn)
+                assert client.read(txn, "x") == 42
+                assert client.read(txn, "y") == 1  # initial value
+
+    def test_shutdown_writes_final_checkpoint(self, tmp_path):
+        wal_dir = tmp_path / "wal"
+        with ServerThread(
+            tiny_db, config=durable_config(wal_dir)
+        ) as handle:
+            store = CheckpointStore(wal_dir)
+            at_start = len(store.checkpoints())
+            with Client.connect("127.0.0.1", handle.port) as client:
+                txn = client.define(
+                    updates=["x"], input_constraint="x >= 0"
+                )
+                client.validate(txn)
+                client.write(txn, "x", 9)
+                client.commit(txn)
+        assert len(CheckpointStore(wal_dir).checkpoints()) > at_start
+
+    def test_refuses_to_start_on_unverifiable_directory(self, tmp_path):
+        wal_dir = tmp_path / "wal"
+        with ServerThread(
+            tiny_db, config=durable_config(wal_dir)
+        ) as handle:
+            with Client.connect("127.0.0.1", handle.port) as client:
+                txn = client.define(
+                    updates=["x"], input_constraint="x >= 0"
+                )
+                client.validate(txn)
+                client.write(txn, "x", 9)
+                client.commit(txn)
+        for path in CheckpointStore(wal_dir).checkpoints():
+            path.unlink()  # damage: no usable checkpoint remains
+        with pytest.raises(RuntimeError) as excinfo:
+            ServerThread(
+                tiny_db, config=durable_config(wal_dir)
+            ).start()
+        assert isinstance(excinfo.value.__cause__, RecoveryError)
+
+
+class TestStrictServing:
+    def test_blocked_write_resumes_after_commit(self, tmp_path):
+        config = durable_config(
+            tmp_path / "wal", strict=True, request_timeout=10.0
+        )
+        with ServerThread(tiny_db, config=config) as handle:
+            with Client.connect(
+                "127.0.0.1", handle.port
+            ) as writer, Client.connect(
+                "127.0.0.1", handle.port
+            ) as waiter:
+                first = writer.define(
+                    updates=["x"], input_constraint="x >= 0"
+                )
+                writer.validate(first)
+                writer.write(first, "x", 7)  # uncommitted write on x
+                second = waiter.define(
+                    updates=["x"], input_constraint="x >= 0"
+                )
+                waiter.validate(second)
+
+                result = {}
+
+                def blocked_write():
+                    result["response"] = waiter.write(second, "x", 8)
+
+                thread = threading.Thread(target=blocked_write)
+                thread.start()
+                thread.join(timeout=0.5)
+                assert thread.is_alive()  # parked on first's lock
+                writer.commit(first)
+                thread.join(timeout=5.0)
+                assert not thread.is_alive()
+                assert result["response"]["ok"]
+                assert waiter.view(second)["x"] == 8
+                assert waiter.commit(second)["outcome"] == "committed"
+        # The strict interleaving is durable: a restart recovers both
+        # commits and the root view folds them in commit order.
+        with ServerThread(tiny_db, config=config) as handle:
+            recovery = handle.server.recovery
+            assert recovery is not None and recovery.verified
+            assert recovery.committed == [first, second]
+            assert recovery.state.root_view()["x"] == 8

@@ -106,3 +106,95 @@ class TestModelBridge:
         db_state = store.as_database_state()
         assert db_state.versions_of("x") == store.values_of("x")
         assert db_state.versions_of("y") == store.values_of("y")
+
+
+class TestExpungePruneInterplay:
+    """The sequence-stamp and survival guarantees recovery leans on."""
+
+    def test_stamps_stay_monotone_and_unique_after_expunge(self, store):
+        stamps = [store.write("x", v, "t.0").sequence for v in (5, 6)]
+        stamps.append(store.write("x", 7, "t.1").sequence)
+        store.expunge_author("t.0")
+        # New writes never reuse expunged stamps: the watermark does
+        # not rewind.
+        after = [store.write("x", v, "t.2").sequence for v in (8, 9)]
+        everything = stamps + after
+        assert len(set(everything)) == len(everything)
+        assert after[0] > max(stamps)
+        assert after == sorted(after)
+
+    def test_watermark_never_rewinds(self, store):
+        store.write("x", 5, "t.0")
+        store.write("x", 6, "t.1")
+        before = store.sequence_watermark
+        store.expunge_author("t.1")
+        assert store.sequence_watermark == before
+        store.prune("x", keep_last=1)
+        assert store.sequence_watermark == before
+
+    def test_prune_after_expunge_keeps_latest_committed(self, store):
+        """Expunge the aborted author first; prune then can only see
+        committed versions, so the latest committed one survives."""
+        committed = store.write("x", 5, "t.0")
+        store.write("x", 6, "t.1")
+        store.write("x", 7, "t.1")
+        store.expunge_author("t.1")  # t.1 aborted
+        store.prune("x", keep_last=1)
+        assert store.versions("x") == (committed,)
+
+    def test_prune_keeps_newest_surviving_versions(self, store):
+        store.write("x", 5, "t.0")
+        keep_b = store.write("x", 6, "t.1")
+        keep_a = store.write("x", 7, "t.2")
+        dropped = store.prune("x", keep_last=2)
+        assert dropped == 2  # the initial version and t.0's write
+        assert store.versions("x") == (keep_b, keep_a)
+        assert store.latest("x") is keep_a
+
+    def test_expunge_then_prune_never_strands_an_entity(self, store):
+        store.write("y", 6, "t.0")
+        store.expunge_author("t.0")
+        store.prune("y", keep_last=1)
+        assert store.version_count("y") == 1
+        assert store.initial("y").value == 2
+
+
+class TestSnapshotRoundTrip:
+    def test_round_trip_preserves_versions_and_watermark(self, schema, store):
+        store.write("x", 5, "t.0")
+        store.write("y", 6, "t.1")
+        store.expunge_author("t.0")
+        image = store.snapshot()
+        restored = VersionStore.from_snapshot(schema, image)
+        assert list(restored) == list(store)
+        assert restored.sequence_watermark == store.sequence_watermark
+        # Post-restore writes continue the same stamp sequence.
+        assert (
+            restored.write("x", 9, "t.2").sequence
+            == store.write("x", 9, "t.2").sequence
+        )
+
+    def test_snapshot_is_json_serializable(self, store):
+        import json
+
+        assert json.loads(json.dumps(store.snapshot())) == store.snapshot()
+
+    def test_duplicate_stamp_rejected(self, schema, store):
+        image = store.snapshot()
+        image["versions"].append(list(image["versions"][0]))
+        with pytest.raises(SchemaError):
+            VersionStore.from_snapshot(schema, image)
+
+    def test_stamp_beyond_watermark_rejected(self, schema, store):
+        image = store.snapshot()
+        image["versions"][0][3] = image["next_sequence"] + 5
+        with pytest.raises(SchemaError):
+            VersionStore.from_snapshot(schema, image)
+
+    def test_entity_without_versions_rejected(self, schema, store):
+        image = store.snapshot()
+        image["versions"] = [
+            row for row in image["versions"] if row[0] != "y"
+        ]
+        with pytest.raises(SchemaError):
+            VersionStore.from_snapshot(schema, image)

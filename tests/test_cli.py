@@ -267,3 +267,109 @@ class TestParser:
     def test_missing_command_exits(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestVersion:
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        import repro
+
+        assert out.strip() == f"repro {repro.__version__}"
+
+
+def _seed_wal_dir(wal_dir):
+    """A tiny recovered-able WAL directory: one commit, one in-flight."""
+    from repro.core.entities import Domain, Entity, Schema
+    from repro.core.predicates import Predicate
+    from repro.core.transactions import Spec
+    from repro.durability import DurableTransactionManager
+    from repro.storage.database import Database
+
+    def factory():
+        schema = Schema([Entity("x", Domain.interval(0, 100))])
+        return Database(schema, Predicate.parse("x >= 0"), {"x": 1})
+
+    manager, _ = DurableTransactionManager.open(wal_dir, factory)
+    spec = Spec(Predicate.parse("x >= 0"), Predicate.parse("true"))
+    done = manager.define(manager.root, spec, ["x"])
+    manager.validate(done)
+    manager.read(done, "x")
+    manager.begin_write(done, "x")
+    manager.end_write(done, "x", 42)
+    manager.commit(done)
+    dangling = manager.define(manager.root, spec, ["x"])
+    manager.validate(dangling)
+    manager.flush()
+    # No close: like a crash, the WAL suffix is all recovery gets.
+
+
+class TestRecover:
+    def test_human_summary(self, tmp_path, capsys):
+        wal_dir = tmp_path / "wal"
+        _seed_wal_dir(wal_dir)
+        code = main(["recover", "--wal-dir", str(wal_dir)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "committed txns:     1" in out
+        assert "verification:       VERIFIED" in out
+
+    def test_json_summary(self, tmp_path, capsys):
+        import json
+
+        wal_dir = tmp_path / "wal"
+        _seed_wal_dir(wal_dir)
+        code = main(["recover", "--wal-dir", str(wal_dir), "--json"])
+        assert code == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["verified"] is True
+        assert summary["committed"] == 1
+        assert summary["aborted_in_flight"] == ["t.1"]
+
+    def test_missing_directory_exits_2(self, tmp_path, capsys):
+        code = main(
+            ["recover", "--wal-dir", str(tmp_path / "nothing")]
+        )
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_verification_failure_exits_1(self, tmp_path, capsys):
+        import json
+
+        from repro.durability.records import WalRecord
+        from repro.durability.wal import list_segments
+
+        wal_dir = tmp_path / "wal"
+        _seed_wal_dir(wal_dir)
+        for path in list_segments(wal_dir):
+            lines = path.read_bytes().splitlines(keepends=True)
+            for index, line in enumerate(lines):
+                record = WalRecord.decode(line.rstrip(b"\n"))
+                if record.op == "commit":
+                    forged = WalRecord(
+                        record.lsn,
+                        record.op,
+                        record.txn,
+                        {"released": {"x": -1}},
+                    )
+                    lines[index] = forged.encode()
+                    path.write_bytes(b"".join(lines))
+        code = main(
+            ["recover", "--wal-dir", str(wal_dir), "--json"]
+        )
+        assert code == 1
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["verified"] is False
+        assert summary["violations"]
+
+    def test_no_verify_skips_the_gate(self, tmp_path, capsys):
+        wal_dir = tmp_path / "wal"
+        _seed_wal_dir(wal_dir)
+        code = main(
+            ["recover", "--wal-dir", str(wal_dir), "--no-verify"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "verification:" not in out
