@@ -13,7 +13,9 @@ Subcommands:
   (``--wal-dir`` makes it durable: WAL + checkpoints + recovery);
 * ``recover`` — run verified crash recovery over a WAL directory;
 * ``loadgen`` — replay a workload against a running server and write
-  ``BENCH_server.json``.
+  ``BENCH_server.json``;
+* ``fuzz`` — run the deterministic concurrency fuzzer over a seed
+  range (``repro fuzz replay FILE`` re-executes a saved reproducer).
 """
 
 from __future__ import annotations
@@ -327,7 +329,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         )
         await stop.wait()
         print("repro serve: draining", flush=True)
-        await server.shutdown()
+        summary = await server.shutdown()
+        print(
+            "repro serve: drained "
+            f"(aborted={len(summary['aborted'])}, "
+            f"parked_failed={summary['parked_failed']}, "
+            f"notifications_dropped={summary['notifications_dropped']})",
+            flush=True,
+        )
 
     try:
         asyncio.run(_run())
@@ -443,6 +452,91 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         )
         return 1
     return 0
+
+
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    import json
+
+    from .fuzz import run_corpus
+
+    result = run_corpus(
+        args.seed,
+        args.runs,
+        out_dir=args.out or None,
+        shrink=not args.no_shrink,
+        progress=lambda line: print(f"repro fuzz: {line}", flush=True),
+    )
+    report = result.report()
+    print(
+        f"repro fuzz: seeds {args.seed}..{args.seed + args.runs - 1}: "
+        f"{result.passed}/{args.runs} passed, "
+        f"{len(result.failures)} violations, "
+        f"{len(result.harness_errors)} harness errors"
+    )
+    for failure in result.failures:
+        where = failure.reproducer or "(not written)"
+        print(
+            f"repro fuzz: seed {failure.seed} failed "
+            f"[{', '.join(failure.failed_oracles)}] — shrunk "
+            f"{failure.op_count_before} -> {failure.op_count_after} ops "
+            f"in {failure.shrink_runs} runs -> {where}"
+        )
+    for error in result.harness_errors:
+        print(
+            f"repro fuzz: seed {error['seed']} harness error:\n"
+            f"{error['traceback']}",
+            file=sys.stderr,
+        )
+    if args.report:
+        with open(args.report, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"repro fuzz: report -> {args.report}")
+    return result.exit_code
+
+
+def _cmd_fuzz_replay(args: argparse.Namespace) -> int:
+    import json
+
+    from .fuzz import EXIT_HARNESS_ERROR, load_reproducer, replay_file
+
+    try:
+        _, expected = load_reproducer(args.file)
+        result, matches = replay_file(args.file)
+    except FileNotFoundError:
+        print(f"error: no reproducer {args.file!r}", file=sys.stderr)
+        return EXIT_HARNESS_ERROR
+    except (ValueError, KeyError) as error:
+        print(
+            f"error: {args.file!r} is not a reproducer ({error})",
+            file=sys.stderr,
+        )
+        return EXIT_HARNESS_ERROR
+    print(
+        f"repro fuzz replay: seed {result.plan.seed}, "
+        f"{result.plan.op_count} ops, expected failure "
+        f"[{', '.join(expected) or 'none'}]"
+    )
+    for name, verdict in result.report["oracles"].items():
+        status = "ok" if verdict["ok"] else "FAILED"
+        print(f"  {name:20s} {status}")
+        for detail in verdict["details"]:
+            print(f"      {detail}")
+    if args.report:
+        with open(args.report, "w", encoding="utf-8") as handle:
+            json.dump(result.report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"repro fuzz replay: report -> {args.report}")
+    if matches and expected:
+        print("repro fuzz replay: failure reproduced")
+        return 0
+    if not expected:
+        return 0 if result.ok else 1
+    print(
+        "repro fuzz replay: failure did NOT reproduce "
+        f"(got [{', '.join(result.failed_oracles) or 'clean run'}])"
+    )
+    return 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -678,6 +772,46 @@ def build_parser() -> argparse.ArgumentParser:
         help="bench JSON path ('' = don't write)",
     )
     loadgen.set_defaults(func=_cmd_loadgen)
+
+    fuzz = sub.add_parser(
+        "fuzz",
+        help="run the deterministic concurrency fuzzer "
+        "(exit 0 = clean, 1 = invariant violation, 2 = harness error)",
+    )
+    fuzz.add_argument(
+        "--seed", type=int, default=1,
+        help="first seed of the corpus range (default 1)",
+    )
+    fuzz.add_argument(
+        "--runs", type=_positive_int, default=200,
+        help="number of consecutive seeds to run (default 200)",
+    )
+    fuzz.add_argument(
+        "--out", default="fuzz-failures",
+        help="directory for minimized reproducer JSON files "
+        "('' = don't write)",
+    )
+    fuzz.add_argument(
+        "--report", default=None,
+        help="also write the corpus report as JSON to this path",
+    )
+    fuzz.add_argument(
+        "--no-shrink", action="store_true",
+        help="save failing plans as-is instead of delta-debugging them",
+    )
+    fuzz.set_defaults(func=_cmd_fuzz)
+    fuzz_sub = fuzz.add_subparsers(dest="fuzz_command")
+    fuzz_replay = fuzz_sub.add_parser(
+        "replay",
+        help="re-execute a saved reproducer bit-for-bit "
+        "(exit 0 = expected failure reproduced)",
+    )
+    fuzz_replay.add_argument("file", help="reproducer JSON file")
+    fuzz_replay.add_argument(
+        "--report", default=None,
+        help="write the replayed run's full report as JSON to this path",
+    )
+    fuzz_replay.set_defaults(func=_cmd_fuzz_replay)
 
     return parser
 

@@ -1,0 +1,212 @@
+"""Corpus driving, reproducer files, and the fuzz exit contract.
+
+``repro fuzz`` runs a contiguous range of seeds; every failing seed is
+shrunk to a minimal plan and serialized as a *reproducer* — a small
+JSON file holding the reduced plan, the expected failure signature,
+and the originating seed.  ``repro fuzz replay FILE`` re-executes the
+plan bit-for-bit and reports whether the failure still reproduces.
+
+Exit codes (shared by the CLI and CI):
+
+* ``0`` — every run passed every oracle;
+* ``1`` — at least one invariant violation (reproducers written);
+* ``2`` — the harness itself failed (an exception escaped a run).
+"""
+
+from __future__ import annotations
+
+import json
+import traceback
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable
+
+from ..obs.metrics import MetricsRegistry
+from .plan import FuzzPlan, generate_plan
+from .runner import RunResult, execute_plan
+from .shrink import shrink_plan
+
+EXIT_CLEAN = 0
+EXIT_VIOLATION = 1
+EXIT_HARNESS_ERROR = 2
+
+REPRO_VERSION = 1
+
+
+@dataclass
+class Failure:
+    """One failing seed, after shrinking."""
+
+    seed: int
+    failed_oracles: tuple[str, ...]
+    op_count_before: int
+    op_count_after: int
+    shrink_runs: int
+    reproducer: "str | None"
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "seed": self.seed,
+            "failed_oracles": list(self.failed_oracles),
+            "op_count_before": self.op_count_before,
+            "op_count_after": self.op_count_after,
+            "shrink_runs": self.shrink_runs,
+            "reproducer": self.reproducer,
+        }
+
+
+@dataclass
+class CorpusResult:
+    """What a whole corpus run produced."""
+
+    start_seed: int
+    runs: int
+    passed: int = 0
+    failures: list[Failure] = field(default_factory=list)
+    harness_errors: list[dict[str, Any]] = field(default_factory=list)
+    registry: MetricsRegistry = field(default_factory=MetricsRegistry)
+
+    @property
+    def exit_code(self) -> int:
+        if self.harness_errors:
+            return EXIT_HARNESS_ERROR
+        if self.failures:
+            return EXIT_VIOLATION
+        return EXIT_CLEAN
+
+    def report(self) -> dict[str, Any]:
+        return {
+            "fuzz": "corpus",
+            "start_seed": self.start_seed,
+            "runs": self.runs,
+            "passed": self.passed,
+            "failures": [f.to_dict() for f in self.failures],
+            "harness_errors": self.harness_errors,
+            "exit_code": self.exit_code,
+            "metrics": self.registry.snapshot(),
+        }
+
+
+def run_seed(seed: int, **overrides: Any) -> RunResult:
+    """Generate the plan for ``seed`` (with overrides) and execute it."""
+    return execute_plan(generate_plan(seed, **overrides))
+
+
+def save_reproducer(
+    path: "Path | str", plan: FuzzPlan, failed_oracles: "tuple[str, ...]"
+) -> Path:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "repro_version": REPRO_VERSION,
+        "seed": plan.seed,
+        "expected_failure": sorted(failed_oracles),
+        "op_count": plan.op_count,
+        "plan": plan.to_dict(),
+    }
+    path.write_text(
+        json.dumps(payload, sort_keys=True, indent=2) + "\n",
+        encoding="utf-8",
+    )
+    return path
+
+
+def load_reproducer(path: "Path | str") -> tuple[FuzzPlan, list[str]]:
+    payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    version = payload.get("repro_version")
+    if version != REPRO_VERSION:
+        raise ValueError(
+            f"unsupported reproducer version {version!r}"
+        )
+    return (
+        FuzzPlan.from_dict(payload["plan"]),
+        list(payload.get("expected_failure", [])),
+    )
+
+
+def replay_file(path: "Path | str") -> tuple[RunResult, bool]:
+    """Re-execute a reproducer; returns (result, signature matches)."""
+    plan, expected = load_reproducer(path)
+    result = execute_plan(plan)
+    matches = set(expected) <= set(result.failed_oracles)
+    return result, matches
+
+
+def _shrink_failure(
+    result: RunResult,
+    registry: MetricsRegistry,
+) -> tuple[FuzzPlan, int]:
+    signature = set(result.failed_oracles)
+
+    def _reproduces(candidate: FuzzPlan) -> bool:
+        registry.counter("fuzz.shrink.runs").inc()
+        try:
+            rerun = execute_plan(candidate)
+        except Exception:  # noqa: BLE001 — a crashing candidate is
+            return False  # not the same bug; reject the reduction
+        return signature <= set(rerun.failed_oracles)
+
+    return shrink_plan(result.plan, _reproduces)
+
+
+def run_corpus(
+    start_seed: int,
+    runs: int,
+    *,
+    out_dir: "Path | str | None" = "fuzz-failures",
+    shrink: bool = True,
+    progress: "Callable[[str], None] | None" = None,
+    plan_overrides: "dict[str, Any] | None" = None,
+) -> CorpusResult:
+    """Run seeds ``start_seed .. start_seed + runs - 1``."""
+    overrides = plan_overrides or {}
+    result = CorpusResult(start_seed=start_seed, runs=runs)
+    registry = result.registry
+    for seed in range(start_seed, start_seed + runs):
+        registry.counter("fuzz.runs").inc()
+        try:
+            run = run_seed(seed, **overrides)
+        except Exception:  # noqa: BLE001 — harness fault barrier
+            registry.counter("fuzz.harness_errors").inc()
+            result.harness_errors.append(
+                {
+                    "seed": seed,
+                    "traceback": traceback.format_exc(limit=8),
+                }
+            )
+            continue
+        registry.histogram("fuzz.run.requests").observe(
+            run.report["counts"]["requests"]
+        )
+        if run.ok:
+            result.passed += 1
+            continue
+        registry.counter("fuzz.failures").inc()
+        failed = run.failed_oracles
+        if progress is not None:
+            progress(
+                f"seed {seed}: FAILED {', '.join(failed)} "
+                f"({run.plan.op_count} ops) — shrinking"
+                if shrink
+                else f"seed {seed}: FAILED {', '.join(failed)}"
+            )
+        minimized = run.plan
+        shrink_runs = 0
+        if shrink:
+            minimized, shrink_runs = _shrink_failure(run, registry)
+        reproducer_path: "str | None" = None
+        if out_dir is not None:
+            path = Path(out_dir) / f"repro-seed-{seed}.json"
+            save_reproducer(path, minimized, failed)
+            reproducer_path = str(path)
+        result.failures.append(
+            Failure(
+                seed=seed,
+                failed_oracles=failed,
+                op_count_before=run.plan.op_count,
+                op_count_after=minimized.op_count,
+                shrink_runs=shrink_runs,
+                reproducer=reproducer_path,
+            )
+        )
+    return result

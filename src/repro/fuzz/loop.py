@@ -1,0 +1,105 @@
+"""A deterministic asyncio event loop on a virtual clock.
+
+The fuzzer needs real asyncio semantics — the server's dispatcher,
+parking timers, and drain loop are all written against it — but wall
+time and the kernel's readiness notifications are the two places
+nondeterminism leaks in.  :class:`VirtualClockLoop` removes both:
+
+* ``loop.time()`` reads a :class:`~repro.sim.clock.VirtualClock`, and
+* the selector never polls the OS.  When asyncio asks it to wait for
+  ``timeout`` seconds (i.e. until the next timer is due), it *advances
+  the virtual clock by exactly that much* and reports no I/O.
+
+The result: callbacks, timers, and coroutine wake-ups happen in a
+schedule fully determined by the program itself — run the same
+coroutines twice and you get the same interleaving, bit for bit,
+with zero real-time sleeping.  No sockets can be served (there is no
+I/O); the fuzzer drives the server's session layer directly.
+
+If asyncio ever asks the selector to wait *forever* (``timeout is
+None``) there are no timers and no runnable tasks — with no I/O and no
+other threads, nothing can ever wake the loop again.  That is a
+deadlock of the system under test, and the selector raises
+:class:`FuzzDeadlockError` instead of hanging, which the fuzz runner
+reports as a lost-response invariant violation.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import selectors
+from typing import Any
+
+from ..errors import SimulationError
+from ..sim.clock import VirtualClock
+
+
+class FuzzDeadlockError(SimulationError):
+    """The virtual loop would block forever: every task is stuck."""
+
+
+class _VirtualSelector(selectors.BaseSelector):
+    """Registration bookkeeping without polling.
+
+    asyncio registers its self-pipe (and nothing else, in fuzz runs);
+    we keep the key map so the loop's bookkeeping works, but
+    :meth:`select` never reports readiness — it just moves time.
+    """
+
+    def __init__(self, clock: VirtualClock) -> None:
+        self._clock = clock
+        self._inner = selectors.SelectSelector()
+
+    def register(
+        self, fileobj: Any, events: int, data: Any = None
+    ) -> selectors.SelectorKey:
+        return self._inner.register(fileobj, events, data)
+
+    def unregister(self, fileobj: Any) -> selectors.SelectorKey:
+        return self._inner.unregister(fileobj)
+
+    def modify(
+        self, fileobj: Any, events: int, data: Any = None
+    ) -> selectors.SelectorKey:
+        return self._inner.modify(fileobj, events, data)
+
+    def select(
+        self, timeout: "float | None" = None
+    ) -> "list[tuple[selectors.SelectorKey, int]]":
+        if timeout is None:
+            raise FuzzDeadlockError(
+                "virtual event loop stalled: no timers are scheduled "
+                "and no task is runnable — a response was lost or a "
+                "wait can never be satisfied"
+            )
+        if timeout > 0:
+            self._clock.advance(timeout)
+        return []
+
+    def get_map(self):  # noqa: D102 — required by BaseSelector
+        return self._inner.get_map()
+
+    def close(self) -> None:
+        self._inner.close()
+
+
+class VirtualClockLoop(asyncio.SelectorEventLoop):
+    """``asyncio.SelectorEventLoop`` whose time is a VirtualClock."""
+
+    def __init__(self, clock: "VirtualClock | None" = None) -> None:
+        self.virtual_clock = clock if clock is not None else VirtualClock()
+        super().__init__(_VirtualSelector(self.virtual_clock))
+
+    def time(self) -> float:
+        return self.virtual_clock.now
+
+
+def run_virtual(coro, clock: "VirtualClock | None" = None):
+    """Run ``coro`` to completion on a fresh virtual-clock loop."""
+    loop = VirtualClockLoop(clock)
+    try:
+        asyncio.set_event_loop(loop)
+        return loop.run_until_complete(coro)
+    finally:
+        asyncio.set_event_loop(None)
+        loop.close()

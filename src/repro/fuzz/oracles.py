@@ -1,0 +1,380 @@
+"""Invariant oracles: what every fuzz run must satisfy.
+
+The paper's Theorem 1 makes *checking an arbitrary execution* against
+explicit consistency predicates NP-complete — so the fuzzer leans on
+the polynomial certificates this repo already maintains instead of a
+general checker:
+
+* the Section-5 protocol's own sufficient conditions (Lemma 4 parent-
+  based reads, Theorem 2 predicate re-verification),
+* the WAL history projections (recorded multi-version RC, committed
+  projection) and the recovery pass's committed-prefix verification,
+* the Section-4 lattice: every classification of the committed
+  projection must respect the containment laws of Figure 2 (the
+  fast/staged classifier is additionally diffed against ``exact=True``
+  on small histories).
+
+Plus the server-level liveness/accounting invariants no model covers:
+exactly one terminal reply per admitted request, no lost responses
+(a stalled virtual loop *is* a lost response), write effects bounded
+by acknowledged requests, and metrics that agree with the transcript.
+
+Every oracle returns a verdict with human-readable details; a failing
+run's verdict set is its *failure signature*, which the shrinker holds
+constant while minimizing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..classes.hierarchy import classify, containment_violations
+from ..durability.history import (
+    committed_projection,
+    recorded_is_rc,
+)
+from ..durability.records import OP_WRITE
+from ..protocol.scheduler import TxnPhase
+
+#: Committed-projection size caps for the NP-complete classifier
+#: passes (staged, and the staged-vs-exact differential).
+_CLASSIFY_CAP = 14
+_EXACT_CAP = 9
+
+
+@dataclass
+class OracleResult:
+    name: str
+    ok: bool
+    details: list[str] = field(default_factory=list)
+    skipped: bool = False
+
+    @classmethod
+    def skip(cls, name: str, why: str) -> "OracleResult":
+        return cls(name=name, ok=True, details=[why], skipped=True)
+
+
+def run_oracles(evidence: Any) -> list[OracleResult]:
+    """Evaluate every applicable oracle, in a fixed order."""
+    results = [
+        _no_deadlock(evidence),
+        _replies_complete(evidence),
+        _write_multiplicity(evidence),
+        _recovery_verified(evidence),
+        _committed_prefix(evidence),
+        _history_rc(evidence),
+        _classifier_lattice(evidence),
+        _protocol_verify(evidence),
+        _metrics_consistent(evidence),
+    ]
+    return results
+
+
+def _full_history(evidence: Any) -> bool:
+    """Did the WAL retain the run from LSN 1 (no checkpoint cleanup)?"""
+    return (
+        evidence.records is not None
+        and len(evidence.records) > 0
+        and evidence.records[0].lsn == 1
+    )
+
+
+def _no_deadlock(evidence: Any) -> OracleResult:
+    if evidence.deadlock is None:
+        return OracleResult("no_deadlock", True)
+    return OracleResult(
+        "no_deadlock",
+        False,
+        [f"virtual loop stalled: {evidence.deadlock}"],
+    )
+
+
+def _replies_complete(evidence: Any) -> OracleResult:
+    """Every admitted request got exactly one terminal reply.
+
+    After a crash, requests in flight at the moment the dispatcher
+    died may legitimately stay unanswered; any other pending request
+    is a lost response.
+    """
+    details = []
+    reply_counts: dict[tuple[int, int], int] = {}
+    for event in evidence.events:
+        if event["kind"] == "reply":
+            key = (event["client"], event["rid"])
+            reply_counts[key] = reply_counts.get(key, 0) + 1
+    for key, count in sorted(reply_counts.items()):
+        # BUSY retries re-reply under the same rid by design; only
+        # count terminal (non-BUSY) replies.
+        terminal = sum(
+            1
+            for event in evidence.events
+            if event["kind"] == "reply"
+            and (event["client"], event["rid"]) == key
+            and event.get("code") != "BUSY"
+        )
+        if terminal > 1:
+            details.append(
+                f"client {key[0]} rid {key[1]}: "
+                f"{terminal} terminal replies"
+            )
+    if not evidence.crashed:
+        for entry in evidence.pending_requests:
+            details.append(
+                f"client {entry['client']} rid {entry['rid']} "
+                f"({entry['op']}) never answered"
+            )
+    return OracleResult("replies_complete", not details, details)
+
+
+def _write_multiplicity(evidence: Any) -> OracleResult:
+    """WAL write effects are bounded by acknowledged write requests.
+
+    For every ``(txn, entity)``: the number of WRITE records in the
+    WAL must equal the number of ok-acknowledged ``write`` requests
+    (clean runs) or sit between the acked count and acked+pending
+    (crash runs, where an executed write's reply may have been lost).
+    A parked write whose deadline expired (TIMEOUT reply) must leave
+    **no** record — a record anyway means the server mutated the
+    manager after telling the client nothing happened, or executed one
+    request twice.
+    """
+    name = "write_multiplicity"
+    if evidence.records is None:
+        return OracleResult.skip(name, "no WAL (in-memory run)")
+    if not _full_history(evidence):
+        return OracleResult.skip(
+            name, "checkpoint cleanup truncated early history"
+        )
+    wal_writes: dict[tuple[str, str], int] = {}
+    for record in evidence.records:
+        if record.op == OP_WRITE:
+            key = (record.txn, record.data["entity"])
+            wal_writes[key] = wal_writes.get(key, 0) + 1
+    acked: dict[tuple[str, str], int] = {}
+    pending: dict[tuple[str, str], int] = {}
+    for entry in evidence.requests.values():
+        if entry["op"] != "write" or entry["txn"] is None:
+            continue
+        key = (entry["txn"], entry["entity"])
+        if entry["status"] == "ok":
+            acked[key] = acked.get(key, 0) + 1
+        elif entry["status"] == "pending":
+            pending[key] = pending.get(key, 0) + 1
+    details = []
+    for key in sorted(set(wal_writes) | set(acked)):
+        logged = wal_writes.get(key, 0)
+        low = acked.get(key, 0)
+        high = low + (pending.get(key, 0) if evidence.crashed else 0)
+        if not low <= logged <= high:
+            details.append(
+                f"txn {key[0]} entity {key[1]}: {logged} WAL writes "
+                f"for {low} acked (+{high - low} in-flight) requests"
+            )
+    return OracleResult(name, not details, details)
+
+
+def _recovery_verified(evidence: Any) -> OracleResult:
+    name = "recovery_verified"
+    if not evidence.plan.durable:
+        return OracleResult.skip(name, "in-memory run")
+    if evidence.recovery_error is not None:
+        return OracleResult(
+            name, False, [f"recovery failed: {evidence.recovery_error}"]
+        )
+    if evidence.recovery is None:
+        return OracleResult(name, False, ["recovery never ran"])
+    if evidence.recovery.verified:
+        return OracleResult(name, True)
+    return OracleResult(
+        name, False, list(evidence.recovery.violations)
+    )
+
+
+def _committed_prefix(evidence: Any) -> OracleResult:
+    """Acked commits survive recovery, in order; nothing else commits.
+
+    The client-visible contract: an acknowledged commit is durable
+    (the WAL append precedes the ack), so the acked sequence must be a
+    subsequence of the recovered commit order.  Conversely a recovered
+    commit nobody was acked for is only legitimate when its commit
+    request was still in flight at the crash.
+    """
+    name = "committed_prefix"
+    if evidence.recovery is None:
+        return OracleResult.skip(
+            name, "no recovery pass (in-memory run or recovery error)"
+        )
+    recovered = list(evidence.recovery.committed)
+    details = []
+    # Subsequence check preserves the order of the acks.
+    position = 0
+    for acked in evidence.acked_committed:
+        try:
+            position = recovered.index(acked, position) + 1
+        except ValueError:
+            details.append(
+                f"acked commit {acked} missing from recovered order "
+                f"{recovered}"
+            )
+    inflight_commits = {
+        entry["txn"]
+        for entry in evidence.pending_requests
+        if entry["op"] == "commit"
+    }
+    for txn in recovered:
+        if txn in evidence.acked_committed:
+            continue
+        if evidence.crashed and txn in inflight_commits:
+            continue
+        details.append(
+            f"recovered commit {txn} was never acknowledged"
+        )
+    return OracleResult(name, not details, details)
+
+
+def _history_rc(evidence: Any) -> OracleResult:
+    """Strict mode guarantees recoverable (RC) recorded histories."""
+    name = "history_rc"
+    if not evidence.plan.strict:
+        return OracleResult.skip(
+            name, "non-strict run: RC is not promised"
+        )
+    if evidence.records is None or evidence.recovery is None:
+        return OracleResult.skip(name, "no WAL history")
+    if not _full_history(evidence):
+        return OracleResult.skip(
+            name, "checkpoint cleanup truncated early history"
+        )
+    ok = recorded_is_rc(
+        evidence.records, list(evidence.recovery.committed)
+    )
+    return OracleResult(
+        name,
+        ok,
+        [] if ok else ["committed reader precedes its author"],
+    )
+
+
+def _classifier_lattice(evidence: Any) -> OracleResult:
+    """The committed projection classifies coherently.
+
+    Containment violations (e.g. CSR ⊄ SR) indicate a broken class
+    tester — this is the oracle that catches regressions like
+    reverting the Lemma-3 condition-2 fix.  On small projections the
+    staged classifier is additionally required to agree with
+    ``exact=True`` (no lattice short-circuiting), a differential check
+    of every fast path.
+    """
+    name = "classifier_lattice"
+    if evidence.records is None or evidence.recovery is None:
+        return OracleResult.skip(name, "no WAL history")
+    if not _full_history(evidence):
+        return OracleResult.skip(
+            name, "checkpoint cleanup truncated early history"
+        )
+    projection = committed_projection(
+        evidence.records, list(evidence.recovery.committed)
+    )
+    if projection is None:
+        return OracleResult.skip(
+            name, "no committed data operations"
+        )
+    schedule = projection.schedule
+    if len(schedule) > _CLASSIFY_CAP:
+        return OracleResult.skip(
+            name,
+            f"projection has {len(schedule)} ops "
+            f"(> {_CLASSIFY_CAP}); classifier pass skipped",
+        )
+    membership = classify(schedule)
+    details = [
+        str(violation)
+        for violation in containment_violations(membership)
+    ]
+    if not details and len(schedule) <= _EXACT_CAP:
+        exact = classify(schedule, exact=True)
+        if membership.as_dict() != exact.as_dict():
+            details.append(
+                "staged classify disagrees with exact: "
+                f"{membership.as_dict()} != {exact.as_dict()}"
+            )
+    return OracleResult(name, not details, details)
+
+
+def _protocol_verify(evidence: Any) -> OracleResult:
+    """Post-drain manager state passes Lemma 4 / Theorem 2 and is clean."""
+    name = "protocol_verify"
+    if evidence.manager is None:
+        return OracleResult.skip(
+            name, "no live manager (crash or deadlock)"
+        )
+    manager = evidence.manager
+    details = []
+    root = manager.root
+    details.extend(manager.verify_parent_based(root))
+    details.extend(manager.verify_correctness(root))
+    committed = set()
+    for child in manager.children_of(root):
+        record = manager.record(child)
+        if not record.terminated:
+            details.append(f"{child} still live after drain")
+        if record.phase is TxnPhase.COMMITTED:
+            committed.add(child)
+    if committed != set(evidence.acked_committed):
+        details.append(
+            f"manager committed set {sorted(committed)} != acked "
+            f"{sorted(set(evidence.acked_committed))}"
+        )
+    if evidence.dispatcher is not None:
+        parked = evidence.dispatcher.parked_count
+        if parked:
+            details.append(
+                f"{parked} commands still parked after drain"
+            )
+    return OracleResult(name, not details, details)
+
+
+def _metrics_consistent(evidence: Any) -> OracleResult:
+    """The metrics registry agrees with the transcript."""
+    name = "metrics_consistent"
+    if evidence.crashed or evidence.deadlock is not None:
+        return OracleResult.skip(
+            name, "counters are mid-flight after a crash/deadlock"
+        )
+    if evidence.registry is None:
+        return OracleResult.skip(name, "no registry")
+    registry = evidence.registry
+    details = []
+    committed_count = int(
+        registry.counter("server.txns.committed").value
+    )
+    if committed_count != len(evidence.acked_committed):
+        details.append(
+            f"server.txns.committed={committed_count} but "
+            f"{len(evidence.acked_committed)} commits acked"
+        )
+    busy_events = sum(
+        1 for event in evidence.events if event["kind"] == "busy"
+    ) + sum(
+        1
+        for event in evidence.events
+        if event["kind"] == "reply" and event.get("code") == "BUSY"
+    )
+    busy_count = int(registry.counter("server.busy").value)
+    if busy_count != busy_events:
+        details.append(
+            f"server.busy={busy_count} but transcript shows "
+            f"{busy_events} BUSY rejections"
+        )
+    dropped = int(
+        registry.counter("server.notifications_dropped").value
+    )
+    if dropped:
+        # Fuzz sessions record notifications synchronously — there is
+        # no outbound queue to overflow, so any drop is a server bug.
+        details.append(
+            f"server.notifications_dropped={dropped} without a "
+            "transport queue in the run"
+        )
+    return OracleResult(name, not details, details)

@@ -1,0 +1,592 @@
+"""Execute one :class:`FuzzPlan` deterministically, collecting evidence.
+
+The run drives the *real* server stack — :class:`TransactionServer`
+wiring, :class:`CommandDispatcher` parking/timeout machinery, and (for
+durable plans) a :class:`DurableTransactionManager` over a scratch WAL
+directory with crash points armed — on a
+:class:`~repro.fuzz.loop.VirtualClockLoop`.  Only the TCP transport is
+bypassed: fuzz clients are coroutines that submit requests straight to
+the dispatcher and await the futures, exactly as a connection handler
+would.  Everything that happens is appended to a transcript whose
+timestamps come from the virtual clock, so two runs of the same plan
+produce byte-identical transcripts.
+
+A fired :class:`SimulatedCrash` kills the dispatcher the way SIGKILL
+would; the runner then copies the WAL directory the way stable storage
+would keep it (``kill`` survival model: every ``os.write`` survives),
+runs recovery against the copy, and hands both the pre-crash transcript
+and the recovered state to the oracles.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import shutil
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from ..core.entities import Domain, Entity, Schema
+from ..core.predicates import Predicate
+from ..durability.crashpoints import CrashPoints, SimulatedCrash
+from ..durability.harness import build_survivor_copy
+from ..durability.manager import DurableTransactionManager
+from ..durability.recovery import RecoveryResult, recover
+from ..durability.wal import scan_wal
+from ..errors import ReproError
+from ..obs.metrics import MetricsRegistry
+from ..protocol.scheduler import TransactionManager
+from ..server.protocol import Request
+from ..server.server import ServerConfig, TransactionServer
+from ..server.session import SessionState
+from ..sim.clock import VirtualClock
+from ..storage.database import Database
+from .loop import FuzzDeadlockError, VirtualClockLoop
+from .plan import ENTITIES, FuzzPlan
+
+FUZZ_REPORT_VERSION = 1
+
+#: Codes after which a transaction script is abandoned outright (the
+#: transaction is already gone server-side).
+_DEAD_CODES = {"ABORTED", "UNKNOWN_TXN", "SHUTTING_DOWN"}
+
+_BUSY_RETRIES = 5
+_BUSY_BACKOFF = 0.05
+
+
+def fuzz_database() -> Database:
+    """The fixed fuzz schema: x, y, z in [0, 100], all initially 1."""
+    schema = Schema(
+        [Entity(name, Domain.interval(0, 100)) for name in ENTITIES]
+    )
+    constraint = Predicate.parse(
+        " & ".join(f"{name} >= 0" for name in ENTITIES)
+    )
+    return Database(schema, constraint, {name: 1 for name in ENTITIES})
+
+
+@dataclass
+class Evidence:
+    """Everything the oracles get to look at after a run."""
+
+    plan: FuzzPlan
+    events: list[dict[str, Any]]
+    names: dict[str, str]
+    acked_committed: list[str]
+    requests: dict[tuple[int, int], dict[str, Any]]
+    crashed: bool = False
+    crash_info: "dict[str, Any] | None" = None
+    deadlock: "str | None" = None
+    manager: "TransactionManager | None" = None
+    dispatcher: Any = None
+    drain_summary: "dict[str, Any] | None" = None
+    registry: "MetricsRegistry | None" = None
+    records: "list[Any] | None" = None
+    recovery: "RecoveryResult | None" = None
+    recovery_error: "str | None" = None
+
+    @property
+    def pending_requests(self) -> list[dict[str, Any]]:
+        return [
+            entry
+            for entry in self.requests.values()
+            if entry["status"] == "pending"
+        ]
+
+
+@dataclass
+class RunResult:
+    """One executed plan: the JSON report plus raw evidence."""
+
+    plan: FuzzPlan
+    report: dict[str, Any]
+    evidence: Evidence
+
+    @property
+    def ok(self) -> bool:
+        return bool(self.report["ok"])
+
+    @property
+    def failed_oracles(self) -> tuple[str, ...]:
+        return tuple(
+            name
+            for name, verdict in self.report["oracles"].items()
+            if not verdict["ok"]
+        )
+
+
+class _RunContext:
+    """Mutable run state shared by the client coroutines."""
+
+    def __init__(
+        self,
+        plan: FuzzPlan,
+        clock: VirtualClock,
+        server: TransactionServer,
+    ) -> None:
+        self.plan = plan
+        self.clock = clock
+        self.server = server
+        self.dispatcher = server.dispatcher
+        self.events: list[dict[str, Any]] = []
+        self.names: dict[str, str] = {}
+        self.acked_committed: list[str] = []
+        self.requests: dict[tuple[int, int], dict[str, Any]] = {}
+        self.rid_counters: dict[int, int] = {}
+        self.drain_summary: "dict[str, Any] | None" = None
+        self.crash_exc: "SimulatedCrash | None" = None
+
+    def emit(self, kind: str, **fields: Any) -> None:
+        event = {"t": round(self.clock.now, 6), "kind": kind}
+        event.update(fields)
+        self.events.append(event)
+
+    def notify_for(self, client_id: int):
+        def _notify(payload: dict[str, Any]) -> None:
+            self.emit(
+                "event",
+                client=client_id,
+                event=payload.get("event"),
+                txn=payload.get("txn"),
+            )
+
+        return _notify
+
+    def next_rid(self, client_id: int) -> int:
+        rid = self.rid_counters.get(client_id, 0) + 1
+        self.rid_counters[client_id] = rid
+        return rid
+
+    async def request(
+        self,
+        client_id: int,
+        session: SessionState,
+        op: str,
+        params: dict[str, Any],
+        *,
+        txn: "str | None" = None,
+        entity: "str | None" = None,
+    ) -> dict[str, Any]:
+        """Submit one request, retrying BUSY with deterministic backoff."""
+        rid = self.next_rid(client_id)
+        entry: dict[str, Any] = {
+            "client": client_id,
+            "rid": rid,
+            "op": op,
+            "txn": txn,
+            "entity": entity,
+            "status": "pending",
+            "outcome": None,
+        }
+        self.requests[(client_id, rid)] = entry
+        self.emit(
+            "request", client=client_id, rid=rid, op=op, txn=txn
+        )
+        reply: dict[str, Any] = {}
+        for attempt in range(_BUSY_RETRIES + 1):
+            outcome = self.dispatcher.submit(
+                session, Request(rid, op, dict(params))
+            )
+            reply = (
+                outcome
+                if isinstance(outcome, dict)
+                else await outcome
+            )
+            code = (
+                (reply.get("error") or {}).get("code")
+                if reply.get("ok") is False
+                else None
+            )
+            if code != "BUSY" or attempt == _BUSY_RETRIES:
+                break
+            self.emit("busy", client=client_id, rid=rid, op=op)
+            await asyncio.sleep(_BUSY_BACKOFF * (attempt + 1))
+        code = (
+            (reply.get("error") or {}).get("code")
+            if reply.get("ok") is False
+            else None
+        )
+        entry["status"] = "ok" if reply.get("ok") else f"error:{code}"
+        entry["outcome"] = reply.get("outcome")
+        self.emit(
+            "reply",
+            client=client_id,
+            rid=rid,
+            op=op,
+            ok=bool(reply.get("ok")),
+            code=code,
+            outcome=reply.get("outcome"),
+            value=reply.get("value"),
+        )
+        if op == "commit" and reply.get("outcome") == "committed" and txn:
+            self.acked_committed.append(txn)
+        return reply
+
+
+def _reply_code(reply: dict[str, Any]) -> "str | None":
+    if reply.get("ok"):
+        return None
+    return (reply.get("error") or {}).get("code", "INTERNAL")
+
+
+async def _abort_quietly(
+    ctx: _RunContext,
+    client_id: int,
+    session: SessionState,
+    name: str,
+) -> None:
+    await ctx.request(
+        client_id,
+        session,
+        "abort",
+        {"txn": name, "reason": "fuzz client gave up"},
+        txn=name,
+    )
+
+
+async def _run_client(ctx: _RunContext, cplan) -> None:
+    client_id = cplan.client_id
+    session = SessionState(
+        session_id=client_id + 1, notify=ctx.notify_for(client_id)
+    )
+    requests_done = 0
+
+    async def _step(op, params, *, txn=None, entity=None):
+        nonlocal requests_done
+        reply = await ctx.request(
+            client_id, session, op, params, txn=txn, entity=entity
+        )
+        requests_done += 1
+        return reply
+
+    def _disconnect_due() -> bool:
+        return (
+            cplan.disconnect_after is not None
+            and requests_done >= cplan.disconnect_after
+        )
+
+    for txn_plan in cplan.txns:
+        if _disconnect_due():
+            break
+        reply = await _step(
+            "define",
+            {
+                "updates": list(txn_plan.updates),
+                "input": txn_plan.input,
+                "output": txn_plan.output,
+                "predecessors": [
+                    ctx.names[label]
+                    for label in txn_plan.predecessors
+                    if label in ctx.names
+                ],
+            },
+        )
+        if not reply.get("ok"):
+            continue
+        name = reply["txn"]
+        ctx.names[txn_plan.label] = name
+        if _disconnect_due():
+            break
+        reply = await _step("validate", {"txn": name}, txn=name)
+        if not reply.get("ok"):
+            if _reply_code(reply) == "TIMEOUT":
+                await _abort_quietly(ctx, client_id, session, name)
+                requests_done += 1
+            continue
+        if reply.get("outcome") == "failed":
+            continue  # validation failure already aborted the txn
+        dead = False
+        for op in txn_plan.ops:
+            if _disconnect_due() or dead:
+                break
+            kind = op[0]
+            if kind == "sleep":
+                await asyncio.sleep(op[1])
+                continue
+            if kind == "read":
+                reply = await _step(
+                    "read",
+                    {"txn": name, "entity": op[1]},
+                    txn=name,
+                    entity=op[1],
+                )
+            elif kind == "write":
+                reply = await _step(
+                    "write",
+                    {"txn": name, "entity": op[1], "value": op[2]},
+                    txn=name,
+                    entity=op[1],
+                )
+            elif kind == "commit":
+                reply = await _step("commit", {"txn": name}, txn=name)
+                if reply.get("ok") and reply.get("outcome") == "failed":
+                    await _abort_quietly(
+                        ctx, client_id, session, name
+                    )
+                    requests_done += 1
+                dead = True
+            elif kind == "abort":
+                reply = await _step(
+                    "abort",
+                    {"txn": name, "reason": "scripted abort"},
+                    txn=name,
+                )
+                dead = True
+            else:  # pragma: no cover — generator never emits others
+                raise ReproError(f"unknown planned op {kind!r}")
+            code = _reply_code(reply)
+            if code in _DEAD_CODES:
+                dead = True
+            elif code == "TIMEOUT":
+                await _abort_quietly(ctx, client_id, session, name)
+                requests_done += 1
+                dead = True
+            elif code is not None and kind in ("read", "write"):
+                dead = True
+    if cplan.disconnect_after is not None and _disconnect_due():
+        ctx.emit("disconnect", client=client_id)
+        await ctx.dispatcher.close_session(session)
+
+
+async def _main(ctx: _RunContext) -> None:
+    dispatcher_task = asyncio.ensure_future(ctx.dispatcher.run())
+    client_tasks = [
+        asyncio.ensure_future(_run_client(ctx, cplan))
+        for cplan in ctx.plan.clients
+    ]
+    clients_task = asyncio.ensure_future(
+        asyncio.gather(*client_tasks, return_exceptions=False)
+    )
+    await asyncio.wait(
+        {dispatcher_task, clients_task},
+        return_when=asyncio.FIRST_COMPLETED,
+    )
+    if dispatcher_task.done() and not clients_task.done():
+        # The dispatcher died under the clients: an injected crash (or
+        # a harness bug, which we re-raise below).
+        clients_task.cancel()
+        for task in client_tasks:
+            task.cancel()
+        try:
+            await clients_task
+        except asyncio.CancelledError:
+            pass
+        exc = dispatcher_task.exception()
+        if isinstance(exc, SimulatedCrash):
+            ctx.crash_exc = exc
+            ctx.emit("crash", point=exc.point)
+            return
+        if exc is not None:
+            raise exc
+        raise ReproError("dispatcher exited without being stopped")
+    await clients_task
+    try:
+        ctx.drain_summary = await ctx.server.shutdown()
+    except SimulatedCrash as exc:
+        # A crash point armed deep enough to fire during the drain's
+        # cleanup aborts or the final checkpoint.
+        ctx.crash_exc = exc
+        ctx.emit("crash", point=exc.point)
+        dispatcher_task.cancel()
+        try:
+            await dispatcher_task
+        except asyncio.CancelledError:
+            pass
+        return
+    await dispatcher_task
+
+
+def _cancel_pending(loop: asyncio.AbstractEventLoop) -> None:
+    """After a deadlock verdict: unwind whatever is still pending."""
+    pending = [
+        task for task in asyncio.all_tasks(loop) if not task.done()
+    ]
+    for task in pending:
+        task.cancel()
+    if pending:
+        loop.run_until_complete(
+            asyncio.gather(*pending, return_exceptions=True)
+        )
+
+
+def execute_plan(
+    plan: FuzzPlan, workdir: "Path | str | None" = None
+) -> RunResult:
+    """Run ``plan`` to completion and evaluate every oracle."""
+    from .oracles import run_oracles
+
+    owns_workdir = workdir is None
+    base = Path(
+        tempfile.mkdtemp(prefix="repro-fuzz-")
+        if workdir is None
+        else workdir
+    )
+    base.mkdir(parents=True, exist_ok=True)
+    clock = VirtualClock()
+    loop = VirtualClockLoop(clock)
+    registry = MetricsRegistry()
+    wal_dir = base / "wal"
+    crash_points: "CrashPoints | None" = None
+    try:
+        if plan.durable:
+            crash_points = CrashPoints()
+            manager, _ = DurableTransactionManager.open(
+                wal_dir,
+                fuzz_database,
+                flush_interval=plan.flush_interval,
+                checkpoint_every=plan.checkpoint_every,
+                retain=99,  # keep every segment: oracles read history
+                registry=registry,
+                strict=plan.strict,
+                crash_points=crash_points,
+            )
+            if plan.crash_point is not None:
+                # Armed *after* open(): hit counts start at "serving".
+                crash_points.arm(plan.crash_point, plan.crash_at_hit)
+        else:
+            manager = TransactionManager(
+                fuzz_database(), registry=registry, strict=plan.strict
+            )
+        server = TransactionServer(
+            manager.database,
+            config=ServerConfig(
+                queue_size=plan.queue_size,
+                request_timeout=plan.request_timeout,
+                drain_grace=plan.drain_grace,
+                strict=plan.strict,
+            ),
+            registry=registry,
+            manager=manager,
+            clock=clock,
+        )
+        ctx = _RunContext(plan, clock, server)
+        deadlock: "str | None" = None
+        try:
+            asyncio.set_event_loop(loop)
+            try:
+                loop.run_until_complete(_main(ctx))
+            except FuzzDeadlockError as error:
+                deadlock = str(error)
+                _cancel_pending(loop)
+        finally:
+            asyncio.set_event_loop(None)
+        evidence = Evidence(
+            plan=plan,
+            events=ctx.events,
+            names=ctx.names,
+            acked_committed=ctx.acked_committed,
+            requests=ctx.requests,
+            crashed=ctx.crash_exc is not None,
+            crash_info=(
+                {"point": ctx.crash_exc.point, "at_hit": plan.crash_at_hit}
+                if ctx.crash_exc is not None
+                else None
+            ),
+            deadlock=deadlock,
+            dispatcher=ctx.dispatcher,
+            drain_summary=ctx.drain_summary,
+            registry=registry,
+        )
+        if plan.durable:
+            if crash_points is not None:
+                crash_points.disarm()
+            _collect_durable_evidence(
+                evidence, manager, wal_dir, base
+            )
+        if not evidence.crashed and deadlock is None:
+            evidence.manager = manager
+        oracles = run_oracles(evidence)
+        report = _build_report(plan, evidence, oracles, clock)
+        return RunResult(plan=plan, report=report, evidence=evidence)
+    finally:
+        loop.close()
+        if owns_workdir:
+            shutil.rmtree(base, ignore_errors=True)
+
+
+def _collect_durable_evidence(
+    evidence: Evidence,
+    manager: DurableTransactionManager,
+    wal_dir: Path,
+    base: Path,
+) -> None:
+    if evidence.crashed:
+        # Kill-model survival: every byte the live process os.write()d
+        # is on "disk".  Copy first, then release the live fd.
+        target = build_survivor_copy(
+            wal_dir, base / "survivor", mode="kill"
+        )
+        if manager.wal is not None and not manager.wal.closed:
+            manager.wal.close()
+    else:
+        target = wal_dir
+        if manager.wal is not None and not manager.wal.closed:
+            # Deadlocked run: shutdown() never completed; release the
+            # fd so the scan below reads settled bytes.
+            manager.wal.close()
+    try:
+        evidence.recovery = recover(target, verify=True)
+        evidence.records = list(scan_wal(target).records)
+    except ReproError as error:
+        evidence.recovery_error = f"{type(error).__name__}: {error}"
+
+
+def _build_report(
+    plan: FuzzPlan,
+    evidence: Evidence,
+    oracles: "list[Any]",
+    clock: VirtualClock,
+) -> dict[str, Any]:
+    replies = [e for e in evidence.events if e["kind"] == "reply"]
+    report = {
+        "fuzz_version": FUZZ_REPORT_VERSION,
+        "seed": plan.seed,
+        "plan_digest": plan.digest(),
+        "op_count": plan.op_count,
+        "config": {
+            "strict": plan.strict,
+            "durable": plan.durable,
+            "queue_size": plan.queue_size,
+            "request_timeout": plan.request_timeout,
+            "checkpoint_every": plan.checkpoint_every,
+            "crash_point": plan.crash_point,
+            "crash_at_hit": plan.crash_at_hit,
+            "clients": len(plan.clients),
+        },
+        "counts": {
+            "events": len(evidence.events),
+            "requests": len(evidence.requests),
+            "replies": len(replies),
+            "busy": sum(
+                1 for e in evidence.events if e["kind"] == "busy"
+            ),
+            "timeouts": sum(
+                1 for e in replies if e.get("code") == "TIMEOUT"
+            ),
+            "commits_acked": len(evidence.acked_committed),
+        },
+        "names": dict(sorted(evidence.names.items())),
+        "acked_committed": list(evidence.acked_committed),
+        "recovered_committed": (
+            list(evidence.recovery.committed)
+            if evidence.recovery is not None
+            else None
+        ),
+        "crashed": evidence.crashed,
+        "crash": evidence.crash_info,
+        "deadlock": evidence.deadlock,
+        "recovery_error": evidence.recovery_error,
+        "drain_summary": evidence.drain_summary,
+        "virtual_duration": round(clock.now, 6),
+        "oracles": {
+            result.name: {
+                "ok": result.ok,
+                "details": list(result.details),
+            }
+            for result in oracles
+        },
+        "schedule": evidence.events,
+    }
+    report["ok"] = all(v["ok"] for v in report["oracles"].values())
+    return report

@@ -1,0 +1,105 @@
+"""Greedy delta-debugging over fuzz plans.
+
+A failing plan is minimized by structural deletion only — drop a
+client, drop a transaction, drop a single operation, drop a
+cooperation edge, drop the fault schedule — re-running the plan after
+each candidate deletion and keeping it when the *failure signature*
+(the set of failed oracle names) still reproduces.  Because plans are
+explicit scripts (see :mod:`repro.fuzz.plan`), deletion is well
+defined and the reduced plan replays the same way every time.
+
+The loop is the classic greedy fixpoint: apply every candidate
+deletion once per pass, restart the pass whenever one sticks, stop
+when a full pass sticks nothing (or the run budget is spent).  The
+result is 1-minimal with respect to the deletion operators — removing
+any single remaining element loses the failure.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+from .plan import FuzzPlan
+
+
+def _copy(plan: FuzzPlan) -> FuzzPlan:
+    return FuzzPlan.from_dict(plan.to_dict())
+
+
+def _candidates(plan: FuzzPlan) -> Iterator[tuple[str, FuzzPlan]]:
+    """Yield (description, reduced-plan) candidates, boldest first."""
+    if plan.crash_point is not None:
+        candidate = _copy(plan)
+        candidate.crash_point = None
+        yield ("drop crash injection", candidate)
+    for index in reversed(range(len(plan.clients))):
+        if len(plan.clients) <= 1:
+            break
+        candidate = _copy(plan)
+        del candidate.clients[index]
+        yield (f"drop client {plan.clients[index].client_id}", candidate)
+    for index, client in enumerate(plan.clients):
+        if client.disconnect_after is not None:
+            candidate = _copy(plan)
+            candidate.clients[index].disconnect_after = None
+            yield (
+                f"drop disconnect of client {client.client_id}",
+                candidate,
+            )
+    for ci, client in enumerate(plan.clients):
+        for ti in reversed(range(len(client.txns))):
+            if len(client.txns) <= 1 and len(plan.clients) <= 1:
+                continue
+            candidate = _copy(plan)
+            del candidate.clients[ci].txns[ti]
+            if not candidate.clients[ci].txns:
+                del candidate.clients[ci]
+                if not candidate.clients:
+                    continue
+            yield (f"drop txn {client.txns[ti].label}", candidate)
+    for ci, client in enumerate(plan.clients):
+        for ti, txn in enumerate(client.txns):
+            for oi in reversed(range(len(txn.ops))):
+                candidate = _copy(plan)
+                del candidate.clients[ci].txns[ti].ops[oi]
+                yield (
+                    f"drop op {txn.ops[oi][0]} from {txn.label}",
+                    candidate,
+                )
+    for ci, client in enumerate(plan.clients):
+        for ti, txn in enumerate(client.txns):
+            for pi in reversed(range(len(txn.predecessors))):
+                candidate = _copy(plan)
+                del candidate.clients[ci].txns[ti].predecessors[pi]
+                yield (
+                    f"drop predecessor edge of {txn.label}",
+                    candidate,
+                )
+
+
+def shrink_plan(
+    plan: FuzzPlan,
+    reproduces: Callable[[FuzzPlan], bool],
+    *,
+    max_runs: int = 300,
+) -> tuple[FuzzPlan, int]:
+    """Minimize ``plan`` while ``reproduces`` stays true.
+
+    ``reproduces`` must re-run the candidate and decide whether the
+    original failure signature is still present.  Returns the reduced
+    plan and the number of candidate runs spent.
+    """
+    current = _copy(plan)
+    runs = 0
+    progress = True
+    while progress and runs < max_runs:
+        progress = False
+        for _description, candidate in _candidates(current):
+            if runs >= max_runs:
+                break
+            runs += 1
+            if reproduces(candidate):
+                current = candidate
+                progress = True
+                break  # restart candidate enumeration on the new plan
+    return current, runs

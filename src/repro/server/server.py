@@ -37,6 +37,7 @@ import asyncio
 import itertools
 import json
 import threading
+import time
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Callable
 
@@ -109,11 +110,20 @@ class TransactionServer:
         config: ServerConfig | None = None,
         registry: MetricsRegistry | None = None,
         tracer: Tracer | None = None,
+        *,
+        manager: TransactionManager | None = None,
+        clock: Callable[[], float] | None = None,
     ) -> None:
+        """``manager`` and ``clock`` exist for harnesses (the fuzzer)
+        that pre-build a manager (e.g. with crash points armed) and
+        drive the stack on a virtual clock; normal servers leave both
+        unset and the config decides."""
         self._config = config or ServerConfig()
         self._registry = registry or MetricsRegistry()
         self.recovery: "RecoveryResult | None" = None
-        if self._config.wal_dir:
+        if manager is not None:
+            self._manager = manager
+        elif self._config.wal_dir:
             from ..durability import DurableTransactionManager
 
             self._manager, self.recovery = DurableTransactionManager.open(
@@ -138,6 +148,7 @@ class TransactionServer:
             registry=self._registry,
             queue_size=self._config.queue_size,
             request_timeout=self._config.request_timeout,
+            clock=clock if clock is not None else time.monotonic,
         )
         self._server: asyncio.AbstractServer | None = None
         self._dispatcher_task: asyncio.Task | None = None
@@ -145,6 +156,7 @@ class TransactionServer:
         self._connections: dict[int, _Connection] = {}
         self._session_ids = itertools.count(1)
         self._stopping = False
+        self._drain_summary: dict[str, Any] = {}
 
     # -- accessors -----------------------------------------------------------
 
@@ -205,21 +217,27 @@ class TransactionServer:
             await asyncio.sleep(interval)
             flush()
 
-    async def serve_until(self, stop: asyncio.Event) -> None:
+    async def serve_until(self, stop: asyncio.Event) -> "dict[str, Any]":
         """Start, run until ``stop`` is set, then drain and shut down."""
         await self.start()
         await stop.wait()
-        await self.shutdown()
+        return await self.shutdown()
 
-    async def shutdown(self) -> None:
-        """Graceful drain: see the module docstring for the order."""
+    async def shutdown(self) -> "dict[str, Any]":
+        """Graceful drain: see the module docstring for the order.
+
+        Returns a drain summary — forcibly aborted transactions,
+        requests failed while parked, and notifications dropped on
+        slow readers over the server's lifetime — so operators see
+        what the drain could not finish cleanly.
+        """
         if self._stopping:
-            return
+            return dict(self._drain_summary)
         self._stopping = True
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
-        await self._dispatcher.drain(self._config.drain_grace)
+        drained = await self._dispatcher.drain(self._config.drain_grace)
         for connection in list(self._connections.values()):
             self._send(connection, event_frame("shutdown"))
             self._send(connection, _CLOSE)
@@ -242,6 +260,16 @@ class TransactionServer:
                     await asyncio.wait_for(connection.writer_task, 1.0)
                 except (asyncio.TimeoutError, asyncio.CancelledError):
                     connection.writer_task.cancel()
+        self._drain_summary = {
+            "aborted": list(drained["aborted"]),
+            "parked_failed": drained["parked_failed"],
+            "notifications_dropped": int(
+                self._registry.counter(
+                    "server.notifications_dropped"
+                ).value
+            ),
+        }
+        return dict(self._drain_summary)
 
     # -- per-connection plumbing ---------------------------------------------
 
@@ -254,7 +282,7 @@ class TransactionServer:
         try:
             connection.out_queue.put_nowait(payload)
         except asyncio.QueueFull:
-            self._registry.counter("server.notify_dropped").inc()
+            self._registry.counter("server.notifications_dropped").inc()
 
     async def _writer_loop(self, connection: _Connection) -> None:
         try:
@@ -450,11 +478,38 @@ class ServerThread:
             raise RuntimeError("server did not come up within 10s")
         return self
 
-    def stop(self) -> None:
-        if self._loop is not None and self._stop is not None:
-            self._loop.call_soon_threadsafe(self._stop.set)
+    def stop(self, timeout: float = 10.0) -> None:
+        """Signal shutdown and join the loop thread.
+
+        Raises :class:`RuntimeError` when the thread is still alive
+        after ``timeout`` — a wedged event loop (a callback stuck in
+        blocking code, a drain that cannot finish).  Silently returning
+        here used to leave a live daemon thread holding the port and
+        the WAL directory behind a caller who believed the server was
+        gone.
+        """
+        if self._thread is None:
+            return  # already stopped
+        if (
+            self._loop is not None
+            and self._stop is not None
+            and not self._loop.is_closed()
+        ):
+            try:
+                self._loop.call_soon_threadsafe(self._stop.set)
+            except RuntimeError:
+                pass  # loop closed between the check and the call
         if self._thread is not None:
-            self._thread.join(timeout=10.0)
+            self._thread.join(timeout=timeout)
+            if self._thread.is_alive():
+                raise RuntimeError(
+                    f"server thread did not stop within {timeout:g}s: "
+                    "the event loop is wedged (a callback is blocking "
+                    "or the drain cannot complete); the daemon thread "
+                    "is still running and its port and WAL directory "
+                    "remain in use"
+                )
+            self._thread = None
 
     def __enter__(self) -> "ServerThread":
         return self.start()

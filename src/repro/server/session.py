@@ -108,6 +108,10 @@ class Command:
     parked_on: str | None = None
     blocked_entity: str | None = None
     timer: asyncio.TimerHandle | None = None
+    #: Bumped every time the command parks.  Re-park detection: a
+    #: stale (command, epoch) snapshot must not resume the command a
+    #: second time after a recursive cascade already ran it.
+    park_epoch: int = 0
 
 
 _REQUIRED = object()
@@ -275,7 +279,7 @@ class CommandDispatcher:
         self._draining = True
         await self._queue.put(_STOP)
 
-    async def drain(self, grace: float = 2.0) -> None:
+    async def drain(self, grace: float = 2.0) -> dict[str, Any]:
         """Graceful shutdown: stop admitting, finish, abort leftovers.
 
         1. flips to draining (new submits get ``SHUTTING_DOWN``);
@@ -285,6 +289,8 @@ class CommandDispatcher:
         4. aborts every live top-level transaction so lock and version
            state is clean (owners receive abort events first, then the
            transport layer sends ``{"event": "shutdown"}``).
+
+        Returns a summary of what the drain had to clean up forcibly.
         """
         self._draining = True
         deadline = self._clock() + grace
@@ -292,9 +298,11 @@ class CommandDispatcher:
             self._queue.qsize() or self.parked_count
         ) and self._clock() < deadline:
             await asyncio.sleep(0.02)
+        parked_failed = 0
         for store in (self._lock_waiters, self._commit_waiters):
             for command in list(store.values()):
                 self._unpark(command)
+                parked_failed += 1
                 self._resolve(
                     command,
                     error_response(
@@ -303,15 +311,27 @@ class CommandDispatcher:
                         "server shut down while the request was parked",
                     ),
                 )
+        aborted: list[str] = []
         root = self._tm.root
         for child in self._tm.children_of(root):
             if not self._tm.record(child).terminated:
                 cascade = self._tm.abort(child, reason="server shutdown")
+                aborted.extend(cascade)
                 self._after_abort(cascade)
+        return {
+            "parked_failed": parked_failed,
+            "aborted": aborted,
+        }
 
     # -- command execution ---------------------------------------------------
 
     def _run_command(self, command: Command) -> None:
+        if command.future.done():
+            # Already answered (parked deadline expired, abort cascade,
+            # drain).  A command whose reply went out must never touch
+            # the manager again — running it would mutate state the
+            # client was told nothing happened to.
+            return
         try:
             result = self._execute(command)
         except ServerError as error:
@@ -654,6 +674,7 @@ class CommandDispatcher:
             )
         command.parked_on = txn
         command.blocked_entity = entity
+        command.park_epoch += 1
         store[txn] = command
         self._count("server.parked")
         remaining = command.deadline - self._clock()
@@ -768,7 +789,28 @@ class CommandDispatcher:
         self._run_command(command)
 
     def _resume_all_lock_waiters(self) -> None:
-        for command in list(self._lock_waiters.values()):
+        """Re-run every lock-parked command — each at most once.
+
+        Running a resumed command can recurse back here (its step may
+        abort other transactions, and ``_after_abort`` resumes waiters
+        again), so a naive iteration over a snapshot double-executes
+        commands the recursion already ran: the second ``_run_command``
+        re-issues the manager call — a duplicate write/validate — after
+        the client already got its one reply.  Found by the fuzzer's
+        write-multiplicity oracle.  Each snapshot entry is therefore
+        revalidated against the live wait map and the command's park
+        epoch: an entry that was resumed (gone), resumed-and-reparked
+        (epoch moved on), or answered (future done) is skipped.
+        """
+        snapshot = [
+            (txn, command, command.park_epoch)
+            for txn, command in self._lock_waiters.items()
+        ]
+        for txn, command, epoch in snapshot:
+            if self._lock_waiters.get(txn) is not command:
+                continue  # a recursive resume already handled it
+            if command.park_epoch != epoch or command.future.done():
+                continue
             self._unpark(command)
             self._run_command(command)
 

@@ -1,6 +1,6 @@
 """Discrete-event simulation of long-duration transaction workloads."""
 
-from .clock import EventQueue, ScheduledEvent
+from .clock import EventQueue, ScheduledEvent, VirtualClock
 from .engine import SimulationEngine
 from .metrics import RunMetrics, TxnMetrics
 from .runner import (
@@ -33,6 +33,7 @@ __all__ = [
     "TransactionScript",
     "Unordered",
     "TxnMetrics",
+    "VirtualClock",
     "Workload",
     "Write",
     "cad_workload",

@@ -17,6 +17,37 @@ from typing import Any
 from ..errors import SimulationError
 
 
+class VirtualClock:
+    """A manually advanced monotonic timestamp.
+
+    The simulator's :class:`EventQueue` owns its own notion of "now";
+    this is the same idea factored out for components that only need a
+    *readable* clock they can hand to collaborators — the deterministic
+    fuzzer passes one instance to the asyncio event loop, the command
+    dispatcher, and its own transcript, so every timestamp in a run
+    comes from a single, reproducible source.  Calling the instance
+    returns the current time, making it a drop-in replacement for
+    ``time.monotonic``.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def __call__(self) -> float:
+        return self._now
+
+    def advance(self, delta: float) -> float:
+        """Move time forward by ``delta`` (never backwards)."""
+        if delta < 0:
+            raise SimulationError(f"negative clock advance {delta}")
+        self._now += delta
+        return self._now
+
+
 @dataclass(frozen=True, order=True)
 class ScheduledEvent:
     """One queued event; ordering is (time, seq)."""

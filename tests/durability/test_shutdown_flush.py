@@ -1,0 +1,67 @@
+"""Shutdown with a pending group-commit window: nothing lost or doubled.
+
+With a large ``flush_interval`` the WAL batches fsyncs; records a
+client was already acknowledged for can still be sitting in the
+group-commit window when ``close()`` runs.  The shutdown checkpoint
+must flush that window exactly once — recovery after a clean close has
+to see every committed transaction exactly once, in order.
+"""
+
+from __future__ import annotations
+
+from repro.durability import DurableTransactionManager, recover
+from repro.durability.records import OP_COMMIT
+from repro.durability.wal import scan_wal
+
+from .conftest import make_database, run_leaf
+
+
+def test_close_flushes_pending_group_commit_window(wal_dir):
+    manager, recovery = DurableTransactionManager.open(
+        wal_dir, make_database, flush_interval=3600.0
+    )
+    assert recovery is None
+    names = [run_leaf(manager, "x", value) for value in (7, 9, 11)]
+    # The window is still open: the commits are appended (os.write)
+    # but not yet fsynced by the periodic flusher.
+    assert manager.wal.pending_records > 0
+    manager.close()
+    assert manager.wal.closed
+
+    result = recover(wal_dir, verify=True)
+    assert result.verified, result.violations
+    assert list(result.committed) == names
+
+    commit_records = [
+        record
+        for record in scan_wal(wal_dir).records
+        if record.op == OP_COMMIT and record.txn in set(names)
+    ]
+    assert len(commit_records) == len(names)  # exactly once each
+    assert [record.txn for record in commit_records] == names
+
+
+def test_close_with_checkpoint_pending_window_round_trips(wal_dir):
+    # Same shape but with checkpoints on: the shutdown checkpoint and
+    # the window flush must not duplicate or reorder commits.
+    manager, recovery = DurableTransactionManager.open(
+        wal_dir,
+        make_database,
+        flush_interval=3600.0,
+        checkpoint_every=4,
+        retain=99,
+    )
+    assert recovery is None
+    names = [run_leaf(manager, "y", value) for value in (2, 4, 6, 8)]
+    manager.close()
+
+    result = recover(wal_dir, verify=True)
+    assert result.verified, result.violations
+    assert list(result.committed) == names
+
+    reopened, recovery = DurableTransactionManager.open(
+        wal_dir, make_database, flush_interval=3600.0
+    )
+    assert recovery is not None and recovery.verified
+    assert list(recovery.committed) == names
+    reopened.close()

@@ -1,0 +1,61 @@
+"""The virtual-clock event loop: no wall time, stalls are detected."""
+
+from __future__ import annotations
+
+import asyncio
+import time
+
+import pytest
+
+from repro.fuzz import FuzzDeadlockError, run_virtual
+from repro.sim import VirtualClock
+
+
+def test_sleep_advances_virtual_clock_not_wall_clock():
+    clock = VirtualClock()
+
+    async def body():
+        await asyncio.sleep(500.0)
+        return asyncio.get_running_loop().time()
+
+    wall_start = time.monotonic()
+    loop_time = run_virtual(body(), clock=clock)
+    wall_elapsed = time.monotonic() - wall_start
+    assert clock.now >= 500.0
+    assert loop_time == clock.now
+    assert wall_elapsed < 5.0  # 500 virtual seconds, instant wall time
+
+
+def test_concurrent_sleeps_interleave_deterministically():
+    order: list[str] = []
+
+    async def sleeper(name: str, delay: float):
+        await asyncio.sleep(delay)
+        order.append(name)
+
+    async def body():
+        await asyncio.gather(
+            sleeper("slow", 3.0),
+            sleeper("fast", 1.0),
+            sleeper("mid", 2.0),
+        )
+
+    run_virtual(body())
+    assert order == ["fast", "mid", "slow"]
+
+
+def test_stalled_loop_raises_deadlock_error():
+    async def body():
+        await asyncio.get_running_loop().create_future()  # never set
+
+    with pytest.raises(FuzzDeadlockError):
+        run_virtual(body())
+
+
+def test_negative_advance_impossible():
+    clock = VirtualClock()
+    clock.advance(1.5)
+    assert clock.now == 1.5
+    assert clock() == 1.5
+    with pytest.raises(Exception):
+        clock.advance(-0.1)

@@ -1,0 +1,137 @@
+"""Oracles must actually fire: feed them synthetic bad evidence."""
+
+from __future__ import annotations
+
+from types import SimpleNamespace
+
+from repro.durability.records import OP_WRITE
+from repro.fuzz import generate_plan, run_oracles
+from repro.fuzz.runner import Evidence
+
+
+def _verdict(results, name):
+    for result in results:
+        if result.name == name:
+            return result
+    raise AssertionError(f"oracle {name} never ran")
+
+
+def _evidence(**kw) -> Evidence:
+    base = dict(
+        plan=generate_plan(1, durable=False),
+        events=[],
+        names={},
+        acked_committed=[],
+        requests={},
+    )
+    base.update(kw)
+    return Evidence(**base)
+
+
+def _recovery(committed, verified=True, violations=()):
+    return SimpleNamespace(
+        committed=list(committed),
+        verified=verified,
+        violations=list(violations),
+    )
+
+
+def _wal_write(lsn, txn, entity):
+    return SimpleNamespace(
+        lsn=lsn, op=OP_WRITE, txn=txn, data={"entity": entity}
+    )
+
+
+def test_double_terminal_reply_fails():
+    reply = {
+        "kind": "reply",
+        "client": 1,
+        "rid": 1,
+        "ok": True,
+        "code": None,
+    }
+    evidence = _evidence(events=[dict(reply), dict(reply)])
+    verdict = _verdict(run_oracles(evidence), "replies_complete")
+    assert not verdict.ok
+    assert "2 terminal replies" in verdict.details[0]
+
+
+def test_lost_response_fails_outside_crash():
+    entry = {
+        "client": 1,
+        "rid": 1,
+        "op": "commit",
+        "txn": "t.1",
+        "entity": None,
+        "status": "pending",
+        "outcome": None,
+    }
+    evidence = _evidence(requests={(1, 1): entry})
+    assert not _verdict(run_oracles(evidence), "replies_complete").ok
+    # The same pending request is tolerated when the run crashed.
+    crashed = _evidence(requests={(1, 1): dict(entry)}, crashed=True)
+    assert _verdict(run_oracles(crashed), "replies_complete").ok
+
+
+def test_unacked_wal_write_fails_multiplicity():
+    evidence = _evidence(
+        records=[_wal_write(1, "t.1", "x")],
+        recovery=_recovery([]),
+    )
+    verdict = _verdict(run_oracles(evidence), "write_multiplicity")
+    assert not verdict.ok
+    assert "1 WAL writes for 0 acked" in verdict.details[0]
+
+
+def test_duplicated_wal_write_fails_multiplicity():
+    entry = {
+        "client": 1,
+        "rid": 3,
+        "op": "write",
+        "txn": "t.1",
+        "entity": "x",
+        "status": "ok",
+        "outcome": None,
+    }
+    evidence = _evidence(
+        requests={(1, 3): entry},
+        records=[_wal_write(1, "t.1", "x"), _wal_write(2, "t.1", "x")],
+        recovery=_recovery([]),
+    )
+    assert not _verdict(run_oracles(evidence), "write_multiplicity").ok
+
+
+def test_acked_commit_missing_from_recovery_fails_prefix():
+    evidence = _evidence(
+        acked_committed=["t.1"],
+        recovery=_recovery(["t.2"]),
+    )
+    verdict = _verdict(run_oracles(evidence), "committed_prefix")
+    assert not verdict.ok
+    assert "t.1" in verdict.details[0]
+    # A phantom recovered commit is also a violation on a clean run.
+    assert any("t.2" in detail for detail in verdict.details)
+
+
+def test_acked_order_must_be_subsequence():
+    evidence = _evidence(
+        acked_committed=["t.2", "t.1"],
+        recovery=_recovery(["t.1", "t.2"]),
+    )
+    assert not _verdict(run_oracles(evidence), "committed_prefix").ok
+
+
+def test_recovery_violations_fail():
+    evidence = _evidence(
+        recovery=_recovery([], verified=False, violations=["boom"]),
+    )
+    # The synthetic plan is in-memory; force the durable branch.
+    evidence.plan.durable = True
+    verdict = _verdict(run_oracles(evidence), "recovery_verified")
+    assert not verdict.ok
+    assert verdict.details == ["boom"]
+
+
+def test_clean_synthetic_evidence_passes():
+    results = run_oracles(_evidence())
+    assert all(result.ok for result in results)

@@ -1,0 +1,62 @@
+"""Plan generation: deterministic, serializable, overridable."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fuzz import FuzzPlan, generate_plan
+
+
+def test_same_seed_same_plan():
+    a = generate_plan(42)
+    b = generate_plan(42)
+    assert a.canonical_json() == b.canonical_json()
+    assert a.digest() == b.digest()
+
+
+def test_seeds_differ():
+    digests = {generate_plan(seed).digest() for seed in range(1, 11)}
+    assert len(digests) > 1
+
+
+def test_round_trip_is_lossless():
+    plan = generate_plan(7)
+    clone = FuzzPlan.from_dict(plan.to_dict())
+    assert clone.canonical_json() == plan.canonical_json()
+    assert clone.digest() == plan.digest()
+
+
+def test_unknown_version_rejected():
+    data = generate_plan(1).to_dict()
+    data["version"] = 99
+    with pytest.raises(ValueError, match="version"):
+        FuzzPlan.from_dict(data)
+
+
+def test_overrides_pin_dimensions():
+    plan = generate_plan(
+        5, clients=2, txns_per_client=1, durable=False, strict=True
+    )
+    assert len(plan.clients) == 2
+    assert all(len(c.txns) == 1 for c in plan.clients)
+    assert not plan.durable
+    assert plan.strict
+    assert plan.crash_point is None  # crash implies durable
+
+
+def test_crash_override_requires_durable():
+    plan = generate_plan(5, durable=True, crash=True)
+    assert plan.crash_point is not None
+    assert plan.crash_at_hit >= 1
+
+
+def test_op_count_counts_requests_not_sleeps():
+    plan = generate_plan(3)
+    expected = 0
+    for client in plan.clients:
+        for txn in client.txns:
+            expected += 2 + sum(
+                1 for op in txn.ops if op[0] != "sleep"
+            )
+    assert plan.op_count == expected
+    assert plan.op_count > 0

@@ -1,0 +1,74 @@
+"""End-to-end runs: bit-for-bit determinism and a clean mini-corpus."""
+
+from __future__ import annotations
+
+import json
+
+from repro.fuzz import (
+    execute_plan,
+    generate_plan,
+    run_corpus,
+    run_seed,
+)
+
+
+def _report_bytes(plan):
+    return json.dumps(execute_plan(plan).report, sort_keys=True)
+
+
+def test_same_plan_same_report_bytes():
+    # Seeds picked to cover in-memory, durable, and strict variants.
+    for seed in (1, 2, 3):
+        plan = generate_plan(seed)
+        assert _report_bytes(plan) == _report_bytes(plan), (
+            f"seed {seed} is not deterministic"
+        )
+
+
+def test_crash_run_is_deterministic_and_collects_recovery():
+    # Scan a few seeds for one whose armed crash point actually fires;
+    # the sweep itself is deterministic, so the found seed is stable.
+    crashed_seed = None
+    for seed in range(1, 41):
+        result = run_seed(seed, crash=True, durable=True)
+        if result.report["crashed"]:
+            crashed_seed = seed
+            break
+    assert crashed_seed is not None, "no seed in 1..40 fired its crash"
+    first = run_seed(crashed_seed, crash=True, durable=True)
+    second = run_seed(crashed_seed, crash=True, durable=True)
+    assert json.dumps(first.report, sort_keys=True) == json.dumps(
+        second.report, sort_keys=True
+    )
+    assert first.report["crash"]["point"]
+    assert first.evidence.recovery is not None
+    assert first.ok, f"crash-run oracles failed: {first.failed_oracles}"
+
+
+def test_mini_corpus_passes_all_oracles():
+    result = run_corpus(1, 25, out_dir=None, shrink=False)
+    assert result.exit_code == 0, result.report()
+    assert result.passed == 25
+    assert not result.failures and not result.harness_errors
+
+
+def test_report_shape():
+    result = run_seed(4)
+    report = result.report
+    for key in (
+        "fuzz_version",
+        "seed",
+        "plan_digest",
+        "config",
+        "counts",
+        "oracles",
+        "schedule",
+        "virtual_duration",
+        "ok",
+    ):
+        assert key in report
+    assert report["seed"] == 4
+    assert report["counts"]["requests"] > 0
+    # Virtual timestamps only: the transcript must be monotone in t.
+    times = [event["t"] for event in report["schedule"]]
+    assert times == sorted(times)

@@ -1,0 +1,236 @@
+"""Regression tests for the fuzz-sweep bugfixes.
+
+Each test pins one fix from the fuzzer-driven sweep:
+
+* dropped slow-reader notifications are counted under
+  ``server.notifications_dropped`` and surfaced by the drain summary;
+* :meth:`ServerThread.stop` raises instead of silently leaking a
+  wedged event-loop thread;
+* a command that was answered while parked (timeout, abort cascade)
+  can never reach the manager again;
+* a recursive abort cascade inside ``_resume_all_lock_waiters`` must
+  not double-execute a parked command (the stale-snapshot race).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from collections import Counter
+
+import pytest
+
+from repro.protocol.scheduler import TransactionManager
+from repro.server import ServerConfig, TransactionServer
+from repro.server.protocol import Request
+from repro.server.server import ServerThread, _Connection
+from repro.server.session import CommandDispatcher, SessionState
+
+from .conftest import run, tiny_db
+
+
+class CountingManager(TransactionManager):
+    """Counts manager entry points the dispatcher may double-call."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.validate_calls: Counter = Counter()
+        self.begin_write_calls: Counter = Counter()
+
+    def validate(self, txn):
+        self.validate_calls[txn] += 1
+        return super().validate(txn)
+
+    def begin_write(self, txn, entity):
+        self.begin_write_calls[(txn, entity)] += 1
+        return super().begin_write(txn, entity)
+
+
+async def _request(dispatcher, session, rid, op, **params):
+    outcome = dispatcher.submit(session, Request(rid, op, params))
+    return outcome if isinstance(outcome, dict) else await outcome
+
+
+# -- satellite: notifications_dropped metric + drain summary ----------------
+
+
+def test_slow_reader_drops_are_counted_and_summarized():
+    async def body():
+        server = TransactionServer(
+            tiny_db(), ServerConfig(outbound_queue=1)
+        )
+        # A connection whose writer never drains: one slot, no task.
+        connection = _Connection(
+            session=SessionState(session_id=1, notify=lambda p: None),
+            writer=None,
+            out_queue=asyncio.Queue(maxsize=1),
+        )
+        server._connections[1] = connection
+        server._send(connection, {"event": "first"})  # fills the queue
+        server._send(connection, {"event": "second"})  # dropped
+        server._send(connection, {"event": "third"})  # dropped
+        counter = server.registry.counter(
+            "server.notifications_dropped"
+        )
+        assert counter.value == 2
+        summary = await server.shutdown()
+        # shutdown() pushes a shutdown event + close sentinel at the
+        # same full queue, so the summary includes those drops too.
+        assert summary["notifications_dropped"] == counter.value >= 2
+        assert summary["parked_failed"] == 0
+        assert summary["aborted"] == []
+
+    run(body())
+
+
+def test_send_never_blocks_the_caller():
+    async def body():
+        server = TransactionServer(
+            tiny_db(), ServerConfig(outbound_queue=1)
+        )
+        connection = _Connection(
+            session=SessionState(session_id=1, notify=lambda p: None),
+            writer=None,
+            out_queue=asyncio.Queue(maxsize=1),
+        )
+        start = time.monotonic()
+        for index in range(100):
+            server._send(connection, {"event": index})
+        assert time.monotonic() - start < 1.0
+        assert connection.out_queue.qsize() == 1
+
+    run(body())
+
+
+# -- satellite: ServerThread.stop detects a wedged loop ---------------------
+
+
+def test_server_thread_stop_raises_on_wedged_loop():
+    handle = ServerThread(tiny_db).start()
+    try:
+        # Wedge the loop: a blocking callback the drain cannot preempt.
+        handle._loop.call_soon_threadsafe(time.sleep, 1.5)
+        with pytest.raises(RuntimeError, match="wedged"):
+            handle.stop(timeout=0.2)
+    finally:
+        # The sleep ends, the stop event (queued behind it) fires, and
+        # a second stop() joins the now-exiting thread cleanly.
+        handle.stop(timeout=15.0)
+
+
+def test_server_thread_stop_clean_shutdown_still_works():
+    handle = ServerThread(tiny_db).start()
+    handle.stop(timeout=10.0)
+    assert handle._thread is None
+    handle.stop()  # idempotent
+
+
+# -- satellite: answered-while-parked commands never run --------------------
+
+
+def test_timed_out_parked_command_cannot_mutate_later():
+    async def body():
+        manager = CountingManager(tiny_db(), strict=True)
+        dispatcher = CommandDispatcher(
+            manager, queue_size=32, request_timeout=0.15
+        )
+        runner = asyncio.ensure_future(dispatcher.run())
+        s1 = SessionState(session_id=1, notify=lambda p: None)
+        s2 = SessionState(session_id=2, notify=lambda p: None)
+
+        reply = await _request(dispatcher, s1, 1, "define", updates=["x"])
+        t1 = reply["txn"]
+        await _request(dispatcher, s1, 2, "validate", txn=t1)
+        await _request(
+            dispatcher, s1, 3, "write", txn=t1, entity="x", value=5
+        )
+        reply = await _request(dispatcher, s2, 1, "define", updates=["x"])
+        t2 = reply["txn"]
+        await _request(dispatcher, s2, 2, "validate", txn=t2)
+        # Strict mode: t1's uncommitted version parks t2's write.
+        future = dispatcher.submit(
+            s2, Request(3, "write", {"txn": t2, "entity": "x", "value": 7})
+        )
+        await asyncio.sleep(0.02)
+        assert dispatcher.parked_count == 1
+        stale = dispatcher._lock_waiters[t2]
+        reply = await future  # deadline passes -> TIMEOUT
+        assert reply["error"]["code"] == "TIMEOUT"
+        assert dispatcher.parked_count == 0
+        assert manager.begin_write_calls[(t2, "x")] == 1
+
+        # The strict commit re-runs every lock waiter; the answered
+        # command must not be among them...
+        await _request(dispatcher, s1, 4, "commit", txn=t1)
+        assert manager.begin_write_calls[(t2, "x")] == 1
+        # ...and even a stale direct reference is refused by the
+        # done-future guard in _run_command.
+        dispatcher._run_command(stale)
+        assert manager.begin_write_calls[(t2, "x")] == 1
+
+        await dispatcher.stop()
+        await runner
+
+    run(body())
+
+
+# -- satellite: recursive resume must not double-execute --------------------
+
+
+def test_recursive_abort_cascade_resumes_each_waiter_once():
+    async def body():
+        manager = CountingManager(tiny_db())
+        dispatcher = CommandDispatcher(
+            manager, queue_size=32, request_timeout=5.0
+        )
+        runner = asyncio.ensure_future(dispatcher.run())
+        s1 = SessionState(session_id=1, notify=lambda p: None)
+        s2 = SessionState(session_id=2, notify=lambda p: None)
+        s3 = SessionState(session_id=3, notify=lambda p: None)
+
+        # t1 holds an in-flight write on x.
+        reply = await _request(dispatcher, s1, 1, "define", updates=["x"])
+        t1 = reply["txn"]
+        await _request(dispatcher, s1, 2, "validate", txn=t1)
+        await _request(
+            dispatcher, s1, 3, "begin_write", txn=t1, entity="x"
+        )
+
+        # A parks on x and will FAIL validation once resumed (x = 1
+        # can never satisfy "x >= 50").  Its child C turns that
+        # failure into a cascade, which re-enters the resume loop.
+        reply = await _request(
+            dispatcher, s2, 1, "define", updates=[], input="x >= 50"
+        )
+        a = reply["txn"]
+        reply = await _request(dispatcher, s2, 2, "define", parent=a)
+        c = reply["txn"]
+        future_a = dispatcher.submit(s2, Request(3, "validate", {"txn": a}))
+        await asyncio.sleep(0.02)
+
+        # B parks on x after A and validates fine once resumed.
+        reply = await _request(
+            dispatcher, s3, 1, "define", updates=[], input="x >= 0"
+        )
+        b = reply["txn"]
+        future_b = dispatcher.submit(s3, Request(2, "validate", {"txn": b}))
+        await asyncio.sleep(0.02)
+        assert dispatcher.parked_count == 2
+
+        # Aborting t1 resumes the waiters; A's failure cascades to C,
+        # recursively re-entering _resume_all_lock_waiters, which
+        # already runs B.  The outer (stale) snapshot must skip B.
+        await _request(dispatcher, s1, 4, "abort", txn=t1)
+        reply_a = await future_a
+        reply_b = await future_b
+        assert reply_a["ok"] and reply_a["outcome"] == "failed"
+        assert c in reply_a["aborted"]
+        assert reply_b["ok"] and reply_b["outcome"] == "ok"
+        # One parked attempt + exactly one resume each:
+        assert manager.validate_calls[a] == 2
+        assert manager.validate_calls[b] == 2
+
+        await dispatcher.stop()
+        await runner
+
+    run(body())
