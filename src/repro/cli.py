@@ -10,7 +10,10 @@ Subcommands:
 * ``trace`` — record or replay a transaction-lifecycle trace (JSONL);
 * ``dot`` — export a schedule's precedence graphs as Graphviz DOT;
 * ``serve`` — run the Section-5 manager as a JSON-lines TCP service
-  (``--wal-dir`` makes it durable: WAL + checkpoints + recovery);
+  (``--wal-dir`` makes it durable: WAL + checkpoints + recovery;
+  ``--metrics-port`` adds a Prometheus-scrapeable HTTP endpoint;
+  ``--trace-out``/``--slow-ms`` turn on live span streaming);
+* ``top`` — a refreshing dashboard over a running server's ``stats``;
 * ``recover`` — run verified crash recovery over a WAL directory;
 * ``loadgen`` — replay a workload against a running server and write
   ``BENCH_server.json``;
@@ -278,8 +281,10 @@ def _cmd_dot(args: argparse.Namespace) -> int:
 
 def _cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
+    import json
     import signal
 
+    from .obs import LiveTracer, SpanRing
     from .server import ServerConfig, TransactionServer, build_workload
 
     workload = build_workload(
@@ -288,6 +293,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     config = ServerConfig(
         host=args.host,
         port=args.port,
+        metrics_port=args.metrics_port,
         queue_size=args.queue_size,
         request_timeout=args.request_timeout,
         session_timeout=args.session_timeout,
@@ -298,9 +304,42 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         strict=args.strict,
     )
 
+    # Live tracing: on when any consumer of spans is requested.
+    tracer = None
+    ring = None
+    slow_log = None
+    if args.trace_out or args.slow_ms is not None:
+        ring = SpanRing(args.trace_ring)
+        if args.slow_ms is not None:
+            slow_log = open(  # noqa: SIM115 — closed in the finally below
+                args.slow_log, "a", encoding="utf-8"
+            )
+
+            def _on_slow(root, spans) -> None:
+                slow_log.write(
+                    json.dumps(
+                        {
+                            "txn": root.txn,
+                            "duration": root.duration,
+                            "spans": [span.to_dict() for span in spans],
+                        },
+                        sort_keys=True,
+                    )
+                    + "\n"
+                )
+                slow_log.flush()
+
+            tracer = LiveTracer(
+                ring,
+                slow_threshold=args.slow_ms / 1000.0,
+                on_slow=_on_slow,
+            )
+        else:
+            tracer = LiveTracer(ring)
+
     async def _run() -> None:
         server = TransactionServer(
-            workload.fresh_database(), config=config
+            workload.fresh_database(), config=config, tracer=tracer
         )
         if server.recovery is not None:
             summary = server.recovery.summary()
@@ -322,14 +361,53 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 pass  # non-Unix loop or non-main thread; Ctrl-C still raises
         await server.start()
         durable = f" (wal: {args.wal_dir})" if args.wal_dir else ""
+        extras = [durable] if durable else []
+        if server.metrics_port is not None:
+            extras.append(
+                f" (metrics: http://{config.host}:{server.metrics_port}"
+                "/metrics)"
+            )
         print(
             f"repro serve: {workload.name} listening on "
-            f"{config.host}:{server.port}{durable}",
+            f"{config.host}:{server.port}" + "".join(extras),
             flush=True,
         )
+
+        drain_trace = None
+        if args.trace_out and ring is not None:
+            subscriber = ring.subscribe()
+            trace_file = open(args.trace_out, "a", encoding="utf-8")
+
+            def _drain_spans() -> int:
+                spans, _dropped = subscriber.poll()
+                for span in spans:
+                    trace_file.write(
+                        json.dumps(span.to_dict(), sort_keys=True) + "\n"
+                    )
+                if spans:
+                    trace_file.flush()
+                return len(spans)
+
+            async def _trace_pump() -> None:
+                while True:
+                    await asyncio.sleep(0.25)
+                    _drain_spans()
+
+            pump = asyncio.create_task(
+                _trace_pump(), name="repro-trace-pump"
+            )
+
+            def drain_trace() -> None:
+                pump.cancel()
+                _drain_spans()
+                trace_file.close()
+
         await stop.wait()
         print("repro serve: draining", flush=True)
         summary = await server.shutdown()
+        if drain_trace is not None:
+            drain_trace()
+            print(f"repro serve: trace -> {args.trace_out}", flush=True)
         print(
             "repro serve: drained "
             f"(aborted={len(summary['aborted'])}, "
@@ -349,7 +427,21 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             print(f"error: {error}", file=sys.stderr)
             return 2
         raise
+    finally:
+        if slow_log is not None:
+            slow_log.close()
     return 0
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    from .obs import run_top
+
+    return run_top(
+        args.host,
+        args.port,
+        interval=args.interval,
+        iterations=args.iterations,
+    )
 
 
 def _cmd_recover(args: argparse.Namespace) -> int:
@@ -710,7 +802,47 @@ def build_parser() -> argparse.ArgumentParser:
         help="run the manager in strict mode (ST histories; reads and "
         "writes block on uncommitted versions)",
     )
+    serve.add_argument(
+        "--metrics-port", type=int, default=None,
+        help="also serve /metrics (Prometheus text), /stats and "
+        "/healthz over HTTP on this port (0 = ephemeral; omit to "
+        "disable)",
+    )
+    serve.add_argument(
+        "--trace-out", default=None, metavar="FILE",
+        help="live tracing: stream completed spans to FILE (JSONL, "
+        "replayable with 'repro trace')",
+    )
+    serve.add_argument(
+        "--trace-ring", type=_positive_int, default=4096,
+        help="span ring-buffer capacity for --trace-out (default 4096)",
+    )
+    serve.add_argument(
+        "--slow-ms", type=float, default=None,
+        help="live tracing: dump the span tree of any transaction "
+        "slower than this many milliseconds to --slow-log",
+    )
+    serve.add_argument(
+        "--slow-log", default="slow-txns.jsonl", metavar="FILE",
+        help="slow-transaction log path (default slow-txns.jsonl)",
+    )
     serve.set_defaults(func=_cmd_serve)
+
+    top = sub.add_parser(
+        "top",
+        help="live dashboard over a running server's stats command",
+    )
+    top.add_argument("--host", default="127.0.0.1")
+    top.add_argument("--port", type=int, default=7455)
+    top.add_argument(
+        "--interval", type=float, default=1.0,
+        help="seconds between polls (default 1.0)",
+    )
+    top.add_argument(
+        "--iterations", type=_positive_int, default=None,
+        help="stop after N frames (default: run until interrupted)",
+    )
+    top.set_defaults(func=_cmd_top)
 
     recover = sub.add_parser(
         "recover",

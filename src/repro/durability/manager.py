@@ -143,6 +143,7 @@ class DurableTransactionManager(TransactionManager):
                 next_lsn=recovery.last_lsn + 1,
                 flush_interval=flush_interval,
                 registry=registry,
+                tracer=tracer,
                 crash_points=crash_points,
             )
             manager = recovery.state.materialize(
@@ -171,6 +172,7 @@ class DurableTransactionManager(TransactionManager):
                 next_lsn=1,
                 flush_interval=flush_interval,
                 registry=registry,
+                tracer=tracer,
                 crash_points=crash_points,
             )
             manager = cls(

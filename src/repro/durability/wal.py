@@ -27,6 +27,7 @@ from typing import Any, Callable
 
 from ..errors import DurabilityError
 from ..obs.metrics import MetricsRegistry
+from ..obs.trace import NULL_TRACER, Tracer
 from .crashpoints import NULL_CRASH_POINTS, CrashPoints, SimulatedCrash
 from .records import TornRecord, WalRecord
 
@@ -197,6 +198,7 @@ class WriteAheadLog:
         next_lsn: int = 1,
         flush_interval: float = 0.0,
         registry: MetricsRegistry | None = None,
+        tracer: Tracer | None = None,
         crash_points: CrashPoints | None = None,
         clock: Callable[[], float] = time.monotonic,
     ) -> None:
@@ -205,6 +207,11 @@ class WriteAheadLog:
         self._next_lsn = next_lsn
         self.flush_interval = flush_interval
         self._registry = registry
+        self._tracer = tracer if tracer is not None else NULL_TRACER
+        #: (txn, causal parent span id, lsn) of durable records whose
+        #: fsync is still pending; drained by :meth:`flush` into one
+        #: ``wal.fsync`` span per waiting transaction.
+        self._pending_durable: list[tuple[str, int | None, int]] = []
         self._points = (
             crash_points if crash_points is not None else NULL_CRASH_POINTS
         )
@@ -295,6 +302,13 @@ class WriteAheadLog:
             self._registry.counter("wal.records").inc()
             self._registry.counter("wal.bytes").inc(len(line))
         if record.durable:
+            if self._tracer.enabled:
+                # Capture the causal parent *now* — the commit/abort
+                # request span is still open — for the fsync span that
+                # will only be recorded when the group flushes.
+                self._pending_durable.append(
+                    (txn, self._tracer.current_span_id(txn), record.lsn)
+                )
             if self.flush_interval <= 0:
                 self.flush()
             elif self._flush_due is None:
@@ -310,12 +324,14 @@ class WriteAheadLog:
         if self._durable == self._written:
             self._flush_due = None
             self._pending_records = 0
+            self._pending_durable.clear()
             return 0
         batch = self._pending_records
         self._points.check("wal.before_flush")
         started = self._clock()
         os.fsync(self._fd)
-        elapsed_ms = (self._clock() - started) * 1000.0
+        finished = self._clock()
+        elapsed_ms = (finished - started) * 1000.0
         self._durable = self._written
         self._durable_lengths[self._path.name] = self._durable
         self._pending_records = 0
@@ -328,6 +344,22 @@ class WriteAheadLog:
             self._registry.histogram("wal.flush.batch_records").observe(
                 batch
             )
+        if self._pending_durable:
+            # One fsync made every waiting transaction durable; give
+            # each its own span, parented where its record was appended
+            # (that request span may have closed already — group
+            # commit outlives the commit reply by design).
+            for txn, parent, lsn in self._pending_durable:
+                self._tracer.record(
+                    "wal.fsync",
+                    txn,
+                    start=started,
+                    end=finished,
+                    parent=parent,
+                    lsn=lsn,
+                    batch_records=batch,
+                )
+            self._pending_durable.clear()
         self._points.check("wal.after_flush")
         return batch
 

@@ -17,7 +17,11 @@ general checker:
 Plus the server-level liveness/accounting invariants no model covers:
 exactly one terminal reply per admitted request, no lost responses
 (a stalled virtual loop *is* a lost response), write effects bounded
-by acknowledged requests, and metrics that agree with the transcript.
+by acknowledged requests, and telemetry that agrees with the
+transcript: counters match the event log, the queue/park gauges are
+back to zero after the drain, and the live tracer's span trees are
+complete (nothing left open, every request span carries exactly one
+``queue.wait`` accounting child, every parent edge resolves).
 
 Every oracle returns a verdict with human-readable details; a failing
 run's verdict set is its *failure signature*, which the shrinker holds
@@ -336,7 +340,16 @@ def _protocol_verify(evidence: Any) -> OracleResult:
 
 
 def _metrics_consistent(evidence: Any) -> OracleResult:
-    """The metrics registry agrees with the transcript."""
+    """Telemetry agrees with the transcript.
+
+    Beyond the counter cross-checks, a clean (no crash, no deadlock)
+    run must leave the live surfaces settled: the queue-depth and
+    park-depth gauges read zero once the drain finishes, the tracer
+    holds no open span, and the collected span set forms complete
+    trees — every ``request`` span has exactly one ``queue.wait``
+    child (the dequeue-time accounting record) and every non-root
+    parent edge points at a span that actually completed.
+    """
     name = "metrics_consistent"
     if evidence.crashed or evidence.deadlock is not None:
         return OracleResult.skip(
@@ -377,4 +390,55 @@ def _metrics_consistent(evidence: Any) -> OracleResult:
             f"server.notifications_dropped={dropped} without a "
             "transport queue in the run"
         )
+    for gauge_name in ("server.queue.depth", "server.park.depth"):
+        depth = registry.gauge(gauge_name).value
+        if depth:
+            details.append(
+                f"{gauge_name}={depth:g} after a clean drain"
+            )
+    details.extend(_span_tree_details(evidence))
     return OracleResult(name, not details, details)
+
+
+def _span_tree_details(evidence: Any) -> list[str]:
+    spans = getattr(evidence, "spans", None)
+    if spans is None:
+        return []
+    details = []
+    if evidence.spans_dropped:
+        details.append(
+            f"span ring dropped {evidence.spans_dropped} spans "
+            f"(capacity too small for the plan)"
+        )
+    open_spans = getattr(evidence, "open_spans", None) or []
+    for span in open_spans:
+        details.append(
+            f"span {span.span_id} ({span.kind}, txn {span.txn}) "
+            "still open after drain"
+        )
+    by_id = {span.span_id: span for span in spans}
+    queue_children: dict[int, int] = {}
+    for span in spans:
+        if (
+            span.parent_id is not None
+            and span.parent_id not in by_id
+        ):
+            details.append(
+                f"span {span.span_id} ({span.kind}, txn {span.txn}) "
+                f"references missing parent {span.parent_id}"
+            )
+        if span.kind == "queue.wait" and span.parent_id is not None:
+            queue_children[span.parent_id] = (
+                queue_children.get(span.parent_id, 0) + 1
+            )
+    for span in spans:
+        if span.kind != "request":
+            continue
+        count = queue_children.get(span.span_id, 0)
+        if count != 1:
+            details.append(
+                f"request span {span.span_id} "
+                f"(op {span.attrs.get('op')}, txn {span.txn}) has "
+                f"{count} queue.wait children (expected 1)"
+            )
+    return details

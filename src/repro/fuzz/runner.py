@@ -35,7 +35,9 @@ from ..durability.manager import DurableTransactionManager
 from ..durability.recovery import RecoveryResult, recover
 from ..durability.wal import scan_wal
 from ..errors import ReproError
+from ..obs.live import LiveTracer, SpanRing
 from ..obs.metrics import MetricsRegistry
+from ..obs.trace import Span
 from ..protocol.scheduler import TransactionManager
 from ..server.protocol import Request
 from ..server.server import ServerConfig, TransactionServer
@@ -53,6 +55,11 @@ _DEAD_CODES = {"ABORTED", "UNKNOWN_TXN", "SHUTTING_DOWN"}
 
 _BUSY_RETRIES = 5
 _BUSY_BACKOFF = 0.05
+
+#: Span ring capacity for the run's live tracer.  Far above what any
+#: bounded plan emits, so a non-zero dropped count is itself evidence
+#: (and the metrics oracle flags it).
+_SPAN_RING_CAPACITY = 1 << 16
 
 
 def fuzz_database() -> Database:
@@ -82,6 +89,9 @@ class Evidence:
     dispatcher: Any = None
     drain_summary: "dict[str, Any] | None" = None
     registry: "MetricsRegistry | None" = None
+    spans: "list[Span] | None" = None
+    spans_dropped: int = 0
+    open_spans: "list[Span] | None" = None
     records: "list[Any] | None" = None
     recovery: "RecoveryResult | None" = None
     recovery_error: "str | None" = None
@@ -426,6 +436,13 @@ def execute_plan(
     clock = VirtualClock()
     loop = VirtualClockLoop(clock)
     registry = MetricsRegistry()
+    # Every run is traced: span ids and timestamps both come from
+    # deterministic sources (a monotonic counter, the virtual clock),
+    # so the collected span set is as replayable as the transcript —
+    # and the metrics oracle checks its tree structure after drain.
+    ring = SpanRing(_SPAN_RING_CAPACITY)
+    span_feed = ring.subscribe()
+    tracer = LiveTracer(ring, clock=clock)
     wal_dir = base / "wal"
     crash_points: "CrashPoints | None" = None
     try:
@@ -437,6 +454,7 @@ def execute_plan(
                 flush_interval=plan.flush_interval,
                 checkpoint_every=plan.checkpoint_every,
                 retain=99,  # keep every segment: oracles read history
+                tracer=tracer,
                 registry=registry,
                 strict=plan.strict,
                 crash_points=crash_points,
@@ -446,7 +464,10 @@ def execute_plan(
                 crash_points.arm(plan.crash_point, plan.crash_at_hit)
         else:
             manager = TransactionManager(
-                fuzz_database(), registry=registry, strict=plan.strict
+                fuzz_database(),
+                tracer=tracer,
+                registry=registry,
+                strict=plan.strict,
             )
         server = TransactionServer(
             manager.database,
@@ -457,6 +478,7 @@ def execute_plan(
                 strict=plan.strict,
             ),
             registry=registry,
+            tracer=tracer,
             manager=manager,
             clock=clock,
         )
@@ -488,6 +510,8 @@ def execute_plan(
             drain_summary=ctx.drain_summary,
             registry=registry,
         )
+        evidence.spans, evidence.spans_dropped = span_feed.poll()
+        evidence.open_spans = tracer.open_spans()
         if plan.durable:
             if crash_points is not None:
                 crash_points.disarm()
@@ -565,6 +589,12 @@ def _build_report(
                 1 for e in replies if e.get("code") == "TIMEOUT"
             ),
             "commits_acked": len(evidence.acked_committed),
+            "spans": (
+                len(evidence.spans)
+                if evidence.spans is not None
+                else 0
+            ),
+            "spans_dropped": evidence.spans_dropped,
         },
         "names": dict(sorted(evidence.names.items())),
         "acked_committed": list(evidence.acked_committed),

@@ -52,32 +52,58 @@ class Gauge:
 
 @dataclass
 class Histogram:
-    """A distribution of observed values with percentile queries."""
+    """A distribution of observed values with percentile queries.
+
+    ``max_samples`` bounds memory for long-running processes (the live
+    server): when set, ``values`` keeps only the most recent window
+    and percentiles describe that window, while ``count``, ``total``,
+    ``mean``, ``max`` and ``min`` stay exact over the full lifetime.
+    """
 
     name: str
     values: list[float] = field(default_factory=list)
+    max_samples: int | None = None
+    _count: int = field(default=0, repr=False)
+    _total: float = field(default=0.0, repr=False)
+    _max: float | None = field(default=None, repr=False)
+    _min: float | None = field(default=None, repr=False)
 
     def observe(self, value: float) -> None:
         self.values.append(value)
+        self._count += 1
+        self._total += value
+        if self._max is None or value > self._max:
+            self._max = value
+        if self._min is None or value < self._min:
+            self._min = value
+        if self.max_samples is not None and len(self.values) > self.max_samples:
+            del self.values[0]
 
     @property
     def count(self) -> int:
-        return len(self.values)
+        # values mutated directly (tests, pre-window callers) still count
+        return max(self._count, len(self.values))
 
     @property
     def total(self) -> float:
+        if self._count >= len(self.values):
+            return self._total
         return sum(self.values)
 
     @property
     def mean(self) -> float:
-        return self.total / len(self.values) if self.values else 0.0
+        return self.total / self.count if self.count else 0.0
 
     @property
     def max(self) -> float:
+        if self._count >= len(self.values):
+            return self._max if self._max is not None else 0.0
         return max(self.values) if self.values else 0.0
 
     @property
     def min(self) -> float:
+        if self._count >= len(self.values):
+            return self._min if self._min is not None else 0.0
         return min(self.values) if self.values else 0.0
 
     def percentile(self, p: float) -> float:
@@ -114,10 +140,14 @@ class MetricsRegistry:
     attached (see :meth:`TransactionManager.set_registry`).
     """
 
-    def __init__(self) -> None:
+    def __init__(self, *, default_max_samples: int | None = None) -> None:
         self._counters: dict[str, Counter] = {}
         self._gauges: dict[str, Gauge] = {}
         self._histograms: dict[str, Histogram] = {}
+        #: window applied to histograms created after construction; the
+        #: server sets this so per-request latency histograms stay
+        #: bounded over an arbitrarily long uptime.
+        self.default_max_samples = default_max_samples
 
     def counter(self, name: str) -> Counter:
         return self._counters.setdefault(name, Counter(name))
@@ -126,7 +156,9 @@ class MetricsRegistry:
         return self._gauges.setdefault(name, Gauge(name))
 
     def histogram(self, name: str) -> Histogram:
-        return self._histograms.setdefault(name, Histogram(name))
+        return self._histograms.setdefault(
+            name, Histogram(name, max_samples=self.default_max_samples)
+        )
 
     @property
     def counters(self) -> dict[str, Counter]:

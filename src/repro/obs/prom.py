@@ -1,0 +1,81 @@
+"""Prometheus text exposition of a :class:`MetricsRegistry`.
+
+Renders the registry in the `text exposition format
+<https://prometheus.io/docs/instrumenting/exposition_formats/>`_,
+version 0.0.4, so the live server's ``/metrics`` endpoint can be
+scraped by any Prometheus-compatible collector — no client library
+needed, the format is plain text:
+
+* counters → ``TYPE counter``
+* gauges → ``TYPE gauge`` plus a ``<name>_max`` high-water gauge
+* histograms → ``TYPE summary``: ``{quantile="0.5|0.95|0.99"}``
+  series plus ``_sum`` and ``_count``, the standard pre-aggregated
+  summary shape.
+
+Dotted registry names (``server.queue.wait``) become legal Prometheus
+names by mapping every non-``[a-zA-Z0-9_]`` byte to ``_``
+(``repro_server_queue_wait`` with the ``repro_`` namespace prefix).
+"""
+
+from __future__ import annotations
+
+import re
+
+from .metrics import MetricsRegistry
+
+__all__ = ["render_prometheus"]
+
+_NAME_OK = re.compile(r"[^a-zA-Z0-9_]")
+
+#: quantiles exported for every histogram, matching ``summary()``.
+_QUANTILES = ((0.5, 50), (0.95, 95), (0.99, 99))
+
+
+def _sanitize(name: str, prefix: str) -> str:
+    flat = _NAME_OK.sub("_", name)
+    if flat and flat[0].isdigit():
+        flat = "_" + flat
+    return f"{prefix}{flat}" if prefix else flat
+
+
+def _fmt(value: float) -> str:
+    # Prometheus wants plain decimal; integers without a trailing .0
+    # are fine and keep the output diff-friendly.
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def render_prometheus(
+    registry: MetricsRegistry, *, prefix: str = "repro_"
+) -> str:
+    """The registry as Prometheus text format (one trailing newline)."""
+    lines: list[str] = []
+
+    for name, counter in sorted(registry.counters.items()):
+        flat = _sanitize(name, prefix)
+        lines.append(f"# HELP {flat} Counter {name!r}.")
+        lines.append(f"# TYPE {flat} counter")
+        lines.append(f"{flat} {_fmt(counter.value)}")
+
+    for name, gauge in sorted(registry.gauges.items()):
+        flat = _sanitize(name, prefix)
+        lines.append(f"# HELP {flat} Gauge {name!r}.")
+        lines.append(f"# TYPE {flat} gauge")
+        lines.append(f"{flat} {_fmt(gauge.value)}")
+        lines.append(f"# HELP {flat}_max High-water mark of {name!r}.")
+        lines.append(f"# TYPE {flat}_max gauge")
+        lines.append(f"{flat}_max {_fmt(gauge.max_value)}")
+
+    for name, histogram in sorted(registry.histograms.items()):
+        flat = _sanitize(name, prefix)
+        lines.append(f"# HELP {flat} Histogram {name!r}.")
+        lines.append(f"# TYPE {flat} summary")
+        for q, p in _QUANTILES:
+            lines.append(
+                f'{flat}{{quantile="{q}"}} {_fmt(histogram.percentile(p))}'
+            )
+        lines.append(f"{flat}_sum {_fmt(histogram.total)}")
+        lines.append(f"{flat}_count {_fmt(histogram.count)}")
+
+    return "\n".join(lines) + "\n"

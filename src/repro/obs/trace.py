@@ -55,7 +55,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Iterator
 
 
-@dataclass
+@dataclass(slots=True)
 class Span:
     """One recorded interval (or point event, when ``end == start``).
 
@@ -155,6 +155,39 @@ class Tracer:
         """Record that ``name`` denotes the same transaction as
         ``canonical`` (protocol name → engine id)."""
 
+    def record(
+        self,
+        kind: str,
+        txn: str,
+        start: float,
+        end: float,
+        parent: "Span | int | None" = None,
+        **attrs: Any,
+    ) -> Span | None:
+        """Record an already-measured interval with explicit timestamps.
+
+        Used by layers whose work completes *after* the causal parent
+        closed — most importantly the WAL's group-commit fsync, which
+        covers records appended during requests already answered.
+        """
+        return None
+
+    def current_span_id(self, txn: str) -> int | None:
+        """The innermost open span of ``txn`` (``None`` when disabled).
+
+        Lets a lower layer capture a causal parent now for a span it
+        will only :meth:`record` later (the group-commit pattern).
+        """
+        return None
+
+    def reparent(self, span: Span | None, parent: Span | None) -> None:
+        """Re-home ``span`` under ``parent`` after the fact.
+
+        The server uses this for ``define``: the request span opens
+        before the transaction (and its lifetime root span) exists, and
+        is folded under the root once ``define`` returns the name.
+        """
+
     def set_clock(self, clock: Callable[[], float] | None) -> None:
         """Install a timestamp source (no-op when disabled)."""
 
@@ -242,7 +275,7 @@ class RecordingTracer(Tracer):
             txn=txn,
             start=self._now(),
             parent_id=self._parent_id(txn, parent),
-            attrs=dict(attrs),
+            attrs=attrs,  # **attrs is already a fresh dict we own
         )
         self._spans.append(span)
         self._by_txn.setdefault(txn, []).append(span)
@@ -274,11 +307,42 @@ class RecordingTracer(Tracer):
             start=now,
             end=now,
             parent_id=self._parent_id(txn, parent),
-            attrs=dict(attrs),
+            attrs=attrs,  # **attrs is already a fresh dict we own
         )
         self._spans.append(span)
         self._by_txn.setdefault(txn, []).append(span)
         return span
+
+    def record(
+        self,
+        kind: str,
+        txn: str,
+        start: float,
+        end: float,
+        parent: Span | int | None = None,
+        **attrs: Any,
+    ) -> Span:
+        txn = self._resolve(txn)
+        span = Span(
+            span_id=next(self._ids),
+            kind=kind,
+            txn=txn,
+            start=start,
+            end=end,
+            parent_id=self._parent_id(txn, parent),
+            attrs=attrs,  # **attrs is already a fresh dict we own
+        )
+        self._spans.append(span)
+        self._by_txn.setdefault(txn, []).append(span)
+        return span
+
+    def current_span_id(self, txn: str) -> int | None:
+        stack = self._open.get(self._resolve(txn))
+        return stack[-1].span_id if stack else None
+
+    def reparent(self, span: Span | None, parent: Span | None) -> None:
+        if span is not None:
+            span.parent_id = None if parent is None else parent.span_id
 
     # -- queries -------------------------------------------------------------
 

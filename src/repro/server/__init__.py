@@ -47,6 +47,7 @@ from .loadgen import (
     build_workload,
     run_loadgen,
 )
+from .metrics_http import MetricsHTTPServer
 from .protocol import MAX_FRAME_BYTES, OPERATIONS
 from .server import ServerConfig, ServerThread, TransactionServer
 from .session import CommandDispatcher, SessionState
@@ -62,6 +63,7 @@ __all__ = [
     "LoadgenReport",
     "MalformedFrame",
     "MAX_FRAME_BYTES",
+    "MetricsHTTPServer",
     "NotOwner",
     "OPERATIONS",
     "RemoteAborted",

@@ -1,0 +1,138 @@
+"""A minimal HTTP/1.1 listener exposing the live metrics registry.
+
+Stdlib-only (asyncio streams — no web framework), serving three
+read-only endpoints off the server's event loop:
+
+* ``GET /metrics`` — the :class:`MetricsRegistry` in Prometheus text
+  exposition format (:func:`repro.obs.prom.render_prometheus`);
+* ``GET /stats`` — the same registry as a JSON snapshot, plus live
+  queue/park depths from the dispatcher;
+* ``GET /healthz`` — ``200 ok`` while the server accepts requests,
+  ``503 draining`` once shutdown has begun.
+
+The handler reads one request, answers, and closes (``Connection:
+close``) — scrapes are seconds apart, keep-alive buys nothing and a
+connection-per-scrape keeps the accept loop trivial.  Anything that is
+not a ``GET`` of a known path gets 404/405; a malformed request line
+gets 400.  The listener never touches the transaction manager, so a
+scrape can never stall the dispatcher.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import TYPE_CHECKING, Callable
+
+from ..obs.metrics import MetricsRegistry
+from ..obs.prom import render_prometheus
+
+if TYPE_CHECKING:  # pragma: no cover — typing only
+    from .session import CommandDispatcher
+
+_MAX_REQUEST_BYTES = 8192
+
+
+class MetricsHTTPServer:
+    """Serve ``/metrics``, ``/stats`` and ``/healthz`` over HTTP."""
+
+    def __init__(
+        self,
+        registry: MetricsRegistry,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        dispatcher: "CommandDispatcher | None" = None,
+        draining: Callable[[], bool] | None = None,
+    ) -> None:
+        self._registry = registry
+        self._host = host
+        self._port = port
+        self._dispatcher = dispatcher
+        self._draining = draining if draining is not None else lambda: False
+        self._server: asyncio.AbstractServer | None = None
+
+    @property
+    def port(self) -> int:
+        assert self._server is not None, "metrics listener not started"
+        return self._server.sockets[0].getsockname()[1]
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle, self._host, self._port
+        )
+
+    async def close(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    # -- request handling ----------------------------------------------------
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            request_line = await reader.readline()
+            if len(request_line) > _MAX_REQUEST_BYTES:
+                raise ValueError("request line too long")
+            # Drain (and ignore) the headers up to the blank line.
+            while True:
+                header = await reader.readline()
+                if header in (b"\r\n", b"\n", b""):
+                    break
+                if len(header) > _MAX_REQUEST_BYTES:
+                    raise ValueError("header too long")
+            status, content_type, body = self._route(request_line)
+            payload = body.encode("utf-8")
+            writer.write(
+                (
+                    f"HTTP/1.1 {status}\r\n"
+                    f"Content-Type: {content_type}\r\n"
+                    f"Content-Length: {len(payload)}\r\n"
+                    "Connection: close\r\n"
+                    "\r\n"
+                ).encode("ascii")
+            )
+            writer.write(payload)
+            await writer.drain()
+        except (ConnectionError, ValueError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            try:
+                writer.close()
+            except Exception:  # noqa: BLE001 — already torn down
+                pass
+
+    def _route(self, request_line: bytes) -> tuple[str, str, str]:
+        try:
+            method, target, _version = (
+                request_line.decode("ascii", "replace").split()
+            )
+        except ValueError:
+            return "400 Bad Request", "text/plain", "bad request\n"
+        path = target.split("?", 1)[0]
+        if method != "GET":
+            return "405 Method Not Allowed", "text/plain", "GET only\n"
+        if path == "/metrics":
+            return (
+                "200 OK",
+                "text/plain; version=0.0.4; charset=utf-8",
+                render_prometheus(self._registry),
+            )
+        if path == "/stats":
+            snapshot = self._registry.snapshot()
+            if self._dispatcher is not None:
+                snapshot["queue_depth"] = self._dispatcher.queue_depth
+                snapshot["parked"] = self._dispatcher.parked_count
+            return (
+                "200 OK",
+                "application/json",
+                json.dumps(snapshot, sort_keys=True) + "\n",
+            )
+        if path == "/healthz":
+            if self._draining():
+                return "503 Service Unavailable", "text/plain", "draining\n"
+            return "200 OK", "text/plain", "ok\n"
+        return "404 Not Found", "text/plain", f"no route {path}\n"

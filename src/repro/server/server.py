@@ -49,6 +49,7 @@ from ..obs.trace import Tracer
 from ..protocol.scheduler import TransactionManager
 from ..storage.database import Database
 from .errors import ErrorCode, MalformedFrame
+from .metrics_http import MetricsHTTPServer
 from .protocol import (
     MAX_FRAME_BYTES,
     decode_frame,
@@ -78,6 +79,9 @@ class ServerConfig:
 
     host: str = "127.0.0.1"
     port: int = 0  # 0 = ephemeral; read the bound port off the server
+    #: ``None`` = no HTTP listener; ``0`` = ephemeral port (read it off
+    #: :attr:`TransactionServer.metrics_port` once started).
+    metrics_port: int | None = None
     queue_size: int = 256
     request_timeout: float = 5.0
     session_timeout: float = 300.0
@@ -143,13 +147,16 @@ class TransactionServer:
                 registry=self._registry,
                 strict=self._config.strict,
             )
+        self._tracer = tracer
         self._dispatcher = CommandDispatcher(
             self._manager,
             registry=self._registry,
+            tracer=tracer,
             queue_size=self._config.queue_size,
             request_timeout=self._config.request_timeout,
             clock=clock if clock is not None else time.monotonic,
         )
+        self._metrics_http: MetricsHTTPServer | None = None
         self._server: asyncio.AbstractServer | None = None
         self._dispatcher_task: asyncio.Task | None = None
         self._flush_task: asyncio.Task | None = None
@@ -169,6 +176,10 @@ class TransactionServer:
         return self._registry
 
     @property
+    def tracer(self) -> Tracer | None:
+        return self._tracer
+
+    @property
     def manager(self) -> TransactionManager:
         return self._manager
 
@@ -180,6 +191,13 @@ class TransactionServer:
     def port(self) -> int:
         assert self._server is not None, "server not started"
         return self._server.sockets[0].getsockname()[1]
+
+    @property
+    def metrics_port(self) -> int | None:
+        """Bound port of the HTTP listener (``None`` when disabled)."""
+        if self._metrics_http is None:
+            return None
+        return self._metrics_http.port
 
     @property
     def address(self) -> tuple[str, int]:
@@ -197,6 +215,15 @@ class TransactionServer:
             self._config.port,
             limit=MAX_FRAME_BYTES + 2,
         )
+        if self._config.metrics_port is not None:
+            self._metrics_http = MetricsHTTPServer(
+                self._registry,
+                host=self._config.host,
+                port=self._config.metrics_port,
+                dispatcher=self._dispatcher,
+                draining=lambda: self._stopping,
+            )
+            await self._metrics_http.start()
         if self._config.wal_dir and self._config.flush_interval > 0:
             self._flush_task = asyncio.create_task(
                 self._flush_loop(), name="repro-wal-flush"
@@ -237,6 +264,8 @@ class TransactionServer:
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
+        if self._metrics_http is not None:
+            await self._metrics_http.close()
         drained = await self._dispatcher.drain(self._config.drain_grace)
         for connection in list(self._connections.values()):
             self._send(connection, event_frame("shutdown"))
@@ -431,10 +460,12 @@ class ServerThread:
         database_factory: Callable[[], Database],
         config: ServerConfig | None = None,
         registry: MetricsRegistry | None = None,
+        tracer: Tracer | None = None,
     ) -> None:
         self._database_factory = database_factory
         self._config = config or ServerConfig()
         self._registry = registry
+        self._tracer = tracer
         self._ready = threading.Event()
         self._stop: asyncio.Event | None = None
         self._loop: asyncio.AbstractEventLoop | None = None
@@ -451,6 +482,7 @@ class ServerThread:
                 self._database_factory(),
                 config=self._config,
                 registry=self._registry,
+                tracer=self._tracer,
             )
             await self.server.start()
             self.port = self.server.port

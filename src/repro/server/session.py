@@ -47,6 +47,7 @@ from ..errors import (
     TransactionAborted,
 )
 from ..obs.metrics import MetricsRegistry
+from ..obs.trace import NULL_TRACER, Span, Tracer
 from ..protocol.events import EventKind
 from ..protocol.scheduler import (
     Outcome,
@@ -112,6 +113,11 @@ class Command:
     #: stale (command, epoch) snapshot must not resume the command a
     #: second time after a recursive cascade already ran it.
     park_epoch: int = 0
+    parked_at: float = 0.0
+    #: The request span (opened at dequeue, backdated to enqueue) and
+    #: the currently-open park-wait child span, when tracing is on.
+    span: Span | None = None
+    wait_span: Span | None = None
 
 
 _REQUIRED = object()
@@ -125,12 +131,14 @@ class CommandDispatcher:
         manager: TransactionManager,
         *,
         registry: MetricsRegistry | None = None,
+        tracer: Tracer | None = None,
         queue_size: int = 256,
         request_timeout: float = 5.0,
         clock: Callable[[], float] = time.monotonic,
     ) -> None:
         self._tm = manager
         self._registry = registry
+        self._tracer = tracer if tracer is not None else NULL_TRACER
         self._queue: "asyncio.Queue[Command | object]" = asyncio.Queue(
             maxsize=max(1, queue_size)
         )
@@ -140,6 +148,8 @@ class CommandDispatcher:
         self._lock_waiters: dict[str, Command] = {}
         self._commit_waiters: dict[str, Command] = {}
         self._owners: dict[str, SessionState] = {}
+        # txn name -> its open lifetime root span (tracing only).
+        self._txn_spans: dict[str, Span] = {}
         self._draining = False
         self._stopped = False
 
@@ -261,6 +271,8 @@ class CommandDispatcher:
             self._observe("server.queue.wait", now - item.enqueued_at)
             if item.future.cancelled():
                 continue
+            if self._tracer.enabled:
+                self._open_request_span(item, now)
             if now > item.deadline:
                 self._resolve(
                     item,
@@ -273,6 +285,43 @@ class CommandDispatcher:
                 continue
             self._run_command(item)
         self._stopped = True
+        # The _STOP sentinel was still queued when the last command was
+        # dequeued, so the gauge may read 1; reset it to the true
+        # leftover depth so a drained server reports 0.
+        self._gauge_set("server.queue.depth", self._queue.qsize())
+
+    def _open_request_span(self, command: Command, now: float) -> None:
+        """Open the per-request span as the command starts executing.
+
+        The span is opened at *dequeue* (not submit) so a pipelined
+        client's queued same-transaction requests do not nest under
+        each other, then backdated to the enqueue time so it covers
+        queue wait; the wait itself is also recorded as an explicit
+        ``queue.wait`` child with the same interval.
+        """
+        txn = command.params.get("txn")
+        if not isinstance(txn, str) or not txn:
+            # define / ping / hello / stats: no transaction yet.  The
+            # pseudo name is unique per request; _op_define aliases it
+            # onto the real transaction once that exists.
+            txn = f"{command.session.name}.r{command.request_id}"
+        span = self._tracer.start(
+            "request",
+            txn,
+            op=command.op,
+            session=command.session.name,
+            request_id=command.request_id,
+        )
+        if span is not None:
+            span.start = command.enqueued_at
+            command.span = span
+            self._tracer.record(
+                "queue.wait",
+                txn,
+                start=command.enqueued_at,
+                end=now,
+                parent=span,
+            )
 
     async def stop(self) -> None:
         """Terminate :meth:`run` after the already-queued commands."""
@@ -373,9 +422,18 @@ class CommandDispatcher:
             "server.request.latency",
             self._clock() - command.enqueued_at,
         )
+        error_code: str | None = None
         if response.get("ok") is False:
-            code = response.get("error", {}).get("code", "INTERNAL")
-            self._count(f"server.errors.{code}")
+            error_code = response.get("error", {}).get("code", "INTERNAL")
+            self._count(f"server.errors.{error_code}")
+        if command.span is not None:
+            if command.wait_span is not None:
+                self._tracer.end(command.wait_span)
+                command.wait_span = None
+            if error_code is None:
+                self._tracer.end(command.span, ok=True)
+            else:
+                self._tracer.end(command.span, ok=False, error=error_code)
 
     def _execute(self, command: Command) -> dict[str, Any] | object:
         op = command.op
@@ -485,11 +543,28 @@ class CommandDispatcher:
         snapshot = (
             self._registry.snapshot() if self._registry is not None else {}
         )
+        extra: dict[str, Any] = {}
+        open_spans = getattr(self._tracer, "open_spans", None)
+        if callable(open_spans):
+            # Live view: the oldest open spans are the slowest
+            # in-flight work (the lifetime `txn.server` span of every
+            # live transaction is always among them).
+            now = self._clock()
+            extra["live"] = [
+                {
+                    "txn": span.txn,
+                    "kind": span.kind,
+                    "op": span.attrs.get("op"),
+                    "age": now - span.start,
+                }
+                for span in open_spans()[:32]
+            ]
         return ok_response(
             command.request_id,
             stats=snapshot,
             queue_depth=self._queue.qsize(),
             parked=self.parked_count,
+            **extra,
         )
 
     def _op_define(self, command: Command) -> dict[str, Any]:
@@ -537,6 +612,18 @@ class CommandDispatcher:
         command.session.owned.add(name)
         self._owners[name] = command.session
         self._count("server.txns.defined")
+        if self._tracer.enabled and command.span is not None:
+            # Root the transaction's span tree: a lifetime span opened
+            # before the alias (so it has no parent), then the define
+            # request — traced under its pseudo name until now — is
+            # folded in and reparented under the new root.
+            root = self._tracer.start(
+                "txn.server", name, session=command.session.name
+            )
+            if root is not None:
+                self._txn_spans[name] = root
+                self._tracer.alias(command.span.txn, name)
+                self._tracer.reparent(command.span, root)
         return ok_response(command.request_id, txn=name)
 
     def _op_validate(self, command: Command) -> dict[str, Any] | object:
@@ -548,6 +635,11 @@ class CommandDispatcher:
             )
         if step.outcome is Outcome.FAILED:
             self._apply_side_effects(step)
+            # A failed validation aborts the transaction inside the
+            # scheduler but reports only the *other* cascade victims,
+            # so close its lifetime span here (the cascade loop in
+            # _after_abort never sees it).
+            self._end_txn_span(name, outcome="aborted", reason=step.reason)
             return ok_response(
                 command.request_id,
                 outcome="failed",
@@ -630,6 +722,7 @@ class CommandDispatcher:
             )
         step = self._tm.commit(name)
         self._count("server.txns.committed")
+        self._end_txn_span(name, outcome="committed")
         self._apply_side_effects(step)
         if getattr(self._tm, "strict", False):
             # A commit makes the committer's versions strict-visible;
@@ -675,8 +768,18 @@ class CommandDispatcher:
         command.parked_on = txn
         command.blocked_entity = entity
         command.park_epoch += 1
+        command.parked_at = self._clock()
         store[txn] = command
         self._count("server.parked")
+        self._gauge_set("server.park.depth", self.parked_count)
+        if self._tracer.enabled and command.span is not None:
+            command.wait_span = self._tracer.start(
+                "park.wait",
+                txn,
+                parent=command.span,
+                entity=entity,
+                on=("commit" if store is self._commit_waiters else "lock"),
+            )
         remaining = command.deadline - self._clock()
         loop = asyncio.get_running_loop()
         if remaining <= 0:
@@ -696,6 +799,13 @@ class CommandDispatcher:
         if command.timer is not None:
             command.timer.cancel()
             command.timer = None
+        self._gauge_set("server.park.depth", self.parked_count)
+        self._observe(
+            "server.park.wait", self._clock() - command.parked_at
+        )
+        if command.wait_span is not None:
+            self._tracer.end(command.wait_span)
+            command.wait_span = None
 
     def _expire(self, command: Command) -> None:
         """Deadline callback for a parked command.
@@ -734,12 +844,20 @@ class CommandDispatcher:
             self._resume_lock_waiter(name)
         self._check_commit_waiters()
 
+    def _end_txn_span(self, name: str, **attrs: Any) -> None:
+        span = self._txn_spans.pop(name, None)
+        if span is not None:
+            self._tracer.end(span, **attrs)
+
     def _after_abort(
         self,
         cascade: list[str],
         notify_exclude: frozenset[str] | set[str] = frozenset(),
     ) -> None:
+        if cascade:
+            self._observe("server.abort.cascade", len(cascade))
         for name in cascade:
+            self._end_txn_span(name, outcome="aborted")
             for store in (self._lock_waiters, self._commit_waiters):
                 command = store.get(name)
                 if command is None:

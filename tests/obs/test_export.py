@@ -107,3 +107,63 @@ class TestRenderTimeline:
         spans = list(_sample_tracer().spans)
         waits = filter_spans(spans, kinds=["wait"])
         assert "wait" in render_timeline(waits)
+
+
+class TestCrossLayerTimeline:
+    """render_timeline over a server-shaped tree: a `txn.server` root
+    with request children, queue waits, and a group-commit fsync
+    recorded after its causal parent closed."""
+
+    def _server_tree(self) -> list:
+        from repro.obs import LiveTracer, SpanRing
+
+        tracer = LiveTracer(SpanRing(64), clock=iter(range(100)).__next__)
+        feed = tracer.ring.subscribe()
+        root = tracer.start("txn.server", "t.0")  # t=0
+        request = tracer.start("request", "t.0", op="validate")  # t=1
+        tracer.record("queue.wait", "t.0", 0.5, 1.0, parent=request)
+        validate = tracer.start("validate", "t.0")  # t=2
+        tracer.end(validate)  # t=3
+        parent_at_append = tracer.current_span_id("t.0")
+        tracer.end(request)  # t=4
+        # The WAL flush lands after the request answered, parented to
+        # the span captured at append time (the group-commit pattern).
+        tracer.record(
+            "wal.fsync", "t.0", 5.0, 6.0, parent=parent_at_append
+        )
+        tracer.end(root, outcome="committed")  # t=5
+        spans, dropped = feed.poll()
+        assert dropped == 0
+        return spans
+
+    def test_nesting_follows_causal_parents(self):
+        text = render_timeline(self._server_tree())
+        by_kind = {
+            kind: next(
+                line for line in text.splitlines() if f"{kind} " in line
+            )
+            for kind in ("txn.server", "request", "queue.wait", "wal.fsync")
+        }
+        root_indent = by_kind["txn.server"].find("txn.server")
+        request_indent = by_kind["request"].find("request")
+        wait_indent = by_kind["queue.wait"].find("queue.wait")
+        fsync_indent = by_kind["wal.fsync"].find("wal.fsync")
+        assert root_indent < request_indent
+        assert request_indent < wait_indent
+        # The fsync is causally under the request even though it was
+        # recorded after the request closed.
+        assert fsync_indent == wait_indent
+
+    def test_one_block_per_transaction(self):
+        text = render_timeline(self._server_tree())
+        assert text.count("== t.0 ==") == 1
+
+    def test_stats_counts_every_layer(self):
+        counts = timeline_stats(self._server_tree())
+        assert counts == {
+            "queue.wait": 1,
+            "request": 1,
+            "txn.server": 1,
+            "validate": 1,
+            "wal.fsync": 1,
+        }

@@ -69,6 +69,44 @@ class TestHistogram:
             histogram.percentile(101)
 
 
+class TestHistogramWindow:
+    """``max_samples`` keeps percentiles over a sliding window while
+    count/total/mean/max/min stay exact over the full lifetime."""
+
+    def test_window_bounds_samples_but_not_lifetime_stats(self):
+        histogram = Histogram("latency", max_samples=4)
+        for value in range(1, 11):  # 1..10, window ends as [7, 8, 9, 10]
+            histogram.observe(float(value))
+        assert len(histogram.values) == 4
+        assert histogram.count == 10
+        assert histogram.total == 55.0
+        assert histogram.mean == 5.5
+        assert histogram.min == 1.0
+        assert histogram.max == 10.0
+        # Percentiles describe the window only.
+        assert histogram.percentile(50) == 8.0
+        assert histogram.percentile(100) == 10.0
+
+    def test_summary_mixes_lifetime_and_window(self):
+        histogram = Histogram("latency", max_samples=2)
+        for value in (5.0, 1.0, 2.0):
+            histogram.observe(value)
+        summary = histogram.summary()
+        assert summary["count"] == 3
+        assert summary["max"] == 5.0  # lifetime max already evicted
+        assert summary["p99"] == 2.0  # window is [1, 2]
+
+    def test_registry_default_window_applies_to_new_histograms(self):
+        registry = MetricsRegistry(default_max_samples=3)
+        histogram = registry.histogram("wait")
+        for value in range(10):
+            histogram.observe(float(value))
+        assert len(histogram.values) == 3
+        assert histogram.count == 10
+        # Pre-existing instruments keep their window when re-fetched.
+        assert registry.histogram("wait").max_samples == 3
+
+
 class TestMetricsRegistry:
     def test_get_or_create(self):
         registry = MetricsRegistry()

@@ -1,0 +1,75 @@
+"""Tests for the Prometheus text exposition renderer."""
+
+from __future__ import annotations
+
+from repro.obs import MetricsRegistry, render_prometheus
+
+
+class TestRenderPrometheus:
+    def test_empty_registry_is_just_a_newline(self):
+        assert render_prometheus(MetricsRegistry()) == "\n"
+
+    def test_counter_lines(self):
+        registry = MetricsRegistry()
+        registry.counter("server.requests").inc(41)
+        text = render_prometheus(registry)
+        assert "# TYPE repro_server_requests counter" in text
+        assert "repro_server_requests 41\n" in text
+        # Integral values render without a trailing .0.
+        assert "41.0" not in text
+
+    def test_gauge_exports_value_and_high_water(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("server.queue.depth")
+        gauge.set(7)
+        gauge.set(2)
+        lines = render_prometheus(registry).splitlines()
+        assert "# TYPE repro_server_queue_depth gauge" in lines
+        assert "repro_server_queue_depth 2" in lines
+        assert "# TYPE repro_server_queue_depth_max gauge" in lines
+        assert "repro_server_queue_depth_max 7" in lines
+
+    def test_histogram_is_a_summary_with_quantiles(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("server.request.latency")
+        for value in range(1, 101):
+            histogram.observe(float(value))
+        lines = render_prometheus(registry).splitlines()
+        flat = "repro_server_request_latency"
+        assert f"# TYPE {flat} summary" in lines
+        assert f'{flat}{{quantile="0.5"}} 50' in lines
+        assert f'{flat}{{quantile="0.95"}} 95' in lines
+        assert f'{flat}{{quantile="0.99"}} 99' in lines
+        assert f"{flat}_sum 5050" in lines
+        assert f"{flat}_count 100" in lines
+
+    def test_name_sanitization(self):
+        registry = MetricsRegistry()
+        registry.counter("1odd-name.with spaces").inc()
+        text = render_prometheus(registry)
+        assert "repro__1odd_name_with_spaces 1" in text
+
+    def test_custom_prefix_and_no_prefix(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        assert "acme_c 1" in render_prometheus(registry, prefix="acme_")
+        assert "\nc 1" in render_prometheus(registry, prefix="")
+
+    def test_float_values_render_as_decimal(self):
+        registry = MetricsRegistry()
+        registry.counter("ratio").inc(0.25)
+        assert "repro_ratio 0.25\n" in render_prometheus(registry)
+
+    def test_every_sample_line_parses(self):
+        # The format contract: every non-comment line is
+        # `name{labels} value` with a float-parseable value.
+        registry = MetricsRegistry()
+        registry.counter("a").inc(3)
+        registry.gauge("b").set(1.5)
+        registry.histogram("c").observe(2.0)
+        for line in render_prometheus(registry).strip().splitlines():
+            if line.startswith("#"):
+                continue
+            name, value = line.rsplit(" ", 1)
+            assert name
+            float(value)  # must not raise

@@ -1,0 +1,132 @@
+"""Tests for the ``repro top`` frame renderer (pure function, no tty)."""
+
+from __future__ import annotations
+
+from repro.obs import render_top
+
+
+def _stats(
+    counters: dict[str, float] | None = None,
+    histograms: dict[str, dict[str, float]] | None = None,
+    gauges: dict[str, dict[str, float]] | None = None,
+    **extra,
+) -> dict:
+    return {
+        "stats": {
+            "counters": counters or {},
+            "gauges": gauges or {},
+            "histograms": histograms or {},
+        },
+        "queue_depth": extra.pop("queue_depth", 0),
+        "parked": extra.pop("parked", 0),
+        **extra,
+    }
+
+
+class TestRenderTop:
+    def test_first_frame_shows_lifetime_totals(self):
+        frame = render_top(
+            _stats(counters={"server.txns.committed": 12.0})
+        )
+        assert "lifetime" in frame
+        assert "commits 12" in frame
+
+    def test_rates_come_from_counter_deltas(self):
+        before = _stats(
+            counters={
+                "server.txns.committed": 100.0,
+                "server.requests": 500.0,
+            }
+        )
+        now = _stats(
+            counters={
+                "server.txns.committed": 120.0,
+                "server.requests": 600.0,
+            }
+        )
+        frame = render_top(now, previous=before, elapsed=2.0)
+        assert "2.0s window" in frame
+        assert "txn/s     10.0" in frame
+        assert "req/s     50.0" in frame
+
+    def test_abort_and_busy_percentages(self):
+        frame = render_top(
+            _stats(
+                counters={
+                    "server.txns.committed": 75.0,
+                    "server.txns.aborted": 25.0,
+                    "server.requests": 90.0,
+                    "server.busy": 10.0,
+                }
+            )
+        )
+        assert "abort%  25.0" in frame
+        assert "busy%  10.0" in frame
+
+    def test_phase_rows_only_for_populated_histograms(self):
+        frame = render_top(
+            _stats(
+                histograms={
+                    "validation_latency_us": {
+                        "count": 4, "p50": 10.0, "p95": 20.0,
+                        "p99": 30.0, "max": 40.0,
+                    },
+                    "server.park.wait": {"count": 0},
+                }
+            )
+        )
+        assert "validate" in frame
+        assert "10.00us" in frame
+        assert "park wait" not in frame
+
+    def test_second_latencies_render_in_milliseconds(self):
+        frame = render_top(
+            _stats(
+                histograms={
+                    "server.queue.wait": {
+                        "count": 2, "p50": 0.004, "p95": 0.01,
+                        "p99": 0.01, "max": 0.02,
+                    },
+                }
+            )
+        )
+        assert "queue wait" in frame
+        assert "4.00ms" in frame
+
+    def test_queue_and_park_depths_with_high_water(self):
+        frame = render_top(
+            _stats(
+                gauges={
+                    "server.queue.depth": {"value": 0, "max": 9},
+                    "server.park.depth": {"value": 1, "max": 3},
+                    "server.sessions": {"value": 4, "max": 8},
+                },
+                queue_depth=2,
+                parked=1,
+            )
+        )
+        assert "queue 2 (max 9)" in frame
+        assert "parked 1 (max 3)" in frame
+        assert "sessions 4" in frame
+
+    def test_live_spans_section(self):
+        frame = render_top(
+            _stats(
+                live=[
+                    {
+                        "txn": "t.0.3", "kind": "txn.server",
+                        "op": "commit", "age": 0.25,
+                    }
+                ]
+            )
+        )
+        assert "slowest in flight" in frame
+        assert "t.0.3" in frame
+        assert "op=commit" in frame
+        assert "250.0ms" in frame
+
+    def test_live_section_idle_and_absent(self):
+        idle = render_top(_stats(live=[]))
+        assert "slowest in flight: (idle)" in idle
+        untraced = render_top(_stats())
+        assert "slowest" not in untraced
