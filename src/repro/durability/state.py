@@ -618,7 +618,9 @@ class LogicalState:
                 )
             }
             self._restore_common(record, txn_state)
-            records[name] = record
+            # Adoption (not a bare table insert) keeps the manager's
+            # live-transaction set and fast-path caches coherent.
+            manager._adopt_record(record)
         return manager
 
     @staticmethod

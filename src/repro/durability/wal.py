@@ -218,6 +218,10 @@ class WriteAheadLog:
         self._clock = clock
         self._fd: int | None = None
         self._path: Path | None = None
+        # Reused across appends: records serialise straight into this
+        # buffer (see WalRecord.encode_into), so the append path
+        # allocates no per-record line objects.
+        self._encode_buffer = bytearray()
         self._written = 0  # bytes handed to the OS, current segment
         self._durable = 0  # bytes known fsynced, current segment
         self._pending_records = 0
@@ -289,18 +293,20 @@ class WriteAheadLog:
         self._require_open()
         assert self._fd is not None
         record = WalRecord(self._next_lsn, op, txn, data)
-        line = record.encode()
+        buffer = self._encode_buffer
+        buffer.clear()
+        length = record.encode_into(buffer)
         if self._points.hit("wal.mid_record"):
             # A torn write: half the record reaches the OS, then death.
-            os.write(self._fd, line[: max(1, len(line) // 2)])
+            os.write(self._fd, memoryview(buffer)[: max(1, length // 2)])
             raise SimulatedCrash("wal.mid_record")
-        os.write(self._fd, line)
+        os.write(self._fd, buffer)
         self._next_lsn += 1
-        self._written += len(line)
+        self._written += length
         self._pending_records += 1
         if self._registry is not None:
             self._registry.counter("wal.records").inc()
-            self._registry.counter("wal.bytes").inc(len(line))
+            self._registry.counter("wal.bytes").inc(length)
         if record.durable:
             if self._tracer.enabled:
                 # Capture the causal parent *now* — the commit/abort

@@ -19,7 +19,7 @@ from dataclasses import dataclass, field
 from typing import Any
 
 
-@dataclass
+@dataclass(slots=True)
 class Counter:
     """A monotonically increasing count."""
 
@@ -30,7 +30,7 @@ class Counter:
         self.value += amount
 
 
-@dataclass
+@dataclass(slots=True)
 class Gauge:
     """A value that moves both ways; tracks its high-water mark."""
 
@@ -50,7 +50,7 @@ class Gauge:
         self.set(self.value - amount)
 
 
-@dataclass
+@dataclass(slots=True)
 class Histogram:
     """A distribution of observed values with percentile queries.
 

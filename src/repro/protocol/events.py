@@ -29,7 +29,7 @@ class EventKind(enum.Enum):
     ABORT = "abort"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Event:
     """One protocol step: who, what, and the step's details."""
 

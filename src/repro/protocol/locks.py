@@ -65,7 +65,7 @@ def compatible(held: LockMode, requested: LockMode) -> bool:
     return True
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class LockRequest:
     """A queued (blocked) lock request."""
 
@@ -74,8 +74,11 @@ class LockRequest:
     mode: LockMode
 
 
-@dataclass
+@dataclass(slots=True)
 class _EntityLocks:
+    #: Creation rank in the table — lets the per-transaction exit path
+    #: reproduce the whole-table iteration order exactly.
+    ordinal: int = 0
     holders: dict[LockMode, set[str]] = field(
         default_factory=lambda: {mode: set() for mode in LockMode}
     )
@@ -98,6 +101,15 @@ class LockTable:
         registry: MetricsRegistry | None = None,
     ) -> None:
         self._entities: dict[str, _EntityLocks] = {}
+        # Per-transaction reverse indexes.  ``release_all`` and
+        # ``locks_of`` used to scan the whole table on every commit and
+        # abort — O(entities ever locked) per transaction exit, which
+        # dominated long server runs.  ``_held`` maps txn → entity →
+        # modes; ``_queued`` maps txn → entity → queued-request count.
+        # Both are maintained on every grant/block/release so the exit
+        # path touches only the entities the transaction actually used.
+        self._held: dict[str, dict[str, set[LockMode]]] = {}
+        self._queued: dict[str, dict[str, int]] = {}
         self._tracer = tracer if tracer is not None else NULL_TRACER
         self._registry = registry
 
@@ -108,7 +120,40 @@ class LockTable:
         self._registry = registry
 
     def _entry(self, entity: str) -> _EntityLocks:
-        return self._entities.setdefault(entity, _EntityLocks())
+        entry = self._entities.get(entity)
+        if entry is None:
+            entry = self._entities[entity] = _EntityLocks(
+                ordinal=len(self._entities)
+            )
+        return entry
+
+    # -- reverse-index bookkeeping ------------------------------------------
+
+    def _note_grant(self, txn: str, entity: str, mode: LockMode) -> None:
+        self._held.setdefault(txn, {}).setdefault(entity, set()).add(mode)
+
+    def _note_release(self, txn: str, entity: str, mode: LockMode) -> None:
+        by_entity = self._held.get(txn)
+        if by_entity is None:
+            return
+        modes = by_entity.get(entity)
+        if modes is None:
+            return
+        modes.discard(mode)
+        if not modes:
+            del by_entity[entity]
+            if not by_entity:
+                del self._held[txn]
+
+    def _note_queued(self, txn: str, entity: str, delta: int) -> None:
+        by_entity = self._queued.setdefault(txn, {})
+        count = by_entity.get(entity, 0) + delta
+        if count > 0:
+            by_entity[entity] = count
+        else:
+            by_entity.pop(entity, None)
+            if not by_entity:
+                self._queued.pop(txn, None)
 
     # -- queries ------------------------------------------------------------
 
@@ -139,11 +184,22 @@ class LockTable:
         return tuple(entry.queue)
 
     def locks_of(self, txn: str) -> list[tuple[str, LockMode]]:
-        """Every lock a transaction currently holds."""
+        """Every lock a transaction currently holds.
+
+        Served from the per-transaction index — O(locks held), not
+        O(entities ever locked) — in the same order the whole-table
+        scan produced (entity creation order, then mode order).
+        """
+        by_entity = self._held.get(txn)
+        if not by_entity:
+            return []
         result = []
-        for entity, entry in self._entities.items():
-            for mode, holders in entry.holders.items():
-                if txn in holders:
+        for entity in sorted(
+            by_entity, key=lambda name: self._entities[name].ordinal
+        ):
+            modes = by_entity[entity]
+            for mode in LockMode:
+                if mode in modes:
                     result.append((entity, mode))
         return result
 
@@ -163,6 +219,7 @@ class LockTable:
             blockers = holders - {txn}
             if blockers and not compatible(held_mode, mode):
                 entry.queue.append(LockRequest(txn, entity, mode))
+                self._note_queued(txn, entity, +1)
                 if self._registry is not None:
                     self._registry.histogram(
                         "lock_queue_depth"
@@ -178,6 +235,7 @@ class LockTable:
                     )
                 return LockOutcome.BLOCKED
         entry.holders[mode].add(txn)
+        self._note_grant(txn, entity, mode)
         return LockOutcome.GRANTED
 
     def upgrade_rv_to_r(self, txn: str, entity: str) -> LockOutcome:
@@ -207,20 +265,36 @@ class LockTable:
                 f"{txn} does not hold a {mode} lock on {entity}"
             )
         entry.holders[mode].discard(txn)
+        self._note_release(txn, entity, mode)
         return self._drain_queue(entry)
 
     def release_all(self, txn: str) -> list[LockRequest]:
-        """Drop every lock a transaction holds (commit/abort cleanup)."""
+        """Drop every lock a transaction holds (commit/abort cleanup).
+
+        Visits only the entities the transaction holds or queues on
+        (the reverse indexes), in entity creation order — the same
+        entities, in the same order, the old whole-table scan touched,
+        without paying for every entity the table has ever seen.
+        """
+        held = self._held.pop(txn, {})
+        queued = self._queued.pop(txn, {})
+        touched = sorted(
+            set(held) | set(queued),
+            key=lambda name: self._entities[name].ordinal,
+        )
         granted: list[LockRequest] = []
-        for entity, entry in self._entities.items():
+        for entity in touched:
+            entry = self._entities[entity]
             changed = False
-            for holders in entry.holders.values():
-                if txn in holders:
-                    holders.discard(txn)
-                    changed = True
-            entry.queue = [
-                request for request in entry.queue if request.txn != txn
-            ]
+            for mode in held.get(entity, ()):
+                entry.holders[mode].discard(txn)
+                changed = True
+            if entity in queued:
+                entry.queue = [
+                    request
+                    for request in entry.queue
+                    if request.txn != txn
+                ]
             if changed:
                 granted.extend(self._drain_queue(entry))
         return granted
@@ -240,6 +314,8 @@ class LockTable:
                 still_blocked.append(request)
             else:
                 entry.holders[request.mode].add(request.txn)
+                self._note_grant(request.txn, request.entity, request.mode)
+                self._note_queued(request.txn, request.entity, -1)
                 granted.append(request)
                 if self._tracer.enabled:
                     self._tracer.event(

@@ -50,6 +50,7 @@ from ..obs.trace import NULL_TRACER, Tracer
 from ..storage.database import Database
 from ..storage.version_store import Version
 from .events import EventKind, EventLog
+from .fastpath import ParentIndex
 from .locks import LockMode, LockOutcome, LockTable
 from .reeval import ReevalDecision, figure4_decision
 from .validation import (
@@ -76,7 +77,7 @@ class Outcome(enum.Enum):
     FAILED = "failed"
 
 
-@dataclass
+@dataclass(slots=True)
 class StepResult:
     """Outcome of one protocol step.
 
@@ -96,7 +97,7 @@ class StepResult:
     reason: str | None = None
 
 
-@dataclass
+@dataclass(slots=True)
 class TxnRecord:
     """Bookkeeping for one transaction in the tree."""
 
@@ -105,6 +106,10 @@ class TxnRecord:
     spec: Spec
     update_set: frozenset[str]
     phase: TxnPhase = TxnPhase.DEFINED
+    #: Why the transaction aborted (None while live/committed).  The
+    #: server reads this instead of scanning the whole event log
+    #: backwards per cascade victim.
+    abort_reason: str | None = None
     children: list[str] = field(default_factory=list)
     order_pairs: set[tuple[str, str]] = field(default_factory=set)
     assigned: dict[str, Version] = field(default_factory=dict)
@@ -152,6 +157,24 @@ class TransactionManager:
             self._wrap_selector()
         self._log = EventLog()
         self._records: dict[str, TxnRecord] = {}
+        #: Non-terminated transaction names in definition order —
+        #: the abort cascade's scan set (the full record table keeps
+        #: every transaction ever defined and only grows).
+        self._active: dict[str, None] = {}
+        #: Use the bitmask-encoded :class:`ParentIndex` for D-set
+        #: computation; ``False`` selects the object-path oracle
+        #: (:func:`compute_d_set`) — differential tests flip this.
+        self.fast_validation = True
+        # Epoch counters invalidating the fast-path caches: structure
+        # (children/order/aborted set) changes on define and abort;
+        # the version population changes on write and expunge.
+        self._struct_epoch = 0
+        self._version_epoch = 0
+        self._parent_indexes: dict[str, tuple[int, ParentIndex]] = {}
+        self._order_cache: dict[str, tuple[int, int, PartialOrder[str]]] = {}
+        self._authors_cache: dict[
+            str, tuple[int, dict[str | None, list[Version]]]
+        ] = {}
 
         root_name = str(TxnName.root())
         spec = (
@@ -169,6 +192,7 @@ class TransactionManager:
         for entity in database.schema.names:
             root.assigned[entity] = database.store.initial(entity)
         self._records[root_name] = root
+        self._active[root_name] = None
 
     # -- observability -------------------------------------------------------
 
@@ -256,9 +280,74 @@ class TransactionManager:
         return tuple(self.record(txn).children)
 
     def order_of(self, txn: str) -> PartialOrder[str]:
-        """The partial order ``P`` over a transaction's children."""
+        """The partial order ``P`` over a transaction's children.
+
+        Cached: the eager transitive closure is expensive to rebuild
+        per call, and children/pairs only ever grow — their lengths
+        are an exact invalidation key.
+        """
         record = self.record(txn)
-        return PartialOrder(record.children, record.order_pairs)
+        key = (len(record.children), len(record.order_pairs))
+        cached = self._order_cache.get(txn)
+        if cached is not None and (cached[0], cached[1]) == key:
+            return cached[2]
+        order = PartialOrder(record.children, record.order_pairs)
+        self._order_cache[txn] = (key[0], key[1], order)
+        return order
+
+    def _parent_index(self, parent: str) -> ParentIndex:
+        """The bitmask D-set index for one parent, epoch-cached.
+
+        One build serves every validation/re-assignment/commit check
+        until the next define or abort — under dispatcher batching,
+        one conflict-structure pass per batch.
+        """
+        cached = self._parent_indexes.get(parent)
+        if cached is not None and cached[0] == self._struct_epoch:
+            return cached[1]
+        parent_record = self.record(parent)
+        records = self._records
+        index = ParentIndex(
+            parent_record.children,
+            parent_record.order_pairs,
+            {
+                child: records[child].update_set
+                for child in parent_record.children
+            },
+            aborted=[
+                child
+                for child in parent_record.children
+                if records[child].phase is TxnPhase.ABORTED
+            ],
+        )
+        self._parent_indexes[parent] = (self._struct_epoch, index)
+        return index
+
+    def _versions_by_author(
+        self, item: str
+    ) -> dict[str | None, list[Version]]:
+        """All versions of ``item`` grouped by author, creation order."""
+        cached = self._authors_cache.get(item)
+        if cached is not None and cached[0] == self._version_epoch:
+            return cached[1]
+        by_author: dict[str | None, list[Version]] = {}
+        for version in self._db.store.versions(item):
+            by_author.setdefault(version.author, []).append(version)
+        self._authors_cache[item] = (self._version_epoch, by_author)
+        return by_author
+
+    def _adopt_record(self, record: TxnRecord) -> None:
+        """Install an externally rebuilt record (recovery only).
+
+        Keeps the live-transaction set and fast-path caches coherent
+        when the durability layer resurrects records it persisted.
+        """
+        self._records[record.name] = record
+        if record.terminated:
+            self._active.pop(record.name, None)
+        else:
+            self._active[record.name] = None
+        self._struct_epoch += 1
 
     def assigned_versions(self, txn: str) -> dict[str, Version]:
         return dict(self.record(txn).assigned)
@@ -348,6 +437,8 @@ class TransactionManager:
             spec=spec,
             update_set=updates,
         )
+        self._active[name] = None
+        self._struct_epoch += 1
         self._log.record(
             EventKind.DEFINE,
             name,
@@ -473,6 +564,48 @@ class TransactionManager:
         return StepResult(Outcome.OK)
 
     def _compute_d_sets(self, record: TxnRecord) -> dict[str, DSet]:
+        """D-sets for every input item (§5.1 part 1).
+
+        The default path answers the three exclusion rules from the
+        bitmask-encoded :class:`ParentIndex`; the object path below is
+        the oracle it must match bit-for-bit (the differential property
+        tests run both).
+        """
+        if not self.fast_validation:
+            return self._compute_d_sets_object(record)
+        assert record.parent is not None
+        parent = record.parent
+        index = self._parent_index(parent)
+        d_sets: dict[str, DSet] = {}
+        for item in sorted(record.input_set):
+            members_mask, pred_mask = index.d_members(record.name, item)
+            by_author = self._versions_by_author(item)
+            parent_version = self._parent_world_version(parent, item)
+            candidates: list[Version] = []
+            # Ascending-bit traversal == the object path's sorted-name
+            # candidate order.
+            for member in index.names_from(
+                pred_mask if pred_mask else members_mask
+            ):
+                versions = by_author.get(member)
+                if versions:
+                    candidates.extend(versions)
+            used_parent = False
+            if not pred_mask or not candidates:
+                candidates.append(parent_version)
+                used_parent = True
+            d_sets[item] = DSet(
+                item=item,
+                members=frozenset(index.names_from(members_mask)),
+                predecessors=frozenset(index.names_from(pred_mask)),
+                candidates=tuple(candidates),
+                used_parent_version=used_parent,
+            )
+        return d_sets
+
+    def _compute_d_sets_object(
+        self, record: TxnRecord
+    ) -> dict[str, DSet]:
         assert record.parent is not None
         parent_record = self.record(record.parent)
         order = self.order_of(record.parent)
@@ -623,6 +756,7 @@ class TransactionManager:
         if entity not in record.in_flight_writes:
             raise ProtocolError(f"{txn} has no write in flight on {entity}")
         version = self._db.write(entity, value, txn)
+        self._version_epoch += 1
         record.writes[entity] = version
         record.in_flight_writes.discard(entity)
         self._log.record(
@@ -845,8 +979,8 @@ class TransactionManager:
         if record.in_flight_writes:
             return False, "write in flight"
         if record.parent is not None:
-            order = self.order_of(record.parent)
-            for predecessor in order.predecessors(txn):
+            index = self._parent_index(record.parent)
+            for predecessor in index.predecessor_names(txn):
                 predecessor_phase = self.record(predecessor).phase
                 if predecessor_phase is TxnPhase.ABORTED:
                     # An aborted predecessor can never commit; waiting
@@ -893,6 +1027,7 @@ class TransactionManager:
             return StepResult(Outcome.FAILED, reason=reason)
         record = self.record(txn)
         record.phase = TxnPhase.COMMITTED
+        self._active.pop(txn, None)
         if record.parent is not None:
             parent_record = self.record(record.parent)
             # Release this transaction's world (its writes and its
@@ -956,6 +1091,7 @@ class TransactionManager:
             rebuilt.update(released)
         parent_record.merged_child_writes = rebuilt
         record.phase = TxnPhase.VALIDATED
+        self._active[txn] = None
         # Re-acquire read-side locks so Figure-4 re-evaluation sees the
         # transaction again: a predecessor placed after the undo that
         # writes an item this transaction already *read* must be able
@@ -1000,8 +1136,13 @@ class TransactionManager:
                 if write_span is not None:
                     self._tracer.end(write_span, outcome="aborted")
         record.phase = TxnPhase.ABORTED
+        record.abort_reason = reason
         record.in_flight_writes.clear()
+        self._active.pop(txn, None)
+        self._struct_epoch += 1
         removed = self._db.store.expunge_author(txn)
+        if removed:
+            self._version_epoch += 1
         self._locks.release_all(txn)
         self._log.record(EventKind.ABORT, txn, reason=reason)
         if self._tracer.enabled:
@@ -1013,10 +1154,14 @@ class TransactionManager:
             )
         aborted.append(txn)
 
-        # Cascade: siblings whose assigned versions died with us.
+        # Cascade: siblings whose assigned versions died with us.  Only
+        # live transactions can hold a stale assignment — the record
+        # table keeps every transaction ever defined, so scanning it
+        # here was quadratic over a server's lifetime.
         dead = {(version.entity, version.sequence) for version in removed}
         if dead:
-            for other in list(self._records.values()):
+            for other_name in list(self._active):
+                other = self._records[other_name]
                 if other.terminated or other.name == txn:
                     continue
                 stale_items = [

@@ -48,7 +48,7 @@ from ..obs.trace import NULL_TRACER, Tracer
 from ..storage.version_store import Version
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class DSet:
     """The validation-phase candidate set for one data item."""
 

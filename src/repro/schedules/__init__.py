@@ -1,5 +1,10 @@
 """The classical (standard-model) schedule substrate (Section 4.1)."""
 
+from .fastsched import (
+    FastSchedule,
+    fast_of,
+    fast_recovery_profile,
+)
 from .generator import (
     interleaving_count,
     interleavings,
@@ -25,6 +30,7 @@ from .semantic import (
 
 __all__ = [
     "CommittedSchedule",
+    "FastSchedule",
     "I",
     "Operation",
     "OpType",
@@ -32,6 +38,8 @@ __all__ = [
     "Schedule",
     "W",
     "avoids_cascading_aborts",
+    "fast_of",
+    "fast_recovery_profile",
     "interleaving_count",
     "is_recoverable",
     "is_semantically_conflict_serializable",

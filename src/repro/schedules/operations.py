@@ -9,7 +9,7 @@ notion of conflict live here.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from ..errors import ScheduleError
 
@@ -33,13 +33,22 @@ class OpType(enum.Enum):
         return self.value
 
 
-@dataclass(frozen=True, order=True)
+@dataclass(frozen=True, order=True, slots=True)
 class Operation:
-    """One step: transaction ``txn`` reads or writes ``entity``."""
+    """One step: transaction ``txn`` reads or writes ``entity``.
+
+    ``slots=True`` matters here: operations are the densest objects in
+    the system (a census run materialises millions), and the per-
+    instance ``__dict__`` both doubled their footprint and slowed every
+    attribute read.  The cached hash moves into a declared slot —
+    excluded from ``__init__``/``repr``/comparisons so equality and
+    ordering still see only the ``(txn, kind, entity)`` triple.
+    """
 
     txn: str
     kind: OpType
     entity: str
+    _hash: int = field(init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if not self.txn:
@@ -55,7 +64,7 @@ class Operation:
         )
 
     def __hash__(self) -> int:
-        return self._hash  # type: ignore[attr-defined]
+        return self._hash
 
     @property
     def is_read(self) -> bool:

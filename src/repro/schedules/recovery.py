@@ -131,10 +131,14 @@ def is_strict(committed: CommittedSchedule) -> bool:
 def recovery_profile(
     schedule: Schedule, commit_order: Sequence[str]
 ) -> dict[str, bool]:
-    """RC/ACA/ST membership in one call."""
+    """RC/ACA/ST membership in one call.
+
+    Served by the single-pass array predicates in
+    :mod:`repro.schedules.fastsched`; the per-predicate functions
+    above transcribe the definitions directly and remain the
+    differential oracle.
+    """
+    from .fastsched import fast_recovery_profile
+
     committed = CommittedSchedule(schedule, tuple(commit_order))
-    return {
-        "RC": is_recoverable(committed),
-        "ACA": avoids_cascading_aborts(committed),
-        "ST": is_strict(committed),
-    }
+    return fast_recovery_profile(committed)

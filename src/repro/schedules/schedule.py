@@ -272,7 +272,20 @@ class Schedule:
     # -- conflicts ---------------------------------------------------------------
 
     def conflict_pairs(self) -> Iterator[tuple[int, int]]:
-        """Ordered index pairs of classically conflicting operations."""
+        """Ordered index pairs of classically conflicting operations.
+
+        Served by the array-encoded twin
+        (:mod:`repro.schedules.fastsched`), which groups steps by
+        entity so unrelated entities never meet;
+        :meth:`conflict_pairs_reference` is the direct quadratic
+        transcription kept as the differential oracle.
+        """
+        from .fastsched import fast_of
+
+        return iter(fast_of(self).conflict_pairs())
+
+    def conflict_pairs_reference(self) -> Iterator[tuple[int, int]]:
+        """The Section-4.3 definition, transcribed directly (oracle)."""
         for i, first in enumerate(self._ops):
             for j in range(i + 1, len(self._ops)):
                 if first.conflicts_with(self._ops[j]):
@@ -294,13 +307,9 @@ class Schedule:
         """
 
         def build() -> tuple[int, ...]:
-            counts: dict[Operation, int] = {}
-            numbers: list[int] = []
-            for op in self._ops:
-                seen = counts.get(op, 0)
-                counts[op] = seen + 1
-                numbers.append(seen)
-            return tuple(numbers)
+            from .fastsched import fast_of
+
+            return tuple(fast_of(self).occurrence_numbers())
 
         return self.memo("occurrence_numbers", build)
 

@@ -1,0 +1,24 @@
+"""The one wall-clock source the server stack shares.
+
+The dispatcher stamps enqueue/dequeue times, the WAL arms its
+group-commit deadline, and the load generator measures request
+latency.  When those components read *different* clocks (an earlier
+loadgen used ``time.perf_counter`` against the server's
+``time.monotonic``), cross-layer latency attribution can skew: the two
+clocks have unrelated epochs and may tick at (very slightly) different
+rates, so "queue wait" measured on one clock cannot be subtracted from
+"request latency" measured on the other.
+
+Everything that measures elapsed wall time on the live path must
+import :data:`CLOCK` from here.  Harnesses (the fuzzer's virtual
+event loop) still inject their own clock explicitly — the default is
+what is unified, and ``tests/server/test_clock.py`` pins it.
+"""
+
+from __future__ import annotations
+
+import time
+
+#: Monotonic, not subject to NTP steps, same epoch for every consumer
+#: in this process — the only clock the live server stack reads.
+CLOCK = time.monotonic

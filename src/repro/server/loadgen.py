@@ -35,7 +35,6 @@ from __future__ import annotations
 import asyncio
 import json
 import random
-import time
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -50,6 +49,7 @@ from ..sim.workload import (
     cad_workload,
     oltp_workload,
 )
+from .clock import CLOCK
 from .client import AsyncClient
 from .errors import (
     WIRE_FAULT_CODES,
@@ -179,13 +179,16 @@ class _Runner:
         self, client: AsyncClient, op: str, **params: Any
     ) -> dict[str, Any]:
         """One request with BUSY backoff-and-retry and latency capture."""
+        # Latency is measured on the same monotonic clock the server
+        # stamps queue-wait with (see repro.server.clock) so the two
+        # distributions are directly comparable.
         while True:
-            started = time.perf_counter()
+            started = CLOCK()
             try:
                 response = await client.request(op, **params)
             except BusyError:
                 self.report.latency.observe(
-                    time.perf_counter() - started
+                    CLOCK() - started
                 )
                 self.report.busy_retries += 1
                 await asyncio.sleep(
@@ -194,12 +197,12 @@ class _Runner:
                 continue
             except ServerError as error:
                 self.report.latency.observe(
-                    time.perf_counter() - started
+                    CLOCK() - started
                 )
                 self.report.requests += 1
                 self._count_error(error)
                 raise
-            self.report.latency.observe(time.perf_counter() - started)
+            self.report.latency.observe(CLOCK() - started)
             self.report.requests += 1
             return response
 
@@ -393,7 +396,7 @@ async def run_loadgen(
                 )
         except OSError:
             report.disconnects += 1
-        started = time.perf_counter()
+        started = CLOCK()
 
         async def drive(client: AsyncClient, scripts) -> None:
             for script in scripts:
@@ -414,7 +417,7 @@ async def run_loadgen(
                 for client, scripts in zip(pool, assignments)
             )
         )
-        report.wall_time = time.perf_counter() - started
+        report.wall_time = CLOCK() - started
         report.abort_notifications = sum(
             1
             for client in pool
@@ -445,6 +448,9 @@ _PHASE_HISTOGRAMS = {
     "validate_us": "validation_latency_us",
     "wal_fsync_ms": "wal.flush.latency_ms",
     "request_s": "server.request.latency",
+    # Not a latency: commands drained per dispatch cycle.  Archived so
+    # the bench file shows whether batched validation actually engaged.
+    "batch_records": "server.batch.size",
 }
 
 

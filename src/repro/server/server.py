@@ -37,7 +37,6 @@ import asyncio
 import itertools
 import json
 import threading
-import time
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Callable
 
@@ -48,6 +47,7 @@ from ..obs.metrics import MetricsRegistry
 from ..obs.trace import Tracer
 from ..protocol.scheduler import TransactionManager
 from ..storage.database import Database
+from .clock import CLOCK
 from .errors import ErrorCode, MalformedFrame
 from .metrics_http import MetricsHTTPServer
 from .protocol import (
@@ -93,6 +93,10 @@ class ServerConfig:
     checkpoint_every: int = 512
     retain: int = 3
     strict: bool = False
+    #: Max commands one dispatch cycle drains from the queue (see
+    #: :meth:`CommandDispatcher.run`); 1 = the old command-at-a-time
+    #: behaviour.
+    batch_size: int = 32
 
 
 @dataclass
@@ -154,7 +158,8 @@ class TransactionServer:
             tracer=tracer,
             queue_size=self._config.queue_size,
             request_timeout=self._config.request_timeout,
-            clock=clock if clock is not None else time.monotonic,
+            clock=clock if clock is not None else CLOCK,
+            batch_size=self._config.batch_size,
         )
         self._metrics_http: MetricsHTTPServer | None = None
         self._server: asyncio.AbstractServer | None = None

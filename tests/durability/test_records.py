@@ -94,3 +94,72 @@ class TestDamageDetection:
                     payload, sort_keys=True, separators=(",", ":")
                 ).encode()
             )
+
+
+class TestCanonicalDeterminism:
+    """The wire format is canonical: construction order never leaks.
+
+    The CRC is computed over sorted-key JSON, so two records whose
+    ``data`` dicts were built in different insertion orders must
+    serialise to identical bytes — and the single-pass splicing
+    encoder must reproduce the two-pass reference encoding exactly.
+    """
+
+    def _reference_encode(self, record: WalRecord) -> bytes:
+        # The original two-pass encoding: canonical-dump the payload
+        # once to checksum it, then again with the crc included.
+        def canonical(payload):
+            return json.dumps(
+                payload, sort_keys=True, separators=(",", ":")
+            ).encode("utf-8")
+
+        payload = {
+            "lsn": record.lsn,
+            "op": record.op,
+            "txn": record.txn,
+            "data": record.data,
+        }
+        payload["crc"] = zlib.crc32(canonical(payload))
+        return canonical(payload) + b"\n"
+
+    def test_dict_construction_order_is_invisible(self):
+        forward = WalRecord(
+            3, "write", "t.1", {"entity": "x", "value": 9, "stamp": 4}
+        )
+        backward = WalRecord(
+            3, "write", "t.1", {"stamp": 4, "value": 9, "entity": "x"}
+        )
+        assert forward.encode() == backward.encode()
+
+    def test_splice_encoder_matches_reference(self):
+        records = [
+            WalRecord(1, "define", "t.root", {}),
+            WalRecord(
+                2,
+                "write",
+                "t.1.2",
+                {"entity": "x", "version": ["x", "t.1", 7]},
+            ),
+            WalRecord(
+                3,
+                "abort",
+                "t.9",
+                {"aborted": ["t.9"], "note": 'café "q" \\ tail'},
+            ),
+            WalRecord(4, "read", 'odd"txn\\name', {"entity": "x"}),
+            WalRecord(5, "commit", "txn-ünïcode", {"n": -1.5}),
+        ]
+        for record in records:
+            assert record.encode() == self._reference_encode(record)
+
+    def test_encode_into_matches_encode(self):
+        record = WalRecord(6, "validate", "t.2", {"items": ["x", "y"]})
+        buffer = bytearray(b"existing")
+        added = record.encode_into(buffer)
+        assert bytes(buffer[len(b"existing"):]) == record.encode()
+        assert added == len(record.encode())
+
+    def test_round_trip_stays_deterministic(self):
+        record = WalRecord(8, "commit", "t.4", {"b": 1, "a": 2})
+        decoded = WalRecord.decode(record.encode().rstrip(b"\n"))
+        assert decoded.encode() == record.encode()

@@ -43,3 +43,41 @@ class TestConflicts:
 
     def test_different_entities_never_conflict(self):
         assert not W("1", "x").conflicts_with(W("2", "y"))
+
+
+class TestSlotsAndHashing:
+    """Operations are slotted; the cached hash must stay invisible."""
+
+    def test_no_instance_dict(self):
+        assert not hasattr(R("1", "x"), "__dict__")
+
+    def test_equality_ignores_cached_hash(self):
+        a, b = R("1", "x"), R("1", "x")
+        assert a == b and a is not b
+        assert hash(a) == hash(b) == hash(("1", OpType.READ, "x"))
+        assert a != W("1", "x")
+
+    def test_ordering_still_by_triple(self):
+        assert R("1", "x") < W("2", "x")
+        assert sorted([W("2", "y"), R("1", "x")])[0] == R("1", "x")
+
+    def test_pickle_round_trip(self):
+        # The census ships operations across worker processes; frozen
+        # slotted dataclasses must survive the trip with their hash.
+        import pickle
+
+        op = W("3", "z")
+        clone = pickle.loads(pickle.dumps(op))
+        assert clone == op and hash(clone) == hash(op)
+
+    def test_deepcopy_round_trip(self):
+        import copy
+
+        op = R("2", "y")
+        clone = copy.deepcopy(op)
+        assert clone == op and hash(clone) == hash(op)
+
+    def test_usable_as_dict_key(self):
+        counts = {R("1", "x"): 1}
+        counts[R("1", "x")] = counts[R("1", "x")] + 1
+        assert counts == {R("1", "x"): 2}
