@@ -1,0 +1,292 @@
+"""Experiment D2 — WAL-shipping replication (writes BENCH_repl.json).
+
+Three measurements of the replication subsystem:
+
+1. Sync-replicated commit throughput and ack latency: a primary and a
+   TCP follower in-process (``ServerThread`` pair), every commit reply
+   parked until the follower's fsynced ack (``sync_replicas=1``).
+2. Follower staleness: after each acked commit, a bounded-stale
+   ``follower_read`` — the lag distribution in LSNs and milliseconds
+   is the observable cost of reading an older committed version.
+3. Failover: a real subprocess primary + follower pair under load,
+   ``SIGKILL`` on the primary, ``promote`` on the follower, and the
+   time until a post-promote commit succeeds on the old client port.
+   Every commit acked before the kill must be visible afterwards.
+
+Run directly (``python benchmarks/bench_repl.py``) or via pytest.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.core.entities import Domain, Entity, Schema
+from repro.core.predicates import Predicate
+from repro.server import Client, ServerConfig, ServerThread
+from repro.storage.database import Database
+
+from conftest import report
+
+ROOT = Path(__file__).resolve().parent.parent
+
+SYNC_COMMITS = 300
+FAILOVER_COMMITS = 80
+
+
+def make_database() -> Database:
+    schema = Schema(
+        [
+            Entity("x", Domain(0, 1000)),
+            Entity("y", Domain(0, 1000)),
+            Entity("z", Domain(0, 1000)),
+        ]
+    )
+    constraint = Predicate.parse("x >= 0 & y >= 0 & z >= 0")
+    return Database(schema, constraint, {"x": 5, "y": 5, "z": 5})
+
+
+def _percentile(samples: "list[float]", pct: float) -> float:
+    ordered = sorted(samples)
+    if not ordered:
+        return 0.0
+    index = min(len(ordered) - 1, int(round(pct / 100 * (len(ordered) - 1))))
+    return ordered[index]
+
+
+def _summary(samples: "list[float]") -> "dict[str, float]":
+    return {
+        "p50": _percentile(samples, 50),
+        "p95": _percentile(samples, 95),
+        "p99": _percentile(samples, 99),
+        "max": max(samples) if samples else 0.0,
+    }
+
+
+def _commit_one(client: Client, entity: str, value: int) -> str:
+    txn = client.define(
+        updates=[entity], input_constraint=f"{entity} >= 0"
+    )
+    client.validate(txn)
+    client.write(txn, entity, value)
+    reply = client.commit(txn)
+    assert reply.get("outcome") == "committed", reply
+    return txn
+
+
+def bench_sync_replication(base: Path) -> "dict[str, object]":
+    """Measurement 1 + 2: in-process pair, sync commits + stale reads."""
+    primary_cfg = ServerConfig(
+        port=0,
+        wal_dir=str(base / "primary"),
+        flush_interval=0.0,
+        checkpoint_every=64,
+        segment_bytes=65536,
+        repl_port=0,
+        sync_replicas=1,
+    )
+    with ServerThread(make_database, primary_cfg) as primary:
+        repl_port = primary.server.repl_port
+        follower_cfg = ServerConfig(
+            port=0,
+            wal_dir=str(base / "follower"),
+            follow_of=f"127.0.0.1:{repl_port}",
+        )
+        with ServerThread(make_database, follower_cfg) as follower:
+            with Client.connect("127.0.0.1", primary.port) as client, \
+                    Client.connect("127.0.0.1", follower.port) as f_client:
+                # Warm up: one commit, then wait until the follower
+                # has applied it before timing anything.
+                _commit_one(client, "x", 41)
+                deadline = time.monotonic() + 10.0
+                while time.monotonic() < deadline:
+                    if f_client.follower_read()["view"].get("x") == 41:
+                        break
+                    time.sleep(0.01)
+                else:
+                    raise AssertionError("follower never caught up")
+
+                ack_latencies: list[float] = []
+                lag_lsn: list[float] = []
+                lag_ms: list[float] = []
+                entities = ("x", "y", "z")
+                started = time.perf_counter()
+                for index in range(SYNC_COMMITS):
+                    t0 = time.perf_counter()
+                    _commit_one(
+                        client, entities[index % 3], index % 1000
+                    )
+                    ack_latencies.append((time.perf_counter() - t0) * 1e3)
+                    stale = f_client.follower_read()
+                    lag_lsn.append(float(stale["lag_lsn"]))
+                    lag_ms.append(float(stale["lag_ms"]))
+                elapsed = time.perf_counter() - started
+
+                status = client.repl_status()
+    return {
+        "commits": SYNC_COMMITS,
+        "throughput_txn_per_s": round(SYNC_COMMITS / elapsed, 1),
+        "ack_latency_ms": _summary(ack_latencies),
+        "apply_lag_lsn": _summary(lag_lsn),
+        "apply_lag_ms": _summary(lag_ms),
+        "zero_lag_fraction": round(
+            sum(1 for lag in lag_lsn if lag == 0) / len(lag_lsn), 3
+        ),
+        "shipped_lsn": status["durable_lsn"],
+    }
+
+
+def _free_port() -> int:
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+def _spawn(args: "list[str]") -> subprocess.Popen:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(ROOT / "src")
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro", *args],
+        cwd=str(ROOT),
+        env=env,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+
+
+def _wait_for_server(port: int, timeout: float = 15.0) -> Client:
+    deadline = time.monotonic() + timeout
+    while True:
+        try:
+            return Client.connect("127.0.0.1", port)
+        except OSError:
+            if time.monotonic() > deadline:
+                raise
+            time.sleep(0.1)
+
+
+def bench_failover(base: Path) -> "dict[str, object]":
+    """Measurement 3: SIGKILL the primary, promote, keep serving."""
+    p_port, f_port, repl_port = _free_port(), _free_port(), _free_port()
+    primary = _spawn(
+        [
+            "serve", "--port", str(p_port),
+            "--workload", "cad", "--transactions", "24",
+            "--wal-dir", str(base / "p"),
+            "--repl-port", str(repl_port),
+            "--sync-replicas", "1",
+            "--wal-segment-bytes", "65536",
+        ]
+    )
+    follower = _spawn(
+        [
+            "serve", "--port", str(f_port),
+            "--workload", "cad", "--transactions", "24",
+            "--wal-dir", str(base / "f0"),
+            "--follow-of", f"127.0.0.1:{repl_port}",
+        ]
+    )
+    try:
+        acked = 0
+        last_value = None
+        with _wait_for_server(p_port) as client:
+            _wait_for_server(f_port).close()
+            for index in range(FAILOVER_COMMITS):
+                _commit_one(client, "m0_e1", index % 1000)
+                acked += 1
+                last_value = index % 1000
+
+        killed_at = time.perf_counter()
+        primary.send_signal(signal.SIGKILL)
+        primary.wait(timeout=10)
+
+        with _wait_for_server(f_port) as f_client:
+            promote_report = f_client.promote(listen_port=p_port)
+        # The promoted node now answers on the dead primary's port;
+        # the failover clock stops at the first commit it serves.
+        with _wait_for_server(p_port) as client:
+            # The paper's version functions let a fresh leaf read an
+            # *older* committed version, so an unconstrained read
+            # proves nothing.  Demand the last acked value in the
+            # input predicate instead: validation succeeds iff a
+            # committed version with that value survived promotion.
+            probe = client.define(
+                updates=[],
+                input_constraint=f"m0_e1 >= {last_value}",
+            )
+            client.validate(probe)
+            survived = client.read(probe, "m0_e1")
+            client.abort(probe)
+            txn = client.define(
+                updates=["m0_e1"], input_constraint="m0_e0 >= 0"
+            )
+            client.validate(txn)
+            client.write(txn, "m0_e1", 777)
+            reply = client.commit(txn)
+            failover_ms = (time.perf_counter() - killed_at) * 1e3
+            assert reply.get("outcome") == "committed", reply
+        # Every acked pre-kill commit survived: the promoted node
+        # passed recover --verify and the last acked write is the
+        # value a fresh reader sees.
+        assert survived >= last_value, (survived, last_value)
+        recovery = promote_report.get("recovery") or {}
+        assert recovery.get("verified", False), promote_report
+        assert len(promote_report.get("committed", [])) >= acked, (
+            promote_report
+        )
+    finally:
+        for proc in (primary, follower):
+            if proc.poll() is None:
+                proc.send_signal(signal.SIGINT)
+                try:
+                    proc.wait(timeout=10)
+                except subprocess.TimeoutExpired:
+                    proc.kill()
+    return {
+        "acked_commits_before_kill": acked,
+        "last_acked_value": last_value,
+        "promote_ms": promote_report.get("promote_ms"),
+        "failover_ms": round(failover_ms, 1),
+        "post_promote_commit": True,
+        "recovered_committed": len(promote_report.get("committed", [])),
+        "verified": recovery.get("verified"),
+    }
+
+
+def test_replication_benchmark_writes_json(tmp_path):
+    sync = bench_sync_replication(tmp_path / "sync")
+    failover = bench_failover(tmp_path / "failover")
+    payload = {
+        "benchmark": "replication",
+        "sync_replication": sync,
+        "failover": failover,
+    }
+    (ROOT / "BENCH_repl.json").write_text(
+        json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+    )
+    assert failover["failover_ms"] < 1000.0, failover
+    report(
+        "D2 replication (sync commit, staleness, failover)",
+        f"sync commit {sync['throughput_txn_per_s']} txn/s "
+        f"(ack p99 {sync['ack_latency_ms']['p99']:.2f} ms), "
+        f"apply lag p99 {sync['apply_lag_ms']['p99']:.2f} ms, "
+        f"zero-lag reads {sync['zero_lag_fraction'] * 100:.0f}%, "
+        f"failover {failover['failover_ms']:.0f} ms "
+        f"({failover['recovered_committed']} commits recovered, "
+        f"verified={failover['verified']})",
+    )
+
+
+if __name__ == "__main__":
+    with tempfile.TemporaryDirectory() as scratch:
+        test_replication_benchmark_writes_json(Path(scratch))
+    print(
+        (ROOT / "BENCH_repl.json").read_text(encoding="utf-8")
+    )

@@ -12,8 +12,11 @@ Subcommands:
 * ``serve`` — run the Section-5 manager as a JSON-lines TCP service
   (``--wal-dir`` makes it durable: WAL + checkpoints + recovery;
   ``--metrics-port`` adds a Prometheus-scrapeable HTTP endpoint;
-  ``--trace-out``/``--slow-ms`` turn on live span streaming);
+  ``--trace-out``/``--slow-ms`` turn on live span streaming;
+  ``--repl-port`` accepts followers, ``--follow-of`` runs as one);
 * ``top`` — a refreshing dashboard over a running server's ``stats``;
+* ``promote`` — fail over: elect and promote the highest-applied
+  follower through the ``recover --verify`` gate;
 * ``recover`` — run verified crash recovery over a WAL directory;
 * ``loadgen`` — replay a workload against a running server and write
   ``BENCH_server.json``;
@@ -290,6 +293,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     workload = build_workload(
         args.workload, transactions=args.transactions, seed=args.seed
     )
+    if args.follow_of and not args.wal_dir:
+        print(
+            "error: --follow-of requires --wal-dir (the follower "
+            "stores its replicated history there)",
+            file=sys.stderr,
+        )
+        return 2
     config = ServerConfig(
         host=args.host,
         port=args.port,
@@ -302,6 +312,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         checkpoint_every=args.checkpoint_every,
         retain=args.retain,
         strict=args.strict,
+        segment_bytes=args.wal_segment_bytes,
+        repl_port=args.repl_port,
+        sync_replicas=args.sync_replicas,
+        follow_of=args.follow_of,
     )
 
     # Live tracing: on when any consumer of spans is requested.
@@ -343,13 +357,35 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         )
         if server.recovery is not None:
             summary = server.recovery.summary()
+            checkpoint_lsn = summary["checkpoint_lsn"]
+            last_lsn = summary["last_lsn"]
+            replayed = (
+                f"lsn {checkpoint_lsn + 1}..{last_lsn} "
+                f"({summary['records_replayed']} records)"
+                if last_lsn > checkpoint_lsn
+                else "nothing (WAL ends at the checkpoint)"
+            )
             print(
                 "repro serve: recovered "
-                f"{args.wal_dir} (committed={summary['committed']}, "
-                f"replayed={summary['records_replayed']}, "
-                f"aborted in flight="
-                f"{len(summary['aborted_in_flight'])}, "
-                f"{summary['recovery_ms']} ms)",
+                f"{args.wal_dir}: checkpoint lsn {checkpoint_lsn}, "
+                f"replayed {replayed}, "
+                f"undid {len(summary['aborted_in_flight'])} in-flight "
+                f"(+{summary['cascaded_aborts']} cascaded aborts, "
+                f"{summary['cascaded_commits']} cascaded commits), "
+                f"committed={summary['committed']}, "
+                f"{summary['recovery_ms']} ms",
+                flush=True,
+            )
+        elif args.wal_dir and args.follow_of:
+            print(
+                f"repro serve: follower of {args.follow_of}, "
+                f"replicating into {args.wal_dir}",
+                flush=True,
+            )
+        elif args.wal_dir:
+            print(
+                f"repro serve: fresh start — initialized {args.wal_dir} "
+                "(no prior WAL history to recover)",
                 flush=True,
             )
         stop = asyncio.Event()
@@ -362,6 +398,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         await server.start()
         durable = f" (wal: {args.wal_dir})" if args.wal_dir else ""
         extras = [durable] if durable else []
+        if server.repl_port is not None:
+            extras.append(
+                f" (repl: {config.host}:{server.repl_port}, "
+                f"sync_replicas={config.sync_replicas})"
+            )
+        if args.follow_of:
+            extras.append(f" (follower of {args.follow_of})")
         if server.metrics_port is not None:
             extras.append(
                 f" (metrics: http://{config.host}:{server.metrics_port}"
@@ -431,6 +474,80 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         if slow_log is not None:
             slow_log.close()
     return 0
+
+
+def _cmd_promote(args: argparse.Namespace) -> int:
+    from .replication import Promoter, ReplicationError
+    from .server.client import Client
+    from .server.errors import ServerError
+
+    statuses: list[dict] = []
+    for peer in args.peer:
+        host, _, port_text = peer.rpartition(":")
+        host = host or "127.0.0.1"
+        try:
+            port = int(port_text)
+        except ValueError:
+            print(
+                f"error: bad peer {peer!r} (expected host:port)",
+                file=sys.stderr,
+            )
+            return 2
+        try:
+            with Client.connect(host, port, timeout=args.timeout) as client:
+                status = client.repl_status()
+        except (OSError, ConnectionError) as error:
+            print(f"repro promote: {peer} unreachable ({error})")
+            continue
+        status["peer"] = {"host": host, "port": port}
+        print(
+            f"repro promote: {peer} role={status.get('role', '?')} "
+            f"applied_lsn={status.get('applied_lsn', '-')}"
+        )
+        statuses.append(status)
+    try:
+        winner = Promoter.choose(statuses)
+    except ReplicationError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    peer = winner["peer"]
+    address = f"{peer['host']}:{peer['port']}"
+    print(
+        f"repro promote: electing {address} "
+        f"(applied_lsn={winner['applied_lsn']})"
+    )
+    try:
+        with Client.connect(
+            peer["host"], peer["port"], timeout=args.timeout
+        ) as client:
+            report = client.promote(listen_port=args.listen_port)
+    except ServerError as error:
+        print(
+            f"error: promotion failed on {address}: {error}",
+            file=sys.stderr,
+        )
+        return 1
+    except (OSError, ConnectionError) as error:
+        print(
+            f"error: lost {address} during promotion ({error})",
+            file=sys.stderr,
+        )
+        return 1
+    recovery = report.get("recovery", {})
+    verified = recovery.get("verified")
+    print(
+        f"repro promote: {address} is primary "
+        f"(promote {report.get('promote_ms', '?')} ms, "
+        f"recovered committed={recovery.get('committed', '?')}, "
+        f"last lsn={recovery.get('last_lsn', '?')}, "
+        f"verified={verified})"
+    )
+    if args.listen_port is not None:
+        print(
+            f"repro promote: {address} also listening on "
+            f"{peer['host']}:{args.listen_port}"
+        )
+    return 0 if verified else 1
 
 
 def _cmd_top(args: argparse.Namespace) -> int:
@@ -803,6 +920,26 @@ def build_parser() -> argparse.ArgumentParser:
         "writes block on uncommitted versions)",
     )
     serve.add_argument(
+        "--wal-segment-bytes", type=int, default=0,
+        help="roll the WAL to a fresh segment once the active one "
+        "exceeds this many bytes (0 = roll only at checkpoints)",
+    )
+    serve.add_argument(
+        "--repl-port", type=int, default=None,
+        help="replication: accept follower connections on this port "
+        "(0 = ephemeral; requires --wal-dir)",
+    )
+    serve.add_argument(
+        "--sync-replicas", type=int, default=0,
+        help="replication: withhold commit replies until this many "
+        "followers have fsynced the commit (default 0 = async)",
+    )
+    serve.add_argument(
+        "--follow-of", default=None, metavar="HOST:PORT",
+        help="run as a follower of the primary's replication listener "
+        "at HOST:PORT (requires --wal-dir; mutating ops redirect)",
+    )
+    serve.add_argument(
         "--metrics-port", type=int, default=None,
         help="also serve /metrics (Prometheus text), /stats and "
         "/healthz over HTTP on this port (0 = ephemeral; omit to "
@@ -843,6 +980,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="stop after N frames (default: run until interrupted)",
     )
     top.set_defaults(func=_cmd_top)
+
+    promote = sub.add_parser(
+        "promote",
+        help="fail over: elect the highest-applied follower among "
+        "--peer nodes and promote it (exit 0 = promoted + verified)",
+    )
+    promote.add_argument(
+        "--peer", action="append", required=True, metavar="HOST:PORT",
+        help="a candidate node's client address (repeatable)",
+    )
+    promote.add_argument(
+        "--listen-port", type=int, default=None,
+        help="have the promoted node also bind this client port "
+        "(the dead primary's)",
+    )
+    promote.add_argument(
+        "--timeout", type=float, default=10.0,
+        help="per-peer connect/request timeout in seconds",
+    )
+    promote.set_defaults(func=_cmd_promote)
 
     recover = sub.add_parser(
         "recover",

@@ -101,6 +101,7 @@ class DurableTransactionManager(TransactionManager):
         *,
         flush_interval: float = 0.0,
         checkpoint_every: int = 0,
+        segment_bytes: int = 0,
         retain: int = 3,
         selector: VersionSelector | None = None,
         root_spec: Spec | None = None,
@@ -142,6 +143,7 @@ class DurableTransactionManager(TransactionManager):
                 wal_dir,
                 next_lsn=recovery.last_lsn + 1,
                 flush_interval=flush_interval,
+                segment_bytes=segment_bytes,
                 registry=registry,
                 tracer=tracer,
                 crash_points=crash_points,
@@ -171,6 +173,7 @@ class DurableTransactionManager(TransactionManager):
                 wal_dir,
                 next_lsn=1,
                 flush_interval=flush_interval,
+                segment_bytes=segment_bytes,
                 registry=registry,
                 tracer=tracer,
                 crash_points=crash_points,
@@ -201,6 +204,10 @@ class DurableTransactionManager(TransactionManager):
     @property
     def checkpoints(self) -> CheckpointStore | None:
         return self._checkpoints
+
+    def commit_lsn_of(self, txn: str) -> int | None:
+        """The WAL LSN of ``txn``'s commit record, if it committed."""
+        return self._commit_lsns.get(txn)
 
     def _append(self, op: str, txn: str, data: dict[str, Any]) -> None:
         if self._wal is None:

@@ -166,6 +166,66 @@ def _require_no_valid_suffix(path: Path, data: bytes, offset: int) -> None:
         )
 
 
+def read_batch(
+    wal_dir: Path,
+    after_lsn: int,
+    *,
+    up_to_lsn: int,
+    max_records: int = 512,
+) -> "list[WalRecord] | None":
+    """Read records ``after_lsn < lsn <= up_to_lsn`` off the disk log.
+
+    This is the replication ship cursor: it reads segment *files*, never
+    the live appender, so the primary's single-threaded manager is
+    untouched.  Damaged or incomplete lines simply end the batch — the
+    caller only asks for LSNs at or below the primary's ``durable_lsn``,
+    which are guaranteed whole, so a short read just means the bytes are
+    still in flight.
+
+    Returns ``None`` when the cursor is *lost*: checkpoint retention has
+    deleted the segment holding ``after_lsn + 1``, so the caller must
+    fall back to snapshot shipping.
+    """
+    if after_lsn >= up_to_lsn:
+        return []
+    segments = list_segments(wal_dir)
+    if not segments:
+        return None
+    want = after_lsn + 1
+    start_index: int | None = None
+    for index, path in enumerate(segments):
+        if segment_first_lsn(path) <= want:
+            start_index = index
+        else:
+            break
+    if start_index is None:
+        return None  # history before the oldest retained segment
+    batch: list[WalRecord] = []
+    for path in segments[start_index:]:
+        data = path.read_bytes()
+        offset = 0
+        while offset < len(data):
+            newline = data.find(b"\n", offset)
+            if newline < 0:
+                break  # in-flight append; stop cleanly
+            try:
+                record = WalRecord.decode(data[offset:newline])
+            except TornRecord:
+                break  # torn tail; nothing durable beyond it
+            offset = newline + 1
+            if record.lsn <= after_lsn:
+                continue
+            if record.lsn != want:
+                return None  # hole: cursor points into dropped history
+            if record.lsn > up_to_lsn:
+                return batch
+            batch.append(record)
+            want = record.lsn + 1
+            if len(batch) >= max_records:
+                return batch
+    return batch
+
+
 def truncate_torn_tail(scan: ScanResult) -> bool:
     """Physically truncate a torn tail found by :func:`scan_wal`."""
     if scan.torn is None:
@@ -197,6 +257,7 @@ class WriteAheadLog:
         *,
         next_lsn: int = 1,
         flush_interval: float = 0.0,
+        segment_bytes: int = 0,
         registry: MetricsRegistry | None = None,
         tracer: Tracer | None = None,
         crash_points: CrashPoints | None = None,
@@ -206,6 +267,14 @@ class WriteAheadLog:
         self._dir.mkdir(parents=True, exist_ok=True)
         self._next_lsn = next_lsn
         self.flush_interval = flush_interval
+        #: Roll to a new segment once the current one reaches this many
+        #: bytes (0 = only roll at checkpoints).  Keeps ship batches and
+        #: tail scans bounded.
+        self.segment_bytes = segment_bytes
+        #: Called with the new durable LSN after every fsync that made
+        #: records durable — the replication shipper's wakeup.
+        self.on_flush: Callable[[int], None] | None = None
+        self._durable_lsn = next_lsn - 1
         self._registry = registry
         self._tracer = tracer if tracer is not None else NULL_TRACER
         #: (txn, causal parent span id, lsn) of durable records whose
@@ -319,6 +388,8 @@ class WriteAheadLog:
                 self.flush()
             elif self._flush_due is None:
                 self._flush_due = self._clock() + self.flush_interval
+        if self.segment_bytes > 0 and self._written >= self.segment_bytes:
+            self.rotate()
         return record
 
     # -- group commit ------------------------------------------------------
@@ -331,6 +402,7 @@ class WriteAheadLog:
             self._flush_due = None
             self._pending_records = 0
             self._pending_durable.clear()
+            self._durable_lsn = self._next_lsn - 1
             return 0
         batch = self._pending_records
         self._points.check("wal.before_flush")
@@ -367,6 +439,9 @@ class WriteAheadLog:
                 )
             self._pending_durable.clear()
         self._points.check("wal.after_flush")
+        self._durable_lsn = self._next_lsn - 1
+        if self.on_flush is not None:
+            self.on_flush(self._durable_lsn)
         return batch
 
     def maybe_flush(self) -> int:
@@ -384,6 +459,11 @@ class WriteAheadLog:
     @property
     def last_lsn(self) -> int:
         return self._next_lsn - 1
+
+    @property
+    def durable_lsn(self) -> int:
+        """Highest LSN known fsynced — the replication ship horizon."""
+        return self._durable_lsn
 
     @property
     def pending_records(self) -> int:

@@ -71,8 +71,21 @@ def run_oracles(evidence: Any) -> list[OracleResult]:
         _classifier_lattice(evidence),
         _protocol_verify(evidence),
         _metrics_consistent(evidence),
+        _acked_commits_survive_promotion(evidence),
+        _prefix_consistency(evidence),
     ]
     return results
+
+
+def _indeterminate(evidence: Any) -> set:
+    """Commits whose reply said *durable locally, ack unknown*.
+
+    Sync replication introduces a third commit outcome: the WAL holds
+    the commit, but the reply was a replication-ack timeout (or the
+    drain ran first).  Oracles treat these as committed-without-ack —
+    legitimate in the recovered history, never required to be there.
+    """
+    return set(getattr(evidence, "indeterminate_committed", []) or [])
 
 
 def _full_history(evidence: Any) -> bool:
@@ -226,8 +239,13 @@ def _committed_prefix(evidence: Any) -> OracleResult:
         for entry in evidence.pending_requests
         if entry["op"] == "commit"
     }
+    indeterminate = _indeterminate(evidence)
     for txn in recovered:
         if txn in evidence.acked_committed:
+            continue
+        if txn in indeterminate:
+            # The client was told exactly this could happen: durable
+            # locally, replication ack unknown.
             continue
         if evidence.crashed and txn in inflight_commits:
             continue
@@ -325,10 +343,11 @@ def _protocol_verify(evidence: Any) -> OracleResult:
             details.append(f"{child} still live after drain")
         if record.phase is TxnPhase.COMMITTED:
             committed.add(child)
-    if committed != set(evidence.acked_committed):
+    expected = set(evidence.acked_committed) | _indeterminate(evidence)
+    if committed != expected:
         details.append(
             f"manager committed set {sorted(committed)} != acked "
-            f"{sorted(set(evidence.acked_committed))}"
+            f"∪ indeterminate {sorted(expected)}"
         )
     if evidence.dispatcher is not None:
         parked = evidence.dispatcher.parked_count
@@ -362,10 +381,15 @@ def _metrics_consistent(evidence: Any) -> OracleResult:
     committed_count = int(
         registry.counter("server.txns.committed").value
     )
-    if committed_count != len(evidence.acked_committed):
+    indeterminate = _indeterminate(evidence)
+    expected_commits = len(evidence.acked_committed) + len(
+        indeterminate - set(evidence.acked_committed)
+    )
+    if committed_count != expected_commits:
         details.append(
             f"server.txns.committed={committed_count} but "
-            f"{len(evidence.acked_committed)} commits acked"
+            f"{len(evidence.acked_committed)} commits acked + "
+            f"{len(indeterminate)} indeterminate"
         )
     busy_events = sum(
         1 for event in evidence.events if event["kind"] == "busy"
@@ -442,3 +466,105 @@ def _span_tree_details(evidence: Any) -> list[str]:
                 f"{count} queue.wait children (expected 1)"
             )
     return details
+
+
+def _acked_commits_survive_promotion(evidence: Any) -> OracleResult:
+    """Every synchronously-acked commit is on the promotion winner.
+
+    With ``sync_replicas >= 1`` a commit reply is withheld until
+    enough followers have *fsynced* past the commit LSN, so the
+    failover rule — promote the follower with the highest
+    ``applied_lsn``, gated on ``recover --verify`` — must yield a
+    history containing every acked commit, no matter where the run
+    crashed or which links were partitioned.  Indeterminate commits
+    carry no such promise (the client was told so), and async
+    replication never promises anything before the ack.
+    """
+    name = "acked_commits_survive_promotion"
+    replicas = getattr(evidence, "replicas", None)
+    if not replicas:
+        return OracleResult.skip(name, "no replicas in this plan")
+    if evidence.plan.sync_replicas < 1:
+        return OracleResult.skip(
+            name, "async replication: replies never waited for acks"
+        )
+    details = [
+        f"replica {entry['replica']} recovery failed: {entry['error']}"
+        for entry in replicas
+        if entry.get("error") is not None
+    ]
+    usable = [e for e in replicas if e.get("error") is None]
+    if not usable:
+        return OracleResult(name, False, details)
+    winner = max(usable, key=lambda entry: entry["applied_lsn"])
+    if not winner.get("verified", False):
+        details.append(
+            f"promotion winner (replica {winner['replica']}) failed "
+            f"recover --verify: {winner.get('violations')}"
+        )
+    committed = set(winner.get("committed") or [])
+    for txn in evidence.acked_committed:
+        if txn not in committed:
+            details.append(
+                f"acked commit {txn} missing from promotion winner "
+                f"(replica {winner['replica']}, applied_lsn "
+                f"{winner['applied_lsn']})"
+            )
+    return OracleResult(name, not details, details)
+
+
+def _prefix_consistency(evidence: Any) -> OracleResult:
+    """Follower read histories are committed-prefix consistent.
+
+    The formal claim behind bounded-stale reads: a follower's view at
+    ``applied_lsn = L`` is *the* committed state of the primary's
+    history prefix up to ``L`` — an older version in the paper's
+    version-function sense, never a divergent one.  Three cheap
+    certificates over the sampled reads and the recovered replicas:
+
+    * per replica, ``applied_lsn`` never moves backwards (reads never
+      travel back in time, even across snapshot resyncs);
+    * the view is a **function** of the prefix — any two samples at
+      the same ``applied_lsn``, on any replica, show the same view;
+    * replica WALs are literal prefixes of the primary's log, so the
+      recovered commit orders must nest: each shorter order is a
+      prefix of every longer one.
+    """
+    name = "prefix_consistency"
+    replicas = getattr(evidence, "replicas", None)
+    if not replicas:
+        return OracleResult.skip(name, "no replicas in this plan")
+    details: list[str] = []
+    high_water: dict[int, int] = {}
+    view_at: dict[int, dict] = {}
+    for sample in getattr(evidence, "follower_samples", None) or []:
+        index = sample["replica"]
+        lsn = sample["applied_lsn"]
+        view = sample["view"]
+        if lsn < high_water.get(index, 0):
+            details.append(
+                f"replica {index} applied_lsn moved backwards: "
+                f"{high_water[index]} -> {lsn}"
+            )
+        high_water[index] = lsn
+        first = view_at.setdefault(lsn, view)
+        if first != view:
+            details.append(
+                f"reads at applied_lsn {lsn} disagree: "
+                f"{first} != {view}"
+            )
+    orders = sorted(
+        (
+            list(entry.get("committed") or [])
+            for entry in replicas
+            if entry.get("error") is None
+        ),
+        key=len,
+    )
+    for shorter, longer in zip(orders, orders[1:]):
+        if longer[: len(shorter)] != shorter:
+            details.append(
+                f"recovered commit orders do not nest: "
+                f"{shorter} is not a prefix of {longer}"
+            )
+    return OracleResult(name, not details, details)

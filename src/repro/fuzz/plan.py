@@ -130,6 +130,15 @@ class FuzzPlan:
     checkpoint_every: int = 0
     crash_point: "str | None" = None
     crash_at_hit: int = 1
+    #: WAL-shipping replication: how many in-run followers to pump
+    #: (durable plans only; 0 = no replication).
+    replicas: int = 0
+    #: Commit replies wait for this many follower acks (k-th highest).
+    sync_replicas: int = 0
+    #: Partition windows ``[replica_index, start, end]`` in virtual
+    #: seconds: the replica neither receives batches nor acks inside
+    #: the window (it heals when the window closes).
+    partitions: list[list[Any]] = field(default_factory=list)
     clients: list[ClientPlan] = field(default_factory=list)
 
     def to_dict(self) -> dict[str, Any]:
@@ -145,6 +154,9 @@ class FuzzPlan:
             "checkpoint_every": self.checkpoint_every,
             "crash_point": self.crash_point,
             "crash_at_hit": self.crash_at_hit,
+            "replicas": self.replicas,
+            "sync_replicas": self.sync_replicas,
+            "partitions": [list(window) for window in self.partitions],
             "clients": [client.to_dict() for client in self.clients],
         }
 
@@ -167,6 +179,11 @@ class FuzzPlan:
             checkpoint_every=data.get("checkpoint_every", 0),
             crash_point=data.get("crash_point"),
             crash_at_hit=data.get("crash_at_hit", 1),
+            replicas=data.get("replicas", 0),
+            sync_replicas=data.get("sync_replicas", 0),
+            partitions=[
+                list(window) for window in data.get("partitions", [])
+            ],
             clients=[
                 ClientPlan.from_dict(c) for c in data.get("clients", [])
             ],
@@ -251,6 +268,7 @@ def generate_plan(
     durable: "bool | None" = None,
     strict: "bool | None" = None,
     crash: "bool | None" = None,
+    replicas: "int | None" = None,
     think_max: float = 0.2,
 ) -> FuzzPlan:
     """Deterministically expand ``seed`` into a full :class:`FuzzPlan`.
@@ -303,4 +321,26 @@ def generate_plan(
         if total_requests > 1 and rng.random() < 0.25:
             client.disconnect_after = rng.randint(1, total_requests - 1)
         plan.clients.append(client)
+    # Replication dimensions consume the seed stream strictly *after*
+    # every draw above, so introducing them left all pre-existing
+    # pinned seeds (and their minimized reproducers) byte-identical.
+    n_replicas = replicas
+    if n_replicas is None:
+        n_replicas = (
+            rng.randint(1, 2)
+            if use_durable and rng.random() < 0.35
+            else 0
+        )
+    if not use_durable:
+        n_replicas = 0  # shipping needs a WAL to tail
+    plan.replicas = n_replicas
+    if n_replicas:
+        plan.sync_replicas = 1
+        for index in range(n_replicas):
+            if rng.random() < 0.4:
+                start = round(rng.uniform(0.0, 8.0), 3)
+                length = round(rng.uniform(0.3, 4.0), 3)
+                plan.partitions.append(
+                    [index, start, round(start + length, 3)]
+                )
     return plan

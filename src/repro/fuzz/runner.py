@@ -39,6 +39,13 @@ from ..obs.live import LiveTracer, SpanRing
 from ..obs.metrics import MetricsRegistry
 from ..obs.trace import Span
 from ..protocol.scheduler import TransactionManager
+from ..replication import (
+    ROLE_PRIMARY,
+    FollowerApplier,
+    ReplicationContext,
+    ReplicationHub,
+)
+from ..replication.messages import KIND_SNAPSHOT
 from ..server.protocol import Request
 from ..server.server import ServerConfig, TransactionServer
 from ..server.session import SessionState
@@ -82,6 +89,14 @@ class Evidence:
     names: dict[str, str]
     acked_committed: list[str]
     requests: dict[tuple[int, int], dict[str, Any]]
+    #: Commits whose reply said "durable locally, replication ack
+    #: unknown" (sync-replication timeout or shutdown).  Oracles must
+    #: accept these as committed without requiring an ack.
+    indeterminate_committed: list[str] = field(default_factory=list)
+    #: Per-replica post-run recovery verdicts (``None`` = no replicas).
+    replicas: "list[dict[str, Any]] | None" = None
+    #: Sampled follower reads: ``{t, replica, applied_lsn, view}``.
+    follower_samples: "list[dict[str, Any]] | None" = None
     crashed: bool = False
     crash_info: "dict[str, Any] | None" = None
     deadlock: "str | None" = None
@@ -142,10 +157,12 @@ class _RunContext:
         self.events: list[dict[str, Any]] = []
         self.names: dict[str, str] = {}
         self.acked_committed: list[str] = []
+        self.indeterminate_committed: list[str] = []
         self.requests: dict[tuple[int, int], dict[str, Any]] = {}
         self.rid_counters: dict[int, int] = {}
         self.drain_summary: "dict[str, Any] | None" = None
         self.crash_exc: "SimulatedCrash | None" = None
+        self.replicas: "_ReplicaSet | None" = None
 
     def emit(self, kind: str, **fields: Any) -> None:
         event = {"t": round(self.clock.now, 6), "kind": kind}
@@ -231,7 +248,169 @@ class _RunContext:
         )
         if op == "commit" and reply.get("outcome") == "committed" and txn:
             self.acked_committed.append(txn)
+        if op == "commit" and txn and not reply.get("ok"):
+            details = (reply.get("error") or {}).get("details") or {}
+            if details.get("indeterminate"):
+                self.indeterminate_committed.append(txn)
         return reply
+
+
+class _ReplicaSet:
+    """Transport-free WAL shipping for a fuzz run.
+
+    One :class:`ReplicationHub` on the primary manager plus
+    ``plan.replicas`` appliers, each pumped by a coroutine on the
+    virtual loop — the exact core the TCP shipper wraps, minus the
+    sockets.  Partitions are virtual-time windows from the plan during
+    which a replica's pump neither ships nor acks (and sync commits on
+    the primary run into their deadlines, yielding *indeterminate*
+    replies).  Both hub clocks are the shared virtual clock, so lag
+    stamps are deterministic too.
+    """
+
+    #: Pump poll period (virtual seconds) while idle or partitioned.
+    _POLL = 0.05
+    #: Pumps exit past this virtual time: their timers must not keep a
+    #: genuinely stuck run alive forever, or the loop's deadlock
+    #: detector (select-forever → FuzzDeadlockError) would never fire.
+    _HORIZON = 120.0
+
+    def __init__(
+        self,
+        plan: FuzzPlan,
+        base: Path,
+        manager: DurableTransactionManager,
+        dispatcher: Any,
+        registry: MetricsRegistry,
+        tracer: Any,
+        clock: VirtualClock,
+    ) -> None:
+        self.plan = plan
+        self.clock = clock
+        self.samples: list[dict[str, Any]] = []
+        self.hub = ReplicationHub(
+            manager,
+            sync_replicas=plan.sync_replicas,
+            registry=registry,
+            tracer=tracer,
+            clock=clock,
+            wall_clock=clock,
+        )
+        self.hub.on_replicated = dispatcher.on_replicated
+        dispatcher.replication = ReplicationContext(
+            ROLE_PRIMARY, hub=self.hub
+        )
+        self.dirs: list[Path] = []
+        self.appliers: list[FollowerApplier] = []
+        self.slots: list[Any] = []
+        for index in range(plan.replicas):
+            replica_dir = base / f"replica{index}"
+            applier = FollowerApplier(
+                replica_dir,
+                tracer=tracer,
+                clock=clock,
+                wall_clock=clock,
+            )
+            # Registered (and snapshot-seeded) before the run starts:
+            # partitions model links failing, not followers that never
+            # joined.
+            slot, initial = self.hub.register(0, f"replica{index}")
+            if initial is not None:
+                applier.install_snapshot(
+                    initial["state"], initial["last_lsn"]
+                )
+                self.hub.ack(slot, applier.applied_lsn)
+            self.dirs.append(replica_dir)
+            self.appliers.append(applier)
+            self.slots.append(slot)
+
+    def _partitioned(self, index: int, now: float) -> bool:
+        return any(
+            window[0] == index and window[1] <= now < window[2]
+            for window in self.plan.partitions
+        )
+
+    def _pump_once(self, index: int) -> bool:
+        """Ship/apply/ack one message; sample the follower read."""
+        applier = self.appliers[index]
+        message = self.hub.next_batch(self.slots[index])
+        if message is None:
+            return False
+        if message["kind"] == KIND_SNAPSHOT:
+            applier.install_snapshot(
+                message["state"], message["last_lsn"]
+            )
+        else:
+            applier.apply_records(message)
+        self.hub.ack(self.slots[index], applier.applied_lsn)
+        applied_lsn, view = applier.read_view()
+        self.samples.append(
+            {
+                "t": round(self.clock.now, 6),
+                "replica": index,
+                "applied_lsn": applied_lsn,
+                "view": dict(view),
+            }
+        )
+        return True
+
+    async def pump(self, index: int, stop: asyncio.Event) -> None:
+        while not stop.is_set():
+            now = self.clock.now
+            if now > self._HORIZON:
+                return
+            if not self._partitioned(index, now):
+                if self._pump_once(index):
+                    continue  # drain the backlog before sleeping
+            try:
+                await asyncio.wait_for(stop.wait(), self._POLL)
+            except asyncio.TimeoutError:
+                pass
+
+    def catch_up(self) -> None:
+        """Heal every partition and drain every backlog (clean runs)."""
+        for index in range(len(self.appliers)):
+            while self._pump_once(index):
+                pass
+
+    def finalize(self, evidence: "Evidence") -> None:
+        """Close appliers, recover every replica dir, attach evidence.
+
+        Each replica directory goes through the stock
+        ``recover --verify`` gate — exactly what promotion runs — so
+        the promotion oracle judges the same artifact a real failover
+        would trust.
+        """
+        self.hub.close()
+        entries: list[dict[str, Any]] = []
+        for index, applier in enumerate(self.appliers):
+            applier.close()
+            entry: dict[str, Any] = {
+                "replica": index,
+                "applied_lsn": applier.applied_lsn,
+                "snapshots_installed": applier.snapshots_installed,
+                "records_applied": applier.records_applied,
+                "error": None,
+            }
+            try:
+                recovery = recover(self.dirs[index], verify=True)
+            except ReproError as error:
+                entry["error"] = f"{type(error).__name__}: {error}"
+            else:
+                if recovery is None:
+                    entry["committed"] = []
+                    entry["verified"] = True
+                    entry["recovered_lsn"] = 0
+                else:
+                    entry["committed"] = list(recovery.committed)
+                    entry["verified"] = recovery.verified
+                    entry["violations"] = list(recovery.violations)
+                    entry["recovered_lsn"] = recovery.summary()[
+                        "last_lsn"
+                    ]
+            entries.append(entry)
+        evidence.replicas = entries
+        evidence.follower_samples = list(self.samples)
 
 
 def _reply_code(reply: dict[str, Any]) -> "str | None":
@@ -346,7 +525,18 @@ async def _run_client(ctx: _RunContext, cplan) -> None:
             else:  # pragma: no cover — generator never emits others
                 raise ReproError(f"unknown planned op {kind!r}")
             code = _reply_code(reply)
+            indeterminate = bool(
+                ((reply.get("error") or {}).get("details") or {}).get(
+                    "indeterminate"
+                )
+            )
             if code in _DEAD_CODES:
+                dead = True
+            elif code == "TIMEOUT" and indeterminate:
+                # A replication-ack timeout: the commit is durable
+                # locally and may well survive — the protocol contract
+                # says the client must NOT treat it as lost, so no
+                # clean-up abort (which would undo the commit).
                 dead = True
             elif code == "TIMEOUT":
                 await _abort_quietly(ctx, client_id, session, name)
@@ -359,8 +549,30 @@ async def _run_client(ctx: _RunContext, cplan) -> None:
         await ctx.dispatcher.close_session(session)
 
 
+async def _stop_pumps(
+    stop: asyncio.Event, pump_tasks: "list[asyncio.Task]"
+) -> None:
+    stop.set()
+    for task in pump_tasks:
+        task.cancel()
+    for task in pump_tasks:
+        try:
+            await task
+        except asyncio.CancelledError:
+            pass
+
+
 async def _main(ctx: _RunContext) -> None:
     dispatcher_task = asyncio.ensure_future(ctx.dispatcher.run())
+    pumps_stop = asyncio.Event()
+    pump_tasks = (
+        [
+            asyncio.ensure_future(ctx.replicas.pump(index, pumps_stop))
+            for index in range(len(ctx.replicas.appliers))
+        ]
+        if ctx.replicas is not None
+        else []
+    )
     client_tasks = [
         asyncio.ensure_future(_run_client(ctx, cplan))
         for cplan in ctx.plan.clients
@@ -382,6 +594,7 @@ async def _main(ctx: _RunContext) -> None:
             await clients_task
         except asyncio.CancelledError:
             pass
+        await _stop_pumps(pumps_stop, pump_tasks)
         exc = dispatcher_task.exception()
         if isinstance(exc, SimulatedCrash):
             ctx.crash_exc = exc
@@ -391,6 +604,7 @@ async def _main(ctx: _RunContext) -> None:
             raise exc
         raise ReproError("dispatcher exited without being stopped")
     await clients_task
+    await _stop_pumps(pumps_stop, pump_tasks)
     try:
         ctx.drain_summary = await ctx.server.shutdown()
     except SimulatedCrash as exc:
@@ -483,6 +697,16 @@ def execute_plan(
             clock=clock,
         )
         ctx = _RunContext(plan, clock, server)
+        if plan.durable and plan.replicas > 0:
+            ctx.replicas = _ReplicaSet(
+                plan,
+                base,
+                manager,
+                server.dispatcher,
+                registry,
+                tracer,
+                clock,
+            )
         deadlock: "str | None" = None
         try:
             asyncio.set_event_loop(loop)
@@ -498,6 +722,7 @@ def execute_plan(
             events=ctx.events,
             names=ctx.names,
             acked_committed=ctx.acked_committed,
+            indeterminate_committed=ctx.indeterminate_committed,
             requests=ctx.requests,
             crashed=ctx.crash_exc is not None,
             crash_info=(
@@ -518,6 +743,13 @@ def execute_plan(
             _collect_durable_evidence(
                 evidence, manager, wal_dir, base
             )
+        if ctx.replicas is not None:
+            if not evidence.crashed and deadlock is None:
+                # Clean run: partitions heal and the backlog drains, so
+                # replica recoveries below see the whole history.  A
+                # crashed run keeps exactly what each replica held.
+                ctx.replicas.catch_up()
+            ctx.replicas.finalize(evidence)
         if not evidence.crashed and deadlock is None:
             evidence.manager = manager
         oracles = run_oracles(evidence)
@@ -577,6 +809,9 @@ def _build_report(
             "crash_point": plan.crash_point,
             "crash_at_hit": plan.crash_at_hit,
             "clients": len(plan.clients),
+            "replicas": plan.replicas,
+            "sync_replicas": plan.sync_replicas,
+            "partitions": [list(w) for w in plan.partitions],
         },
         "counts": {
             "events": len(evidence.events),
@@ -589,6 +824,14 @@ def _build_report(
                 1 for e in replies if e.get("code") == "TIMEOUT"
             ),
             "commits_acked": len(evidence.acked_committed),
+            "commits_indeterminate": len(
+                evidence.indeterminate_committed
+            ),
+            "follower_samples": (
+                len(evidence.follower_samples)
+                if evidence.follower_samples is not None
+                else 0
+            ),
             "spans": (
                 len(evidence.spans)
                 if evidence.spans is not None
@@ -598,6 +841,10 @@ def _build_report(
         },
         "names": dict(sorted(evidence.names.items())),
         "acked_committed": list(evidence.acked_committed),
+        "indeterminate_committed": list(
+            evidence.indeterminate_committed
+        ),
+        "replicas": evidence.replicas,
         "recovered_committed": (
             list(evidence.recovery.committed)
             if evidence.recovery is not None

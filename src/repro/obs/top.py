@@ -118,6 +118,28 @@ def render_top(
             f"notif.dropped "
             f"{counters.get('server.notifications_dropped', 0):g}"
         ),
+    ]
+    repl = stats.get("repl")
+    if repl:
+        role = repl.get("role", "?")
+        if role == "follower":
+            lines.append(
+                f"repl  role=follower   applied_lsn "
+                f"{repl.get('applied_lsn', 0)}   "
+                f"lag {repl.get('lag_lsn', 0)} lsn / "
+                f"{repl.get('lag_ms', 0.0):g}ms   "
+                f"connected {repl.get('connected', False)}"
+            )
+        elif role == "primary":
+            followers = repl.get("followers", [])
+            lines.append(
+                f"repl  role=primary    durable_lsn "
+                f"{repl.get('durable_lsn', 0)}   replicated_lsn "
+                f"{repl.get('replicated_lsn', 0)}   "
+                f"followers {len(followers)} "
+                f"(sync={repl.get('sync_replicas', 0)})"
+            )
+    lines += [
         "",
         f"{'phase':<12}{'count':>8}{'p50':>11}{'p95':>11}{'p99':>11}"
         f"{'max':>11}",

@@ -1,0 +1,56 @@
+"""WAL-shipping replication: primary hub, follower applier, failover.
+
+The subsystem streams the primary's segmented WAL to N followers
+(group-commit aligned — only fsynced records ship), replays it on each
+follower through the recovery path's redo, serves bounded-stale reads
+off follower state, and promotes the highest-applied follower through
+the stock ``recover --verify`` gate on primary death.
+
+See ``docs/replication.md`` for the protocol, the promotion rules,
+and why the paper's version-function semantics make follower reads
+formally correct rather than a consistency compromise.
+"""
+
+from .context import ROLE_FOLLOWER, ROLE_PRIMARY, ReplicationContext
+from .follower import FollowerApplier, FollowerLink
+from .hub import (
+    FollowerSlot,
+    ReplicationHub,
+    ReplicationListener,
+    WalShipper,
+)
+from .messages import (
+    REPL_MAX_FRAME_BYTES,
+    ReplicationError,
+    ack_message,
+    decode_message,
+    encode_message,
+    hello_message,
+    records_from_payload,
+    records_message,
+    snapshot_message,
+)
+from .promoter import Promoter, promote_in_place
+
+__all__ = [
+    "FollowerApplier",
+    "FollowerLink",
+    "FollowerSlot",
+    "Promoter",
+    "REPL_MAX_FRAME_BYTES",
+    "ROLE_FOLLOWER",
+    "ROLE_PRIMARY",
+    "ReplicationContext",
+    "ReplicationError",
+    "ReplicationHub",
+    "ReplicationListener",
+    "WalShipper",
+    "ack_message",
+    "decode_message",
+    "encode_message",
+    "hello_message",
+    "promote_in_place",
+    "records_from_payload",
+    "records_message",
+    "snapshot_message",
+]

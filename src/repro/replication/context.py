@@ -1,0 +1,83 @@
+"""The server's view of its replication role and machinery.
+
+One :class:`ReplicationContext` hangs off the dispatcher (duck-typed —
+the session layer never imports replication classes) and answers the
+questions the request path asks: *am I the primary?  where is it?
+what's my lag?  does this commit need a replication ack before its
+reply?*
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from .follower import FollowerApplier, FollowerLink
+from .hub import ReplicationHub
+
+ROLE_PRIMARY = "primary"
+ROLE_FOLLOWER = "follower"
+
+
+class ReplicationContext:
+    """Role + the live replication objects for one server."""
+
+    def __init__(
+        self,
+        role: str,
+        *,
+        hub: ReplicationHub | None = None,
+        applier: FollowerApplier | None = None,
+        link: FollowerLink | None = None,
+        primary_host: str | None = None,
+        primary_port: int | None = None,
+    ) -> None:
+        self.role = role
+        self.hub = hub
+        self.applier = applier
+        self.link = link
+        self.primary_host = primary_host
+        self.primary_port = primary_port
+        #: Installed by the server: synchronous in-place promotion,
+        #: returns the promotion report dict.
+        self.promote: Callable[..., dict[str, Any]] | None = None
+
+    @property
+    def is_follower(self) -> bool:
+        return self.role == ROLE_FOLLOWER
+
+    def wants_sync_ack(self) -> bool:
+        """Must commit replies wait for follower acks?"""
+        return (
+            self.role == ROLE_PRIMARY
+            and self.hub is not None
+            and self.hub.sync_replicas > 0
+        )
+
+    def status(self) -> dict[str, Any]:
+        if self.role == ROLE_PRIMARY and self.hub is not None:
+            return self.hub.status()
+        if self.applier is not None:
+            payload = self.applier.status()
+            payload["role"] = self.role
+            payload["primary"] = {
+                "host": self.primary_host,
+                "port": self.primary_port,
+            }
+            payload["connected"] = (
+                self.link.connected if self.link is not None else False
+            )
+            return payload
+        return {"role": self.role}
+
+    def health(self) -> dict[str, Any]:
+        """The /healthz payload: role plus lag, cheap to compute."""
+        payload: dict[str, Any] = {"role": self.role}
+        if self.applier is not None and self.is_follower:
+            payload["applied_lsn"] = self.applier.applied_lsn
+            payload["lag_lsn"] = self.applier.lag_lsn
+            payload["lag_ms"] = round(self.applier.lag_ms, 3)
+        elif self.hub is not None:
+            payload["durable_lsn"] = self.hub.durable_lsn
+            payload["replicated_lsn"] = self.hub.replicated_lsn
+            payload["followers"] = len(self.hub.status()["followers"])
+        return payload

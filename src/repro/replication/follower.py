@@ -1,0 +1,343 @@
+"""Follower-side replication: continuous replay plus the link client.
+
+A follower owns its WAL directory exclusively: shipped records are
+appended **verbatim** (the canonical record encoding is deterministic,
+so the follower's log is byte-identical to the primary's for the
+shipped range) and replayed incrementally through the same
+:class:`~repro.durability.state.LogicalState` redo the recovery path
+uses.  The follower therefore *is* a primary crash image at LSN
+``applied_lsn`` at all times — which is exactly why promotion can run
+the stock ``recover --verify`` gate over the follower directory and
+why bounded-stale follower reads are formally correct: the view served
+at ``applied_lsn`` is a committed prefix the paper's version functions
+are allowed to read.
+
+Acks are sent only after fsync, so an acked LSN survives a follower
+kill; with ``sync_replicas >= 1`` on the primary this is what makes
+every acked commit survive promotion.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from pathlib import Path
+from typing import Any, Callable
+
+from ..durability.snapshot import CheckpointStore
+from ..durability.state import LogicalState
+from ..durability.wal import (
+    WriteAheadLog,
+    list_segments,
+    scan_wal,
+    truncate_torn_tail,
+)
+from ..obs.metrics import MetricsRegistry
+from ..obs.trace import NULL_TRACER, Tracer
+from .messages import (
+    KIND_RECORDS,
+    KIND_SNAPSHOT,
+    REPL_MAX_FRAME_BYTES,
+    ReplicationError,
+    ack_message,
+    decode_message,
+    encode_message,
+    hello_message,
+    records_from_payload,
+)
+
+#: The follower WAL never group-commits on its own schedule: the
+#: applier fsyncs explicitly once per shipped batch, before acking.
+_NEVER_FLUSH = 1e18
+
+
+class FollowerApplier:
+    """Continuous replay of shipped records into a follower WAL dir."""
+
+    def __init__(
+        self,
+        wal_dir: "Path | str",
+        *,
+        segment_bytes: int = 0,
+        retain: int = 3,
+        registry: MetricsRegistry | None = None,
+        tracer: Tracer | None = None,
+        clock: Callable[[], float] = time.monotonic,
+        wall_clock: "Callable[[], float] | None" = None,
+    ) -> None:
+        self._dir = Path(wal_dir)
+        self._dir.mkdir(parents=True, exist_ok=True)
+        self.segment_bytes = segment_bytes
+        self._checkpoints = CheckpointStore(
+            self._dir, retain=retain, registry=registry
+        )
+        self._registry = registry
+        self._tracer = tracer if tracer is not None else NULL_TRACER
+        self._clock = clock
+        self._wall = wall_clock if wall_clock is not None else time.time
+        self.state: LogicalState | None = None
+        self.wal: WriteAheadLog | None = None
+        self.applied_lsn = 0
+        self.primary_durable_lsn = 0
+        self.lag_ms = 0.0
+        self.snapshots_installed = 0
+        self.records_applied = 0
+        self.load_existing()
+
+    # -- startup -----------------------------------------------------------
+
+    def load_existing(self) -> None:
+        """Resume from what the directory already holds, if anything.
+
+        A follower directory is always checkpoint-seeded (snapshot
+        install) before any record lands, so segments without a usable
+        checkpoint mean an interrupted install — wipe and start fresh
+        (``applied_lsn = 0`` makes the handshake ask for a snapshot).
+        """
+        loaded = self._checkpoints.load_newest()
+        if loaded is None:
+            if list_segments(self._dir):
+                self._wipe()
+            return
+        scan = scan_wal(self._dir)
+        truncate_torn_tail(scan)
+        state_dict, checkpoint_lsn = loaded
+        state = LogicalState.from_dict(state_dict)
+        applied = checkpoint_lsn
+        for record in scan.records:
+            if record.lsn <= checkpoint_lsn:
+                continue
+            if record.lsn != applied + 1:
+                raise ReplicationError(
+                    f"follower log gap: checkpoint {checkpoint_lsn}, "
+                    f"next record {record.lsn}"
+                )
+            state.apply(record)
+            applied = record.lsn
+        self.state = state
+        self.applied_lsn = applied
+        self.primary_durable_lsn = max(
+            self.primary_durable_lsn, applied
+        )
+        self._open_wal()
+        self._publish_gauges()
+
+    def _wipe(self) -> None:
+        if self.wal is not None and not self.wal.closed:
+            self.wal.close()
+        self.wal = None
+        for path in list_segments(self._dir):
+            path.unlink()
+        for path in self._checkpoints.checkpoints():
+            path.unlink()
+        for leftover in self._dir.glob("*.tmp"):
+            leftover.unlink()
+
+    def _open_wal(self) -> None:
+        self.wal = WriteAheadLog(
+            self._dir,
+            next_lsn=self.applied_lsn + 1,
+            flush_interval=_NEVER_FLUSH,
+            segment_bytes=self.segment_bytes,
+            registry=self._registry,
+            clock=self._clock,
+        )
+
+    # -- the two message handlers -----------------------------------------
+
+    def install_snapshot(
+        self, state_dict: dict[str, Any], last_lsn: int
+    ) -> None:
+        """Replace local history with a shipped checkpoint state."""
+        started = self._clock()
+        self._wipe()
+        self._checkpoints.write(state_dict, last_lsn)
+        self.state = LogicalState.from_dict(state_dict)
+        self.applied_lsn = last_lsn
+        self.primary_durable_lsn = max(
+            self.primary_durable_lsn, last_lsn
+        )
+        self.snapshots_installed += 1
+        self._open_wal()
+        self._tracer.record(
+            "repl.apply",
+            "snapshot",
+            start=started,
+            end=self._clock(),
+            last_lsn=last_lsn,
+        )
+        if self._registry is not None:
+            self._registry.counter("repl.apply.snapshots").inc()
+        self._publish_gauges()
+
+    def apply_records(self, payload: dict[str, Any]) -> int:
+        """Apply one ``records`` message; fsync; return records applied.
+
+        Records must extend ``applied_lsn`` contiguously (already-seen
+        LSNs are skipped — resends after a reconnect are harmless); a
+        gap is a protocol violation and the link must re-handshake.
+        """
+        if self.state is None or self.wal is None:
+            raise ReplicationError(
+                "follower has no base state: snapshot required"
+            )
+        records = records_from_payload(payload)
+        started = self._clock()
+        applied = 0
+        for record in records:
+            if record.lsn <= self.applied_lsn:
+                continue
+            if record.lsn != self.applied_lsn + 1:
+                raise ReplicationError(
+                    f"ship gap: applied {self.applied_lsn}, "
+                    f"received {record.lsn}"
+                )
+            self.state.apply(record)
+            written = self.wal.append(record.op, record.txn, record.data)
+            assert written.lsn == record.lsn
+            self.applied_lsn = record.lsn
+            applied += 1
+        if applied:
+            self.wal.flush()
+            self.records_applied += applied
+            self._tracer.record(
+                "repl.apply",
+                "records",
+                start=started,
+                end=self._clock(),
+                records=applied,
+                applied_lsn=self.applied_lsn,
+            )
+            if self._registry is not None:
+                self._registry.counter("repl.apply.records").inc(applied)
+        horizon = int(payload.get("durable_lsn", self.applied_lsn))
+        self.primary_durable_lsn = max(self.primary_durable_lsn, horizon)
+        sent_at = payload.get("sent_at")
+        if isinstance(sent_at, (int, float)):
+            self.lag_ms = max(0.0, (self._wall() - sent_at) * 1000.0)
+        self._publish_gauges()
+        return applied
+
+    # -- views and introspection ------------------------------------------
+
+    @property
+    def lag_lsn(self) -> int:
+        return max(0, self.primary_durable_lsn - self.applied_lsn)
+
+    def read_view(self) -> "tuple[int, dict[str, int]]":
+        """``(applied_lsn, committed root view)`` — the stale read."""
+        if self.state is None:
+            raise ReplicationError(
+                "follower has no state yet (no snapshot installed)"
+            )
+        return self.applied_lsn, self.state.root_view()
+
+    def status(self) -> dict[str, Any]:
+        return {
+            "role": "follower",
+            "applied_lsn": self.applied_lsn,
+            "primary_durable_lsn": self.primary_durable_lsn,
+            "lag_lsn": self.lag_lsn,
+            "lag_ms": round(self.lag_ms, 3),
+            "snapshots_installed": self.snapshots_installed,
+            "records_applied": self.records_applied,
+        }
+
+    def _publish_gauges(self) -> None:
+        if self._registry is None:
+            return
+        self._registry.gauge("repl.applied_lsn").set(self.applied_lsn)
+        self._registry.gauge("repl.lag_lsn").set(self.lag_lsn)
+        self._registry.gauge("repl.lag_ms").set(round(self.lag_ms, 3))
+
+    def close(self) -> None:
+        if self.wal is not None and not self.wal.closed:
+            self.wal.close()
+
+
+class FollowerLink:
+    """The follower's connection to the primary, with reconnect."""
+
+    def __init__(
+        self,
+        applier: FollowerApplier,
+        host: str,
+        port: int,
+        *,
+        node: str = "follower",
+        retry_delay: float = 0.2,
+    ) -> None:
+        self._applier = applier
+        self.host = host
+        self.port = port
+        self.node = node
+        self.retry_delay = retry_delay
+        self.connected = False
+        self._stopped = False
+
+    def stop(self) -> None:
+        self._stopped = True
+
+    async def run(self) -> None:
+        """Connect, stream, reconnect — until cancelled or stopped."""
+        while not self._stopped:
+            try:
+                reader, writer = await asyncio.open_connection(
+                    self.host,
+                    self.port,
+                    limit=REPL_MAX_FRAME_BYTES + 2,
+                )
+            except OSError:
+                await asyncio.sleep(self.retry_delay)
+                continue
+            try:
+                await self._stream(reader, writer)
+            except (
+                ReplicationError,
+                ConnectionError,
+                asyncio.IncompleteReadError,
+                asyncio.LimitOverrunError,
+            ):
+                pass
+            finally:
+                self.connected = False
+                writer.close()
+                try:
+                    await writer.wait_closed()
+                except ConnectionError:
+                    pass
+            if not self._stopped:
+                await asyncio.sleep(self.retry_delay)
+
+    async def _stream(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        writer.write(
+            encode_message(
+                hello_message(self._applier.applied_lsn, self.node)
+            )
+        )
+        await writer.drain()
+        self.connected = True
+        while not self._stopped:
+            line = await reader.readline()
+            if not line:
+                return
+            message = decode_message(line)
+            kind = message.get("kind")
+            if kind == KIND_SNAPSHOT:
+                self._applier.install_snapshot(
+                    message["state"], int(message["last_lsn"])
+                )
+            elif kind == KIND_RECORDS:
+                self._applier.apply_records(message)
+            else:
+                raise ReplicationError(
+                    f"unexpected message kind {kind!r} from primary"
+                )
+            writer.write(
+                encode_message(ack_message(self._applier.applied_lsn))
+            )
+            await writer.drain()

@@ -1,0 +1,140 @@
+"""Replication stream messages: handshake, snapshot, records, acks.
+
+The replication link reuses the server's JSON-lines framing idea (one
+JSON object per newline-terminated line) but with its own, larger frame
+bound — a snapshot message carries a whole checkpoint state, which the
+64 KiB request frames were never meant to hold.
+
+Message kinds, primary ← follower handshake first:
+
+* ``hello`` (follower → primary)::
+
+      {"kind": "hello", "from_lsn": 1041, "node": "follower-1"}
+
+  ``from_lsn`` is the follower's ``applied_lsn`` — the primary ships
+  records strictly after it, or a snapshot when the follower is fresh
+  (``from_lsn == 0``) or the primary's checkpoint retention has already
+  dropped that part of history (the cursor is *lost*).
+
+* ``snapshot`` (primary → follower)::
+
+      {"kind": "snapshot", "state": {…}, "last_lsn": 1200}
+
+  A full checkpoint state; the follower wipes its directory, installs
+  it as its own checkpoint, and continues from ``last_lsn``.
+
+* ``records`` (primary → follower)::
+
+      {"kind": "records", "records": [{lsn,op,txn,data}, …],
+       "durable_lsn": 1260, "sent_at": 171.25}
+
+  Ship batches are **group-commit aligned**: only records at or below
+  the primary's fsync horizon (``durable_lsn``) are ever shipped, so a
+  follower can never be *ahead* of what the primary would itself
+  recover.  An empty ``records`` list is a heartbeat carrying the lag
+  metadata.
+
+* ``ack`` (follower → primary)::
+
+      {"kind": "ack", "applied_lsn": 1260}
+
+  Sent after the batch is applied *and fsynced* on the follower —
+  an acked LSN survives a follower kill, which is what makes
+  sync-replicated commits survive promotion.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from ..durability.records import WalRecord
+from ..errors import ReproError
+
+#: Replication frames may carry whole checkpoint snapshots.
+REPL_MAX_FRAME_BYTES = 16 * 1024 * 1024
+
+KIND_HELLO = "hello"
+KIND_SNAPSHOT = "snapshot"
+KIND_RECORDS = "records"
+KIND_ACK = "ack"
+
+
+class ReplicationError(ReproError):
+    """A replication-stream protocol violation (framing, order, kind)."""
+
+
+def encode_message(payload: dict[str, Any]) -> bytes:
+    data = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+    data += b"\n"
+    if len(data) > REPL_MAX_FRAME_BYTES:
+        raise ReplicationError(
+            f"replication frame of {len(data)} bytes exceeds "
+            f"{REPL_MAX_FRAME_BYTES}"
+        )
+    return data
+
+
+def decode_message(line: bytes) -> dict[str, Any]:
+    try:
+        payload = json.loads(line)
+    except (ValueError, UnicodeDecodeError) as error:
+        raise ReplicationError(
+            f"undecodable replication frame: {error}"
+        ) from None
+    if not isinstance(payload, dict) or "kind" not in payload:
+        raise ReplicationError("replication frame has no 'kind'")
+    return payload
+
+
+def hello_message(from_lsn: int, node: str) -> dict[str, Any]:
+    return {"kind": KIND_HELLO, "from_lsn": from_lsn, "node": node}
+
+
+def snapshot_message(
+    state: dict[str, Any], last_lsn: int
+) -> dict[str, Any]:
+    return {"kind": KIND_SNAPSHOT, "state": state, "last_lsn": last_lsn}
+
+
+def records_message(
+    records: "list[WalRecord]",
+    durable_lsn: int,
+    sent_at: float,
+) -> dict[str, Any]:
+    return {
+        "kind": KIND_RECORDS,
+        "records": [
+            {"lsn": r.lsn, "op": r.op, "txn": r.txn, "data": r.data}
+            for r in records
+        ],
+        "durable_lsn": durable_lsn,
+        "sent_at": sent_at,
+    }
+
+
+def ack_message(applied_lsn: int) -> dict[str, Any]:
+    return {"kind": KIND_ACK, "applied_lsn": applied_lsn}
+
+
+def records_from_payload(payload: dict[str, Any]) -> "list[WalRecord]":
+    """Rebuild :class:`WalRecord` objects from a ``records`` message.
+
+    The WAL's canonical encoding is deterministic, so the follower can
+    re-append ``record.encode()`` bytes and end up byte-identical to
+    the primary's log for the shipped range.
+    """
+    try:
+        return [
+            WalRecord(
+                lsn=entry["lsn"],
+                op=entry["op"],
+                txn=entry["txn"],
+                data=entry["data"],
+            )
+            for entry in payload["records"]
+        ]
+    except (KeyError, TypeError) as error:
+        raise ReplicationError(
+            f"malformed records payload: {error}"
+        ) from None

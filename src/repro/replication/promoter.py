@@ -1,0 +1,96 @@
+"""Failover: choosing the winner and promoting a follower in place.
+
+The promotion protocol is deliberately small enough to state as rules
+(and the fuzzer's ``acked_commits_survive_promotion`` oracle checks
+the invariant they exist to protect):
+
+1. **Candidates** are followers whose directories hold a usable
+   checkpoint (they have been snapshot-seeded at least once).
+2. **The winner is the highest ``applied_lsn``.**  Acks are sent only
+   after fsync, so with ``sync_replicas = k`` every *acked* commit LSN
+   is ≤ at least k followers' applied LSNs — the max over any k-subset
+   of survivors is ≥ every acked commit, so the winner's log contains
+   every acked commit.
+3. **The gate is the stock ``recover --verify``** over the winner's
+   directory (checkpoint + verbatim WAL suffix — a primary crash image
+   by construction).  A follower that fails the gate must not serve;
+   promotion raises and the caller tries the next candidate.
+4. The promoted node re-anchors (checkpoint + fresh segment, done by
+   ``DurableTransactionManager.open``) and only then flips its role to
+   primary and starts accepting writes.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any
+
+from ..durability.manager import DurableTransactionManager
+from ..durability.recovery import RecoveryResult
+from ..obs.metrics import MetricsRegistry
+from ..obs.trace import Tracer
+from .messages import ReplicationError
+
+
+class Promoter:
+    """Pure decision logic for failover (no I/O)."""
+
+    @staticmethod
+    def choose(statuses: "list[dict[str, Any]]") -> "dict[str, Any]":
+        """Pick the winner among peer ``repl_status`` payloads.
+
+        Followers only; the highest ``applied_lsn`` wins, with the
+        peer's listing order breaking ties (stable, so a deterministic
+        fuzz run always elects the same node).
+        """
+        candidates = [
+            status
+            for status in statuses
+            if status.get("role") == "follower"
+            and isinstance(status.get("applied_lsn"), int)
+        ]
+        if not candidates:
+            raise ReplicationError(
+                "no promotable follower among peers"
+            )
+        return max(candidates, key=lambda s: s["applied_lsn"])
+
+
+def promote_in_place(
+    wal_dir: "Path | str",
+    *,
+    flush_interval: float = 0.0,
+    checkpoint_every: int = 0,
+    segment_bytes: int = 0,
+    retain: int = 3,
+    registry: MetricsRegistry | None = None,
+    tracer: Tracer | None = None,
+    strict: bool = False,
+) -> "tuple[DurableTransactionManager, RecoveryResult]":
+    """Run the promotion gate over a follower directory.
+
+    ``DurableTransactionManager.open`` *is* the ``recover --verify``
+    gate: it replays checkpoint + WAL suffix, verifies the recovered
+    state against the Section-5 predicates (raising
+    :class:`~repro.errors.RecoveryError` on any violation — the
+    follower must not serve), and re-anchors the directory.  Returns
+    the live manager and the recovery evidence for the caller's
+    promotion report.
+    """
+    manager, recovery = DurableTransactionManager.open(
+        wal_dir,
+        flush_interval=flush_interval,
+        checkpoint_every=checkpoint_every,
+        segment_bytes=segment_bytes,
+        retain=retain,
+        registry=registry,
+        tracer=tracer,
+        strict=strict,
+        verify=True,
+    )
+    if recovery is None:
+        manager.close()
+        raise ReplicationError(
+            f"{wal_dir} has no replicated history to promote"
+        )
+    return manager, recovery

@@ -229,6 +229,36 @@ class AsyncClient:
     async def view(self, txn: str) -> dict[str, int]:
         return dict((await self.request("view", txn=txn))["view"])
 
+    # -- replication ---------------------------------------------------------
+
+    async def follower_read(
+        self,
+        entity: str | None = None,
+        *,
+        max_lag_lsn: int | None = None,
+        min_applied_lsn: int | None = None,
+    ) -> dict[str, Any]:
+        """A bounded-stale read off this node's replicated state."""
+        params: dict[str, Any] = {}
+        if entity is not None:
+            params["entity"] = entity
+        if max_lag_lsn is not None:
+            params["max_lag_lsn"] = max_lag_lsn
+        if min_applied_lsn is not None:
+            params["min_applied_lsn"] = min_applied_lsn
+        return await self.request("follower_read", **params)
+
+    async def repl_status(self) -> dict[str, Any]:
+        return await self.request("repl_status")
+
+    async def promote(
+        self, listen_port: int | None = None
+    ) -> dict[str, Any]:
+        params: dict[str, Any] = {}
+        if listen_port is not None:
+            params["listen_port"] = listen_port
+        return await self.request("promote", **params)
+
 
 class Client:
     """Blocking one-request-at-a-time client.
@@ -377,3 +407,31 @@ class Client:
 
     def view(self, txn: str) -> dict[str, int]:
         return dict(self.request("view", txn=txn)["view"])
+
+    # -- replication ---------------------------------------------------------
+
+    def follower_read(
+        self,
+        entity: str | None = None,
+        *,
+        max_lag_lsn: int | None = None,
+        min_applied_lsn: int | None = None,
+    ) -> dict[str, Any]:
+        """A bounded-stale read off this node's replicated state."""
+        params: dict[str, Any] = {}
+        if entity is not None:
+            params["entity"] = entity
+        if max_lag_lsn is not None:
+            params["max_lag_lsn"] = max_lag_lsn
+        if min_applied_lsn is not None:
+            params["min_applied_lsn"] = min_applied_lsn
+        return self.request("follower_read", **params)
+
+    def repl_status(self) -> dict[str, Any]:
+        return self.request("repl_status")
+
+    def promote(self, listen_port: int | None = None) -> dict[str, Any]:
+        params: dict[str, Any] = {}
+        if listen_port is not None:
+            params["listen_port"] = listen_port
+        return self.request("promote", **params)

@@ -45,6 +45,8 @@ class ErrorCode(enum.Enum):
     PROTOCOL = "PROTOCOL"
     ABORTED = "ABORTED"
     INTERNAL = "INTERNAL"
+    REDIRECT = "REDIRECT"
+    FOLLOWER_READ = "FOLLOWER_READ"
 
     def __str__(self) -> str:
         return self.value
@@ -151,6 +153,27 @@ class ConflictingRequest(ServerError):
     code = ErrorCode.CONFLICT
 
 
+class NotPrimary(ServerError):
+    """The operation mutates state but this node is a follower.
+
+    ``details`` carries the primary's last known address (``host``,
+    ``port``) so the client can reconnect there.
+    """
+
+    code = ErrorCode.REDIRECT
+
+
+class StaleRead(ServerError):
+    """A follower read's staleness bound cannot currently be met.
+
+    ``details`` carries the follower's ``applied_lsn`` and current
+    ``lag_lsn`` so the client can retry, loosen its bound, or go to
+    the primary.
+    """
+
+    code = ErrorCode.FOLLOWER_READ
+
+
 _ERROR_CLASSES: dict[ErrorCode, type[ServerError]] = {
     ErrorCode.MALFORMED: MalformedFrame,
     ErrorCode.UNKNOWN_OP: UnknownOperation,
@@ -164,6 +187,8 @@ _ERROR_CLASSES: dict[ErrorCode, type[ServerError]] = {
     ErrorCode.PROTOCOL: RemoteProtocolError,
     ErrorCode.ABORTED: RemoteAborted,
     ErrorCode.INTERNAL: ServerError,
+    ErrorCode.REDIRECT: NotPrimary,
+    ErrorCode.FOLLOWER_READ: StaleRead,
 }
 
 

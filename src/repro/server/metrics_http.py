@@ -44,12 +44,17 @@ class MetricsHTTPServer:
         port: int = 0,
         dispatcher: "CommandDispatcher | None" = None,
         draining: Callable[[], bool] | None = None,
+        health: "Callable[[], dict] | None" = None,
     ) -> None:
         self._registry = registry
         self._host = host
         self._port = port
         self._dispatcher = dispatcher
         self._draining = draining if draining is not None else lambda: False
+        #: Optional role/lag payload (replicated servers): switches
+        #: ``/healthz`` to a JSON body.  ``None`` keeps the legacy
+        #: plain-text ``ok``/``draining`` contract.
+        self._health = health
         self._server: asyncio.AbstractServer | None = None
 
     @property
@@ -132,6 +137,19 @@ class MetricsHTTPServer:
                 json.dumps(snapshot, sort_keys=True) + "\n",
             )
         if path == "/healthz":
+            if self._health is not None:
+                payload = dict(self._health())
+                payload["draining"] = self._draining()
+                status = (
+                    "503 Service Unavailable"
+                    if payload["draining"]
+                    else "200 OK"
+                )
+                return (
+                    status,
+                    "application/json",
+                    json.dumps(payload, sort_keys=True) + "\n",
+                )
             if self._draining():
                 return "503 Service Unavailable", "text/plain", "draining\n"
             return "200 OK", "text/plain", "ok\n"

@@ -57,6 +57,9 @@ OPERATIONS = (
     "commit",
     "abort",
     "view",
+    "follower_read",
+    "repl_status",
+    "promote",
 )
 
 

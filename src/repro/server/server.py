@@ -46,6 +46,16 @@ if TYPE_CHECKING:  # pragma: no cover — typing only
 from ..obs.metrics import MetricsRegistry
 from ..obs.trace import Tracer
 from ..protocol.scheduler import TransactionManager
+from ..replication import (
+    ROLE_FOLLOWER,
+    ROLE_PRIMARY,
+    FollowerApplier,
+    FollowerLink,
+    ReplicationContext,
+    ReplicationHub,
+    ReplicationListener,
+    promote_in_place,
+)
 from ..storage.database import Database
 from .clock import CLOCK
 from .errors import ErrorCode, MalformedFrame
@@ -61,6 +71,18 @@ from .protocol import (
 from .session import CommandDispatcher, SessionState
 
 _CLOSE = object()
+
+
+def _parse_hostport(text: str) -> "tuple[str, int]":
+    """Parse ``host:port`` (host defaults to 127.0.0.1 if omitted)."""
+    host, _, port_text = text.rpartition(":")
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise ValueError(
+            f"bad address {text!r}: expected host:port"
+        ) from None
+    return (host or "127.0.0.1", port)
 
 
 @dataclass(frozen=True)
@@ -97,6 +119,18 @@ class ServerConfig:
     #: :meth:`CommandDispatcher.run`); 1 = the old command-at-a-time
     #: behaviour.
     batch_size: int = 32
+    #: Size-based WAL segment rolling (0 = roll only at checkpoints).
+    segment_bytes: int = 0
+    #: Primary: port for the replication listener (``None`` = no
+    #: replication; ``0`` = ephemeral, read it off ``repl_port``).
+    repl_port: int | None = None
+    #: Primary: withhold commit replies until this many followers have
+    #: fsynced past the commit LSN (0 = async replication).
+    sync_replicas: int = 0
+    #: Follower: ``host:port`` of the primary's replication listener.
+    #: Setting this makes the node a follower — it redirects every
+    #: mutating op and serves ``follower_read``s off replicated state.
+    follow_of: str | None = None
 
 
 @dataclass
@@ -129,8 +163,50 @@ class TransactionServer:
         self._config = config or ServerConfig()
         self._registry = registry or MetricsRegistry()
         self.recovery: "RecoveryResult | None" = None
+        self.replication: ReplicationContext | None = None
+        self._repl_listener: ReplicationListener | None = None
+        self._link_task: asyncio.Task | None = None
+        self._takeover_server: asyncio.AbstractServer | None = None
         if manager is not None:
             self._manager = manager
+        elif self._config.follow_of:
+            # Follower: the WAL dir belongs to the applier (replicated
+            # history), never to a DurableTransactionManager — the
+            # dispatcher gets a plain in-memory manager whose mutating
+            # ops are redirected anyway.
+            if not self._config.wal_dir:
+                raise ValueError(
+                    "follow_of requires wal_dir for replicated history"
+                )
+            self._manager = TransactionManager(
+                database,
+                tracer=tracer,
+                registry=self._registry,
+                strict=self._config.strict,
+            )
+            host, port = _parse_hostport(self._config.follow_of)
+            applier = FollowerApplier(
+                self._config.wal_dir,
+                segment_bytes=self._config.segment_bytes,
+                retain=self._config.retain,
+                registry=self._registry,
+                tracer=tracer,
+                clock=clock if clock is not None else CLOCK,
+            )
+            link = FollowerLink(
+                applier,
+                host,
+                port,
+                node=str(self._config.wal_dir),
+            )
+            self.replication = ReplicationContext(
+                ROLE_FOLLOWER,
+                applier=applier,
+                link=link,
+                primary_host=host,
+                primary_port=port,
+            )
+            self.replication.promote = self.promote_now
         elif self._config.wal_dir:
             from ..durability import DurableTransactionManager
 
@@ -139,6 +215,7 @@ class TransactionServer:
                 lambda: database,
                 flush_interval=self._config.flush_interval,
                 checkpoint_every=self._config.checkpoint_every,
+                segment_bytes=self._config.segment_bytes,
                 retain=self._config.retain,
                 tracer=tracer,
                 registry=self._registry,
@@ -161,6 +238,20 @@ class TransactionServer:
             clock=clock if clock is not None else CLOCK,
             batch_size=self._config.batch_size,
         )
+        if (
+            self.replication is None
+            and self._config.repl_port is not None
+        ):
+            hub = ReplicationHub(
+                self._manager,  # raises unless WAL-backed
+                sync_replicas=self._config.sync_replicas,
+                registry=self._registry,
+                tracer=tracer,
+                clock=clock if clock is not None else CLOCK,
+            )
+            hub.on_replicated = self._dispatcher.on_replicated
+            self.replication = ReplicationContext(ROLE_PRIMARY, hub=hub)
+        self._dispatcher.replication = self.replication
         self._metrics_http: MetricsHTTPServer | None = None
         self._server: asyncio.AbstractServer | None = None
         self._dispatcher_task: asyncio.Task | None = None
@@ -205,8 +296,82 @@ class TransactionServer:
         return self._metrics_http.port
 
     @property
+    def repl_port(self) -> int | None:
+        """Bound port of the replication listener (``None`` if off)."""
+        if self._repl_listener is None:
+            return None
+        return self._repl_listener.port
+
+    @property
     def address(self) -> tuple[str, int]:
         return (self._config.host, self.port)
+
+    # -- failover ------------------------------------------------------------
+
+    def promote_now(self, listen_port: int | None = None) -> "dict[str, Any]":
+        """Promote this follower to primary, in place and synchronously.
+
+        Runs inside a dispatcher iteration (the ``promote`` op), so the
+        manager swap is atomic with respect to every other command:
+        stop the link, run the stock ``recover --verify`` gate over the
+        replicated directory, swap the recovered durable manager into
+        the dispatcher, and flip the role.  With ``listen_port`` the
+        promoted node additionally binds the dead primary's client
+        port (its own listener stays up).
+        """
+        context = self.replication
+        if context is None or not context.is_follower:
+            raise RuntimeError("promote_now on a non-follower")
+        started = CLOCK()
+        if context.link is not None:
+            context.link.stop()
+        if self._link_task is not None:
+            self._link_task.cancel()
+            self._link_task = None
+        applier = context.applier
+        assert applier is not None
+        applier.close()
+        manager, recovery = promote_in_place(
+            self._config.wal_dir,
+            flush_interval=self._config.flush_interval,
+            checkpoint_every=self._config.checkpoint_every,
+            segment_bytes=self._config.segment_bytes,
+            retain=self._config.retain,
+            registry=self._registry,
+            tracer=self._tracer,
+            strict=self._config.strict,
+        )
+        self._manager = manager
+        self._dispatcher.replace_manager(manager)
+        self.recovery = recovery
+        new_context = ReplicationContext(ROLE_PRIMARY)
+        new_context.promote = self.promote_now
+        self.replication = new_context
+        self._dispatcher.replication = new_context
+        if listen_port is not None:
+            asyncio.ensure_future(self._take_over_port(listen_port))
+        report = {
+            "role": ROLE_PRIMARY,
+            "promoted_from_lsn": applier.applied_lsn,
+            "promote_ms": round((CLOCK() - started) * 1000.0, 3),
+            "recovery": recovery.summary(),
+            "committed": sorted(recovery.committed),
+            "listen_port": listen_port,
+        }
+        self._registry.counter("repl.promotions").inc()
+        return report
+
+    async def _take_over_port(self, port: int) -> None:
+        """Bind the dead primary's client port on the promoted node."""
+        try:
+            self._takeover_server = await asyncio.start_server(
+                self._handle_connection,
+                self._config.host,
+                port,
+                limit=MAX_FRAME_BYTES + 2,
+            )
+        except OSError:
+            self._registry.counter("repl.takeover_failed").inc()
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -227,9 +392,31 @@ class TransactionServer:
                 port=self._config.metrics_port,
                 dispatcher=self._dispatcher,
                 draining=lambda: self._stopping,
+                health=(
+                    self._health
+                    if self.replication is not None
+                    else None
+                ),
             )
             await self._metrics_http.start()
+        if self.replication is not None:
+            context = self.replication
+            if context.hub is not None:
+                self._repl_listener = ReplicationListener(
+                    context.hub,
+                    host=self._config.host,
+                    port=self._config.repl_port or 0,
+                )
+                await self._repl_listener.start()
+            if context.link is not None:
+                self._link_task = asyncio.create_task(
+                    context.link.run(), name="repro-follower-link"
+                )
         if self._config.wal_dir and self._config.flush_interval > 0:
+            # Started for followers too: their plain manager has no
+            # ``maybe_flush`` (each tick is a no-op) but a promotion
+            # swaps in a durable manager that needs group-commit
+            # driving, so the loop re-resolves the hook every tick.
             self._flush_task = asyncio.create_task(
                 self._flush_loop(), name="repro-wal-flush"
             )
@@ -239,15 +426,21 @@ class TransactionServer:
 
         ``maybe_flush`` is synchronous and the event loop is
         single-threaded, so this never interleaves with a dispatcher
-        iteration mid-append.
+        iteration mid-append.  The hook is looked up per tick because
+        promotion replaces the manager mid-flight.
         """
         interval = max(self._config.flush_interval / 2, 0.001)
-        flush = getattr(self._manager, "maybe_flush", None)
-        if flush is None:
-            return
         while True:
             await asyncio.sleep(interval)
-            flush()
+            flush = getattr(self._manager, "maybe_flush", None)
+            if flush is not None:
+                flush()
+
+    def _health(self) -> "dict[str, Any]":
+        context = self.replication
+        if context is None:
+            return {"role": "standalone"}
+        return context.health()
 
     async def serve_until(self, stop: asyncio.Event) -> "dict[str, Any]":
         """Start, run until ``stop`` is set, then drain and shut down."""
@@ -271,6 +464,19 @@ class TransactionServer:
             await self._server.wait_closed()
         if self._metrics_http is not None:
             await self._metrics_http.close()
+        if self._takeover_server is not None:
+            self._takeover_server.close()
+            await self._takeover_server.wait_closed()
+        if self._repl_listener is not None:
+            await self._repl_listener.close()
+        if self.replication is not None and self.replication.link is not None:
+            self.replication.link.stop()
+        if self._link_task is not None:
+            self._link_task.cancel()
+            try:
+                await self._link_task
+            except asyncio.CancelledError:
+                pass
         drained = await self._dispatcher.drain(self._config.drain_grace)
         for connection in list(self._connections.values()):
             self._send(connection, event_frame("shutdown"))
@@ -288,6 +494,11 @@ class TransactionServer:
         if close is not None:
             # Durable manager: final checkpoint + flush, clean WAL.
             close()
+        if self.replication is not None:
+            if self.replication.hub is not None:
+                self.replication.hub.close()
+            if self.replication.applier is not None:
+                self.replication.applier.close()
         for connection in list(self._connections.values()):
             if connection.writer_task is not None:
                 try:

@@ -59,7 +59,9 @@ from .errors import (
     ErrorCode,
     InvalidArgument,
     NotOwner,
+    NotPrimary,
     ServerError,
+    StaleRead,
     UnknownOperation,
     UnknownTransaction,
 )
@@ -118,6 +120,9 @@ class Command:
     #: the currently-open park-wait child span, when tracing is on.
     span: Span | None = None
     wait_span: Span | None = None
+    #: Sync replication: the commit LSN this command's reply waits on
+    #: (the commit is already durable locally when this is set).
+    repl_lsn: int | None = None
 
 
 _REQUIRED = object()
@@ -161,6 +166,13 @@ class CommandDispatcher:
         # txn name -> the one command parked on it.
         self._lock_waiters: dict[str, Command] = {}
         self._commit_waiters: dict[str, Command] = {}
+        # txn name -> commit command whose reply awaits follower acks
+        # (the commit itself already happened and is durable locally).
+        self._repl_waiters: dict[str, Command] = {}
+        #: Replication role context (duck-typed; see
+        #: :class:`repro.replication.context.ReplicationContext`).
+        #: ``None`` means standalone — no role gating, no sync acks.
+        self.replication: Any = None
         self._owners: dict[str, SessionState] = {}
         # txn name -> its open lifetime root span (tracing only).
         self._txn_spans: dict[str, Span] = {}
@@ -187,6 +199,14 @@ class CommandDispatcher:
     def manager(self) -> TransactionManager:
         return self._tm
 
+    def replace_manager(self, manager: TransactionManager) -> None:
+        """Swap the manager (promotion): must run from inside the
+        dispatcher's current iteration so no command interleaves with
+        the swap.  On a promoting follower nothing can be parked (all
+        primary ops were redirected), so no waiter can reference the
+        old manager."""
+        self._tm = manager
+
     @property
     def draining(self) -> bool:
         return self._draining
@@ -197,7 +217,11 @@ class CommandDispatcher:
 
     @property
     def parked_count(self) -> int:
-        return len(self._lock_waiters) + len(self._commit_waiters)
+        return (
+            len(self._lock_waiters)
+            + len(self._commit_waiters)
+            + len(self._repl_waiters)
+        )
 
     def owner_of(self, txn: str) -> SessionState | None:
         return self._owners.get(txn)
@@ -391,6 +415,23 @@ class CommandDispatcher:
         ) and self._clock() < deadline:
             await asyncio.sleep(0.02)
         parked_failed = 0
+        for command in list(self._repl_waiters.values()):
+            # These commits *happened* and are durable locally; only
+            # the replication ack is outstanding.  Mark the reply
+            # indeterminate rather than implying the commit was lost.
+            self._unpark(command)
+            parked_failed += 1
+            self._count("server.repl.indeterminate")
+            self._resolve(
+                command,
+                error_response(
+                    command.request_id,
+                    ErrorCode.SHUTTING_DOWN,
+                    "server shut down before the replication ack; "
+                    "the commit is durable locally",
+                    indeterminate=True,
+                ),
+            )
         for store in (self._lock_waiters, self._commit_waiters):
             for command in list(store.values()):
                 self._unpark(command)
@@ -478,14 +519,49 @@ class CommandDispatcher:
             else:
                 self._tracer.end(command.span, ok=False, error=error_code)
 
+    #: Operations that mutate (or read uncommitted) manager state and
+    #: therefore only the primary may serve.
+    _PRIMARY_ONLY_OPS = frozenset(
+        {
+            "define",
+            "validate",
+            "read",
+            "begin_write",
+            "end_write",
+            "write",
+            "commit",
+            "abort",
+            "view",
+        }
+    )
+
     def _execute(self, command: Command) -> dict[str, Any] | object:
         op = command.op
+        repl = self.replication
+        if (
+            repl is not None
+            and repl.is_follower
+            and op in self._PRIMARY_ONLY_OPS
+        ):
+            raise NotPrimary(
+                f"{op!r} requires the primary; this node is a follower",
+                details={
+                    "host": repl.primary_host,
+                    "port": repl.primary_port,
+                },
+            )
         if op == "ping":
             return ok_response(command.request_id, pong=True)
         if op == "hello":
             return self._op_hello(command)
         if op == "stats":
             return self._op_stats(command)
+        if op == "follower_read":
+            return self._op_follower_read(command)
+        if op == "repl_status":
+            return self._op_repl_status(command)
+        if op == "promote":
+            return self._op_promote(command)
         if op == "define":
             return self._op_define(command)
         if op == "validate":
@@ -602,6 +678,8 @@ class CommandDispatcher:
                 }
                 for span in open_spans()[:32]
             ]
+        if self.replication is not None:
+            extra["repl"] = self.replication.status()
         return ok_response(
             command.request_id,
             stats=snapshot,
@@ -773,6 +851,18 @@ class CommandDispatcher:
             # so re-run every parked waiter (they re-park if still
             # blocked, keeping their original deadline).
             self._resume_all_lock_waiters()
+        repl = self.replication
+        if repl is not None and repl.wants_sync_ack():
+            lsn = getattr(self._tm, "commit_lsn_of", lambda _n: None)(name)
+            if lsn is not None and repl.hub.replicated_lsn < lsn:
+                # Committed and durable locally; the reply waits until
+                # enough followers have fsynced past the commit LSN.
+                return self._park_repl(command, name, lsn)
+            return ok_response(
+                command.request_id,
+                outcome="committed",
+                replicated_lsn=repl.hub.replicated_lsn,
+            )
         return ok_response(command.request_id, outcome="committed")
 
     def _op_abort(self, command: Command) -> dict[str, Any]:
@@ -794,6 +884,125 @@ class CommandDispatcher:
     def _op_view(self, command: Command) -> dict[str, Any]:
         name = self._owned_txn(command)
         return ok_response(command.request_id, view=self._tm.view(name))
+
+    # -- replication operations ----------------------------------------------
+
+    def _op_follower_read(self, command: Command) -> dict[str, Any]:
+        """A bounded-stale read of the committed root view.
+
+        On a follower the view is the replayed state at ``applied_lsn``
+        — a committed prefix of the primary's history, i.e. exactly the
+        kind of older-version read the paper's version functions make
+        first-class.  ``max_lag_lsn`` / ``min_applied_lsn`` bound the
+        staleness; an unsatisfiable bound fails with ``FOLLOWER_READ``
+        so the client can retry or go to the primary.
+        """
+        params = command.params
+        repl = self.replication
+        if repl is not None and repl.is_follower:
+            applier = repl.applier
+            if applier is None or applier.state is None:
+                raise StaleRead(
+                    "follower has no replicated state yet",
+                    details={"applied_lsn": 0, "lag_lsn": 0},
+                )
+            applied_lsn, view = applier.read_view()
+            lag_lsn = applier.lag_lsn
+            lag_ms = round(applier.lag_ms, 3)
+            role = "follower"
+        else:
+            # Primary (or standalone): the committed view, zero lag.
+            view = self._tm.view(self._tm.root)
+            wal = getattr(self._tm, "wal", None)
+            applied_lsn = wal.last_lsn if wal is not None else 0
+            lag_lsn = 0
+            lag_ms = 0.0
+            role = "primary"
+        max_lag = params.get("max_lag_lsn")
+        if max_lag is not None:
+            if isinstance(max_lag, bool) or not isinstance(max_lag, int):
+                raise InvalidArgument(
+                    "parameter 'max_lag_lsn' must be an integer"
+                )
+            if lag_lsn > max_lag:
+                raise StaleRead(
+                    f"replication lag {lag_lsn} exceeds bound {max_lag}",
+                    details={
+                        "applied_lsn": applied_lsn,
+                        "lag_lsn": lag_lsn,
+                    },
+                )
+        min_applied = params.get("min_applied_lsn")
+        if min_applied is not None:
+            if isinstance(min_applied, bool) or not isinstance(
+                min_applied, int
+            ):
+                raise InvalidArgument(
+                    "parameter 'min_applied_lsn' must be an integer"
+                )
+            if applied_lsn < min_applied:
+                raise StaleRead(
+                    f"applied_lsn {applied_lsn} is behind required "
+                    f"{min_applied} (read-your-writes bound)",
+                    details={
+                        "applied_lsn": applied_lsn,
+                        "lag_lsn": lag_lsn,
+                    },
+                )
+        entity = params.get("entity")
+        payload: dict[str, Any] = {
+            "applied_lsn": applied_lsn,
+            "lag_lsn": lag_lsn,
+            "lag_ms": lag_ms,
+            "role": role,
+        }
+        if entity is not None:
+            if not isinstance(entity, str) or not entity:
+                raise InvalidArgument(
+                    "parameter 'entity' must be a non-empty string"
+                )
+            if entity not in view:
+                raise InvalidArgument(f"unknown entity {entity!r}")
+            payload["value"] = view[entity]
+        else:
+            payload["view"] = dict(sorted(view.items()))
+        self._count("server.follower_reads")
+        return ok_response(command.request_id, **payload)
+
+    def _op_repl_status(self, command: Command) -> dict[str, Any]:
+        repl = self.replication
+        status = (
+            repl.status() if repl is not None else {"role": "standalone"}
+        )
+        return ok_response(command.request_id, **status)
+
+    def _op_promote(self, command: Command) -> dict[str, Any]:
+        """Promote this follower to primary, in place.
+
+        Runs synchronously inside the dispatcher iteration: no other
+        command can interleave with the manager swap, so the promotion
+        is atomic from every session's point of view.
+        """
+        repl = self.replication
+        if repl is None or not repl.is_follower:
+            raise InvalidArgument(
+                "promote: this node is not a follower"
+            )
+        if repl.promote is None:
+            raise InvalidArgument(
+                "promote: this follower cannot be promoted"
+            )
+        listen_port = command.params.get("listen_port")
+        if listen_port is not None and (
+            isinstance(listen_port, bool)
+            or not isinstance(listen_port, int)
+        ):
+            raise InvalidArgument(
+                "parameter 'listen_port' must be an integer"
+            )
+        report = repl.promote(listen_port=listen_port)
+        self._count("server.promotions")
+        return ok_response(command.request_id, **report)
 
     # -- parking & side effects ----------------------------------------------
 
@@ -833,11 +1042,82 @@ class CommandDispatcher:
         )
         return PARKED
 
+    def _park_repl(
+        self, command: Command, txn: str, lsn: int
+    ) -> object:
+        """Withhold a committed reply until followers ack ``lsn``."""
+        command.parked_on = txn
+        command.repl_lsn = lsn
+        command.park_epoch += 1
+        command.parked_at = self._clock()
+        self._repl_waiters[txn] = command
+        self._count("server.parked")
+        self._gauge_set("server.park.depth", self.parked_count)
+        if self._tracer.enabled and command.span is not None:
+            command.wait_span = self._tracer.start(
+                "park.wait",
+                txn,
+                parent=command.span,
+                on="replication",
+                lsn=lsn,
+            )
+        remaining = command.deadline - self._clock()
+        loop = asyncio.get_running_loop()
+        if remaining <= 0:
+            self._expire_repl(command)
+            return PARKED
+        command.timer = loop.call_later(
+            remaining, self._expire_repl, command
+        )
+        return PARKED
+
+    def _expire_repl(self, command: Command) -> None:
+        """Replication-ack deadline: the outcome is *indeterminate*.
+
+        The commit happened and is durable on this node; only the
+        replication guarantee is unmet.  The client is told exactly
+        that — ``TIMEOUT`` with ``indeterminate: true`` — so it must
+        not assume the commit was lost (after a failover it may well
+        survive)."""
+        if command.parked_on is None:
+            return
+        txn = command.parked_on
+        self._unpark(command)
+        self._count("server.timeouts")
+        self._count("server.repl.indeterminate")
+        self._resolve(
+            command,
+            error_response(
+                command.request_id,
+                ErrorCode.TIMEOUT,
+                f"commit of {txn} is durable locally but the "
+                "replication ack did not arrive in time",
+                indeterminate=True,
+            ),
+        )
+
+    def on_replicated(self, lsn: int) -> None:
+        """Hub callback: follower acks cover everything up to ``lsn``."""
+        for txn, command in list(self._repl_waiters.items()):
+            if self._repl_waiters.get(txn) is not command:
+                continue
+            if command.repl_lsn is not None and command.repl_lsn <= lsn:
+                self._unpark(command)
+                self._resolve(
+                    command,
+                    ok_response(
+                        command.request_id,
+                        outcome="committed",
+                        replicated_lsn=lsn,
+                    ),
+                )
+
     def _unpark(self, command: Command) -> None:
         if command.parked_on is None:
             return
         self._lock_waiters.pop(command.parked_on, None)
         self._commit_waiters.pop(command.parked_on, None)
+        self._repl_waiters.pop(command.parked_on, None)
         command.parked_on = None
         if command.timer is not None:
             command.timer.cancel()
@@ -901,7 +1181,11 @@ class CommandDispatcher:
             self._observe("server.abort.cascade", len(cascade))
         for name in cascade:
             self._end_txn_span(name, outcome="aborted")
-            for store in (self._lock_waiters, self._commit_waiters):
+            for store in (
+                self._lock_waiters,
+                self._commit_waiters,
+                self._repl_waiters,
+            ):
                 command = store.get(name)
                 if command is None:
                     continue

@@ -1,0 +1,168 @@
+"""Segment inventory + torn tails across segment boundaries.
+
+The invariant under test: damage is repairable *only* at the very end
+of the newest segment (a crash mid-append).  A tail-truncated
+non-final segment, or damage followed by valid records, is corruption
+— ``scan_wal`` must refuse rather than silently drop history.  The
+size-based roller (``segment_bytes``) makes multi-segment logs the
+common case, so the property sweep drives randomized segment layouts.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.durability.wal import (
+    WriteAheadLog,
+    list_segments,
+    scan_wal,
+    segment_first_lsn,
+    segment_name,
+    truncate_torn_tail,
+)
+from repro.errors import DurabilityError
+
+
+def build_segmented_log(wal_dir, record_count: int, segment_bytes: int):
+    """A closed multi-segment WAL with ``record_count`` records."""
+    wal = WriteAheadLog(
+        wal_dir, flush_interval=0.0, segment_bytes=segment_bytes
+    )
+    for index in range(record_count):
+        wal.append("read", f"t.{index}", {"entity": "x"})
+    wal.flush()
+    wal.close()
+    return list_segments(wal_dir)
+
+
+class TestListSegments:
+    def test_sorted_by_first_lsn_and_named_canonically(self, tmp_path):
+        segments = build_segmented_log(tmp_path, 40, 512)
+        assert len(segments) > 2, "roller produced a single segment"
+        firsts = [segment_first_lsn(path) for path in segments]
+        assert firsts == sorted(firsts)
+        assert firsts[0] == 1
+        for path, first in zip(segments, firsts):
+            assert path.name == segment_name(first)
+        # The inventory matches a fresh directory listing exactly.
+        assert set(segments) == set(tmp_path.glob("wal-*.jsonl"))
+
+    def test_rolled_segments_abut_with_no_lsn_gap(self, tmp_path):
+        segments = build_segmented_log(tmp_path, 40, 512)
+        scan = scan_wal(tmp_path)
+        assert [record.lsn for record in scan.records] == list(
+            range(1, 41)
+        )
+        boundaries = [segment_first_lsn(path) for path in segments[1:]]
+        lsns = {record.lsn for record in scan.records}
+        assert all(first in lsns for first in boundaries)
+
+
+class TestTornTailAcrossSegments:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_torn_final_segment_truncates(self, tmp_path, seed):
+        rng = random.Random(seed)
+        count = rng.randrange(12, 48)
+        build_segmented_log(tmp_path, count, rng.choice((256, 512)))
+        final = list_segments(tmp_path)[-1]
+        if final.stat().st_size == 0:
+            # The last append triggered a roll; tear the segment that
+            # actually holds records (as if rotation never happened).
+            final.unlink()
+            final = list_segments(tmp_path)[-1]
+        data = final.read_bytes()
+        cut = rng.randrange(1, len(data))
+        final.write_bytes(data[:cut])
+        scan = scan_wal(tmp_path)
+        intact = len(scan.records)
+        if scan.torn is not None:
+            assert truncate_torn_tail(scan)
+            # After repair the log is clean and shorter.
+            healed = scan_wal(tmp_path)
+            assert healed.torn is None
+            assert len(healed.records) == intact < count
+        else:
+            # The cut landed exactly on a record boundary.
+            assert intact < count
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_torn_non_final_segment_is_refused(self, tmp_path, seed):
+        rng = random.Random(seed)
+        count = rng.randrange(12, 48)
+        segments = build_segmented_log(
+            tmp_path, count, rng.choice((256, 512))
+        )
+        assert len(segments) >= 2
+        victim = segments[rng.randrange(0, len(segments) - 1)]
+        data = victim.read_bytes()
+        victim.write_bytes(data[: rng.randrange(1, len(data))])
+        with pytest.raises(DurabilityError):
+            scan_wal(tmp_path)
+
+    def test_mid_segment_damage_with_valid_suffix_is_refused(
+        self, tmp_path
+    ):
+        build_segmented_log(tmp_path, 20, 4096)
+        (final,) = list_segments(tmp_path)
+        lines = final.read_bytes().splitlines(keepends=True)
+        assert len(lines) == 20
+        # Chop the middle record in half but keep everything after it.
+        lines[10] = lines[10][: len(lines[10]) // 2]
+        final.write_bytes(b"".join(lines))
+        with pytest.raises(DurabilityError, match="valid one"):
+            scan_wal(tmp_path)
+
+    def test_empty_final_segment_scans_clean(self, tmp_path):
+        wal = WriteAheadLog(tmp_path, flush_interval=0.0)
+        for index in range(5):
+            wal.append("read", f"t.{index}", {"entity": "x"})
+        wal.rotate()  # fresh, empty newest segment
+        wal.close()
+        segments = list_segments(tmp_path)
+        assert segments[-1].stat().st_size == 0
+        scan = scan_wal(tmp_path)
+        assert scan.torn is None
+        assert len(scan.records) == 5
+
+    def test_empty_final_segment_does_not_excuse_prior_damage(
+        self, tmp_path
+    ):
+        """A torn tail 'behind' an empty newest segment is corruption.
+
+        The crash signature is damage at the end of the *newest*
+        segment; a truncated record at the end of the previous one
+        means bytes vanished after a successful rotation, and recovery
+        must refuse to guess.
+        """
+        wal = WriteAheadLog(tmp_path, flush_interval=0.0)
+        for index in range(5):
+            wal.append("read", f"t.{index}", {"entity": "x"})
+        wal.rotate()
+        wal.close()
+        victim = list_segments(tmp_path)[-2]
+        data = victim.read_bytes()
+        victim.write_bytes(data[:-7])
+        with pytest.raises(DurabilityError):
+            scan_wal(tmp_path)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_truncate_repairs_only_what_scan_blessed(
+        self, tmp_path, seed
+    ):
+        """truncate_torn_tail removes exactly the torn suffix bytes."""
+        rng = random.Random(1000 + seed)
+        count = rng.randrange(16, 40)
+        build_segmented_log(tmp_path, count, 384)
+        final = list_segments(tmp_path)[-1]
+        data = final.read_bytes()
+        # Tear inside the last record specifically.
+        last_line_start = data.rstrip(b"\n").rfind(b"\n") + 1
+        cut = rng.randrange(last_line_start + 1, len(data))
+        final.write_bytes(data[:cut])
+        scan = scan_wal(tmp_path)
+        assert scan.torn == (final, last_line_start)
+        assert truncate_torn_tail(scan)
+        assert final.read_bytes() == data[:last_line_start]
+        assert len(scan_wal(tmp_path).records) == count - 1

@@ -135,3 +135,132 @@ def test_recovery_violations_fail():
 def test_clean_synthetic_evidence_passes():
     results = run_oracles(_evidence())
     assert all(result.ok for result in results)
+
+
+def _replica(index, applied, committed, verified=True, error=None):
+    return {
+        "replica": index,
+        "applied_lsn": applied,
+        "committed": list(committed),
+        "verified": verified,
+        "violations": [],
+        "error": error,
+    }
+
+
+def _sample(replica, lsn, view, t=0.0):
+    return {"t": t, "replica": replica, "applied_lsn": lsn, "view": view}
+
+
+def test_acked_commit_missing_from_winner_fails_promotion():
+    plan = generate_plan(1, durable=True)
+    plan.replicas, plan.sync_replicas = 2, 1
+    evidence = _evidence(
+        plan=plan,
+        acked_committed=["t.1", "t.2"],
+        replicas=[
+            _replica(0, 5, ["t.1"]),
+            _replica(1, 9, ["t.1"]),  # winner, but t.2 is gone
+        ],
+    )
+    verdict = _verdict(
+        run_oracles(evidence), "acked_commits_survive_promotion"
+    )
+    assert not verdict.ok
+    assert "t.2" in verdict.details[0]
+
+
+def test_unverified_winner_fails_promotion():
+    plan = generate_plan(1, durable=True)
+    plan.replicas, plan.sync_replicas = 1, 1
+    evidence = _evidence(
+        plan=plan,
+        replicas=[_replica(0, 9, [], verified=False)],
+    )
+    verdict = _verdict(
+        run_oracles(evidence), "acked_commits_survive_promotion"
+    )
+    assert not verdict.ok
+    assert "recover --verify" in verdict.details[0]
+
+
+def test_promotion_oracle_skips_async_and_indeterminate():
+    plan = generate_plan(1, durable=True)
+    plan.replicas, plan.sync_replicas = 1, 0  # async shipping
+    evidence = _evidence(plan=plan, replicas=[_replica(0, 3, [])])
+    verdict = _verdict(
+        run_oracles(evidence), "acked_commits_survive_promotion"
+    )
+    assert verdict.ok and verdict.skipped
+    # Indeterminate commits carry no survival promise.
+    plan.sync_replicas = 1
+    evidence = _evidence(
+        plan=plan,
+        indeterminate_committed=["t.9"],
+        replicas=[_replica(0, 3, [])],
+    )
+    verdict = _verdict(
+        run_oracles(evidence), "acked_commits_survive_promotion"
+    )
+    assert verdict.ok
+
+
+def test_backwards_applied_lsn_fails_prefix_consistency():
+    plan = generate_plan(1, durable=True)
+    plan.replicas, plan.sync_replicas = 1, 1
+    evidence = _evidence(
+        plan=plan,
+        replicas=[_replica(0, 4, [])],
+        follower_samples=[
+            _sample(0, 4, {"x": 1}),
+            _sample(0, 2, {"x": 1}, t=1.0),
+        ],
+    )
+    verdict = _verdict(run_oracles(evidence), "prefix_consistency")
+    assert not verdict.ok
+    assert "backwards" in verdict.details[0]
+
+
+def test_diverging_views_at_same_lsn_fail_prefix_consistency():
+    plan = generate_plan(1, durable=True)
+    plan.replicas, plan.sync_replicas = 2, 1
+    evidence = _evidence(
+        plan=plan,
+        replicas=[_replica(0, 4, []), _replica(1, 4, [])],
+        follower_samples=[
+            _sample(0, 4, {"x": 1}),
+            _sample(1, 4, {"x": 2}, t=1.0),
+        ],
+    )
+    verdict = _verdict(run_oracles(evidence), "prefix_consistency")
+    assert not verdict.ok
+    assert "disagree" in verdict.details[0]
+
+
+def test_non_nesting_commit_orders_fail_prefix_consistency():
+    plan = generate_plan(1, durable=True)
+    plan.replicas, plan.sync_replicas = 2, 1
+    evidence = _evidence(
+        plan=plan,
+        replicas=[
+            _replica(0, 4, ["t.1"]),
+            _replica(1, 9, ["t.2", "t.1"]),
+        ],
+    )
+    verdict = _verdict(run_oracles(evidence), "prefix_consistency")
+    assert not verdict.ok
+    assert "prefix" in verdict.details[0]
+
+
+def test_indeterminate_commit_accepted_without_ack():
+    # committed_prefix must not flag a recovered commit whose reply
+    # was "durable locally, ack unknown".
+    plan = generate_plan(1, durable=True)
+    evidence = _evidence(
+        plan=plan,
+        acked_committed=["t.1"],
+        indeterminate_committed=["t.2"],
+        recovery=_recovery(["t.1", "t.2"]),
+    )
+    verdict = _verdict(run_oracles(evidence), "committed_prefix")
+    assert verdict.ok, verdict.details

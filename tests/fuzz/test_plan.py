@@ -60,3 +60,50 @@ def test_op_count_counts_requests_not_sleeps():
             )
     assert plan.op_count == expected
     assert plan.op_count > 0
+
+
+def test_replication_fields_round_trip():
+    plan = generate_plan(9, replicas=2)
+    assert plan.replicas == 2
+    assert plan.sync_replicas == 1
+    clone = FuzzPlan.from_dict(plan.to_dict())
+    assert clone.replicas == plan.replicas
+    assert clone.sync_replicas == plan.sync_replicas
+    assert clone.partitions == plan.partitions
+    assert clone.canonical_json() == plan.canonical_json()
+
+
+def test_pre_replication_plan_dicts_still_load():
+    # Reproducer files written before replication existed have no
+    # replicas/sync_replicas/partitions keys; they must load with the
+    # no-replication defaults.
+    data = generate_plan(6).to_dict()
+    for key in ("replicas", "sync_replicas", "partitions"):
+        data.pop(key)
+    plan = FuzzPlan.from_dict(data)
+    assert plan.replicas == 0
+    assert plan.sync_replicas == 0
+    assert plan.partitions == []
+
+
+def test_replication_requires_durable():
+    plan = generate_plan(9, durable=False, replicas=2)
+    assert plan.replicas == 0
+    for seed in range(60):
+        plan = generate_plan(seed)
+        if plan.replicas:
+            assert plan.durable
+
+
+def test_seed_stream_reaches_replication_dimensions():
+    # The seed alone must exercise followers, partitions, and the
+    # partition+crash combination somewhere in a modest seed range.
+    plans = [generate_plan(seed) for seed in range(120)]
+    assert any(p.replicas for p in plans)
+    assert any(p.partitions for p in plans)
+    assert any(p.replicas and p.crash_point for p in plans)
+    for plan in plans:
+        for window in plan.partitions:
+            index, start, end = window
+            assert 0 <= index < plan.replicas
+            assert 0.0 <= start < end

@@ -72,3 +72,71 @@ def test_report_shape():
     # Virtual timestamps only: the transcript must be monotone in t.
     times = [event["t"] for event in report["schedule"]]
     assert times == sorted(times)
+
+
+def _first_seed(predicate, stop=120):
+    for seed in range(stop):
+        plan = generate_plan(seed)
+        if predicate(plan):
+            return seed, plan
+    raise AssertionError("no matching seed in range")
+
+
+class TestReplicatedRuns:
+    def test_replicated_run_is_deterministic_and_clean(self):
+        _seed, plan = _first_seed(
+            lambda p: p.replicas and not p.crash_point
+        )
+        first = execute_plan(plan)
+        second = execute_plan(plan)
+        assert json.dumps(first.report, sort_keys=True) == json.dumps(
+            second.report, sort_keys=True
+        )
+        assert first.ok, first.failed_oracles
+        entries = first.evidence.replicas
+        assert entries and len(entries) == plan.replicas
+        for entry in entries:
+            assert entry["error"] is None
+            assert entry["verified"] is True
+
+    def test_clean_replicated_run_converges(self):
+        # After the partitions heal and the final catch-up, every
+        # replica has applied the full durable history.
+        _seed, plan = _first_seed(
+            lambda p: p.replicas and not p.crash_point
+        )
+        result = execute_plan(plan)
+        applied = {
+            entry["applied_lsn"] for entry in result.evidence.replicas
+        }
+        assert len(applied) == 1
+        assert result.evidence.follower_samples is not None
+
+    def test_crashed_replicated_run_passes_promotion_oracle(self):
+        _seed, plan = _first_seed(
+            lambda p: p.replicas and p.crash_point
+        )
+        result = execute_plan(plan)
+        assert result.ok, result.failed_oracles
+        verdicts = result.report["oracles"]
+        assert "acked_commits_survive_promotion" in verdicts
+        assert "prefix_consistency" in verdicts
+
+    def test_partition_can_produce_indeterminate_commits(self):
+        # Somewhere in the seed stream a partition overlaps a sync
+        # commit long enough to blow its request deadline; the client
+        # is told "indeterminate" and the oracles accept the commit
+        # in the recovered history without an ack.
+        for seed in range(200):
+            plan = generate_plan(seed)
+            if not plan.replicas:
+                continue
+            result = execute_plan(plan)
+            assert result.ok, (seed, result.failed_oracles)
+            if result.evidence.indeterminate_committed:
+                report = result.report
+                assert report["counts"]["commits_indeterminate"] > 0
+                return
+        raise AssertionError(
+            "no seed in 0..199 produced an indeterminate commit"
+        )

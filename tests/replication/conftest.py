@@ -1,0 +1,95 @@
+"""Shared helpers for the replication tests.
+
+Two styles of harness:
+
+* :func:`primary_manager` — a WAL-backed manager plus a helper that
+  commits single-entity transactions, for driving the transport-free
+  hub/applier core directly;
+* :func:`replicated_pair` — a real primary + follower
+  :class:`TransactionServer` pair on one event loop, wired over TCP.
+"""
+
+from __future__ import annotations
+
+import contextlib
+
+from repro.core.predicates import Predicate
+from repro.core.transactions import Spec
+from repro.durability import DurableTransactionManager
+from repro.server import ServerConfig, TransactionServer
+
+from ..server.conftest import run, tiny_db  # noqa: F401 — re-exported
+
+__all__ = [
+    "commit_value",
+    "open_primary",
+    "replicated_pair",
+    "run",
+    "tiny_db",
+]
+
+
+def open_primary(wal_dir, **kwargs):
+    """A durable manager over ``tiny_db`` with eager fsync."""
+    kwargs.setdefault("flush_interval", 0.0)
+    kwargs.setdefault("checkpoint_every", 0)
+    manager, _recovery = DurableTransactionManager.open(
+        wal_dir, tiny_db, **kwargs
+    )
+    return manager
+
+
+def commit_value(manager, entity: str, value: int) -> str:
+    """Define/validate/write/commit one leaf; return its name."""
+    spec = Spec(
+        Predicate.parse(f"{entity} >= 0"), Predicate.parse("true")
+    )
+    txn = manager.define(manager.root, spec, [entity])
+    manager.validate(txn)
+    manager.write(txn, entity, value)
+    manager.commit(txn)
+    return txn
+
+
+@contextlib.asynccontextmanager
+async def replicated_pair(
+    tmp_path,
+    *,
+    sync_replicas: int = 0,
+    follower_count: int = 1,
+    **primary_overrides,
+):
+    """A started primary and ``follower_count`` followers over TCP."""
+    primary = TransactionServer(
+        tiny_db(),
+        ServerConfig(
+            port=0,
+            wal_dir=str(tmp_path / "primary"),
+            flush_interval=0.002,
+            checkpoint_every=64,
+            repl_port=0,
+            sync_replicas=sync_replicas,
+            **primary_overrides,
+        ),
+    )
+    await primary.start()
+    followers = []
+    try:
+        for index in range(follower_count):
+            follower = TransactionServer(
+                tiny_db(),
+                ServerConfig(
+                    port=0,
+                    wal_dir=str(tmp_path / f"follower{index}"),
+                    follow_of=f"127.0.0.1:{primary.repl_port}",
+                ),
+            )
+            await follower.start()
+            followers.append(follower)
+        yield (primary, *followers)
+    finally:
+        for follower in followers:
+            await follower.shutdown()
+        await primary.shutdown()
+
+

@@ -1,0 +1,222 @@
+"""Transport-free replication core: hub cursors, applier replay.
+
+These tests drive :class:`ReplicationHub` and :class:`FollowerApplier`
+directly (no sockets), the same way the deterministic fuzzer does.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.durability.wal import list_segments, scan_wal
+from repro.replication import (
+    FollowerApplier,
+    ReplicationError,
+    ReplicationHub,
+)
+from repro.replication.messages import (
+    KIND_RECORDS,
+    KIND_SNAPSHOT,
+)
+
+from .conftest import commit_value, open_primary
+
+
+def pump(hub, slot, applier, initial=None):
+    """Deliver messages for ``slot`` until the applier catches up."""
+    if initial is not None:
+        assert initial["kind"] == KIND_SNAPSHOT
+        applier.install_snapshot(initial["state"], initial["last_lsn"])
+        hub.ack(slot, applier.applied_lsn)
+    while True:
+        message = hub.next_batch(slot)
+        if message is None:
+            return
+        if message["kind"] == KIND_SNAPSHOT:
+            applier.install_snapshot(
+                message["state"], message["last_lsn"]
+            )
+        else:
+            assert message["kind"] == KIND_RECORDS
+            applier.apply_records(message)
+        hub.ack(slot, applier.applied_lsn)
+
+
+class TestShipAndApply:
+    def test_follower_converges_to_primary_view(self, tmp_path):
+        primary = open_primary(tmp_path / "p")
+        hub = ReplicationHub(primary)
+        commit_value(primary, "x", 7)
+        slot, initial = hub.register(0, "f0")
+        applier = FollowerApplier(tmp_path / "f0")
+        pump(hub, slot, applier, initial)
+        commit_value(primary, "y", 9)
+        commit_value(primary, "x", 11)
+        pump(hub, slot, applier)
+        applied_lsn, view = applier.read_view()
+        assert view == {"x": 11, "y": 9}
+        assert applied_lsn == primary.wal.durable_lsn
+        assert applier.lag_lsn == 0
+        primary.close()
+
+    def test_follower_wal_is_byte_identical_suffix(self, tmp_path):
+        primary = open_primary(tmp_path / "p")
+        hub = ReplicationHub(primary)
+        slot, initial = hub.register(0, "f0")
+        applier = FollowerApplier(tmp_path / "f0")
+        pump(hub, slot, applier, initial)
+        commit_value(primary, "x", 3)
+        commit_value(primary, "y", 4)
+        pump(hub, slot, applier)
+        primary_records = {
+            record.lsn: record.encode()
+            for record in scan_wal(tmp_path / "p").records
+        }
+        follower_scan = scan_wal(tmp_path / "f0")
+        assert follower_scan.records, "follower shipped no records"
+        for record in follower_scan.records:
+            assert record.encode() == primary_records[record.lsn]
+        primary.close()
+
+    def test_only_durable_records_ship(self, tmp_path):
+        # A huge flush window: appends stay buffered (not fsynced).
+        primary = open_primary(tmp_path / "p", flush_interval=1e9)
+        hub = ReplicationHub(primary)
+        slot, initial = hub.register(0, "f0")
+        applier = FollowerApplier(tmp_path / "f0")
+        pump(hub, slot, applier, initial)
+        base = applier.applied_lsn
+        commit_value(primary, "x", 5)
+        assert hub.next_batch(slot) is None  # nothing durable yet
+        primary.flush()
+        pump(hub, slot, applier)
+        assert applier.applied_lsn > base
+        _lsn, view = applier.read_view()
+        assert view["x"] == 5
+        primary.close()
+
+    def test_lost_cursor_falls_back_to_snapshot(self, tmp_path):
+        primary = open_primary(
+            tmp_path / "p", checkpoint_every=4, retain=1
+        )
+        hub = ReplicationHub(primary)
+        slot, initial = hub.register(0, "f0")
+        applier = FollowerApplier(tmp_path / "f0")
+        pump(hub, slot, applier, initial)
+        # Enough commits to checkpoint + rotate + clean up segments
+        # beyond the follower's stale cursor.
+        for value in range(2, 30):
+            commit_value(primary, "x", value)
+        message = hub.next_batch(slot)
+        assert message is not None
+        while message is not None:
+            if message["kind"] == KIND_SNAPSHOT:
+                applier.install_snapshot(
+                    message["state"], message["last_lsn"]
+                )
+            else:
+                applier.apply_records(message)
+            hub.ack(slot, applier.applied_lsn)
+            message = hub.next_batch(slot)
+        assert applier.snapshots_installed >= 2  # initial + resync
+        _lsn, view = applier.read_view()
+        assert view["x"] == 29
+        primary.close()
+
+    def test_sync_replicas_replicated_lsn_is_kth_ack(self, tmp_path):
+        primary = open_primary(tmp_path / "p")
+        hub = ReplicationHub(primary, sync_replicas=2)
+        advanced = []
+        hub.on_replicated = advanced.append
+        slot_a, init_a = hub.register(0, "a")
+        slot_b, init_b = hub.register(0, "b")
+        applier_a = FollowerApplier(tmp_path / "a")
+        applier_b = FollowerApplier(tmp_path / "b")
+        pump(hub, slot_a, applier_a, init_a)
+        commit_value(primary, "x", 8)
+        pump(hub, slot_a, applier_a)
+        # Only one of two required followers has acked.
+        assert hub.replicated_lsn < primary.wal.durable_lsn
+        pump(hub, slot_b, applier_b, init_b)
+        assert hub.replicated_lsn == primary.wal.durable_lsn
+        assert advanced and advanced[-1] == hub.replicated_lsn
+        primary.close()
+
+
+class TestApplierEdges:
+    def test_gap_is_a_protocol_violation(self, tmp_path):
+        primary = open_primary(tmp_path / "p")
+        hub = ReplicationHub(primary)
+        slot, initial = hub.register(0, "f0")
+        applier = FollowerApplier(tmp_path / "f0")
+        pump(hub, slot, applier, initial)
+        commit_value(primary, "x", 2)
+        commit_value(primary, "x", 3)
+        message = hub.next_batch(slot)
+        assert message["kind"] == KIND_RECORDS
+        gapped = dict(message)
+        gapped["records"] = message["records"][1:]  # drop the first
+        with pytest.raises(ReplicationError, match="gap"):
+            applier.apply_records(gapped)
+        # The intact batch still applies (dup-free, contiguous).
+        applier.apply_records(message)
+        primary.close()
+
+    def test_duplicate_delivery_is_idempotent(self, tmp_path):
+        primary = open_primary(tmp_path / "p")
+        hub = ReplicationHub(primary)
+        slot, initial = hub.register(0, "f0")
+        applier = FollowerApplier(tmp_path / "f0")
+        pump(hub, slot, applier, initial)
+        commit_value(primary, "x", 6)
+        message = hub.next_batch(slot)
+        assert applier.apply_records(message) > 0
+        assert applier.apply_records(message) == 0  # resend: no-op
+        _lsn, view = applier.read_view()
+        assert view["x"] == 6
+        primary.close()
+
+    def test_restart_resumes_from_local_history(self, tmp_path):
+        primary = open_primary(tmp_path / "p")
+        hub = ReplicationHub(primary)
+        slot, initial = hub.register(0, "f0")
+        applier = FollowerApplier(tmp_path / "f0")
+        pump(hub, slot, applier, initial)
+        commit_value(primary, "x", 12)
+        pump(hub, slot, applier)
+        high_water = applier.applied_lsn
+        applier.close()
+        reborn = FollowerApplier(tmp_path / "f0")
+        assert reborn.applied_lsn == high_water
+        _lsn, view = reborn.read_view()
+        assert view["x"] == 12
+        # Re-registering at the resumed LSN ships no snapshot.
+        slot2, initial2 = hub.register(reborn.applied_lsn, "f0")
+        assert initial2 is None
+        commit_value(primary, "y", 13)
+        pump(hub, slot2, reborn)
+        _lsn, view = reborn.read_view()
+        assert view == {"x": 12, "y": 13}
+        reborn.close()
+        primary.close()
+
+    def test_interrupted_install_wipes_on_restart(self, tmp_path):
+        primary = open_primary(tmp_path / "p")
+        hub = ReplicationHub(primary)
+        slot, initial = hub.register(0, "f0")
+        applier = FollowerApplier(tmp_path / "f0")
+        pump(hub, slot, applier, initial)
+        commit_value(primary, "x", 4)
+        pump(hub, slot, applier)
+        applier.close()
+        # Simulate an interrupted snapshot install: segments exist but
+        # every checkpoint is gone.
+        for checkpoint in list(
+            (tmp_path / "f0").glob("checkpoint-*.json")
+        ):
+            checkpoint.unlink()
+        assert list_segments(tmp_path / "f0")
+        fresh = FollowerApplier(tmp_path / "f0")
+        assert fresh.applied_lsn == 0  # wiped; will ask for a snapshot
+        assert not list_segments(tmp_path / "f0")
+        primary.close()

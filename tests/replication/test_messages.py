@@ -1,0 +1,56 @@
+"""Replication wire format: framing, size limits, record round-trip."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.durability.records import WalRecord
+from repro.replication import (
+    REPL_MAX_FRAME_BYTES,
+    ReplicationError,
+    ack_message,
+    decode_message,
+    encode_message,
+    hello_message,
+    records_from_payload,
+    records_message,
+    snapshot_message,
+)
+
+
+def test_roundtrip_every_kind():
+    record = WalRecord(lsn=5, op="commit", txn="t.1", data={"k": 1})
+    for message in (
+        hello_message(7, "node-a"),
+        snapshot_message({"s": 1}, 42),
+        records_message([record], 5, 123.5),
+        ack_message(9),
+    ):
+        line = encode_message(message)
+        assert line.endswith(b"\n")
+        assert decode_message(line) == message
+
+
+def test_records_payload_rebuilds_identical_records():
+    records = [
+        WalRecord(lsn=3, op="write", txn="t.2", data={"entity": "x"}),
+        WalRecord(lsn=4, op="commit", txn="t.2", data={}),
+    ]
+    payload = records_message(records, 4, 0.0)
+    rebuilt = records_from_payload(payload)
+    assert [r.encode() for r in rebuilt] == [
+        r.encode() for r in records
+    ]
+
+
+def test_oversized_frame_is_refused():
+    big = snapshot_message({"blob": "x" * REPL_MAX_FRAME_BYTES}, 1)
+    with pytest.raises(ReplicationError, match="exceeds"):
+        encode_message(big)
+
+
+def test_garbage_line_is_refused():
+    with pytest.raises(ReplicationError):
+        decode_message(b"not json\n")
+    with pytest.raises(ReplicationError):
+        decode_message(b'["a","list"]\n')

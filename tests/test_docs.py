@@ -33,6 +33,7 @@ def _documented_modules(name: str) -> set[str]:
         "docs/protocol.md",
         "docs/observability.md",
         "docs/server.md",
+        "docs/replication.md",
     ],
 )
 def test_referenced_modules_exist(doc):
