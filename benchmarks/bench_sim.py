@@ -1,0 +1,67 @@
+"""Experiment S1 — cluster-simulation sweep (writes BENCH_sim.json).
+
+Grids the hot-key contention scenario over cluster size (a 3-node and
+a ≥6-node cell) × partition rate, runs every cell through the full
+discrete-event cluster simulator (`repro.des`) with oracle + invariant
+validation, and records per-cell throughput, abort rate, and
+replication-lag percentiles.  The document is a pure function of the
+base scenario + seed, so CI runs it twice and asserts byte equality —
+the bench file doubles as a determinism regression test.
+
+Run directly (``python benchmarks/bench_sim.py``) or via pytest.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.des import get_scenario, run_sweep
+
+from conftest import report
+
+ROOT = Path(__file__).resolve().parent.parent
+
+NODES = [3, 6]
+PARTITION_RATES = [0.0, 0.3]
+
+
+def bench_sweep() -> dict:
+    base = get_scenario("hot_key_storm")
+    doc = run_sweep(
+        base, nodes=NODES, partition_rates=PARTITION_RATES
+    )
+    again = run_sweep(
+        base, nodes=NODES, partition_rates=PARTITION_RATES
+    )
+    assert json.dumps(doc, sort_keys=True) == json.dumps(
+        again, sort_keys=True
+    ), "sweep is nondeterministic"
+    return doc
+
+
+def test_sim_benchmark_writes_json():
+    doc = bench_sweep()
+    (ROOT / "BENCH_sim.json").write_text(
+        json.dumps(doc, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    assert doc["ok"], [
+        (cell["scenario"], cell["failed_checks"])
+        for cell in doc["cells"]
+        if not cell["ok"]
+    ]
+    assert any(cell["nodes"] >= 6 for cell in doc["cells"])
+    rows = "; ".join(
+        f"n{cell['nodes']}/pr{cell['partition_rate']:g}: "
+        f"{cell['metrics']['throughput_commits_per_s']:.1f} c/s, "
+        f"abort {cell['metrics']['abort_rate']:.2f}, "
+        f"lag p95 {cell['metrics']['lag_lsn_p95']:g}"
+        for cell in doc["cells"]
+    )
+    report("S1 cluster simulation sweep", rows)
+
+
+if __name__ == "__main__":
+    test_sim_benchmark_writes_json()
+    print((ROOT / "BENCH_sim.json").read_text(encoding="utf-8"))

@@ -704,6 +704,129 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
     return result.exit_code
 
 
+def _cmd_sim_list(args: argparse.Namespace) -> int:
+    from .des import SCENARIOS
+
+    for scenario in SCENARIOS.values():
+        print(
+            f"{scenario.name:26s} seed={scenario.seed:<3d} "
+            f"clients={scenario.clients} followers={scenario.followers} "
+            f"workload={scenario.workload}"
+        )
+        print(f"    {scenario.description}")
+    return 0
+
+
+def _sim_failed_checks(report: dict) -> list[str]:
+    return sorted(
+        name
+        for section in report["epochs"]
+        for name, verdict in section["oracles"].items()
+        if not verdict["ok"]
+    ) + sorted(
+        name
+        for name, verdict in report["invariants"].items()
+        if not verdict["ok"]
+    )
+
+
+def _cmd_sim_run(args: argparse.Namespace) -> int:
+    import json
+
+    from .des import get_scenario, run_scenario
+
+    try:
+        scenario = get_scenario(args.scenario)
+    except KeyError as error:
+        print(f"error: {error.args[0]}", file=sys.stderr)
+        return 2
+    if args.seed is not None:
+        scenario = scenario.with_overrides(seed=args.seed)
+    report = run_scenario(scenario)
+    metrics = report["metrics"]
+    print(
+        f"repro sim: {scenario.name} seed={scenario.seed} "
+        f"digest={report['scenario_digest']}"
+    )
+    print(
+        f"repro sim: epochs={len(report['epochs'])} "
+        f"acked={metrics['commits_acked']} "
+        f"abort_rate={metrics['abort_rate']:.3f} "
+        f"throughput={metrics['throughput_commits_per_s']:.2f}/s "
+        f"lag_lsn_p95={metrics['lag_lsn_p95']:g}"
+    )
+    if report["promotion"]:
+        print(
+            f"repro sim: promotion -> {report['promotion']['winner']} "
+            f"(applied_lsn={report['promotion']['promoted_from_lsn']})"
+        )
+    failed = _sim_failed_checks(report)
+    if report["deadlock"]:
+        print(f"repro sim: DEADLOCK: {report['deadlock']}")
+    for name in failed:
+        print(f"repro sim: FAILED check: {name}")
+    if args.report:
+        with open(args.report, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"repro sim: report -> {args.report}")
+    print(f"repro sim: {'ok' if report['ok'] else 'FAILED'}")
+    return 0 if report["ok"] else 1
+
+
+def _floats_arg(text: str) -> list[float]:
+    return [float(part) for part in text.split(",") if part.strip()]
+
+
+def _ints_arg(text: str) -> list[int]:
+    return [int(part) for part in text.split(",") if part.strip()]
+
+
+def _cmd_sim_sweep(args: argparse.Namespace) -> int:
+    import json
+
+    from .des import get_scenario, run_sweep
+
+    try:
+        base = get_scenario(args.scenario)
+    except KeyError as error:
+        print(f"error: {error.args[0]}", file=sys.stderr)
+        return 2
+    if args.seed is not None:
+        base = base.with_overrides(seed=args.seed)
+    doc = run_sweep(
+        base,
+        nodes=args.nodes,
+        partition_rates=args.partition_rates,
+        workloads=(
+            [w for w in args.workloads.split(",") if w.strip()]
+            if args.workloads
+            else None
+        ),
+        latencies=args.latencies,
+    )
+    for cell in doc["cells"]:
+        status = "ok" if cell["ok"] else "FAILED"
+        print(
+            f"repro sim sweep: {cell['scenario']:40s} {status} "
+            f"thr={cell['metrics']['throughput_commits_per_s']:8.2f}/s "
+            f"abort={cell['metrics']['abort_rate']:.3f} "
+            f"lag_p95={cell['metrics']['lag_lsn_p95']:g}"
+        )
+        for name in cell["failed_checks"]:
+            print(f"repro sim sweep:   FAILED check: {name}")
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(doc, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"repro sim sweep: wrote {args.output}")
+    print(
+        f"repro sim sweep: {len(doc['cells'])} cells, "
+        f"{'ok' if doc['ok'] else 'FAILED'}"
+    )
+    return 0 if doc["ok"] else 1
+
+
 def _cmd_fuzz_replay(args: argparse.Namespace) -> int:
     import json
 
@@ -1101,6 +1224,67 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the replayed run's full report as JSON to this path",
     )
     fuzz_replay.set_defaults(func=_cmd_fuzz_replay)
+
+    sim = sub.add_parser(
+        "sim",
+        help="multi-node discrete-event cluster simulator "
+        "(exit 0 = all checks pass, 1 = violation, 2 = usage error)",
+    )
+    sim_sub = sim.add_subparsers(dest="sim_command", required=True)
+    sim_list = sim_sub.add_parser(
+        "list", help="list the shipped adversarial scenarios"
+    )
+    sim_list.set_defaults(func=_cmd_sim_list)
+    sim_run = sim_sub.add_parser(
+        "run", help="run one scenario and validate it against the oracles"
+    )
+    sim_run.add_argument(
+        "--scenario", required=True,
+        help="scenario name (see 'repro sim list')",
+    )
+    sim_run.add_argument(
+        "--seed", type=int, default=None,
+        help="override the scenario's seed",
+    )
+    sim_run.add_argument(
+        "--report", default=None,
+        help="write the full run report as JSON to this path",
+    )
+    sim_run.set_defaults(func=_cmd_sim_run)
+    sim_sweep = sim_sub.add_parser(
+        "sweep",
+        help="grid a scenario over cluster size / partition rate / "
+        "workload / latency and write BENCH_sim.json",
+    )
+    sim_sweep.add_argument(
+        "--scenario", default="hot_key_storm",
+        help="base scenario for the grid (default hot_key_storm)",
+    )
+    sim_sweep.add_argument(
+        "--seed", type=int, default=None,
+        help="override the base scenario's seed",
+    )
+    sim_sweep.add_argument(
+        "--nodes", type=_ints_arg, default=None,
+        help="comma-separated total node counts (default 3,6)",
+    )
+    sim_sweep.add_argument(
+        "--partition-rates", type=_floats_arg, default=None,
+        help="comma-separated partition rates (default 0,0.3)",
+    )
+    sim_sweep.add_argument(
+        "--workloads", default=None,
+        help="comma-separated workload kinds (default: base scenario's)",
+    )
+    sim_sweep.add_argument(
+        "--latencies", type=_floats_arg, default=None,
+        help="comma-separated link latencies in virtual seconds",
+    )
+    sim_sweep.add_argument(
+        "--output", default="BENCH_sim.json",
+        help="bench JSON path ('' = don't write)",
+    )
+    sim_sweep.set_defaults(func=_cmd_sim_sweep)
 
     return parser
 

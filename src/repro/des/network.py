@@ -1,0 +1,125 @@
+"""The modeled network layer of the cluster simulator.
+
+Every byte that crosses a node boundary in the DES goes through one
+:class:`Network`: per-link base latency, seeded jitter, an optional
+bandwidth cap, per-node slowdown multipliers, and partition windows in
+virtual time.  Delivery on a link is FIFO — a message never overtakes
+an earlier one on the same ``(src, dst)`` pair — which is exactly the
+ordering contract the replication protocol assumes from TCP.
+
+Determinism: each link owns a :class:`random.Random` seeded from the
+scenario seed and the link's name, so the jitter stream is a pure
+function of the seed and the order in which transits start — and on
+the virtual-clock loop that order is itself deterministic.  No global
+RNG, no wall clock.
+
+Partitions attach to a *node* (matching the fuzz plan's
+``[replica_index, start, end]`` windows): while a node is inside one
+of its windows, nothing is delivered to or from it.  Transits started
+during a window are held and delivered after it heals (the TCP
+retransmit model); the replication pumps additionally check
+:meth:`partitioned` themselves and drop their cursor instead, which is
+what exercises the hub's resync paths.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+import zlib
+from typing import Callable, Iterable
+
+#: Poll period (virtual seconds) while a transit waits out a partition.
+_PARTITION_POLL = 0.05
+
+
+class Network:
+    """Latency / jitter / bandwidth / partition model over node names."""
+
+    def __init__(
+        self,
+        clock: Callable[[], float],
+        *,
+        seed: int = 0,
+        latency: float = 0.002,
+        jitter: float = 0.002,
+        bandwidth: float = 0.0,
+        slow_nodes: "dict[str, float] | None" = None,
+        partitions: "Iterable[tuple[str, float, float]] | None" = None,
+    ) -> None:
+        self._clock = clock
+        self.seed = seed
+        self.latency = latency
+        self.jitter = jitter
+        #: Bytes per virtual second; ``0`` disables the bandwidth term.
+        self.bandwidth = bandwidth
+        self.slow_nodes = dict(slow_nodes or {})
+        #: ``node -> [(start, end), ...]`` partition windows.
+        self.partitions: dict[str, list[tuple[float, float]]] = {}
+        for node, start, end in partitions or ():
+            self.partitions.setdefault(node, []).append((start, end))
+        self._rngs: dict[tuple[str, str], random.Random] = {}
+        self._last_delivery: dict[tuple[str, str], float] = {}
+        self.messages = 0
+        self.bytes_sent = 0
+
+    # -- partitions --------------------------------------------------------
+
+    def partitioned(self, node: str, now: "float | None" = None) -> bool:
+        """Is ``node`` inside one of its partition windows?"""
+        at = self._clock() if now is None else now
+        return any(
+            start <= at < end
+            for start, end in self.partitions.get(node, ())
+        )
+
+    def heal(self) -> None:
+        """Operator intervention: drop every remaining window."""
+        self.partitions.clear()
+
+    # -- delay model -------------------------------------------------------
+
+    def _rng(self, src: str, dst: str) -> random.Random:
+        key = (src, dst)
+        rng = self._rngs.get(key)
+        if rng is None:
+            rng = random.Random(
+                self.seed ^ zlib.crc32(f"{src}->{dst}".encode("utf-8"))
+            )
+            self._rngs[key] = rng
+        return rng
+
+    def delay(self, src: str, dst: str, nbytes: int) -> float:
+        """One message's raw transit time (before FIFO clamping)."""
+        multiplier = max(
+            self.slow_nodes.get(src, 1.0), self.slow_nodes.get(dst, 1.0)
+        )
+        base = self.latency * multiplier
+        if self.jitter > 0.0:
+            base += self.jitter * self._rng(src, dst).random()
+        if self.bandwidth > 0.0:
+            base += nbytes / self.bandwidth
+        return base
+
+    async def transit(self, src: str, dst: str, nbytes: int = 256) -> float:
+        """Deliver one message ``src -> dst``; returns delivery time.
+
+        Waits out partition windows covering either endpoint, then
+        sleeps the modeled delay, clamped so deliveries on a link stay
+        FIFO (a later message is never delivered before an earlier
+        one, no matter how the jitter draws land).
+        """
+        while self.partitioned(src) or self.partitioned(dst):
+            await asyncio.sleep(_PARTITION_POLL)
+        now = self._clock()
+        deliver_at = max(
+            now + self.delay(src, dst, nbytes),
+            self._last_delivery.get((src, dst), 0.0),
+        )
+        self._last_delivery[(src, dst)] = deliver_at
+        self.messages += 1
+        self.bytes_sent += nbytes
+        remaining = deliver_at - now
+        if remaining > 0.0:
+            await asyncio.sleep(remaining)
+        return deliver_at

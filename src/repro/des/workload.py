@@ -1,0 +1,303 @@
+"""Expand a :class:`Scenario` into deterministic client scripts.
+
+Same discipline as :mod:`repro.fuzz.plan`: the seed is consumed *up
+front*, at plan time, into explicit :class:`~repro.fuzz.plan.ClientPlan`
+scripts — execution never touches an RNG, so the same scenario + seed
+always produces the same cluster run.  The scripts reuse the fuzz
+plan's op encoding plus one DES-only op:
+
+``["follower_read", entity_or_None, follower_index]``
+    a bounded-stale read routed to the given follower node, carrying
+    the scenario's ``max_lag_lsn`` bound and (when enabled) the
+    session's read-your-writes token.
+
+Epoch-2 scripts (after a primary crash + promotion) carry an ``e2``
+label prefix so transaction labels stay globally unique across the
+whole cluster history — the oracle evidence depends on it.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any
+
+from ..fuzz.plan import ENTITIES, ClientPlan, FuzzPlan, PlannedTxn
+from .scenarios import WORKLOAD_KINDS, Scenario
+
+
+def _rng(scenario: Scenario, *scope: Any) -> random.Random:
+    """A seeded stream for one (scenario, phase, client, ...) scope."""
+    return random.Random(
+        ":".join(str(part) for part in (scenario.seed, *scope))
+    )
+
+
+def expand_partitions(scenario: Scenario) -> list[list[float]]:
+    """Explicit windows plus ``partition_rate``-generated ones."""
+    windows = [list(window) for window in scenario.partitions]
+    if scenario.partition_rate > 0.0:
+        rng = _rng(scenario, "partitions")
+        for index in range(scenario.followers):
+            if rng.random() < scenario.partition_rate:
+                start = round(rng.uniform(0.2, 2.0), 3)
+                length = round(rng.uniform(0.3, 1.5), 3)
+                windows.append([index, start, round(start + length, 3)])
+    return windows
+
+
+def _maybe_follower_read(
+    scenario: Scenario,
+    rng: random.Random,
+    ops: "list[list[Any]]",
+    txn_index: int,
+) -> None:
+    if scenario.followers <= 0 or scenario.follower_read_every <= 0:
+        return
+    if (txn_index + 1) % scenario.follower_read_every:
+        return
+    entity = rng.choice([None, *ENTITIES])
+    # Before the terminal op: the client loop stops at commit/abort.
+    ops.insert(
+        max(0, len(ops) - 1),
+        ["follower_read", entity, rng.randrange(scenario.followers)],
+    )
+
+
+def _sleep(rng: random.Random, think_max: float) -> "list[Any]":
+    return ["sleep", round(rng.uniform(0.0, think_max), 4)]
+
+
+def _hot_key_txn(
+    scenario: Scenario, rng: random.Random, label: str
+) -> PlannedTxn:
+    """Everyone reads and rewrites ``x``: maximal write-write conflict."""
+    ops: list[list[Any]] = [["read", "x"]]
+    if scenario.think_max > 0:
+        ops.append(_sleep(rng, scenario.think_max))
+    ops.append(["write", "x", rng.randint(0, 9)])
+    ops.append(["commit"])
+    return PlannedTxn(
+        label=label,
+        updates=["x"],
+        input="x >= 0",
+        output="x >= 0",
+        ops=ops,
+    )
+
+
+def _cad_txn(
+    scenario: Scenario,
+    rng: random.Random,
+    label: str,
+    long_form: bool,
+) -> PlannedTxn:
+    """Long CAD-style reader-then-writer vs. a short point write."""
+    if long_form:
+        ops: list[list[Any]] = []
+        for entity in ENTITIES:
+            ops.append(_sleep(rng, scenario.think_max))
+            ops.append(["read", entity])
+        target = rng.choice(ENTITIES)
+        ops.append(_sleep(rng, scenario.think_max))
+        ops.append(["write", target, rng.randint(0, 9)])
+        ops.append(["commit"])
+        return PlannedTxn(
+            label=label,
+            updates=[target],
+            input=" & ".join(f"{e} >= 0" for e in ENTITIES),
+            output=f"{target} >= 0",
+            ops=ops,
+        )
+    target = rng.choice(ENTITIES)
+    return PlannedTxn(
+        label=label,
+        updates=[target],
+        input="true",
+        output=f"{target} >= 0",
+        ops=[["write", target, rng.randint(0, 9)], ["commit"]],
+    )
+
+
+def _cascade_txn(
+    scenario: Scenario,
+    rng: random.Random,
+    label: str,
+    earlier: "list[str]",
+    aborter: bool,
+) -> PlannedTxn:
+    """Writers that abort late vs. dependents that read their entity."""
+    entity = rng.choice(ENTITIES)
+    if aborter:
+        ops: list[list[Any]] = [
+            ["write", entity, rng.randint(0, 9)],
+            _sleep(rng, max(scenario.think_max, 0.02) * 3),
+            ["abort"],
+        ]
+        return PlannedTxn(
+            label=label,
+            updates=[entity],
+            input="true",
+            output=f"{entity} >= 0",
+            ops=ops,
+        )
+    predecessors = [rng.choice(earlier)] if earlier else []
+    ops = [
+        ["read", entity],
+        _sleep(rng, max(scenario.think_max, 0.02)),
+        ["write", entity, rng.randint(0, 9)],
+        ["commit"],
+    ]
+    return PlannedTxn(
+        label=label,
+        updates=[entity],
+        input=f"{entity} >= 0",
+        output=f"{entity} >= 0",
+        predecessors=predecessors,
+        ops=ops,
+    )
+
+
+def _herd_txn(
+    scenario: Scenario, rng: random.Random, label: str
+) -> PlannedTxn:
+    """Zero think time: stampede the queue, ride the BUSY backoff."""
+    entity = rng.choice(ENTITIES)
+    return PlannedTxn(
+        label=label,
+        updates=[entity],
+        input="true",
+        output=f"{entity} >= 0",
+        ops=[["write", entity, rng.randint(0, 9)], ["commit"]],
+    )
+
+
+def _mixed_txn(
+    scenario: Scenario,
+    rng: random.Random,
+    label: str,
+    earlier: "list[str]",
+) -> PlannedTxn:
+    """The fuzz generator's shape: random reads, writes, terminals."""
+    reads = [e for e in ENTITIES if rng.random() < 0.45]
+    updates = [e for e in ENTITIES if rng.random() < 0.5] or [
+        rng.choice(ENTITIES)
+    ]
+    input_terms = [f"{e} >= 0" for e in reads]
+    output_terms = [f"{e} >= 0" for e in updates]
+    predecessors = []
+    if earlier and rng.random() < 0.3:
+        predecessors.append(rng.choice(earlier))
+    ops: list[list[Any]] = []
+    for entity in reads:
+        if scenario.think_max > 0 and rng.random() < 0.5:
+            ops.append(_sleep(rng, scenario.think_max))
+        ops.append(["read", entity])
+    for entity in updates:
+        if scenario.think_max > 0 and rng.random() < 0.5:
+            ops.append(_sleep(rng, scenario.think_max))
+        ops.append(["write", entity, rng.randint(0, 9)])
+    ops.append(["abort"] if rng.random() < 0.12 else ["commit"])
+    return PlannedTxn(
+        label=label,
+        updates=updates,
+        input=" & ".join(input_terms) or "true",
+        output=" & ".join(output_terms) or "true",
+        predecessors=predecessors,
+        ops=ops,
+    )
+
+
+def build_clients(
+    scenario: Scenario,
+    *,
+    phase: str = "e1",
+    txns_per_client: "int | None" = None,
+) -> "list[ClientPlan]":
+    """Expand one epoch's client scripts, labels unique per phase."""
+    if scenario.workload not in WORKLOAD_KINDS:
+        raise ValueError(
+            f"unknown workload kind {scenario.workload!r} "
+            f"(known: {', '.join(WORKLOAD_KINDS)})"
+        )
+    n_txns = (
+        txns_per_client
+        if txns_per_client is not None
+        else scenario.txns_per_client
+    )
+    prefix = "" if phase == "e1" else f"{phase}"
+    clients: list[ClientPlan] = []
+    earlier: list[str] = []
+    for client_id in range(scenario.clients):
+        rng = _rng(scenario, phase, client_id)
+        txns: list[PlannedTxn] = []
+        for txn_index in range(n_txns):
+            label = f"{prefix}c{client_id}t{txn_index}"
+            kind = scenario.workload
+            if kind == "hot_key":
+                txn = _hot_key_txn(scenario, rng, label)
+            elif kind == "cad":
+                txn = _cad_txn(
+                    scenario, rng, label, long_form=client_id % 2 == 0
+                )
+            elif kind == "cascade":
+                txn = _cascade_txn(
+                    scenario,
+                    rng,
+                    label,
+                    earlier,
+                    aborter=(client_id + txn_index) % 3 == 0,
+                )
+            elif kind == "herd":
+                txn = _herd_txn(scenario, rng, label)
+            else:
+                txn = _mixed_txn(scenario, rng, label, earlier)
+            _maybe_follower_read(scenario, rng, txn.ops, txn_index)
+            txns.append(txn)
+            earlier.append(label)
+        clients.append(ClientPlan(client_id=client_id, txns=txns))
+    return clients
+
+
+def build_plan(
+    scenario: Scenario,
+    *,
+    phase: str = "e1",
+    clients: "list[ClientPlan] | None" = None,
+    replicas: "int | None" = None,
+    sync_replicas: "int | None" = None,
+    partitions: "list[list[float]] | None" = None,
+) -> FuzzPlan:
+    """The oracle-facing :class:`FuzzPlan` for one epoch.
+
+    The DES engine drives its own harness, but the fuzz oracles read
+    run configuration off ``evidence.plan`` — this builds that plan,
+    with epoch overrides for the post-promotion phase.
+    """
+    return FuzzPlan(
+        seed=scenario.seed,
+        strict=scenario.strict,
+        durable=True,
+        queue_size=scenario.queue_size,
+        request_timeout=scenario.request_timeout,
+        drain_grace=scenario.drain_grace,
+        flush_interval=scenario.flush_interval,
+        checkpoint_every=scenario.checkpoint_every,
+        replicas=(
+            replicas if replicas is not None else scenario.followers
+        ),
+        sync_replicas=(
+            sync_replicas
+            if sync_replicas is not None
+            else scenario.sync_replicas
+        ),
+        partitions=(
+            [list(w) for w in partitions]
+            if partitions is not None
+            else expand_partitions(scenario)
+        ),
+        clients=(
+            clients
+            if clients is not None
+            else build_clients(scenario, phase=phase)
+        ),
+    )

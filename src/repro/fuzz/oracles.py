@@ -59,22 +59,28 @@ class OracleResult:
         return cls(name=name, ok=True, details=[why], skipped=True)
 
 
-def run_oracles(evidence: Any) -> list[OracleResult]:
-    """Evaluate every applicable oracle, in a fixed order."""
-    results = [
-        _no_deadlock(evidence),
-        _replies_complete(evidence),
-        _write_multiplicity(evidence),
-        _recovery_verified(evidence),
-        _committed_prefix(evidence),
-        _history_rc(evidence),
-        _classifier_lattice(evidence),
-        _protocol_verify(evidence),
-        _metrics_consistent(evidence),
-        _acked_commits_survive_promotion(evidence),
-        _prefix_consistency(evidence),
+def run_oracles(
+    evidence: Any, names: "list[str] | None" = None
+) -> list[OracleResult]:
+    """Evaluate oracles against ``evidence``, in a fixed order.
+
+    ``names`` selects a subset (still evaluated in registry order) —
+    the reuse API for harnesses beyond the fuzzer: the cluster DES
+    (:mod:`repro.des`) builds fuzz-shaped evidence per primary epoch
+    and transfers exactly the oracles whose preconditions that epoch
+    satisfies.  Unknown names raise ``KeyError`` so a harness cannot
+    silently skip an invariant it believes it is checking.
+    """
+    if names is None:
+        return [check(evidence) for check in ORACLES.values()]
+    missing = [name for name in names if name not in ORACLES]
+    if missing:
+        raise KeyError(f"unknown oracles: {missing}")
+    return [
+        check(evidence)
+        for name, check in ORACLES.items()
+        if name in set(names)
     ]
-    return results
 
 
 def _indeterminate(evidence: Any) -> set:
@@ -568,3 +574,21 @@ def _prefix_consistency(evidence: Any) -> OracleResult:
                 f"{shorter} is not a prefix of {longer}"
             )
     return OracleResult(name, not details, details)
+
+
+#: Name -> check, in canonical evaluation order.  ``run_oracles``
+#: iterates this registry; external harnesses (the DES) use the keys
+#: to select which invariants transfer to a given evidence shape.
+ORACLES: "dict[str, Any]" = {
+    "no_deadlock": _no_deadlock,
+    "replies_complete": _replies_complete,
+    "write_multiplicity": _write_multiplicity,
+    "recovery_verified": _recovery_verified,
+    "committed_prefix": _committed_prefix,
+    "history_rc": _history_rc,
+    "classifier_lattice": _classifier_lattice,
+    "protocol_verify": _protocol_verify,
+    "metrics_consistent": _metrics_consistent,
+    "acked_commits_survive_promotion": _acked_commits_survive_promotion,
+    "prefix_consistency": _prefix_consistency,
+}

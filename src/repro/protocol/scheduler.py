@@ -1010,6 +1010,68 @@ class TransactionManager:
             return False, "output condition unsatisfied"
         return True, "ok"
 
+    def unstable_reads_from(self, txn: str) -> str | None:
+        """First live transaction this commit's input depends on.
+
+        A top-level commit is only crash-durable if every version in
+        its (and its committed descendants') input assignment was
+        authored by a transaction whose whole chain up to top level has
+        committed: recovery expunges versions authored by transactions
+        in flight at the crash and cascade-aborts their committed
+        readers, so acknowledging such a commit would promise
+        durability the log cannot keep.  Returns the name of the first
+        dependency that has not terminated (the caller should wait for
+        it), or ``None`` when every reads-from edge is stable.
+
+        The durability boundary is a commit directly under the root:
+        the root transaction never commits, so its children's commits
+        are what recovery treats as durable.  Deeper (relative)
+        commits return ``None`` — they carry no durability promise,
+        and gating them on siblings would deadlock the hierarchy.  An
+        aborted author is treated as stable: its versions are
+        expunged and the abort cascade owns the reader's fate.
+        Read-only.
+        """
+        record = self.record(txn)
+        if record.parent is None:
+            return None  # a root never carries a durability promise
+        if self.record(record.parent).parent is not None:
+            return None  # relative commit below the boundary
+        subtree = {txn}
+        stack = [record]
+        while stack:
+            node = stack.pop()
+            for child in node.children:
+                subtree.add(child)
+                stack.append(self.record(child))
+        stack = [record]
+        while stack:
+            node = stack.pop()
+            for child in node.children:
+                child_record = self.record(child)
+                if child_record.phase is TxnPhase.COMMITTED:
+                    stack.append(child_record)
+            for version in node.assigned.values():
+                author = version.author
+                while author is not None and author not in subtree:
+                    author_record = self._records.get(author)
+                    if author_record is None:
+                        # Restored from a checkpoint: the author
+                        # committed before the previous crash.
+                        break
+                    if author_record.parent is None:
+                        # Reached the root: the chain below it has
+                        # committed, which is as durable as it gets.
+                        break
+                    if author_record.phase is TxnPhase.ABORTED:
+                        break
+                    if author_record.phase is not TxnPhase.COMMITTED:
+                        return author
+                    # Relatively committed: durable only once the
+                    # chain reaches a commit directly under the root.
+                    author = author_record.parent
+        return None
+
     def commit(self, txn: str) -> StepResult:
         """Commit (relative to the parent): release versions upward.
 

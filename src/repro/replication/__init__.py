@@ -12,7 +12,7 @@ formally correct rather than a consistency compromise.
 """
 
 from .context import ROLE_FOLLOWER, ROLE_PRIMARY, ReplicationContext
-from .follower import FollowerApplier, FollowerLink
+from .follower import FollowerApplier, FollowerLink, ReconnectBackoff
 from .hub import (
     FollowerSlot,
     ReplicationHub,
@@ -42,6 +42,7 @@ __all__ = [
     "ROLE_PRIMARY",
     "ReplicationContext",
     "ReplicationError",
+    "ReconnectBackoff",
     "ReplicationHub",
     "ReplicationListener",
     "WalShipper",

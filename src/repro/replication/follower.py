@@ -20,7 +20,9 @@ every acked commit survive promotion.
 from __future__ import annotations
 
 import asyncio
+import random
 import time
+import zlib
 from pathlib import Path
 from typing import Any, Callable
 
@@ -255,6 +257,50 @@ class FollowerApplier:
             self.wal.close()
 
 
+class ReconnectBackoff:
+    """Capped, jittered exponential backoff for reconnect loops.
+
+    The jitter stream is an explicit :class:`random.Random` seeded at
+    construction, never the global RNG: under the virtual clock two
+    runs with the same seed sleep for exactly the same sequence of
+    delays, so reconnect storms stay reproducible (in the DES and the
+    fuzzer both).  Each failed attempt doubles the delay up to ``cap``;
+    jitter subtracts up to ``jitter`` fraction of it, de-synchronizing
+    a herd of followers that all lost the same primary at once.
+    """
+
+    def __init__(
+        self,
+        *,
+        base: float = 0.2,
+        cap: float = 5.0,
+        multiplier: float = 2.0,
+        jitter: float = 0.5,
+        seed: int = 0,
+    ) -> None:
+        self.base = base
+        self.cap = cap
+        self.multiplier = multiplier
+        self.jitter = jitter
+        self.attempt = 0
+        self._rng = random.Random(seed)
+
+    def next_delay(self) -> float:
+        """The next sleep, growing exponentially until ``cap``."""
+        raw = min(self.cap, self.base * self.multiplier**self.attempt)
+        self.attempt += 1
+        return raw * (1.0 - self.jitter * self._rng.random())
+
+    def reset(self) -> None:
+        """A successful (re)connection: start the ramp over."""
+        self.attempt = 0
+
+
+def _node_seed(node: str) -> int:
+    """Deterministic per-node jitter seed (stable across processes)."""
+    return zlib.crc32(node.encode("utf-8"))
+
+
 class FollowerLink:
     """The follower's connection to the primary, with reconnect."""
 
@@ -266,12 +312,23 @@ class FollowerLink:
         *,
         node: str = "follower",
         retry_delay: float = 0.2,
+        retry_cap: float = 5.0,
+        backoff: ReconnectBackoff | None = None,
     ) -> None:
         self._applier = applier
         self.host = host
         self.port = port
         self.node = node
         self.retry_delay = retry_delay
+        self.backoff = (
+            backoff
+            if backoff is not None
+            else ReconnectBackoff(
+                base=retry_delay,
+                cap=retry_cap,
+                seed=_node_seed(node),
+            )
+        )
         self.connected = False
         self._stopped = False
 
@@ -288,7 +345,7 @@ class FollowerLink:
                     limit=REPL_MAX_FRAME_BYTES + 2,
                 )
             except OSError:
-                await asyncio.sleep(self.retry_delay)
+                await asyncio.sleep(self.backoff.next_delay())
                 continue
             try:
                 await self._stream(reader, writer)
@@ -307,7 +364,7 @@ class FollowerLink:
                 except ConnectionError:
                     pass
             if not self._stopped:
-                await asyncio.sleep(self.retry_delay)
+                await asyncio.sleep(self.backoff.next_delay())
 
     async def _stream(
         self,
@@ -321,6 +378,7 @@ class FollowerLink:
         )
         await writer.drain()
         self.connected = True
+        self.backoff.reset()
         while not self._stopped:
             line = await reader.readline()
             if not line:

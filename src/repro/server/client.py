@@ -12,6 +12,17 @@ Both surface failed responses as the typed exceptions of
 ``RemoteAborted``, …) and collect unsolicited server events — most
 importantly cascading-abort notifications — on ``client.events``
 (the async client additionally feeds ``event_queue`` for awaiting).
+
+Read-your-writes session tokens: every committed reply from a durable
+server carries the commit's WAL LSN (``commit_lsn``), which both
+clients capture as :attr:`session_lsn` — the highest LSN this session
+has been acknowledged for.  ``follower_read`` passes it as
+``min_applied_lsn`` by default, so a session that just committed never
+reads a follower view older than its own writes (the server rejects
+the read with ``FOLLOWER_READ`` instead, and the caller can retry or
+go to the primary).  Pass ``read_your_writes=False`` for a plain
+bounded-stale read, or an explicit ``min_applied_lsn`` to override the
+token.
 """
 
 from __future__ import annotations
@@ -28,6 +39,28 @@ from .protocol import (
     encode_frame,
     is_event,
 )
+
+
+def _token_from_reply(response: dict[str, Any], current: int) -> int:
+    """Advance a session token from a committed reply's ``commit_lsn``."""
+    lsn = response.get("commit_lsn")
+    if isinstance(lsn, int) and not isinstance(lsn, bool):
+        return max(current, lsn)
+    return current
+
+
+def _token_from_error(error: ServerError, current: int) -> int:
+    """Advance the token from an *indeterminate* commit failure.
+
+    A replication-ack timeout means the commit is durable locally; the
+    session has still observed its own write, so the token advances.
+    """
+    details = getattr(error, "details", None) or {}
+    if details.get("indeterminate"):
+        lsn = details.get("commit_lsn")
+        if isinstance(lsn, int) and not isinstance(lsn, bool):
+            return max(current, lsn)
+    return current
 
 
 def _raise_for_response(response: dict[str, Any]) -> dict[str, Any]:
@@ -78,9 +111,15 @@ class AsyncClient:
             asyncio.Queue()
         )
         self._closed = False
+        self._session_lsn = 0
         self._reader_task = asyncio.create_task(
             self._read_loop(), name="repro-client-reader"
         )
+
+    @property
+    def session_lsn(self) -> int:
+        """Read-your-writes token: highest acknowledged commit LSN."""
+        return self._session_lsn
 
     @classmethod
     async def connect(
@@ -216,7 +255,17 @@ class AsyncClient:
         )
 
     async def commit(self, txn: str) -> dict[str, Any]:
-        return await self.request("commit", txn=txn)
+        try:
+            response = await self.request("commit", txn=txn)
+        except ServerError as error:
+            self._session_lsn = _token_from_error(
+                error, self._session_lsn
+            )
+            raise
+        self._session_lsn = _token_from_reply(
+            response, self._session_lsn
+        )
+        return response
 
     async def abort(
         self, txn: str, reason: str | None = None
@@ -237,13 +286,22 @@ class AsyncClient:
         *,
         max_lag_lsn: int | None = None,
         min_applied_lsn: int | None = None,
+        read_your_writes: bool = True,
     ) -> dict[str, Any]:
-        """A bounded-stale read off this node's replicated state."""
+        """A bounded-stale read off this node's replicated state.
+
+        With ``read_your_writes`` (the default) the session's commit
+        token is sent as ``min_applied_lsn`` when no explicit bound is
+        given, so the view can never predate this session's own acked
+        commits.
+        """
         params: dict[str, Any] = {}
         if entity is not None:
             params["entity"] = entity
         if max_lag_lsn is not None:
             params["max_lag_lsn"] = max_lag_lsn
+        if min_applied_lsn is None and read_your_writes:
+            min_applied_lsn = self._session_lsn or None
         if min_applied_lsn is not None:
             params["min_applied_lsn"] = min_applied_lsn
         return await self.request("follower_read", **params)
@@ -274,6 +332,12 @@ class Client:
         self._file = sock.makefile("rwb")
         self._ids = itertools.count(1)
         self.events: list[dict[str, Any]] = []
+        self._session_lsn = 0
+
+    @property
+    def session_lsn(self) -> int:
+        """Read-your-writes token: highest acknowledged commit LSN."""
+        return self._session_lsn
 
     @classmethod
     def connect(
@@ -395,7 +459,17 @@ class Client:
         )
 
     def commit(self, txn: str) -> dict[str, Any]:
-        return self.request("commit", txn=txn)
+        try:
+            response = self.request("commit", txn=txn)
+        except ServerError as error:
+            self._session_lsn = _token_from_error(
+                error, self._session_lsn
+            )
+            raise
+        self._session_lsn = _token_from_reply(
+            response, self._session_lsn
+        )
+        return response
 
     def abort(
         self, txn: str, reason: str | None = None
@@ -416,13 +490,22 @@ class Client:
         *,
         max_lag_lsn: int | None = None,
         min_applied_lsn: int | None = None,
+        read_your_writes: bool = True,
     ) -> dict[str, Any]:
-        """A bounded-stale read off this node's replicated state."""
+        """A bounded-stale read off this node's replicated state.
+
+        With ``read_your_writes`` (the default) the session's commit
+        token is sent as ``min_applied_lsn`` when no explicit bound is
+        given, so the view can never predate this session's own acked
+        commits.
+        """
         params: dict[str, Any] = {}
         if entity is not None:
             params["entity"] = entity
         if max_lag_lsn is not None:
             params["max_lag_lsn"] = max_lag_lsn
+        if min_applied_lsn is None and read_your_writes:
+            min_applied_lsn = self._session_lsn or None
         if min_applied_lsn is not None:
             params["min_applied_lsn"] = min_applied_lsn
         return self.request("follower_read", **params)

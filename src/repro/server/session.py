@@ -430,6 +430,7 @@ class CommandDispatcher:
                     "server shut down before the replication ack; "
                     "the commit is durable locally",
                     indeterminate=True,
+                    commit_lsn=command.repl_lsn,
                 ),
             )
         for store in (self._lock_waiters, self._commit_waiters):
@@ -841,6 +842,19 @@ class CommandDispatcher:
             return ok_response(
                 command.request_id, outcome="failed", reason=reason
             )
+        # Commit-stability gate: a commit acknowledgement promises
+        # durability, but recovery cascade-aborts committed readers of
+        # versions whose authors were in flight at the crash.  Park
+        # until every reads-from author has terminated — then, by
+        # induction and WAL append order, the whole dependency chain
+        # is on disk before this commit record.  If the author aborts
+        # instead, the live cascade fails this command (ABORTED); a
+        # reads-from cycle parks both sides until the deadline
+        # (TIMEOUT).  Strict mode never exposes uncommitted versions,
+        # so the gate is vacuous there.
+        blocker = self._tm.unstable_reads_from(name)
+        if blocker is not None:
+            return self._park(command, name, self._commit_waiters, None)
         step = self._tm.commit(name)
         self._count("server.txns.committed")
         self._end_txn_span(name, outcome="committed")
@@ -851,9 +865,15 @@ class CommandDispatcher:
             # so re-run every parked waiter (they re-park if still
             # blocked, keeping their original deadline).
             self._resume_all_lock_waiters()
+        # The commit LSN doubles as the client's read-your-writes
+        # session token: a later ``follower_read`` passing it as
+        # ``min_applied_lsn`` is guaranteed to observe this commit.
+        lsn = getattr(self._tm, "commit_lsn_of", lambda _n: None)(name)
+        extra: dict[str, Any] = {}
+        if lsn is not None:
+            extra["commit_lsn"] = lsn
         repl = self.replication
         if repl is not None and repl.wants_sync_ack():
-            lsn = getattr(self._tm, "commit_lsn_of", lambda _n: None)(name)
             if lsn is not None and repl.hub.replicated_lsn < lsn:
                 # Committed and durable locally; the reply waits until
                 # enough followers have fsynced past the commit LSN.
@@ -862,8 +882,9 @@ class CommandDispatcher:
                 command.request_id,
                 outcome="committed",
                 replicated_lsn=repl.hub.replicated_lsn,
+                **extra,
             )
-        return ok_response(command.request_id, outcome="committed")
+        return ok_response(command.request_id, outcome="committed", **extra)
 
     def _op_abort(self, command: Command) -> dict[str, Any]:
         name = self._owned_txn(command)
@@ -1093,6 +1114,7 @@ class CommandDispatcher:
                 f"commit of {txn} is durable locally but the "
                 "replication ack did not arrive in time",
                 indeterminate=True,
+                commit_lsn=command.repl_lsn,
             ),
         )
 
@@ -1109,6 +1131,7 @@ class CommandDispatcher:
                         command.request_id,
                         outcome="committed",
                         replicated_lsn=lsn,
+                        commit_lsn=command.repl_lsn,
                     ),
                 )
 

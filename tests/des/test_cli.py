@@ -1,0 +1,84 @@
+"""The ``repro sim`` command family."""
+
+from __future__ import annotations
+
+import json
+
+from repro.cli import main
+
+
+class TestSimList:
+    def test_lists_every_scenario(self, capsys):
+        assert main(["sim", "list"]) == 0
+        out = capsys.readouterr().out
+        for name in (
+            "hot_key_storm",
+            "primary_crash_promotion",
+            "follower_lag_divergence",
+        ):
+            assert name in out
+
+
+class TestSimRun:
+    def test_clean_scenario_exits_zero(self, tmp_path, capsys):
+        report_path = tmp_path / "report.json"
+        code = main(
+            [
+                "sim", "run",
+                "--scenario", "abort_cascade",
+                "--report", str(report_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "repro sim: ok" in out
+        report = json.loads(report_path.read_text())
+        assert report["ok"] is True
+        assert report["scenario"]["name"] == "abort_cascade"
+
+    def test_seed_override_changes_the_digest(self, capsys):
+        assert main(
+            ["sim", "run", "--scenario", "abort_cascade",
+             "--seed", "999"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "seed=999" in out
+
+    def test_unknown_scenario_is_a_usage_error(self, capsys):
+        assert main(["sim", "run", "--scenario", "nope"]) == 2
+        assert "unknown scenario" in capsys.readouterr().err
+
+
+class TestSimSweep:
+    def test_mini_sweep_writes_bench_json(self, tmp_path, capsys):
+        output = tmp_path / "BENCH_sim.json"
+        code = main(
+            [
+                "sim", "sweep",
+                "--scenario", "hot_key_storm",
+                "--nodes", "3",
+                "--partition-rates", "0",
+                "--output", str(output),
+            ]
+        )
+        assert code == 0
+        doc = json.loads(output.read_text())
+        assert doc["bench"] == "sim"
+        assert doc["ok"] is True
+        assert len(doc["cells"]) == 1
+        assert doc["cells"][0]["nodes"] == 3
+
+    def test_empty_output_skips_the_file(self, tmp_path, capsys,
+                                         monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        code = main(
+            [
+                "sim", "sweep",
+                "--scenario", "hot_key_storm",
+                "--nodes", "3",
+                "--partition-rates", "0",
+                "--output", "",
+            ]
+        )
+        assert code == 0
+        assert not (tmp_path / "BENCH_sim.json").exists()

@@ -1,0 +1,107 @@
+"""End-to-end cluster simulations: every scenario, every oracle."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.des import (
+    SCENARIOS,
+    get_scenario,
+    percentile,
+    run_scenario,
+)
+
+
+def _failed_checks(report: dict) -> list[str]:
+    return [
+        name
+        for section in report["epochs"]
+        for name, verdict in section["oracles"].items()
+        if not verdict["ok"]
+    ] + [
+        name
+        for name, verdict in report["invariants"].items()
+        if not verdict["ok"]
+    ]
+
+
+class TestScenarioLibrary:
+    @pytest.mark.parametrize("name", sorted(SCENARIOS))
+    def test_scenario_passes_all_checks(self, name):
+        report = run_scenario(SCENARIOS[name])
+        assert report["deadlock"] is None
+        assert _failed_checks(report) == []
+        assert report["ok"] is True
+        assert report["metrics"]["commits_acked"] > 0
+
+    def test_same_seed_same_report(self):
+        scenario = get_scenario("primary_crash_promotion")
+        first = json.dumps(run_scenario(scenario), sort_keys=True)
+        second = json.dumps(run_scenario(scenario), sort_keys=True)
+        assert first == second
+
+    def test_different_seed_different_schedule(self):
+        scenario = get_scenario("hot_key_storm")
+        first = run_scenario(scenario)
+        second = run_scenario(scenario.with_overrides(seed=12345))
+        assert first["scenario_digest"] != second["scenario_digest"]
+        assert second["ok"] is True
+
+
+class TestPromotion:
+    @pytest.fixture(scope="class")
+    def crash_report(self):
+        return run_scenario(get_scenario("primary_crash_promotion"))
+
+    def test_two_epochs_ran(self, crash_report):
+        assert len(crash_report["epochs"]) == 2
+        assert crash_report["epochs"][0]["crashed"] is True
+        assert crash_report["epochs"][1]["crashed"] is False
+
+    def test_promotion_recorded(self, crash_report):
+        promotion = crash_report["promotion"]
+        assert promotion is not None
+        assert promotion["winner"].startswith("follower")
+        assert promotion["verified"] is True
+        assert promotion["promoted_from_lsn"] > 0
+
+    def test_acked_commits_survive_into_epoch2(self, crash_report):
+        e1 = crash_report["epochs"][0]
+        baseline = crash_report["promotion"]["baseline_committed"]
+        assert e1["acked_committed"]
+        assert set(e1["acked_committed"]) <= set(baseline)
+
+    def test_epoch2_made_progress_on_the_survivor(self, crash_report):
+        e2 = crash_report["epochs"][1]
+        assert e2["acked_committed"]
+        assert e2["oracles"]["acked_commits_survive_promotion"]["ok"]
+        assert crash_report["invariants"][
+            "cluster_promotion_continuity"
+        ]["ok"]
+
+    def test_partitioned_follower_lag_is_visible(self, crash_report):
+        assert crash_report["metrics"]["lag_lsn_p95"] > 0
+
+
+class TestBoundedStaleness:
+    def test_lag_budget_rejections_are_honest(self):
+        report = run_scenario(get_scenario("follower_lag_divergence"))
+        metrics = report["metrics"]
+        assert metrics["follower_reads_ok"] > 0
+        assert report["invariants"]["cluster_bounded_staleness"]["ok"]
+
+    def test_busy_herd_exercises_backpressure(self):
+        report = run_scenario(get_scenario("busy_retry_herd"))
+        assert report["metrics"]["busy_replies"] > 0
+        assert report["ok"] is True
+
+
+class TestPercentile:
+    def test_nearest_rank(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        assert percentile(values, 50) == 2.0
+        assert percentile(values, 95) == 4.0
+        assert percentile(values, 100) == 4.0
+        assert percentile([], 95) == 0.0

@@ -1,0 +1,103 @@
+"""The modeled network: delays, FIFO links, partitions, bandwidth."""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.des import Network
+from repro.fuzz.loop import run_virtual
+from repro.sim import VirtualClock
+
+
+def _network(clock: VirtualClock, **kwargs) -> Network:
+    return Network(lambda: clock.now, **kwargs)
+
+
+class TestDelayModel:
+    def test_same_seed_same_delays(self):
+        clock = VirtualClock()
+        first = _network(clock, seed=7)
+        second = _network(clock, seed=7)
+        draws = [first.delay("a", "b", 256) for _ in range(20)]
+        assert draws == [second.delay("a", "b", 256) for _ in range(20)]
+
+    def test_links_have_independent_jitter_streams(self):
+        clock = VirtualClock()
+        net = _network(clock, seed=7)
+        assert [net.delay("a", "b", 0) for _ in range(8)] != [
+            net.delay("a", "c", 0) for _ in range(8)
+        ]
+
+    def test_slow_node_multiplier_applies_to_either_endpoint(self):
+        clock = VirtualClock()
+        net = _network(
+            clock, jitter=0.0, latency=0.01, slow_nodes={"s": 10.0}
+        )
+        assert net.delay("s", "b", 0) == net.delay("a", "s", 0) == 0.1
+        assert net.delay("a", "b", 0) == 0.01
+
+    def test_bandwidth_term_scales_with_bytes(self):
+        clock = VirtualClock()
+        net = _network(
+            clock, jitter=0.0, latency=0.0, bandwidth=1000.0
+        )
+        assert net.delay("a", "b", 500) == 0.5
+
+
+class TestTransit:
+    def test_fifo_per_link_despite_jitter(self):
+        clock = VirtualClock()
+        net = _network(clock, seed=3, latency=0.01, jitter=0.05)
+        deliveries: list[float] = []
+
+        async def main():
+            for _ in range(30):
+                deliveries.append(await net.transit("a", "b", 64))
+
+        run_virtual(main(), clock)
+        assert deliveries == sorted(deliveries)
+        assert net.messages == 30
+        assert net.bytes_sent == 30 * 64
+
+    def test_partition_blocks_until_window_closes(self):
+        clock = VirtualClock()
+        net = _network(
+            clock,
+            latency=0.001,
+            jitter=0.0,
+            partitions=[("b", 0.0, 1.0)],
+        )
+
+        async def main():
+            return await net.transit("a", "b", 64)
+
+        delivered_at = run_virtual(main(), clock)
+        assert delivered_at >= 1.0
+
+    def test_heal_drops_all_windows(self):
+        clock = VirtualClock()
+        net = _network(clock, partitions=[("b", 0.0, 100.0)])
+        assert net.partitioned("b", 0.5)
+        net.heal()
+        assert not net.partitioned("b", 0.5)
+
+    def test_concurrent_transits_are_deterministic(self):
+        def run_once() -> list[tuple[str, float]]:
+            clock = VirtualClock()
+            net = _network(clock, seed=11, latency=0.01, jitter=0.02)
+            log: list[tuple[str, float]] = []
+
+            async def one(name: str, dst: str):
+                for _ in range(5):
+                    at = await net.transit(name, dst, 128)
+                    log.append((name, at))
+
+            async def main():
+                await asyncio.gather(
+                    one("a", "x"), one("b", "x"), one("c", "x")
+                )
+
+            run_virtual(main(), clock)
+            return log
+
+        assert run_once() == run_once()

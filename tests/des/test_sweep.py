@@ -1,0 +1,64 @@
+"""Parameter sweeps: grid coverage and byte-identical BENCH output."""
+
+from __future__ import annotations
+
+import json
+
+from repro.des import get_scenario, run_sweep
+
+
+class TestSweep:
+    def test_2x2_grid_is_byte_identical_across_runs(self):
+        base = get_scenario("hot_key_storm")
+        first = run_sweep(
+            base, nodes=[3, 6], partition_rates=[0.0, 0.3]
+        )
+        second = run_sweep(
+            base, nodes=[3, 6], partition_rates=[0.0, 0.3]
+        )
+        assert json.dumps(first, sort_keys=True) == json.dumps(
+            second, sort_keys=True
+        )
+
+    def test_grid_covers_every_cell_with_metrics(self):
+        doc = run_sweep(
+            get_scenario("hot_key_storm"),
+            nodes=[3, 6],
+            partition_rates=[0.0, 0.3],
+        )
+        assert doc["bench"] == "sim"
+        assert doc["ok"] is True
+        assert len(doc["cells"]) == 4
+        assert {c["nodes"] for c in doc["cells"]} == {3, 6}
+        assert {c["partition_rate"] for c in doc["cells"]} == {
+            0.0,
+            0.3,
+        }
+        for cell in doc["cells"]:
+            assert cell["ok"] is True
+            assert cell["failed_checks"] == []
+            assert cell["nodes"] == 1 + cell["followers"] + cell[
+                "clients"
+            ]
+            metrics = cell["metrics"]
+            assert metrics["throughput_commits_per_s"] > 0
+            assert 0.0 <= metrics["abort_rate"] <= 1.0
+            assert "lag_lsn_p95" in metrics
+            assert "lag_ms_p99" in metrics
+
+    def test_six_node_cell_is_in_the_default_grid(self):
+        doc = run_sweep(get_scenario("hot_key_storm"))
+        assert any(cell["nodes"] >= 6 for cell in doc["cells"])
+
+    def test_workload_axis_expands(self):
+        doc = run_sweep(
+            get_scenario("hot_key_storm"),
+            nodes=[3],
+            partition_rates=[0.0],
+            workloads=["hot_key", "herd"],
+        )
+        assert [c["workload"] for c in doc["cells"]] == [
+            "hot_key",
+            "herd",
+        ]
+        assert doc["ok"] is True

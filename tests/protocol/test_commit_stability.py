@@ -1,0 +1,98 @@
+"""The commit-stability gate: acked commits must be crash-durable.
+
+Recovery expunges versions authored by transactions in flight at the
+crash and cascade-aborts their committed readers — so the dispatcher
+must not acknowledge a commit while any version in its input
+assignment has a live author.  :meth:`unstable_reads_from` is the
+read-only query that gate asks.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Domain, Predicate, Schema, Spec
+from repro.protocol import Outcome, TransactionManager
+from repro.storage import Database
+
+
+@pytest.fixture
+def db():
+    schema = Schema.of("x", "y", domain=Domain.interval(0, 1000))
+    return Database(
+        schema,
+        Predicate.parse("x >= 0 & y >= 0"),
+        {"x": 10, "y": 20},
+    )
+
+
+@pytest.fixture
+def tm(db):
+    return TransactionManager(db)
+
+
+def _spec(i="true", o="true"):
+    return Spec(Predicate.parse(i), Predicate.parse(o))
+
+
+def _writer(tm, entity="x", value=5):
+    txn = tm.define(tm.root, _spec(o=f"{entity} >= 0"), {entity})
+    assert tm.validate(txn).outcome is Outcome.OK
+    assert tm.write(txn, entity, value).outcome is Outcome.OK
+    return txn
+
+
+def _reader_of(tm, entity="x"):
+    txn = tm.define(
+        tm.root, _spec(i=f"{entity} >= 0", o=f"{entity} >= 0"),
+        {entity},
+    )
+    assert tm.validate(txn).outcome is Outcome.OK
+    return txn
+
+
+class TestUnstableReadsFrom:
+    def test_initial_versions_are_stable(self, tm):
+        reader = _reader_of(tm, "x")
+        assert tm.unstable_reads_from(reader) is None
+
+    def test_live_author_is_reported(self, tm):
+        writer = _writer(tm, "x")
+        reader = _reader_of(tm, "x")
+        record = tm.record(reader)
+        if all(
+            version.author != writer
+            for version in record.assigned.values()
+        ):
+            pytest.skip("selection did not pick the dirty version")
+        assert tm.unstable_reads_from(reader) == writer
+
+    def test_commit_of_the_author_stabilizes(self, tm):
+        writer = _writer(tm, "x")
+        reader = _reader_of(tm, "x")
+        record = tm.record(reader)
+        if all(
+            version.author != writer
+            for version in record.assigned.values()
+        ):
+            pytest.skip("selection did not pick the dirty version")
+        assert tm.unstable_reads_from(reader) == writer
+        assert tm.commit(writer).outcome is Outcome.OK
+        assert tm.unstable_reads_from(reader) is None
+        assert tm.commit(reader).outcome is Outcome.OK
+
+    def test_own_versions_are_stable(self, tm):
+        writer = _writer(tm, "x")
+        assert tm.unstable_reads_from(writer) is None
+        assert tm.commit(writer).outcome is Outcome.OK
+
+    def test_gate_is_read_only(self, tm):
+        writer = _writer(tm, "x")
+        reader = _reader_of(tm, "x")
+        before = tm.record(reader).phase
+        tm.unstable_reads_from(reader)
+        tm.unstable_reads_from(writer)
+        assert tm.record(reader).phase is before
+
+    def test_root_is_never_gated(self, tm):
+        assert tm.unstable_reads_from(tm.root) is None

@@ -1,0 +1,50 @@
+"""Reconnect backoff: capped, jittered, deterministic per seed."""
+
+from __future__ import annotations
+
+from repro.replication.follower import ReconnectBackoff, _node_seed
+
+
+class TestReconnectBackoff:
+    def test_exponential_ramp_up_to_cap(self):
+        backoff = ReconnectBackoff(
+            base=0.2, cap=5.0, multiplier=2.0, jitter=0.0
+        )
+        delays = [backoff.next_delay() for _ in range(8)]
+        assert delays[:5] == [0.2, 0.4, 0.8, 1.6, 3.2]
+        assert delays[5:] == [5.0, 5.0, 5.0]
+
+    def test_jitter_stays_within_the_budget(self):
+        backoff = ReconnectBackoff(
+            base=1.0, cap=1.0, multiplier=1.0, jitter=0.5, seed=42
+        )
+        for _ in range(100):
+            delay = backoff.next_delay()
+            assert 0.5 <= delay <= 1.0
+
+    def test_same_seed_same_delays(self):
+        first = ReconnectBackoff(seed=7)
+        second = ReconnectBackoff(seed=7)
+        assert [first.next_delay() for _ in range(10)] == [
+            second.next_delay() for _ in range(10)
+        ]
+
+    def test_different_seeds_desynchronize_the_herd(self):
+        first = ReconnectBackoff(seed=1)
+        second = ReconnectBackoff(seed=2)
+        assert [first.next_delay() for _ in range(10)] != [
+            second.next_delay() for _ in range(10)
+        ]
+
+    def test_reset_restarts_the_ramp(self):
+        backoff = ReconnectBackoff(
+            base=0.2, cap=5.0, multiplier=2.0, jitter=0.0
+        )
+        for _ in range(4):
+            backoff.next_delay()
+        backoff.reset()
+        assert backoff.next_delay() == 0.2
+
+    def test_node_seed_is_stable_and_distinct(self):
+        assert _node_seed("follower0") == _node_seed("follower0")
+        assert _node_seed("follower0") != _node_seed("follower1")

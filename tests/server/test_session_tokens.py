@@ -1,0 +1,37 @@
+"""Read-your-writes session tokens in the client libraries."""
+
+from __future__ import annotations
+
+from repro.server.client import _token_from_error, _token_from_reply
+from repro.server.errors import ServerError
+
+
+class TestTokenFromReply:
+    def test_commit_lsn_advances_the_token(self):
+        reply = {"outcome": "committed", "commit_lsn": 42}
+        assert _token_from_reply(reply, 0) == 42
+
+    def test_token_never_regresses(self):
+        reply = {"outcome": "committed", "commit_lsn": 7}
+        assert _token_from_reply(reply, 42) == 42
+
+    def test_missing_or_bogus_lsn_is_ignored(self):
+        assert _token_from_reply({"outcome": "committed"}, 5) == 5
+        assert _token_from_reply({"commit_lsn": "nope"}, 5) == 5
+        assert _token_from_reply({"commit_lsn": True}, 5) == 5
+
+
+class TestTokenFromError:
+    def test_indeterminate_commit_still_advances(self):
+        # A replication-ack timeout: committed and durable locally,
+        # so this session has observed its own write.
+        error = ServerError(
+            "timed out",
+            details={"indeterminate": True, "commit_lsn": 99},
+        )
+        assert _token_from_error(error, 10) == 99
+
+    def test_determinate_failure_does_not_advance(self):
+        error = ServerError("aborted", details={"commit_lsn": 99})
+        assert _token_from_error(error, 10) == 10
+        assert _token_from_error(ServerError("boom"), 10) == 10

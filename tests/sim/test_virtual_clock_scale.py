@@ -1,0 +1,127 @@
+"""DES-scale behavior of the virtual asyncio loop.
+
+The cluster simulator schedules hundreds of timers (client think
+times, pump polls, partition windows, park deadlines) on one
+:class:`VirtualClockLoop`.  These tests pin the properties the DES
+leans on: timer storms fire in deadline order, same-deadline timers
+keep FIFO creation order, and the whole schedule is bit-identical
+across runs.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.fuzz.loop import FuzzDeadlockError, run_virtual
+from repro.sim import VirtualClock
+
+
+class TestTimerStorms:
+    def test_hundreds_of_timers_fire_in_deadline_order(self):
+        clock = VirtualClock()
+        fired: list[tuple[float, int]] = []
+
+        async def one(index: int, delay: float):
+            await asyncio.sleep(delay)
+            fired.append((clock.now, index))
+
+        async def main():
+            delays = [
+                ((index * 7919) % 400) / 100.0 for index in range(400)
+            ]
+            await asyncio.gather(
+                *(one(i, d) for i, d in enumerate(delays))
+            )
+
+        run_virtual(main(), clock)
+        assert len(fired) == 400
+        times = [t for t, _ in fired]
+        assert times == sorted(times)
+
+    def test_same_deadline_order_is_stable_across_runs(self):
+        # asyncio breaks same-deadline ties by heap order, not FIFO —
+        # what the DES needs is that the tie-break is *deterministic*.
+        def run_once() -> list[int]:
+            clock = VirtualClock()
+            fired: list[int] = []
+
+            async def one(index: int):
+                await asyncio.sleep(1.0)
+                fired.append(index)
+
+            async def main():
+                tasks = [
+                    asyncio.ensure_future(one(index))
+                    for index in range(300)
+                ]
+                await asyncio.gather(*tasks)
+
+            run_virtual(main(), clock)
+            return fired
+
+        first = run_once()
+        assert sorted(first) == list(range(300))
+        assert first == run_once()
+
+    def test_schedule_is_bit_identical_across_runs(self):
+        def run_once() -> list[tuple[float, int]]:
+            clock = VirtualClock()
+            log: list[tuple[float, int]] = []
+
+            async def worker(index: int):
+                for step in range(5):
+                    await asyncio.sleep(
+                        ((index * 31 + step * 17) % 97) / 50.0
+                    )
+                    log.append((clock.now, index))
+
+            async def main():
+                await asyncio.gather(
+                    *(worker(index) for index in range(50))
+                )
+
+            run_virtual(main(), clock)
+            return log
+
+        assert run_once() == run_once()
+
+    def test_no_wall_time_passes(self):
+        import time
+
+        clock = VirtualClock()
+
+        async def main():
+            await asyncio.sleep(3600.0)
+
+        start = time.monotonic()
+        run_virtual(main(), clock)
+        assert clock.now >= 3600.0
+        assert time.monotonic() - start < 5.0
+
+
+class TestDeadlockDetection:
+    def test_unwakeable_wait_raises_instead_of_hanging(self):
+        async def main():
+            await asyncio.Event().wait()
+
+        with pytest.raises(FuzzDeadlockError):
+            run_virtual(main())
+
+    def test_timer_rescues_a_pending_wait(self):
+        clock = VirtualClock()
+
+        async def main():
+            event = asyncio.Event()
+
+            async def setter():
+                await asyncio.sleep(2.0)
+                event.set()
+
+            task = asyncio.ensure_future(setter())
+            await event.wait()
+            await task
+            return clock.now
+
+        assert run_virtual(main(), clock) >= 2.0

@@ -34,6 +34,7 @@ def _documented_modules(name: str) -> set[str]:
         "docs/observability.md",
         "docs/server.md",
         "docs/replication.md",
+        "docs/simulation.md",
     ],
 )
 def test_referenced_modules_exist(doc):
