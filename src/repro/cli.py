@@ -291,7 +291,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from .server import ServerConfig, TransactionServer, build_workload
 
     workload = build_workload(
-        args.workload, transactions=args.transactions, seed=args.seed
+        args.workload,
+        transactions=args.transactions,
+        seed=args.seed,
+        key_dist=args.key_dist,
     )
     if args.follow_of and not args.wal_dir:
         print(
@@ -316,6 +319,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         repl_port=args.repl_port,
         sync_replicas=args.sync_replicas,
         follow_of=args.follow_of,
+        shards=args.shards,
     )
 
     # Live tracing: on when any consumer of spans is requested.
@@ -374,6 +378,31 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 f"{summary['cascaded_commits']} cascaded commits), "
                 f"committed={summary['committed']}, "
                 f"{summary['recovery_ms']} ms",
+                flush=True,
+            )
+        elif server.shard_recoveries:
+            replayed = sum(
+                result.records_replayed
+                for result in server.shard_recoveries.values()
+            )
+            committed = sum(
+                len(result.committed)
+                for result in server.shard_recoveries.values()
+            )
+            resolved = {
+                entry["decision"] for entry in server.shard_resolutions
+            }
+            in_doubt = (
+                f", resolved {len(server.shard_resolutions)} in-doubt "
+                f"2PC branch(es) ({', '.join(sorted(resolved))})"
+                if server.shard_resolutions
+                else ""
+            )
+            print(
+                f"repro serve: recovered {args.wal_dir} across "
+                f"{len(server.shard_recoveries)} shards: "
+                f"replayed {replayed} records, "
+                f"committed={committed}{in_doubt}",
                 flush=True,
             )
         elif args.wal_dir and args.follow_of:
@@ -564,12 +593,14 @@ def _cmd_top(args: argparse.Namespace) -> int:
 def _cmd_recover(args: argparse.Namespace) -> int:
     import json
 
-    from .durability import recover
+    from .durability import is_sharded_layout, recover
     from .errors import DurabilityError
     from .obs.metrics import MetricsRegistry
 
     registry = MetricsRegistry()
     try:
+        if is_sharded_layout(args.wal_dir):
+            return _recover_sharded_layout(args, registry)
         result = recover(
             args.wal_dir,
             verify=args.verify,
@@ -608,6 +639,55 @@ def _cmd_recover(args: argparse.Namespace) -> int:
     return 0
 
 
+def _recover_sharded_layout(args: argparse.Namespace, registry) -> int:
+    """``repro recover`` over a sharded WAL base (``<dir>/shardN``)."""
+    import json
+
+    from .durability import recover_sharded
+
+    result = recover_sharded(
+        args.wal_dir,
+        verify=args.verify,
+        strict=args.strict,
+        registry=registry,
+    )
+    summary = result.summary()
+    if args.json:
+        print(json.dumps(summary, indent=2, sort_keys=True))
+    else:
+        print(f"wal dir:            {args.wal_dir} (sharded)")
+        print(f"shards:             {len(result.shards)}")
+        for index in sorted(result.shards):
+            shard = result.shards[index].summary()
+            print(
+                f"  shard{index}: last lsn {shard['last_lsn']}, "
+                f"replayed {shard['records_replayed']}, "
+                f"committed={shard['committed']}, "
+                f"aborted in flight={len(shard['aborted_in_flight'])}"
+            )
+        if result.resolutions:
+            print("in-doubt 2PC branches resolved:")
+            for entry in result.resolutions:
+                print(
+                    f"  {entry['txn']} (gid {entry['gid']}, "
+                    f"shard {entry['shard']}, coordinator "
+                    f"{entry['coordinator']}): {entry['decision']}"
+                )
+        else:
+            print("in-doubt 2PC branches: none")
+        if args.verify:
+            status = "VERIFIED" if result.verified else "FAILED"
+            print(f"verification:       {status}")
+            for index in sorted(result.shards):
+                for violation in result.shards[index].summary()[
+                    "violations"
+                ]:
+                    print(f"  shard{index} violation: {violation}")
+    if args.verify and not result.verified:
+        return 1
+    return 0
+
+
 def _cmd_loadgen(args: argparse.Namespace) -> int:
     import asyncio
 
@@ -622,6 +702,7 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         transactions=args.transactions,
         think=args.think,
         seed=args.seed,
+        key_dist=args.key_dist,
     )
     try:
         report = asyncio.run(
@@ -1008,6 +1089,17 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--transactions", type=_positive_int, default=16)
     serve.add_argument("--seed", type=int, default=0)
     serve.add_argument(
+        "--key-dist", choices=("uniform", "zipf"), default="uniform",
+        help="entity-access distribution of the workload schema/scripts "
+        "(must match the loadgen's)",
+    )
+    serve.add_argument(
+        "--shards", type=_positive_int, default=1,
+        help="partition the entity space across this many single-"
+        "threaded shards (cross-shard transactions use 2PC; with "
+        "--wal-dir each shard logs under <dir>/shardN; default 1)",
+    )
+    serve.add_argument(
         "--queue-size", type=_positive_int, default=256,
         help="command-queue bound; overflow answers BUSY",
     )
@@ -1163,6 +1255,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     loadgen.add_argument("--transactions", type=_positive_int, default=16)
     loadgen.add_argument("--seed", type=int, default=0)
+    loadgen.add_argument(
+        "--key-dist", choices=("uniform", "zipf"), default="uniform",
+        help="entity-access distribution (uniform keeps the historical "
+        "stream; zipf skews contention onto hot entities; must match "
+        "the server's)",
+    )
     loadgen.add_argument(
         "--think", type=float, default=0.0,
         help="scripted think time in virtual units (see --think-scale)",

@@ -20,6 +20,7 @@ Layout
 ``manager``     :class:`DurableTransactionManager` — WAL-backed §5.
 ``harness``     Crash-simulation harness driving the crash points.
 ``history``     WAL records → flat schedules for RC/ACA/ST checks.
+``shard_recovery``  In-doubt 2PC resolution over per-shard WALs.
 """
 
 from .crashpoints import CRASH_POINTS, CrashPoints, SimulatedCrash
@@ -27,6 +28,14 @@ from .harness import CrashOutcome, simulate_crash
 from .manager import DurableTransactionManager
 from .records import WalRecord
 from .recovery import RecoveryResult, recover
+from .shard_recovery import (
+    ShardedRecoveryResult,
+    is_sharded_layout,
+    list_shard_dirs,
+    recover_sharded,
+    resolve_in_doubt,
+    shard_wal_dir,
+)
 from .wal import WriteAheadLog
 
 __all__ = [
@@ -35,9 +44,15 @@ __all__ = [
     "CrashPoints",
     "DurableTransactionManager",
     "RecoveryResult",
+    "ShardedRecoveryResult",
     "SimulatedCrash",
     "WalRecord",
     "WriteAheadLog",
+    "is_sharded_layout",
+    "list_shard_dirs",
     "recover",
+    "recover_sharded",
+    "resolve_in_doubt",
+    "shard_wal_dir",
     "simulate_crash",
 ]

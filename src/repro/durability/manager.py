@@ -44,6 +44,7 @@ from .records import (
     OP_ABORT,
     OP_COMMIT,
     OP_DEFINE,
+    OP_PREPARE,
     OP_READ,
     OP_REASSIGN,
     OP_UNDO_COMMIT,
@@ -75,6 +76,7 @@ class DurableTransactionManager(TransactionManager):
         tracer: Tracer | None = None,
         registry: MetricsRegistry | None = None,
         strict: bool = False,
+        root_name: str | None = None,
     ) -> None:
         super().__init__(
             database,
@@ -83,12 +85,16 @@ class DurableTransactionManager(TransactionManager):
             tracer=tracer,
             registry=registry,
             strict=strict,
+            root_name=root_name,
         )
         self._wal = wal
         self._checkpoints = checkpoints
         self.checkpoint_every = checkpoint_every
         self._records_since_checkpoint = 0
         self._commit_lsns: dict[str, int] = {}
+        #: Live 2PC promises (txn -> PREPARE data): carried into every
+        #: checkpoint so an in-doubt branch survives WAL rotation.
+        self._prepared: dict[str, dict[str, Any]] = {}
         self._depth = 0
 
     # -- opening a WAL directory -------------------------------------------
@@ -110,6 +116,7 @@ class DurableTransactionManager(TransactionManager):
         strict: bool = False,
         crash_points: CrashPoints | None = None,
         verify: bool = True,
+        root_name: str | None = None,
     ) -> "tuple[DurableTransactionManager, RecoveryResult | None]":
         """Bind a WAL directory: recover it, or initialize it fresh.
 
@@ -188,6 +195,7 @@ class DurableTransactionManager(TransactionManager):
                 tracer=tracer,
                 registry=registry,
                 strict=strict,
+                root_name=root_name,
             )
         # Re-anchor the directory: a checkpoint of the current state
         # (post-recovery, or the fresh initial state) so it is always
@@ -237,6 +245,12 @@ class DurableTransactionManager(TransactionManager):
         for name, lsn in self._commit_lsns.items():
             if name in state.txns:
                 state.txns[name].commit_lsn = lsn
+        for name in list(self._prepared):
+            txn_state = state.txns.get(name)
+            if txn_state is None or txn_state.terminated:
+                del self._prepared[name]  # decision already durable
+                continue
+            txn_state.prepared = dict(self._prepared[name])
         last_lsn = self._wal.last_lsn
         path = self._checkpoints.write(state.to_dict(), last_lsn)
         self._wal.rotate()
@@ -402,6 +416,28 @@ class DurableTransactionManager(TransactionManager):
             self._depth -= 1
         self._maybe_checkpoint()
         return result
+
+    def prepare(self, txn: str, data: dict[str, Any]) -> int | None:
+        """Log a durable 2PC phase-1 promise for ``txn``.
+
+        ``data`` must carry ``gid``, ``participants`` (branch names
+        keyed by shard id as strings), and ``coordinator`` (the shard
+        whose branch's commit record is the decision).  The record is
+        fsynced before returning — phase 2 must never start on a
+        promise that only exists in the OS page cache.  Returns the
+        record's LSN (``None`` without a WAL).
+        """
+        record = self.record(txn)  # raises ProtocolError on unknown
+        if record.terminated:
+            return None
+        if self._wal is None:
+            return None
+        self._append(OP_PREPARE, txn, dict(data))
+        self._prepared[txn] = dict(data)
+        lsn = self._wal.last_lsn
+        self.flush()
+        self._maybe_checkpoint()
+        return lsn
 
     def undo_relative_commit(self, txn: str) -> StepResult:
         self._depth += 1

@@ -37,6 +37,12 @@ OP_WRITE = "write"
 OP_COMMIT = "commit"
 OP_UNDO_COMMIT = "undo_commit"
 OP_ABORT = "abort"
+#: Two-phase commit, phase 1: the shard promises to commit this branch
+#: if the coordinator decides commit.  ``data`` carries the global
+#: transaction id, the participant branch names keyed by shard, and the
+#: coordinator shard — enough for recovery to resolve the branch
+#: in-doubt (presumed abort) against the coordinator shard's decision.
+OP_PREPARE = "prepare"
 
 ALL_OPS = frozenset(
     {
@@ -48,12 +54,15 @@ ALL_OPS = frozenset(
         OP_COMMIT,
         OP_UNDO_COMMIT,
         OP_ABORT,
+        OP_PREPARE,
     }
 )
 
 #: Ops whose loss would lose an acknowledged state transition a client
-#: may have observed — these schedule a group-commit flush.
-DURABLE_OPS = frozenset({OP_COMMIT, OP_UNDO_COMMIT, OP_ABORT})
+#: may have observed — these schedule a group-commit flush.  PREPARE is
+#: durable: phase 2 of the cross-shard commit only starts once every
+#: participant's promise is on disk.
+DURABLE_OPS = frozenset({OP_COMMIT, OP_UNDO_COMMIT, OP_ABORT, OP_PREPARE})
 
 
 def _canonical(payload: dict[str, Any]) -> bytes:

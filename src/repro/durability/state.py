@@ -53,6 +53,7 @@ from .records import (
     OP_ABORT,
     OP_COMMIT,
     OP_DEFINE,
+    OP_PREPARE,
     OP_READ,
     OP_REASSIGN,
     OP_UNDO_COMMIT,
@@ -90,13 +91,18 @@ class TxnState:
     merged_child_writes: dict[str, int] = field(default_factory=dict)
     in_flight_writes: list[str] = field(default_factory=list)
     commit_lsn: int | None = None
+    #: 2PC phase-1 promise: ``{"gid", "participants", "coordinator"}``
+    #: from the PREPARE record, or ``None``.  Serialised only when set
+    #: so single-shard checkpoints stay byte-identical to the old
+    #: format.
+    prepared: dict[str, Any] | None = None
 
     @property
     def terminated(self) -> bool:
         return self.phase in ("committed", "aborted")
 
     def to_dict(self) -> dict[str, Any]:
-        return {
+        payload = {
             "name": self.name,
             "parent": self.parent,
             "phase": self.phase,
@@ -116,6 +122,9 @@ class TxnState:
             "in_flight_writes": self.in_flight_writes,
             "commit_lsn": self.commit_lsn,
         }
+        if self.prepared is not None:
+            payload["prepared"] = self.prepared
+        return payload
 
     @classmethod
     def from_dict(cls, payload: dict[str, Any]) -> "TxnState":
@@ -302,6 +311,7 @@ class LogicalState:
             OP_COMMIT: self._apply_commit,
             OP_UNDO_COMMIT: self._apply_undo_commit,
             OP_ABORT: self._apply_abort,
+            OP_PREPARE: self._apply_prepare,
         }[record.op]
         handler(record)
 
@@ -367,6 +377,18 @@ class LogicalState:
         self.versions[entity].append([value, record.txn, sequence])
         txn.writes[entity] = [value, sequence]
         txn.did_data_access = True
+
+    def _apply_prepare(self, record: WalRecord) -> None:
+        """Redo a 2PC phase-1 promise.
+
+        The branch's protocol phase is untouched — a prepared branch
+        that never hears the decision is in-doubt, and
+        :meth:`undo_in_flight` aborts it (presumed abort) unless the
+        sharded recovery pass resolved it to commit first by consulting
+        the coordinator shard's log.
+        """
+        txn = self._txn(record.txn)
+        txn.prepared = dict(record.data)
 
     def _apply_commit(self, record: WalRecord) -> None:
         txn = self._txn(record.txn)
@@ -583,6 +605,9 @@ class LogicalState:
             tracer=tracer,
             registry=registry,
             strict=strict,
+            # The recovered root's label (shard managers use a custom
+            # one) so resurrected and future names share a namespace.
+            root_name=self.root,
             **manager_kwargs,
         )
         # Resurrection reaches into the manager's record table: the

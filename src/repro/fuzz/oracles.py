@@ -103,6 +103,65 @@ def _full_history(evidence: Any) -> bool:
     )
 
 
+def _sharded(evidence: Any) -> bool:
+    return getattr(evidence.plan, "shards", 1) > 1
+
+
+def _branch_shard(name: str) -> "int | None":
+    """``sh2.5`` → ``2``: the shard a branch name is rooted at."""
+    head = name.split(".", 1)[0]
+    if head.startswith("sh") and head[2:].isdigit():
+        return int(head[2:])
+    return None
+
+
+def _gid_of(evidence: Any, branch: str) -> str:
+    """Per-shard branch name → client-visible transaction name."""
+    return (getattr(evidence, "branch_map", None) or {}).get(
+        branch, branch
+    )
+
+
+def _branches_of(evidence: Any) -> dict[str, dict[int, str]]:
+    """gid → ``{shard: branch}`` for every cross-shard transaction."""
+    out: dict[str, dict[int, str]] = {}
+    for branch, gid in (
+        getattr(evidence, "branch_map", None) or {}
+    ).items():
+        shard = _branch_shard(branch)
+        if shard is not None:
+            out.setdefault(gid, {})[shard] = branch
+    return out
+
+
+def _shard_full_history(records: "list[Any]") -> bool:
+    return len(records) > 0 and records[0].lsn == 1
+
+
+def _acked_branches_on_shard(
+    evidence: Any,
+    branches_of: dict[str, dict[int, str]],
+    index: int,
+) -> "list[tuple[str, bool]]":
+    """The acked commit sequence projected onto shard ``index``.
+
+    Yields ``(branch, is_cross)`` in ack order.  Cross-shard branches
+    are flagged: their per-shard commit records are written by a 2PC
+    fan-out whose arrival order at any one shard is not the global ack
+    order, so the order contract only binds single-shard commits.
+    """
+    projected: list[tuple[str, bool]] = []
+    for gid in evidence.acked_committed:
+        cross = branches_of.get(gid)
+        if cross is not None:
+            branch = cross.get(index)
+            if branch is not None:
+                projected.append((branch, True))
+        elif _branch_shard(gid) == index:
+            projected.append((gid, False))
+    return projected
+
+
 def _no_deadlock(evidence: Any) -> OracleResult:
     if evidence.deadlock is None:
         return OracleResult("no_deadlock", True)
@@ -163,16 +222,39 @@ def _write_multiplicity(evidence: Any) -> OracleResult:
     request twice.
     """
     name = "write_multiplicity"
-    if evidence.records is None:
+    if _sharded(evidence):
+        if evidence.shard_records is None:
+            return OracleResult.skip(
+                name, "no WAL (in-memory or unrecoverable run)"
+            )
+        if not all(
+            _shard_full_history(records)
+            for records in evidence.shard_records.values()
+        ):
+            return OracleResult.skip(
+                name, "checkpoint cleanup truncated early history"
+            )
+        records = [
+            record
+            for _, shard_records in sorted(
+                evidence.shard_records.items()
+            )
+            for record in shard_records
+        ]
+    elif evidence.records is None:
         return OracleResult.skip(name, "no WAL (in-memory run)")
-    if not _full_history(evidence):
+    elif not _full_history(evidence):
         return OracleResult.skip(
             name, "checkpoint cleanup truncated early history"
         )
+    else:
+        records = evidence.records
     wal_writes: dict[tuple[str, str], int] = {}
-    for record in evidence.records:
+    for record in records:
         if record.op == OP_WRITE:
-            key = (record.txn, record.data["entity"])
+            # Branch names collapse to the client-visible gid so WAL
+            # writes line up with the request transcript.
+            key = (_gid_of(evidence, record.txn), record.data["entity"])
             wal_writes[key] = wal_writes.get(key, 0) + 1
     acked: dict[tuple[str, str], int] = {}
     pending: dict[tuple[str, str], int] = {}
@@ -205,6 +287,22 @@ def _recovery_verified(evidence: Any) -> OracleResult:
         return OracleResult(
             name, False, [f"recovery failed: {evidence.recovery_error}"]
         )
+    if _sharded(evidence):
+        if evidence.shard_recovery is None:
+            return OracleResult(name, False, ["recovery never ran"])
+        if evidence.shard_recovery.verified:
+            return OracleResult(name, True)
+        return OracleResult(
+            name,
+            False,
+            [
+                f"shard{index}: {violation}"
+                for index, result in sorted(
+                    evidence.shard_recovery.shards.items()
+                )
+                for violation in result.violations
+            ],
+        )
     if evidence.recovery is None:
         return OracleResult(name, False, ["recovery never ran"])
     if evidence.recovery.verified:
@@ -224,6 +322,8 @@ def _committed_prefix(evidence: Any) -> OracleResult:
     request was still in flight at the crash.
     """
     name = "committed_prefix"
+    if _sharded(evidence):
+        return _committed_prefix_sharded(evidence)
     if evidence.recovery is None:
         return OracleResult.skip(
             name, "no recovery pass (in-memory run or recovery error)"
@@ -261,6 +361,67 @@ def _committed_prefix(evidence: Any) -> OracleResult:
     return OracleResult(name, not details, details)
 
 
+def _committed_prefix_sharded(evidence: Any) -> OracleResult:
+    """The sharded commit contract, shard by shard.
+
+    Acked single-shard commits must appear in their shard's recovered
+    commit order *in ack order*; acked cross-shard commits must appear
+    on every participant shard, but only membership is required — the
+    2PC fan-out (and recovery's in-doubt resolution, which appends the
+    decided commit at the WAL tail) makes their per-shard positions
+    schedule-dependent.  Conversely, every recovered commit must map
+    back to an acked, indeterminate, or crash-in-flight transaction.
+    """
+    name = "committed_prefix"
+    recovery = evidence.shard_recovery
+    if recovery is None:
+        return OracleResult.skip(
+            name, "no recovery pass (in-memory run or recovery error)"
+        )
+    branches_of = _branches_of(evidence)
+    details: list[str] = []
+    acked = set(evidence.acked_committed)
+    indeterminate = _indeterminate(evidence)
+    inflight_commits = {
+        entry["txn"]
+        for entry in evidence.pending_requests
+        if entry["op"] == "commit"
+    }
+    for index, result in sorted(recovery.shards.items()):
+        recovered = list(result.committed)
+        recovered_set = set(recovered)
+        position = 0
+        for branch, is_cross in _acked_branches_on_shard(
+            evidence, branches_of, index
+        ):
+            if is_cross:
+                if branch not in recovered_set:
+                    details.append(
+                        f"shard{index}: acked cross-shard commit "
+                        f"{_gid_of(evidence, branch)} (branch {branch})"
+                        f" missing from recovered order {recovered}"
+                    )
+                continue
+            try:
+                position = recovered.index(branch, position) + 1
+            except ValueError:
+                details.append(
+                    f"shard{index}: acked commit {branch} missing "
+                    f"from recovered order {recovered}"
+                )
+        for branch in recovered:
+            gid = _gid_of(evidence, branch)
+            if gid in acked or gid in indeterminate:
+                continue
+            if evidence.crashed and gid in inflight_commits:
+                continue
+            details.append(
+                f"shard{index}: recovered commit {branch} "
+                f"(txn {gid}) was never acknowledged"
+            )
+    return OracleResult(name, not details, details)
+
+
 def _history_rc(evidence: Any) -> OracleResult:
     """Strict mode guarantees recoverable (RC) recorded histories."""
     name = "history_rc"
@@ -268,6 +429,34 @@ def _history_rc(evidence: Any) -> OracleResult:
         return OracleResult.skip(
             name, "non-strict run: RC is not promised"
         )
+    if _sharded(evidence):
+        # Each shard is its own single-writer history; RC is a
+        # per-history property, checked shard by shard.
+        if (
+            evidence.shard_records is None
+            or evidence.shard_recovery is None
+        ):
+            return OracleResult.skip(name, "no WAL history")
+        if not all(
+            _shard_full_history(records)
+            for records in evidence.shard_records.values()
+        ):
+            return OracleResult.skip(
+                name, "checkpoint cleanup truncated early history"
+            )
+        details = [
+            f"shard{index}: committed reader precedes its author"
+            for index, records in sorted(
+                evidence.shard_records.items()
+            )
+            if not recorded_is_rc(
+                records,
+                list(
+                    evidence.shard_recovery.shards[index].committed
+                ),
+            )
+        ]
+        return OracleResult(name, not details, details)
     if evidence.records is None or evidence.recovery is None:
         return OracleResult.skip(name, "no WAL history")
     if not _full_history(evidence):
@@ -295,6 +484,45 @@ def _classifier_lattice(evidence: Any) -> OracleResult:
     of every fast path.
     """
     name = "classifier_lattice"
+    if _sharded(evidence):
+        if (
+            evidence.shard_records is None
+            or evidence.shard_recovery is None
+        ):
+            return OracleResult.skip(name, "no WAL history")
+        if not all(
+            _shard_full_history(records)
+            for records in evidence.shard_records.values()
+        ):
+            return OracleResult.skip(
+                name, "checkpoint cleanup truncated early history"
+            )
+        details = []
+        checked = 0
+        for index, records in sorted(evidence.shard_records.items()):
+            projection = committed_projection(
+                records,
+                list(
+                    evidence.shard_recovery.shards[index].committed
+                ),
+            )
+            if projection is None:
+                continue
+            schedule = projection.schedule
+            if len(schedule) > _CLASSIFY_CAP:
+                continue  # this shard is too big for the NP pass
+            checked += 1
+            details.extend(
+                f"shard{index}: {violation}"
+                for violation in containment_violations(
+                    classify(schedule)
+                )
+            )
+        if not checked:
+            return OracleResult.skip(
+                name, "no classifiable committed projection on any shard"
+            )
+        return OracleResult(name, not details, details)
     if evidence.records is None or evidence.recovery is None:
         return OracleResult.skip(name, "no WAL history")
     if not _full_history(evidence):
@@ -333,6 +561,8 @@ def _classifier_lattice(evidence: Any) -> OracleResult:
 def _protocol_verify(evidence: Any) -> OracleResult:
     """Post-drain manager state passes Lemma 4 / Theorem 2 and is clean."""
     name = "protocol_verify"
+    if _sharded(evidence):
+        return _protocol_verify_sharded(evidence)
     if evidence.manager is None:
         return OracleResult.skip(
             name, "no live manager (crash or deadlock)"
@@ -364,6 +594,62 @@ def _protocol_verify(evidence: Any) -> OracleResult:
     return OracleResult(name, not details, details)
 
 
+def _protocol_verify_sharded(evidence: Any) -> OracleResult:
+    """Per-shard Lemma 4 / Theorem 2 plus the cross-shard commit map."""
+    name = "protocol_verify"
+    managers = evidence.shard_managers
+    if managers is None:
+        return OracleResult.skip(
+            name, "no live managers (crash or deadlock)"
+        )
+    branches_of = _branches_of(evidence)
+    acked_or_indet = set(evidence.acked_committed) | _indeterminate(
+        evidence
+    )
+    details: list[str] = []
+    for index, manager in enumerate(managers):
+        root = manager.root
+        details.extend(
+            f"shard{index}: {problem}"
+            for problem in manager.verify_parent_based(root)
+        )
+        details.extend(
+            f"shard{index}: {problem}"
+            for problem in manager.verify_correctness(root)
+        )
+        committed = set()
+        for child in manager.children_of(root):
+            record = manager.record(child)
+            if not record.terminated:
+                details.append(
+                    f"shard{index}: {child} still live after drain"
+                )
+            if record.phase is TxnPhase.COMMITTED:
+                committed.add(child)
+        expected = set()
+        for gid in acked_or_indet:
+            cross = branches_of.get(gid)
+            if cross is not None:
+                branch = cross.get(index)
+                if branch is not None:
+                    expected.add(branch)
+            elif _branch_shard(gid) == index:
+                expected.add(gid)
+        if committed != expected:
+            details.append(
+                f"shard{index}: manager committed set "
+                f"{sorted(committed)} != acked ∪ indeterminate "
+                f"branches {sorted(expected)}"
+            )
+    if evidence.dispatcher is not None:
+        parked = getattr(evidence.dispatcher, "parked_count", 0)
+        if parked:
+            details.append(
+                f"{parked} commands still parked after drain"
+            )
+    return OracleResult(name, not details, details)
+
+
 def _metrics_consistent(evidence: Any) -> OracleResult:
     """Telemetry agrees with the transcript.
 
@@ -388,15 +674,41 @@ def _metrics_consistent(evidence: Any) -> OracleResult:
         registry.counter("server.txns.committed").value
     )
     indeterminate = _indeterminate(evidence)
-    expected_commits = len(evidence.acked_committed) + len(
-        indeterminate - set(evidence.acked_committed)
-    )
+    if _sharded(evidence):
+        # The committed counter ticks once per *branch* commit, so a
+        # cross-shard transaction on k shards counts k times.
+        branches_of = _branches_of(evidence)
+        expected_commits = sum(
+            len(branches_of.get(gid) or (gid,))
+            for gid in set(evidence.acked_committed) | indeterminate
+        )
+    else:
+        expected_commits = len(evidence.acked_committed) + len(
+            indeterminate - set(evidence.acked_committed)
+        )
     if committed_count != expected_commits:
         details.append(
             f"server.txns.committed={committed_count} but "
             f"{len(evidence.acked_committed)} commits acked + "
-            f"{len(indeterminate)} indeterminate"
+            f"{len(indeterminate)} indeterminate "
+            f"(expected {expected_commits})"
         )
+    if _sharded(evidence):
+        # Per-shard label series must sum exactly to the aggregate —
+        # no double-counting, no unlabeled stragglers.
+        shard_sum = sum(
+            int(
+                registry.counter(
+                    f"server.txns.committed.shard{index}"
+                ).value
+            )
+            for index in range(evidence.plan.shards)
+        )
+        if shard_sum != committed_count:
+            details.append(
+                f"per-shard committed series sum to {shard_sum} but "
+                f"server.txns.committed={committed_count}"
+            )
     busy_events = sum(
         1 for event in evidence.events if event["kind"] == "busy"
     ) + sum(
@@ -405,7 +717,16 @@ def _metrics_consistent(evidence: Any) -> OracleResult:
         if event["kind"] == "reply" and event.get("code") == "BUSY"
     )
     busy_count = int(registry.counter("server.busy").value)
-    if busy_count != busy_events:
+    if _sharded(evidence):
+        # The router's internal 2PC fan-out retries BUSY itself, so
+        # the counter may exceed what the client transcript saw — but
+        # never the reverse.
+        if busy_count < busy_events:
+            details.append(
+                f"server.busy={busy_count} but transcript shows "
+                f"{busy_events} BUSY rejections"
+            )
+    elif busy_count != busy_events:
         details.append(
             f"server.busy={busy_count} but transcript shows "
             f"{busy_events} BUSY rejections"
@@ -472,6 +793,102 @@ def _span_tree_details(evidence: Any) -> list[str]:
                 f"{count} queue.wait children (expected 1)"
             )
     return details
+
+
+def _cross_shard_atomicity(evidence: Any) -> OracleResult:
+    """All-or-nothing across shards: no transaction half-commits.
+
+    For every top-level cross-shard transaction, the branch fates on
+    its participant shards must agree — after recovery (durable runs,
+    where the in-doubt resolution pass has already applied the
+    coordinator's decision) or in the drained live managers
+    (in-memory runs).  A divergence is split-brain: one shard
+    exposes the transaction's writes while another acts as if it
+    never happened.  Additionally an acked cross-shard commit must be
+    committed everywhere, and a fully-committed one must have been
+    acked (or been in flight at a crash).
+    """
+    name = "cross_shard_atomicity"
+    if not _sharded(evidence):
+        return OracleResult.skip(name, "single-shard plan")
+    branches_of = _branches_of(evidence)
+    multi = {
+        gid: branches
+        for gid, branches in branches_of.items()
+        # Top-level transactions only: a nested cross-shard txn
+        # ("sh2.5.1") commits relative to its parent, whose own 2PC
+        # settles the global fate.
+        if len(branches) > 1 and gid.count(".") == 1
+    }
+    if not multi:
+        return OracleResult.skip(
+            name, "no cross-shard transactions in this run"
+        )
+    if evidence.plan.durable:
+        if evidence.shard_recovery is None:
+            return OracleResult.skip(
+                name,
+                f"recovery unavailable: {evidence.recovery_error}",
+            )
+        committed_by_shard = {
+            index: set(result.committed)
+            for index, result in evidence.shard_recovery.shards.items()
+        }
+
+        def _fate(shard: int, branch: str) -> bool:
+            return branch in committed_by_shard.get(shard, set())
+
+    else:
+        managers = evidence.shard_managers
+        if managers is None:
+            return OracleResult.skip(
+                name, "no live managers (crash or deadlock)"
+            )
+
+        def _fate(shard: int, branch: str) -> bool:
+            try:
+                record = managers[shard].record(branch)
+            except Exception:  # noqa: BLE001 — unknown branch = no commit
+                return False
+            return record.phase is TxnPhase.COMMITTED
+
+    details: list[str] = []
+    acked = set(evidence.acked_committed)
+    indeterminate = _indeterminate(evidence)
+    inflight_commits = {
+        entry["txn"]
+        for entry in evidence.pending_requests
+        if entry["op"] == "commit"
+    }
+    for gid, branches in sorted(multi.items()):
+        fates = {
+            f"shard{shard}:{branch}": _fate(shard, branch)
+            for shard, branch in sorted(branches.items())
+        }
+        outcomes = set(fates.values())
+        if len(outcomes) > 1:
+            details.append(
+                f"split-brain: transaction {gid} branch fates "
+                f"diverge: {fates}"
+            )
+            continue
+        committed = outcomes.pop()
+        if gid in acked and not committed:
+            details.append(
+                f"acked cross-shard commit {gid} is not committed "
+                f"on its participant shards {sorted(branches)}"
+            )
+        if (
+            committed
+            and gid not in acked
+            and gid not in indeterminate
+            and not (evidence.crashed and gid in inflight_commits)
+        ):
+            details.append(
+                f"cross-shard transaction {gid} committed without "
+                f"an acknowledged commit"
+            )
+    return OracleResult(name, not details, details)
 
 
 def _acked_commits_survive_promotion(evidence: Any) -> OracleResult:
@@ -585,6 +1002,7 @@ ORACLES: "dict[str, Any]" = {
     "write_multiplicity": _write_multiplicity,
     "recovery_verified": _recovery_verified,
     "committed_prefix": _committed_prefix,
+    "cross_shard_atomicity": _cross_shard_atomicity,
     "history_rc": _history_rc,
     "classifier_lattice": _classifier_lattice,
     "protocol_verify": _protocol_verify,

@@ -139,6 +139,8 @@ class FuzzPlan:
     #: seconds: the replica neither receives batches nor acks inside
     #: the window (it heals when the window closes).
     partitions: list[list[Any]] = field(default_factory=list)
+    #: Entity-space shards (1 = the classic single-stack server).
+    shards: int = 1
     clients: list[ClientPlan] = field(default_factory=list)
 
     def to_dict(self) -> dict[str, Any]:
@@ -157,6 +159,7 @@ class FuzzPlan:
             "replicas": self.replicas,
             "sync_replicas": self.sync_replicas,
             "partitions": [list(window) for window in self.partitions],
+            "shards": self.shards,
             "clients": [client.to_dict() for client in self.clients],
         }
 
@@ -184,6 +187,7 @@ class FuzzPlan:
             partitions=[
                 list(window) for window in data.get("partitions", [])
             ],
+            shards=data.get("shards", 1),
             clients=[
                 ClientPlan.from_dict(c) for c in data.get("clients", [])
             ],
@@ -269,6 +273,7 @@ def generate_plan(
     strict: "bool | None" = None,
     crash: "bool | None" = None,
     replicas: "int | None" = None,
+    shards: "int | None" = None,
     think_max: float = 0.2,
 ) -> FuzzPlan:
     """Deterministically expand ``seed`` into a full :class:`FuzzPlan`.
@@ -343,4 +348,29 @@ def generate_plan(
                 plan.partitions.append(
                     [index, start, round(start + length, 3)]
                 )
+    # Sharding came after replication; its roll sits at the very end of
+    # the stream for the same pinned-seed-compatibility reason.  The
+    # two features are mutually exclusive (a sharded leader cannot ship
+    # a single WAL): pinning both is an error, pinning one suppresses
+    # the seed's draw of the other, and a seed left free to draw both
+    # keeps replication and stays single-shard.
+    if shards is not None and shards > 1 and replicas:
+        raise ValueError("shards > 1 cannot be combined with replicas")
+    shard_roll = rng.random()
+    n_shards = shards
+    if n_shards is None:
+        if shard_roll < 0.15:
+            n_shards = 4
+        elif shard_roll < 0.35:
+            n_shards = 2
+        else:
+            n_shards = 1
+    if n_shards > 1 and shards is not None:
+        # An explicit shard pin wins over seed-drawn replication.
+        plan.replicas = 0
+        plan.sync_replicas = 0
+        plan.partitions = []
+    if plan.replicas:
+        n_shards = 1
+    plan.shards = n_shards
     return plan

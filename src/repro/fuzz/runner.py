@@ -33,6 +33,12 @@ from ..durability.crashpoints import CrashPoints, SimulatedCrash
 from ..durability.harness import build_survivor_copy
 from ..durability.manager import DurableTransactionManager
 from ..durability.recovery import RecoveryResult, recover
+from ..durability.shard_recovery import (
+    ShardedRecoveryResult,
+    list_shard_dirs,
+    recover_sharded,
+    shard_wal_dir,
+)
 from ..durability.wal import scan_wal
 from ..errors import ReproError
 from ..obs.live import LiveTracer, SpanRing
@@ -110,6 +116,12 @@ class Evidence:
     records: "list[Any] | None" = None
     recovery: "RecoveryResult | None" = None
     recovery_error: "str | None" = None
+    #: Cross-shard branch name → client-visible gid (sharded runs).
+    branch_map: dict[str, str] = field(default_factory=dict)
+    #: Sharded equivalents of ``recovery`` / ``records`` / ``manager``.
+    shard_recovery: "ShardedRecoveryResult | None" = None
+    shard_records: "dict[int, list[Any]] | None" = None
+    shard_managers: "list[TransactionManager] | None" = None
 
     @property
     def pending_requests(self) -> list[dict[str, Any]]:
@@ -160,6 +172,7 @@ class _RunContext:
         self.indeterminate_committed: list[str] = []
         self.requests: dict[tuple[int, int], dict[str, Any]] = {}
         self.rid_counters: dict[int, int] = {}
+        self.branch_map: dict[str, str] = {}
         self.drain_summary: "dict[str, Any] | None" = None
         self.crash_exc: "SimulatedCrash | None" = None
         self.replicas: "_ReplicaSet | None" = None
@@ -246,6 +259,16 @@ class _RunContext:
             outcome=reply.get("outcome"),
             value=reply.get("value"),
         )
+        if (
+            op == "define"
+            and reply.get("ok")
+            and isinstance(reply.get("branches"), dict)
+        ):
+            # A cross-shard define: remember which per-shard branch
+            # belongs to which client-visible gid, so the oracles can
+            # translate WAL records back to acked transactions.
+            for branch in reply["branches"].values():
+                self.branch_map[branch] = reply["txn"]
         if op == "commit" and reply.get("outcome") == "committed" and txn:
             self.acked_committed.append(txn)
         if op == "commit" and txn and not reply.get("ok"):
@@ -659,23 +682,62 @@ def execute_plan(
     tracer = LiveTracer(ring, clock=clock)
     wal_dir = base / "wal"
     crash_points: "CrashPoints | None" = None
+    sharded = plan.shards > 1
+    if sharded and plan.replicas:
+        raise ReproError(
+            "sharded plans cannot ship a WAL (replicas must be 0)"
+        )
+    shard_managers: "list[TransactionManager] | None" = None
     try:
         if plan.durable:
+            # Sharded plans share one CrashPoints: any shard's WAL or
+            # checkpoint write can fire the armed point, so the crash
+            # lands wherever the schedule takes it.
             crash_points = CrashPoints()
-            manager, _ = DurableTransactionManager.open(
-                wal_dir,
-                fuzz_database,
-                flush_interval=plan.flush_interval,
-                checkpoint_every=plan.checkpoint_every,
-                retain=99,  # keep every segment: oracles read history
-                tracer=tracer,
-                registry=registry,
-                strict=plan.strict,
-                crash_points=crash_points,
-            )
+            if sharded:
+                shard_managers = []
+                for index in range(plan.shards):
+                    shard_manager, _ = DurableTransactionManager.open(
+                        shard_wal_dir(wal_dir, index),
+                        fuzz_database,
+                        flush_interval=plan.flush_interval,
+                        checkpoint_every=plan.checkpoint_every,
+                        retain=99,
+                        tracer=tracer,
+                        registry=registry,
+                        strict=plan.strict,
+                        crash_points=crash_points,
+                        root_name=f"sh{index}",
+                    )
+                    shard_managers.append(shard_manager)
+                manager = shard_managers[0]
+            else:
+                manager, _ = DurableTransactionManager.open(
+                    wal_dir,
+                    fuzz_database,
+                    flush_interval=plan.flush_interval,
+                    checkpoint_every=plan.checkpoint_every,
+                    retain=99,  # keep every segment: oracles read history
+                    tracer=tracer,
+                    registry=registry,
+                    strict=plan.strict,
+                    crash_points=crash_points,
+                )
             if plan.crash_point is not None:
                 # Armed *after* open(): hit counts start at "serving".
                 crash_points.arm(plan.crash_point, plan.crash_at_hit)
+        elif sharded:
+            shard_managers = [
+                TransactionManager(
+                    fuzz_database(),
+                    tracer=tracer,
+                    registry=registry,
+                    strict=plan.strict,
+                    root_name=f"sh{index}",
+                )
+                for index in range(plan.shards)
+            ]
+            manager = shard_managers[0]
         else:
             manager = TransactionManager(
                 fuzz_database(),
@@ -690,10 +752,12 @@ def execute_plan(
                 request_timeout=plan.request_timeout,
                 drain_grace=plan.drain_grace,
                 strict=plan.strict,
+                shards=plan.shards,
             ),
             registry=registry,
             tracer=tracer,
-            manager=manager,
+            manager=None if sharded else manager,
+            shard_managers=shard_managers if sharded else None,
             clock=clock,
         )
         ctx = _RunContext(plan, clock, server)
@@ -714,7 +778,10 @@ def execute_plan(
                 loop.run_until_complete(_main(ctx))
             except FuzzDeadlockError as error:
                 deadlock = str(error)
-                _cancel_pending(loop)
+            # Unconditional: a deadlock verdict leaves client tasks
+            # pending, and a sharded crash leaves the *surviving*
+            # shards' dispatcher loops parked on their queues.
+            _cancel_pending(loop)
         finally:
             asyncio.set_event_loop(None)
         evidence = Evidence(
@@ -734,15 +801,21 @@ def execute_plan(
             dispatcher=ctx.dispatcher,
             drain_summary=ctx.drain_summary,
             registry=registry,
+            branch_map=dict(ctx.branch_map),
         )
         evidence.spans, evidence.spans_dropped = span_feed.poll()
         evidence.open_spans = tracer.open_spans()
         if plan.durable:
             if crash_points is not None:
                 crash_points.disarm()
-            _collect_durable_evidence(
-                evidence, manager, wal_dir, base
-            )
+            if sharded:
+                _collect_sharded_evidence(
+                    evidence, shard_managers, wal_dir, base
+                )
+            else:
+                _collect_durable_evidence(
+                    evidence, manager, wal_dir, base
+                )
         if ctx.replicas is not None:
             if not evidence.crashed and deadlock is None:
                 # Clean run: partitions heal and the backlog drains, so
@@ -751,7 +824,10 @@ def execute_plan(
                 ctx.replicas.catch_up()
             ctx.replicas.finalize(evidence)
         if not evidence.crashed and deadlock is None:
-            evidence.manager = manager
+            if sharded:
+                evidence.shard_managers = shard_managers
+            else:
+                evidence.manager = manager
         oracles = run_oracles(evidence)
         report = _build_report(plan, evidence, oracles, clock)
         return RunResult(plan=plan, report=report, evidence=evidence)
@@ -788,6 +864,40 @@ def _collect_durable_evidence(
         evidence.recovery_error = f"{type(error).__name__}: {error}"
 
 
+def _collect_sharded_evidence(
+    evidence: Evidence,
+    managers: "list[DurableTransactionManager]",
+    wal_dir: Path,
+    base: Path,
+) -> None:
+    """Per-shard survivor copies, one sharded recovery over them all."""
+    if evidence.crashed:
+        target = base / "survivor"
+        for index, manager in enumerate(managers):
+            build_survivor_copy(
+                shard_wal_dir(wal_dir, index),
+                shard_wal_dir(target, index),
+                mode="kill",
+            )
+            if manager.wal is not None and not manager.wal.closed:
+                manager.wal.close()
+    else:
+        target = wal_dir
+        for manager in managers:
+            if manager.wal is not None and not manager.wal.closed:
+                manager.wal.close()
+    try:
+        # recover_sharded resolves in-doubt 2PC branches first (the
+        # presumed-abort protocol), then replays every shard.
+        evidence.shard_recovery = recover_sharded(target, verify=True)
+        evidence.shard_records = {
+            index: list(scan_wal(path).records)
+            for index, path in list_shard_dirs(target)
+        }
+    except ReproError as error:
+        evidence.recovery_error = f"{type(error).__name__}: {error}"
+
+
 def _build_report(
     plan: FuzzPlan,
     evidence: Evidence,
@@ -812,6 +922,7 @@ def _build_report(
             "replicas": plan.replicas,
             "sync_replicas": plan.sync_replicas,
             "partitions": [list(w) for w in plan.partitions],
+            "shards": plan.shards,
         },
         "counts": {
             "events": len(evidence.events),
@@ -848,6 +959,21 @@ def _build_report(
         "recovered_committed": (
             list(evidence.recovery.committed)
             if evidence.recovery is not None
+            else None
+        ),
+        "shard_recovered_committed": (
+            {
+                str(index): list(result.committed)
+                for index, result in sorted(
+                    evidence.shard_recovery.shards.items()
+                )
+            }
+            if evidence.shard_recovery is not None
+            else None
+        ),
+        "shard_resolutions": (
+            [dict(entry) for entry in evidence.shard_recovery.resolutions]
+            if evidence.shard_recovery is not None
             else None
         ),
         "crashed": evidence.crashed,

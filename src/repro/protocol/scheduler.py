@@ -143,6 +143,7 @@ class TransactionManager:
         tracer: Tracer | None = None,
         registry: MetricsRegistry | None = None,
         strict: bool = False,
+        root_name: str | None = None,
     ) -> None:
         self._db = database
         self._strict = strict
@@ -176,7 +177,16 @@ class TransactionManager:
             str, tuple[int, dict[str | None, list[Version]]]
         ] = {}
 
-        root_name = str(TxnName.root())
+        # A custom root label namespaces every transaction name the
+        # manager generates (names are {parent}.{counter} paths) — the
+        # shard router relies on this to keep per-shard managers from
+        # ever colliding on a name.
+        self._root_name = (
+            str(TxnName.root(root_name))
+            if root_name is not None
+            else str(TxnName.root())
+        )
+        root_name = self._root_name
         spec = (
             root_spec
             if root_spec is not None
@@ -235,7 +245,7 @@ class TransactionManager:
 
     @property
     def root(self) -> str:
-        return str(TxnName.root())
+        return self._root_name
 
     @property
     def database(self) -> Database:

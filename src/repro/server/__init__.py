@@ -18,6 +18,8 @@ Layering (each module documents its own contract):
 * :mod:`repro.server.session` — the command dispatcher (the only code
   that touches the manager) and its parking/timeout/notification
   machinery;
+* :mod:`repro.server.router` — entity-hash shard routing and the
+  cross-shard two-phase commit coordinator (``--shards N``);
 * :mod:`repro.server.server` — asyncio TCP transport and lifecycle;
 * :mod:`repro.server.client` — sync + asyncio client libraries;
 * :mod:`repro.server.loadgen` — workload replay over N connections,
@@ -49,6 +51,7 @@ from .loadgen import (
 )
 from .metrics_http import MetricsHTTPServer
 from .protocol import MAX_FRAME_BYTES, OPERATIONS
+from .router import ShardRouter, affinity_key, shard_of
 from .server import ServerConfig, ServerThread, TransactionServer
 from .session import CommandDispatcher, SessionState
 
@@ -73,12 +76,15 @@ __all__ = [
     "ServerError",
     "ServerThread",
     "SessionState",
+    "ShardRouter",
     "ShuttingDown",
     "TransactionServer",
     "UnknownOperation",
     "UnknownTransaction",
     "WIRE_FAULT_CODES",
     "WORKLOAD_KINDS",
+    "affinity_key",
     "build_workload",
     "run_loadgen",
+    "shard_of",
 ]

@@ -40,6 +40,7 @@ from typing import Any
 
 from ..obs.metrics import Histogram
 from ..sim.workload import (
+    KEY_DISTRIBUTIONS,
     Read,
     Think,
     TransactionScript,
@@ -69,18 +70,30 @@ def build_workload(
     transactions: int = 16,
     think: float = 0.0,
     seed: int = 0,
+    key_dist: str = "uniform",
 ) -> Workload:
     """The workloads ``repro serve`` and ``repro loadgen`` share.
 
-    Both commands must be given the same kind/seed so the server's
-    database schema matches the scripts' entities.
+    Both commands must be given the same kind/seed/key-dist so the
+    server's database schema matches the scripts' entities and replay
+    draws the same access sequence.
     """
+    if key_dist not in KEY_DISTRIBUTIONS:
+        raise ValueError(
+            f"unknown key distribution {key_dist!r} "
+            f"(choose from {KEY_DISTRIBUTIONS})"
+        )
     if kind == "cad":
         return cad_workload(
-            num_designers=transactions, think_time=think, seed=seed
+            num_designers=transactions,
+            think_time=think,
+            seed=seed,
+            key_dist=key_dist,
         )
     if kind == "oltp":
-        return oltp_workload(num_transactions=transactions, seed=seed)
+        return oltp_workload(
+            num_transactions=transactions, seed=seed, key_dist=key_dist
+        )
     raise ValueError(
         f"unknown workload kind {kind!r} (choose from {WORKLOAD_KINDS})"
     )
@@ -93,6 +106,7 @@ class LoadgenReport:
     workload: str
     clients: int
     scripts: int
+    key_dist: str = "uniform"
     wall_time: float = 0.0
     committed: int = 0
     aborted: int = 0  # transaction instances that ended aborted
@@ -129,6 +143,7 @@ class LoadgenReport:
             "workload": self.workload,
             "clients": self.clients,
             "scripts": self.scripts,
+            "key_dist": self.key_dist,
             "wall_time_s": round(self.wall_time, 4),
             "committed": self.committed,
             "aborted_txns": self.aborted,
@@ -359,6 +374,7 @@ async def run_loadgen(
         workload=workload.name,
         clients=clients,
         scripts=len(workload.scripts),
+        key_dist=workload.key_dist,
     )
     runner = _Runner(
         report,

@@ -68,6 +68,7 @@ from .protocol import (
     event_frame,
     parse_request,
 )
+from .router import ShardRouter
 from .session import CommandDispatcher, SessionState
 
 _CLOSE = object()
@@ -131,6 +132,13 @@ class ServerConfig:
     #: Setting this makes the node a follower — it redirects every
     #: mutating op and serves ``follower_read``s off replicated state.
     follow_of: str | None = None
+    #: Partition the entity space across this many independent
+    #: single-threaded shard stacks (dispatcher + manager + WAL
+    #: directory ``<wal_dir>/shard{i}``) behind a
+    #: :class:`~repro.server.router.ShardRouter`.  ``1`` (the default)
+    #: runs the classic single-dispatcher stack, byte-compatible with
+    #: every earlier WAL.  Mutually exclusive with replication.
+    shards: int = 1
 
 
 @dataclass
@@ -154,12 +162,13 @@ class TransactionServer:
         tracer: Tracer | None = None,
         *,
         manager: TransactionManager | None = None,
+        shard_managers: "list[TransactionManager] | None" = None,
         clock: Callable[[], float] | None = None,
     ) -> None:
-        """``manager`` and ``clock`` exist for harnesses (the fuzzer)
-        that pre-build a manager (e.g. with crash points armed) and
-        drive the stack on a virtual clock; normal servers leave both
-        unset and the config decides."""
+        """``manager``, ``shard_managers`` and ``clock`` exist for
+        harnesses (the fuzzer) that pre-build manager stacks (e.g. with
+        crash points armed) and drive the server on a virtual clock;
+        normal servers leave all three unset and the config decides."""
         self._config = config or ServerConfig()
         self._registry = registry or MetricsRegistry()
         self.recovery: "RecoveryResult | None" = None
@@ -167,7 +176,38 @@ class TransactionServer:
         self._repl_listener: ReplicationListener | None = None
         self._link_task: asyncio.Task | None = None
         self._takeover_server: asyncio.AbstractServer | None = None
-        if manager is not None:
+        if self._config.shards < 1:
+            raise ValueError("shards must be >= 1")
+        self._sharded = self._config.shards > 1
+        #: Per-shard recovery results / in-doubt 2PC resolutions
+        #: (sharded durable startup only).
+        self.shard_recoveries: "dict[int, RecoveryResult]" = {}
+        self.shard_resolutions: list[dict[str, Any]] = []
+        if self._sharded:
+            if manager is not None:
+                raise ValueError(
+                    "a pre-built manager is incompatible with shards > 1"
+                )
+            if self._config.follow_of or self._config.repl_port is not None:
+                raise ValueError(
+                    "replication (follow_of / repl_port) and sharding "
+                    "are mutually exclusive"
+                )
+            if shard_managers is not None:
+                if len(shard_managers) != self._config.shards:
+                    raise ValueError(
+                        f"shard_managers has {len(shard_managers)} "
+                        f"entries for {self._config.shards} shards"
+                    )
+                self._managers = list(shard_managers)
+            else:
+                self._managers = self._open_shard_managers(
+                    database, tracer
+                )
+            self._manager = self._managers[0]
+        elif shard_managers is not None:
+            raise ValueError("shard_managers requires shards > 1")
+        elif manager is not None:
             self._manager = manager
         elif self._config.follow_of:
             # Follower: the WAL dir belongs to the applier (replicated
@@ -229,15 +269,35 @@ class TransactionServer:
                 strict=self._config.strict,
             )
         self._tracer = tracer
-        self._dispatcher = CommandDispatcher(
-            self._manager,
-            registry=self._registry,
-            tracer=tracer,
-            queue_size=self._config.queue_size,
-            request_timeout=self._config.request_timeout,
-            clock=clock if clock is not None else CLOCK,
-            batch_size=self._config.batch_size,
-        )
+        if self._sharded:
+            shard_dispatchers = [
+                CommandDispatcher(
+                    shard_manager,
+                    registry=self._registry,
+                    tracer=tracer,
+                    queue_size=self._config.queue_size,
+                    request_timeout=self._config.request_timeout,
+                    clock=clock if clock is not None else CLOCK,
+                    batch_size=self._config.batch_size,
+                    shard=index,
+                    shards_total=self._config.shards,
+                )
+                for index, shard_manager in enumerate(self._managers)
+            ]
+            self._dispatcher: "CommandDispatcher | ShardRouter" = (
+                ShardRouter(shard_dispatchers, registry=self._registry)
+            )
+        else:
+            self._managers = [self._manager]
+            self._dispatcher = CommandDispatcher(
+                self._manager,
+                registry=self._registry,
+                tracer=tracer,
+                queue_size=self._config.queue_size,
+                request_timeout=self._config.request_timeout,
+                clock=clock if clock is not None else CLOCK,
+                batch_size=self._config.batch_size,
+            )
         if (
             self.replication is None
             and self._config.repl_port is not None
@@ -260,6 +320,69 @@ class TransactionServer:
         self._session_ids = itertools.count(1)
         self._stopping = False
         self._drain_summary: dict[str, Any] = {}
+
+    def _open_shard_managers(
+        self, database: Database, tracer: Tracer | None
+    ) -> list[TransactionManager]:
+        """One full manager stack per shard.
+
+        Every shard holds the complete schema (partitioning governs
+        which shard *writes* an entity, not where it is stored), its
+        manager roots the transaction tree at ``sh{index}`` so branch
+        names are self-routing, and — when durable — its WAL lives in
+        ``<wal_dir>/shard{index}``.  In-doubt 2PC branches from a
+        previous crash are resolved against the coordinator shard's
+        log *before* any shard recovers (see
+        :func:`~repro.durability.shard_recovery.resolve_in_doubt`).
+        """
+        managers: list[TransactionManager] = []
+        if self._config.wal_dir:
+            from ..durability import (
+                DurableTransactionManager,
+                resolve_in_doubt,
+                shard_wal_dir,
+            )
+
+            self.shard_resolutions = resolve_in_doubt(
+                self._config.wal_dir
+            )
+            for index in range(self._config.shards):
+                shard_db = Database(
+                    database.schema,
+                    database.constraint,
+                    database.initial_state,
+                )
+                shard_manager, recovery = DurableTransactionManager.open(
+                    shard_wal_dir(self._config.wal_dir, index),
+                    lambda db=shard_db: db,
+                    flush_interval=self._config.flush_interval,
+                    checkpoint_every=self._config.checkpoint_every,
+                    segment_bytes=self._config.segment_bytes,
+                    retain=self._config.retain,
+                    tracer=tracer,
+                    registry=self._registry,
+                    strict=self._config.strict,
+                    root_name=f"sh{index}",
+                )
+                if recovery is not None:
+                    self.shard_recoveries[index] = recovery
+                managers.append(shard_manager)
+            return managers
+        for index in range(self._config.shards):
+            managers.append(
+                TransactionManager(
+                    Database(
+                        database.schema,
+                        database.constraint,
+                        database.initial_state,
+                    ),
+                    tracer=tracer,
+                    registry=self._registry,
+                    strict=self._config.strict,
+                    root_name=f"sh{index}",
+                )
+            )
+        return managers
 
     # -- accessors -----------------------------------------------------------
 
@@ -432,9 +555,10 @@ class TransactionServer:
         interval = max(self._config.flush_interval / 2, 0.001)
         while True:
             await asyncio.sleep(interval)
-            flush = getattr(self._manager, "maybe_flush", None)
-            if flush is not None:
-                flush()
+            for shard_manager in self._managers:
+                flush = getattr(shard_manager, "maybe_flush", None)
+                if flush is not None:
+                    flush()
 
     def _health(self) -> "dict[str, Any]":
         context = self.replication
@@ -490,10 +614,11 @@ class TransactionServer:
                 await self._flush_task
             except asyncio.CancelledError:
                 pass
-        close = getattr(self._manager, "close", None)
-        if close is not None:
-            # Durable manager: final checkpoint + flush, clean WAL.
-            close()
+        for shard_manager in self._managers:
+            close = getattr(shard_manager, "close", None)
+            if close is not None:
+                # Durable manager: final checkpoint + flush, clean WAL.
+                close()
         if self.replication is not None:
             if self.replication.hub is not None:
                 self.replication.hub.close()

@@ -153,8 +153,17 @@ class CommandDispatcher:
         request_timeout: float = 5.0,
         clock: Callable[[], float] = CLOCK,
         batch_size: int = 32,
+        shard: int | None = None,
+        shards_total: int = 1,
     ) -> None:
         self._tm = manager
+        #: Shard identity (``None`` = unsharded, today's exact metric
+        #: names).  When set, every dispatcher metric is written twice:
+        #: once under ``<name>.shard<i>`` and once into the unlabelled
+        #: aggregate — counters by double-increment (sums stay exact),
+        #: gauges by re-summing the per-shard gauges (no double-count).
+        self._shard = shard
+        self._shards_total = max(1, shards_total)
         self._registry = registry
         self._tracer = tracer if tracer is not None else NULL_TRACER
         self._queue: "asyncio.Queue[Command | object]" = asyncio.Queue(
@@ -184,14 +193,35 @@ class CommandDispatcher:
     def _count(self, name: str, amount: float = 1.0) -> None:
         if self._registry is not None:
             self._registry.counter(name).inc(amount)
+            if self._shard is not None:
+                self._registry.counter(
+                    f"{name}.shard{self._shard}"
+                ).inc(amount)
 
     def _observe(self, name: str, value: float) -> None:
         if self._registry is not None:
             self._registry.histogram(name).observe(value)
+            if self._shard is not None:
+                self._registry.histogram(
+                    f"{name}.shard{self._shard}"
+                ).observe(value)
 
     def _gauge_set(self, name: str, value: float) -> None:
-        if self._registry is not None:
+        if self._registry is None:
+            return
+        if self._shard is None:
             self._registry.gauge(name).set(value)
+            return
+        # Per-shard gauge holds this dispatcher's own value; the
+        # unlabelled aggregate is recomputed as the sum over shards so
+        # it never double-counts one shard's depth against another's.
+        self._registry.gauge(f"{name}.shard{self._shard}").set(value)
+        self._registry.gauge(name).set(
+            sum(
+                self._registry.gauge(f"{name}.shard{index}").value
+                for index in range(self._shards_total)
+            )
+        )
 
     # -- accessors -----------------------------------------------------------
 
@@ -400,19 +430,38 @@ class CommandDispatcher:
 
         1. flips to draining (new submits get ``SHUTTING_DOWN``);
         2. waits up to ``grace`` seconds for the queue and the parked
-           requests to empty naturally;
-        3. fails whatever is still parked with ``SHUTTING_DOWN``;
-        4. aborts every live top-level transaction so lock and version
-           state is clean (owners receive abort events first, then the
-           transport layer sends ``{"event": "shutdown"}``).
+           requests to empty naturally — but stops waiting as soon as
+           only *commit-stability* parks remain: their reads-from
+           authors are owned by sessions that can no longer submit, so
+           more waiting cannot resolve them;
+        3. replies ``SHUTTING_DOWN`` (indeterminate, commit durable
+           locally) to commits awaiting a replication ack, and plain
+           ``SHUTTING_DOWN`` to lock waiters whose operation never
+           executed;
+        4. aborts every live top-level transaction — in two passes:
+           transactions *without* a parked commit first, so their
+           cascades resolve the parked commits honestly through
+           ``_after_abort`` (``ABORTED`` when the cascade killed the
+           waiter, ``committed`` when its reads-from author's
+           termination unblocked it), then whatever is left;
+        5. backstop: a commit still parked after both passes is failed
+           with an *indeterminate* ``SHUTTING_DOWN`` — never a lost
+           future.
 
         Returns a summary of what the drain had to clean up forcibly.
         """
         self._draining = True
         deadline = self._clock() + grace
-        while (
-            self._queue.qsize() or self.parked_count
-        ) and self._clock() < deadline:
+        while self._clock() < deadline:
+            if not (
+                self._queue.qsize()
+                or self._lock_waiters
+                or self._repl_waiters
+            ):
+                # Only commit-stability parks (if anything) remain;
+                # they resolve via the abort passes below, not by
+                # waiting out the grace period.
+                break
             await asyncio.sleep(0.02)
         parked_failed = 0
         for command in list(self._repl_waiters.values()):
@@ -433,25 +482,41 @@ class CommandDispatcher:
                     commit_lsn=command.repl_lsn,
                 ),
             )
-        for store in (self._lock_waiters, self._commit_waiters):
-            for command in list(store.values()):
-                self._unpark(command)
-                parked_failed += 1
-                self._resolve(
-                    command,
-                    error_response(
-                        command.request_id,
-                        ErrorCode.SHUTTING_DOWN,
-                        "server shut down while the request was parked",
-                    ),
-                )
+        for command in list(self._lock_waiters.values()):
+            self._unpark(command)
+            parked_failed += 1
+            self._resolve(
+                command,
+                error_response(
+                    command.request_id,
+                    ErrorCode.SHUTTING_DOWN,
+                    "server shut down while the request was parked",
+                ),
+            )
         aborted: list[str] = []
         root = self._tm.root
-        for child in self._tm.children_of(root):
-            if not self._tm.record(child).terminated:
+        for skip_commit_parked in (True, False):
+            for child in self._tm.children_of(root):
+                if skip_commit_parked and child in self._commit_waiters:
+                    continue
+                if self._tm.record(child).terminated:
+                    continue
                 cascade = self._tm.abort(child, reason="server shutdown")
                 aborted.extend(cascade)
                 self._after_abort(cascade)
+        for command in list(self._commit_waiters.values()):
+            self._unpark(command)
+            parked_failed += 1
+            self._resolve(
+                command,
+                error_response(
+                    command.request_id,
+                    ErrorCode.SHUTTING_DOWN,
+                    "server shut down while the commit was parked; "
+                    "its outcome was not decided",
+                    indeterminate=True,
+                ),
+            )
         return {
             "parked_failed": parked_failed,
             "aborted": aborted,
@@ -531,6 +596,7 @@ class CommandDispatcher:
             "end_write",
             "write",
             "commit",
+            "prepare",
             "abort",
             "view",
         }
@@ -577,6 +643,8 @@ class CommandDispatcher:
             return self._op_write(command)
         if op == "commit":
             return self._op_commit(command)
+        if op == "prepare":
+            return self._op_prepare(command)
         if op == "abort":
             return self._op_abort(command)
         if op == "view":
@@ -885,6 +953,51 @@ class CommandDispatcher:
                 **extra,
             )
         return ok_response(command.request_id, outcome="committed", **extra)
+
+    def _op_prepare(self, command: Command) -> dict[str, Any] | object:
+        """2PC phase 1: promise to commit this branch if told to.
+
+        Runs the full commit gate — ``can_commit`` (parking on
+        unresolved predecessors, exactly like a commit) and the
+        commit-stability gate (parking while a reads-from author is in
+        flight) — *before* logging the durable PREPARE.  The stability
+        gate is what makes the coordinator's later decision safe to
+        replay: by induction every reads-from author of a prepared
+        branch is terminated and durable, so no recovery cascade can
+        expunge a version this branch read.
+        """
+        name = self._owned_txn(command)
+        ok, reason = self._tm.can_commit(name)
+        if not ok and "predecessor" in reason:
+            return self._park(command, name, self._commit_waiters, None)
+        if not ok:
+            return ok_response(
+                command.request_id, outcome="failed", reason=reason
+            )
+        blocker = self._tm.unstable_reads_from(name)
+        if blocker is not None:
+            return self._park(command, name, self._commit_waiters, None)
+        participants = command.params.get("participants")
+        if not isinstance(participants, dict):
+            raise InvalidArgument(
+                "parameter 'participants' must be a shard->branch map"
+            )
+        data = {
+            "gid": self._str_param(command.params, "gid"),
+            "participants": dict(participants),
+            "coordinator": self._int_param(
+                command.params, "coordinator"
+            ),
+        }
+        prepare = getattr(self._tm, "prepare", None)
+        lsn = prepare(name, data) if prepare is not None else None
+        self._count("server.txns.prepared")
+        extra: dict[str, Any] = {}
+        if lsn is not None:
+            extra["prepare_lsn"] = lsn
+        return ok_response(
+            command.request_id, outcome="prepared", **extra
+        )
 
     def _op_abort(self, command: Command) -> dict[str, Any]:
         name = self._owned_txn(command)

@@ -128,6 +128,43 @@ class TransactionScript:
         )
 
 
+#: Entity-selection distributions the generators understand.
+KEY_DISTRIBUTIONS = ("uniform", "zipf")
+
+#: Zipf skew exponent: weight of the rank-``k`` entity ∝ 1/(k+1)^s.
+ZIPF_EXPONENT = 1.2
+
+
+def _pick_entity(
+    rng: random.Random, pool: list[str], key_dist: str
+) -> str:
+    """One entity draw under the configured key distribution.
+
+    ``uniform`` is *exactly* the historical ``rng.choice(pool)`` — same
+    call, same stream — so old seeds replay byte-identically.  ``zipf``
+    spends one ``rng.random()`` draw on an inverse-CDF walk over
+    rank-weighted entities (the pool's order is the rank order), making
+    low-rank entities hot: the contention-skew knob.
+    """
+    if key_dist == "uniform":
+        return rng.choice(pool)
+    if key_dist != "zipf":
+        raise SimulationError(
+            f"unknown key distribution {key_dist!r} "
+            f"(choose from {KEY_DISTRIBUTIONS})"
+        )
+    weights = [
+        1.0 / (rank + 1) ** ZIPF_EXPONENT for rank in range(len(pool))
+    ]
+    point = rng.random() * sum(weights)
+    cumulative = 0.0
+    for entity, weight in zip(pool, weights):
+        cumulative += weight
+        if point <= cumulative:
+            return entity
+    return pool[-1]
+
+
 @dataclass
 class Workload:
     """Scripts plus a factory for fresh databases (one per scheduler).
@@ -140,6 +177,9 @@ class Workload:
     scripts: list[TransactionScript]
     database_factory: Callable[[], Database]
     description: str = ""
+    #: How entity accesses were drawn (see :data:`KEY_DISTRIBUTIONS`);
+    #: recorded in bench metadata so runs are comparable.
+    key_dist: str = "uniform"
 
     def fresh_database(self) -> Database:
         return self.database_factory()
@@ -192,6 +232,7 @@ def cad_workload(
     arrival_spread: float = 10.0,
     value_high: int = 10_000,
     seed: int = 0,
+    key_dist: str = "uniform",
 ) -> Workload:
     """A collaborative-design workload of long-duration transactions.
 
@@ -201,7 +242,9 @@ def cad_workload(
     protocols make humans wait for humans.  With probability
     ``cooperation_probability`` a designer declares an earlier designer
     as partial-order predecessor (a cooperation edge the Section-5
-    protocol honours).
+    protocol honours).  ``key_dist`` skews which entity each access
+    picks *within* the chosen module (``uniform`` keeps the historical
+    stream; ``zipf`` concentrates contention on low-rank entities).
     """
     if num_designers < 1:
         raise SimulationError("need at least one designer")
@@ -224,7 +267,7 @@ def cad_workload(
                 pool = modules[rng.randrange(num_modules)]
             else:
                 pool = home
-            entity = rng.choice(pool)
+            entity = _pick_entity(rng, pool, key_dist)
             if rng.random() < write_ratio and read_so_far:
                 base = rng.choice(read_so_far)
                 steps.append(
@@ -260,6 +303,7 @@ def cad_workload(
             "long-duration collaborative design transactions with "
             "module locality and cooperation edges"
         ),
+        key_dist=key_dist,
     )
 
 
@@ -282,6 +326,7 @@ def oltp_workload(
     arrival_spread: float = 40.0,
     value_high: int = 10_000,
     seed: int = 0,
+    key_dist: str = "uniform",
 ) -> Workload:
     """Short data-processing transactions (no think time).
 
@@ -301,6 +346,7 @@ def oltp_workload(
         arrival_spread=arrival_spread,
         value_high=value_high,
         seed=seed,
+        key_dist=key_dist,
     )
     base.name = f"oltp(transactions={num_transactions})"
     base.description = "short data-processing transactions, no think time"

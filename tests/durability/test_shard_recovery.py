@@ -1,0 +1,184 @@
+"""Cross-shard 2PC recovery: in-doubt branches resolve atomically.
+
+The scenarios drive a real :class:`ShardRouter` over durable per-shard
+managers, run phase 1 (durable PREPAREs) by hand, optionally commit the
+coordinator branch (the decision record), and then *crash* — abandon
+the managers without closing them, exactly what SIGKILL leaves behind.
+``recover_sharded`` must then land every shard on the same side of the
+decision: all-committed when the coordinator branch committed,
+all-aborted (presumed abort) when it did not.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.core.entities import Domain, Schema
+from repro.core.predicates import Predicate
+from repro.durability import (
+    DurableTransactionManager,
+    is_sharded_layout,
+    list_shard_dirs,
+    recover_sharded,
+    shard_wal_dir,
+)
+from repro.errors import RecoveryError
+from repro.server.protocol import Request
+from repro.server.router import ShardRouter, shard_of
+from repro.server.session import CommandDispatcher, SessionState
+from repro.storage.database import Database
+
+SHARDS = 4
+
+SCHEMA = Schema.of(
+    *(f"m{m}_e{e}" for m in range(8) for e in range(2)),
+    domain=Domain.interval(0, 100),
+)
+NAMES = sorted(SCHEMA.names)
+
+
+def _db() -> Database:
+    return Database(
+        SCHEMA, Predicate.parse("true"), {name: 1 for name in NAMES}
+    )
+
+
+def _cross_pair() -> tuple[str, str]:
+    by_shard: dict[int, list[str]] = {}
+    for name in NAMES:
+        by_shard.setdefault(shard_of(name, SHARDS), []).append(name)
+    first, second, *_ = sorted(by_shard)
+    return by_shard[first][0], by_shard[second][0]
+
+
+def run(coro, timeout: float = 30.0):
+    async def _guarded():
+        return await asyncio.wait_for(coro, timeout=timeout)
+
+    return asyncio.run(_guarded())
+
+
+async def _crash_mid_2pc(base_dir, *, commit_coordinator: bool):
+    """Prepare a cross-shard txn everywhere; maybe commit the
+    coordinator branch; then abandon the stack without closing it.
+
+    Returns ``(branches, coordinator, (entity_a, entity_b))``.
+    """
+    a, b = _cross_pair()
+    dispatchers = []
+    for index in range(SHARDS):
+        shard_db = _db()
+        manager, _recovery = DurableTransactionManager.open(
+            shard_wal_dir(base_dir, index),
+            lambda db=shard_db: db,
+            flush_interval=0.0,
+            root_name=f"sh{index}",
+        )
+        dispatchers.append(
+            CommandDispatcher(
+                manager,
+                shard=index,
+                shards_total=SHARDS,
+                request_timeout=5.0,
+            )
+        )
+    router = ShardRouter(dispatchers)
+    runner = asyncio.create_task(router.run())
+    session = SessionState(1, notify=lambda frame: None)
+
+    async def request(rid, op, **params):
+        outcome = router.submit(session, Request(rid, op, params))
+        return outcome if isinstance(outcome, dict) else await outcome
+
+    gid = (await request(1, "define", updates=[a, b]))["txn"]
+    assert (await request(2, "validate", txn=gid))["outcome"] == "ok"
+    await request(3, "write", txn=gid, entity=a, value=42)
+    await request(4, "write", txn=gid, entity=b, value=43)
+
+    # Run 2PC phase 1 by hand against the shard dispatchers (the
+    # router's commit would run both phases; the crash goes between).
+    cross = router._cross[gid]
+    participants = {
+        str(shard): branch for shard, branch in cross.branches.items()
+    }
+
+    async def direct(shard, rid, op, **params):
+        shadow = router._shadow(session, shard)
+        outcome = dispatchers[shard].submit(
+            shadow, Request(rid, op, params)
+        )
+        return outcome if isinstance(outcome, dict) else await outcome
+
+    for rid, shard in enumerate(sorted(cross.branches), start=10):
+        prepared = await direct(
+            shard,
+            rid,
+            "prepare",
+            txn=participants[str(shard)],
+            gid=gid,
+            participants=participants,
+            coordinator=cross.coordinator,
+        )
+        assert prepared.get("outcome") == "prepared", prepared
+    if commit_coordinator:
+        decided = await direct(
+            cross.coordinator,
+            20,
+            "commit",
+            txn=participants[str(cross.coordinator)],
+        )
+        assert decided.get("outcome") == "committed", decided
+    # Crash: stop the loops and drop every manager un-closed.
+    await router.stop()
+    await runner
+    return dict(cross.branches), cross.coordinator, (a, b)
+
+
+def _latest(result, shard):
+    return result.shards[shard].manager.database.latest_state()
+
+
+def test_in_doubt_branch_commits_when_coordinator_committed(tmp_path):
+    async def body():
+        return await _crash_mid_2pc(tmp_path, commit_coordinator=True)
+
+    branches, coordinator, (a, b) = run(body())
+    result = recover_sharded(tmp_path)
+    assert result.verified, result.summary()
+    participant = next(s for s in branches if s != coordinator)
+    decisions = {r["txn"]: r["decision"] for r in result.resolutions}
+    assert decisions == {branches[participant]: "commit"}
+    # atomically committed: both shards expose the transaction's writes
+    assert _latest(result, coordinator)[a] == 42
+    assert _latest(result, participant)[b] == 43
+
+
+def test_presumed_abort_when_no_decision_was_logged(tmp_path):
+    async def body():
+        return await _crash_mid_2pc(tmp_path, commit_coordinator=False)
+
+    branches, _coordinator, (a, b) = run(body())
+    result = recover_sharded(tmp_path)
+    assert result.verified, result.summary()
+    assert {r["decision"] for r in result.resolutions} == {"abort"}
+    assert {r["txn"] for r in result.resolutions} == set(
+        branches.values()
+    )
+    # atomically rolled back: neither write survives anywhere
+    for shard in branches:
+        state = _latest(result, shard)
+        assert state[a] == 1 and state[b] == 1
+
+
+def test_layout_helpers(tmp_path):
+    assert not is_sharded_layout(tmp_path)
+    assert list_shard_dirs(tmp_path) == []
+    with pytest.raises(RecoveryError, match="no shard directories"):
+        recover_sharded(tmp_path)
+    for index in (0, 2):
+        shard_wal_dir(tmp_path, index).mkdir(parents=True)
+    (tmp_path / "shardX").mkdir()  # not a shard dir
+    assert is_sharded_layout(tmp_path)
+    assert [index for index, _ in list_shard_dirs(tmp_path)] == [0, 2]

@@ -264,3 +264,104 @@ def test_indeterminate_commit_accepted_without_ack():
     )
     verdict = _verdict(run_oracles(evidence), "committed_prefix")
     assert verdict.ok, verdict.details
+
+
+def _sharded_plan(**kw):
+    kw.setdefault("durable", True)
+    kw.setdefault("crash", False)
+    return generate_plan(1, shards=4, **kw)
+
+
+def _shard_recovery(shards, resolutions=()):
+    return SimpleNamespace(
+        shards={
+            index: _recovery(committed)
+            for index, committed in shards.items()
+        },
+        resolutions=list(resolutions),
+        verified=True,
+    )
+
+
+def test_split_brain_fails_cross_shard_atomicity():
+    # gid sh1.2 spans shards 1 and 3; only shard 1 committed it.
+    evidence = _evidence(
+        plan=_sharded_plan(),
+        acked_committed=["sh1.2"],
+        branch_map={"sh1.2": "sh1.2", "sh3.5": "sh1.2"},
+        shard_recovery=_shard_recovery({1: ["sh1.2"], 3: []}),
+    )
+    verdict = _verdict(run_oracles(evidence), "cross_shard_atomicity")
+    assert not verdict.ok
+    assert "split-brain" in verdict.details[0]
+
+
+def test_acked_cross_commit_lost_everywhere_fails_atomicity():
+    evidence = _evidence(
+        plan=_sharded_plan(),
+        acked_committed=["sh1.2"],
+        branch_map={"sh1.2": "sh1.2", "sh3.5": "sh1.2"},
+        shard_recovery=_shard_recovery({1: [], 3: []}),
+    )
+    verdict = _verdict(run_oracles(evidence), "cross_shard_atomicity")
+    assert not verdict.ok
+    assert "not committed" in verdict.details[0]
+
+
+def test_unacked_cross_commit_fails_atomicity_on_clean_run():
+    evidence = _evidence(
+        plan=_sharded_plan(),
+        acked_committed=[],
+        branch_map={"sh1.2": "sh1.2", "sh3.5": "sh1.2"},
+        shard_recovery=_shard_recovery({1: ["sh1.2"], 3: ["sh3.5"]}),
+    )
+    verdict = _verdict(run_oracles(evidence), "cross_shard_atomicity")
+    assert not verdict.ok
+    assert "without an acknowledged commit" in verdict.details[0]
+    # The same fates are legitimate when the commit was in flight at
+    # a crash.
+    crashed = _evidence(
+        plan=_sharded_plan(),
+        acked_committed=[],
+        branch_map={"sh1.2": "sh1.2", "sh3.5": "sh1.2"},
+        shard_recovery=_shard_recovery({1: ["sh1.2"], 3: ["sh3.5"]}),
+        crashed=True,
+        requests={
+            (1, 9): {
+                "client": 1,
+                "rid": 9,
+                "op": "commit",
+                "txn": "sh1.2",
+                "entity": None,
+                "status": "pending",
+                "outcome": None,
+            }
+        },
+    )
+    assert _verdict(run_oracles(crashed), "cross_shard_atomicity").ok
+
+
+def test_sharded_prefix_is_membership_only_for_cross_branches():
+    # Shard 3's recovered order has the cross-shard branch sh3.5
+    # *after* the later single-shard commit sh3.9 — legitimate,
+    # because 2PC fan-out order is schedule-dependent.  The
+    # single-shard commit still has to respect ack order.
+    evidence = _evidence(
+        plan=_sharded_plan(),
+        acked_committed=["sh1.2", "sh3.9"],
+        branch_map={"sh1.2": "sh1.2", "sh3.5": "sh1.2"},
+        shard_recovery=_shard_recovery(
+            {1: ["sh1.2"], 3: ["sh3.9", "sh3.5"]}
+        ),
+    )
+    assert _verdict(run_oracles(evidence), "committed_prefix").ok
+    # But a cross-shard branch missing entirely still fails.
+    missing = _evidence(
+        plan=_sharded_plan(),
+        acked_committed=["sh1.2", "sh3.9"],
+        branch_map={"sh1.2": "sh1.2", "sh3.5": "sh1.2"},
+        shard_recovery=_shard_recovery({1: ["sh1.2"], 3: ["sh3.9"]}),
+    )
+    verdict = _verdict(run_oracles(missing), "committed_prefix")
+    assert not verdict.ok
+    assert "sh3.5" in verdict.details[0]

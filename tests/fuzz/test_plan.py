@@ -95,6 +95,62 @@ def test_replication_requires_durable():
             assert plan.durable
 
 
+def test_sharding_fields_round_trip_and_default():
+    plan = generate_plan(4, shards=4)
+    assert plan.shards == 4
+    clone = FuzzPlan.from_dict(plan.to_dict())
+    assert clone.shards == 4
+    assert clone.canonical_json() == plan.canonical_json()
+    # Reproducer files written before sharding existed have no
+    # "shards" key; they must load as single-shard plans.
+    data = generate_plan(6).to_dict()
+    data.pop("shards")
+    assert FuzzPlan.from_dict(data).shards == 1
+
+
+def test_shard_roll_is_after_every_other_draw():
+    # The shard dimension sits at the very end of the seed stream:
+    # pinning it must not disturb any earlier draw (for seeds that
+    # drew no replication, which a shard pin would suppress).
+    checked = 0
+    for seed in range(40):
+        free = generate_plan(seed)
+        if free.replicas:
+            continue
+        checked += 1
+        pinned = generate_plan(seed, shards=4).to_dict()
+        reference = free.to_dict()
+        pinned.pop("shards")
+        reference.pop("shards")
+        assert pinned == reference
+    assert checked > 10
+
+
+def test_sharding_and_replication_are_exclusive():
+    with pytest.raises(ValueError, match="replicas"):
+        generate_plan(9, shards=2, replicas=1)
+    # Seed-drawn replication forces single-shard...
+    for seed in range(120):
+        plan = generate_plan(seed)
+        if plan.replicas:
+            assert plan.shards == 1
+    # ...and an explicit shard pin suppresses seed-drawn replication.
+    pinned = generate_plan(9, shards=4)
+    assert pinned.shards == 4
+    assert pinned.replicas == 0
+    assert pinned.sync_replicas == 0
+    assert pinned.partitions == []
+
+
+def test_seed_stream_reaches_shard_dimensions():
+    plans = [generate_plan(seed) for seed in range(120)]
+    assert any(p.shards == 2 for p in plans)
+    assert any(p.shards == 4 for p in plans)
+    assert any(
+        p.shards > 1 and p.durable and p.crash_point for p in plans
+    )
+
+
 def test_seed_stream_reaches_replication_dimensions():
     # The seed alone must exercise followers, partitions, and the
     # partition+crash combination somewhere in a modest seed range.

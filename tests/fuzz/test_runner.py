@@ -140,3 +140,83 @@ class TestReplicatedRuns:
         raise AssertionError(
             "no seed in 0..199 produced an indeterminate commit"
         )
+
+
+class TestShardedRuns:
+    def test_sharded_run_is_deterministic(self):
+        plan = generate_plan(2, shards=4, durable=True, crash=False)
+        assert plan.shards == 4
+        assert _report_bytes(plan) == _report_bytes(plan)
+
+    def test_clean_cross_shard_run_passes_all_oracles(self):
+        # Seed 2 at 4 shards commits transactions spanning shards 1
+        # and 3 (the fuzz entities hash x->3, y->1, z->3).
+        result = execute_plan(
+            generate_plan(2, shards=4, durable=True, crash=False)
+        )
+        assert result.ok, result.failed_oracles
+        report = result.report
+        assert report["config"]["shards"] == 4
+        assert report["acked_committed"]
+        assert set(report["shard_recovered_committed"]) == {
+            "0", "1", "2", "3",
+        }
+        verdict = report["oracles"]["cross_shard_atomicity"]
+        assert verdict["ok"]
+        assert not any(
+            "no cross-shard" in detail for detail in verdict["details"]
+        ), "expected the atomicity oracle to engage, not skip"
+        # Cross-shard branch names were captured for the oracles.
+        assert result.evidence.branch_map
+
+    def test_crashed_sharded_run_recovers_and_verifies(self):
+        result = execute_plan(
+            generate_plan(1, shards=4, durable=True, crash=True)
+        )
+        report = result.report
+        assert report["crashed"]
+        assert result.ok, result.failed_oracles
+        assert result.evidence.shard_recovery is not None
+        assert result.evidence.shard_recovery.verified
+
+    def test_crash_mid_2pc_resolves_in_doubt_branches(self):
+        # Seed 14's crash fires between PREPARE and the coordinator's
+        # decision record: recovery must resolve every prepared branch
+        # by presumed abort, and the atomicity oracle must agree the
+        # outcome is all-or-nothing.
+        result = execute_plan(
+            generate_plan(14, shards=4, durable=True, crash=True)
+        )
+        report = result.report
+        assert report["crashed"]
+        assert result.ok, result.failed_oracles
+        resolutions = report["shard_resolutions"]
+        assert resolutions, "expected in-doubt 2PC branches"
+        gids = {entry["gid"] for entry in resolutions}
+        for gid in gids:
+            decisions = {
+                entry["decision"]
+                for entry in resolutions
+                if entry["gid"] == gid
+            }
+            assert len(decisions) == 1, (
+                f"split decision for {gid}: {resolutions}"
+            )
+
+    def test_in_memory_sharded_run_verifies_live_managers(self):
+        result = execute_plan(generate_plan(1, shards=4, durable=False))
+        assert result.ok, result.failed_oracles
+        assert result.evidence.shard_managers is not None
+        assert len(result.evidence.shard_managers) == 4
+        assert result.report["oracles"]["protocol_verify"]["ok"]
+
+    def test_mini_sharded_corpus_is_clean(self):
+        result = run_corpus(
+            1,
+            12,
+            out_dir=None,
+            shrink=False,
+            plan_overrides={"shards": 4},
+        )
+        assert result.exit_code == 0, result.report()
+        assert result.passed == 12

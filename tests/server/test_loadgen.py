@@ -48,6 +48,13 @@ class TestBuildWorkload:
         with pytest.raises(ValueError, match="unknown workload"):
             build_workload("tpcc")
 
+    def test_key_dist_threads_through(self):
+        zipf = build_workload("cad", transactions=3, key_dist="zipf")
+        assert zipf.key_dist == "zipf"
+        assert build_workload("oltp", transactions=3).key_dist == "uniform"
+        with pytest.raises(ValueError, match="key distribution"):
+            build_workload("cad", key_dist="pareto")
+
 
 class TestLoadgen:
     def test_cad_replay_commits_everything_cleanly(self):
@@ -81,6 +88,7 @@ class TestLoadgen:
         assert data["benchmark"] == "server-loadgen"
         assert data["clients"] == 2
         assert data["scripts"] == 4
+        assert data["key_dist"] == "uniform"
         assert set(data["request_latency_ms"]) == {
             "count", "mean", "p50", "p95", "p99", "max",
         }

@@ -1,0 +1,238 @@
+"""Sharded server: routing, cross-shard 2PC, and metric accounting.
+
+The entity space here is four "modules" of two entities each
+(``m{i}_e{j}``) so the affinity hash (entity name up to its last
+underscore) colocates each module on one shard — the layout the
+router's per-clause locality assumption is designed for.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.core.entities import Domain, Schema
+from repro.core.predicates import Predicate
+from repro.obs.metrics import MetricsRegistry
+from repro.server import InvalidArgument, ServerConfig, TransactionServer
+from repro.server.client import AsyncClient
+from repro.server.router import ShardRouter, affinity_key, shard_of
+from repro.server.session import CommandDispatcher
+from repro.storage.database import Database
+
+from .conftest import run, serving
+
+SHARDS = 4
+
+
+def cluster_db() -> Database:
+    schema = Schema.of(
+        *(f"m{m}_e{e}" for m in range(8) for e in range(2)),
+        domain=Domain.interval(0, 100),
+    )
+    constraint = Predicate.parse(
+        " & ".join(f"m{m}_e0 >= 0" for m in range(8))
+    )
+    return Database(
+        schema, constraint, {name: 1 for name in schema.names}
+    )
+
+
+def cross_pair() -> tuple[str, str]:
+    """Two entities that land on *different* shards."""
+    by_shard: dict[int, list[str]] = {}
+    for name in sorted(cluster_db().schema.names):
+        by_shard.setdefault(shard_of(name, SHARDS), []).append(name)
+    first, second, *_ = sorted(by_shard)
+    return by_shard[first][0], by_shard[second][0]
+
+
+def test_affinity_key_groups_modules():
+    assert affinity_key("m3_e2") == "m3"
+    assert affinity_key("m3_sub_e2") == "m3_sub"
+    assert affinity_key("x") == "x"
+    # every entity of a module lands on the same shard
+    for shards in (1, 2, 4, 8):
+        assert len(
+            {shard_of(f"m5_e{j}", shards) for j in range(16)}
+        ) == 1
+    assert shard_of("anything", 1) == 0
+
+
+def test_shards_one_keeps_the_single_dispatcher_stack():
+    server = TransactionServer(cluster_db(), ServerConfig(shards=1))
+    assert isinstance(server.dispatcher, CommandDispatcher)
+    assert not isinstance(server.dispatcher, ShardRouter)
+
+
+def test_sharding_excludes_replication_and_prebuilt_managers():
+    with pytest.raises(ValueError, match="mutually exclusive"):
+        TransactionServer(
+            cluster_db(),
+            ServerConfig(shards=2, repl_port=0, wal_dir="unused"),
+        )
+    with pytest.raises(ValueError, match="shards must be >= 1"):
+        TransactionServer(cluster_db(), ServerConfig(shards=0))
+
+
+def test_single_shard_txn_over_sharded_server():
+    async def body():
+        async with serving(cluster_db(), shards=SHARDS) as server:
+            client = await AsyncClient.connect("127.0.0.1", server.port)
+            hello = await client.hello()
+            assert hello["shards"] == SHARDS
+            entity, _ = cross_pair()
+            txn = await client.define(updates=[entity])
+            # branch names are self-routing: sh<shard>.<seq>
+            assert txn.startswith(f"sh{shard_of(entity, SHARDS)}.")
+            await client.validate(txn)
+            await client.write(txn, entity, 5)
+            response = await client.commit(txn)
+            assert response["outcome"] == "committed"
+            await client.close()
+
+    run(body())
+
+
+def test_cross_shard_commit_is_atomic_and_readable():
+    async def body():
+        async with serving(cluster_db(), shards=SHARDS) as server:
+            client = await AsyncClient.connect("127.0.0.1", server.port)
+            a, b = cross_pair()
+            txn = await client.define(updates=[a, b])
+            await client.validate(txn)
+            await client.write(txn, a, 9)
+            await client.write(txn, b, 8)
+            response = await client.commit(txn)
+            assert response["outcome"] == "committed"
+            assert len(response["shards"]) == 2
+            # both writes visible through fresh single-shard readers
+            for entity, expected in ((a, 9), (b, 8)):
+                reader = await client.define(
+                    input_constraint=f"{entity} >= 0"
+                )
+                await client.validate(reader)
+                assert await client.read(reader, entity) == expected
+                await client.abort(reader)
+            await client.close()
+
+    run(body())
+
+
+def test_cross_shard_abort_rolls_back_every_branch():
+    async def body():
+        async with serving(cluster_db(), shards=SHARDS) as server:
+            client = await AsyncClient.connect("127.0.0.1", server.port)
+            a, b = cross_pair()
+            txn = await client.define(updates=[a, b])
+            await client.validate(txn)
+            await client.write(txn, a, 33)
+            await client.write(txn, b, 44)
+            await client.abort(txn)
+            for entity in (a, b):
+                reader = await client.define(
+                    input_constraint=f"{entity} >= 0"
+                )
+                await client.validate(reader)
+                assert await client.read(reader, entity) == 1
+                await client.abort(reader)
+            await client.close()
+
+    run(body())
+
+
+def test_entity_outside_footprint_is_rejected():
+    async def body():
+        async with serving(cluster_db(), shards=SHARDS) as server:
+            client = await AsyncClient.connect("127.0.0.1", server.port)
+            a, b = cross_pair()
+            txn = await client.define(updates=[a, b])
+            await client.validate(txn)
+            outside = next(
+                name
+                for name in sorted(cluster_db().schema.names)
+                if shard_of(name, SHARDS)
+                not in {shard_of(a, SHARDS), shard_of(b, SHARDS)}
+            )
+            with pytest.raises(InvalidArgument, match="footprint"):
+                await client.request(
+                    "write", txn=txn, entity=outside, value=1
+                )
+            await client.abort(txn)
+            await client.close()
+
+    run(body())
+
+
+def test_sharded_durability_survives_restart(tmp_path):
+    async def body():
+        wal = str(tmp_path / "wal")
+        a, b = cross_pair()
+        async with serving(
+            cluster_db(), shards=SHARDS, wal_dir=wal
+        ) as server:
+            client = await AsyncClient.connect("127.0.0.1", server.port)
+            txn = await client.define(updates=[a, b])
+            await client.validate(txn)
+            await client.write(txn, a, 9)
+            await client.write(txn, b, 8)
+            assert (await client.commit(txn))["outcome"] == "committed"
+            await client.close()
+        # fresh server over the same sharded WAL base
+        async with serving(
+            cluster_db(), shards=SHARDS, wal_dir=wal
+        ) as server:
+            client = await AsyncClient.connect("127.0.0.1", server.port)
+            for entity, expected in ((a, 9), (b, 8)):
+                reader = await client.define(
+                    input_constraint=f"{entity} >= 0"
+                )
+                await client.validate(reader)
+                assert await client.read(reader, entity) == expected
+                await client.abort(reader)
+            await client.close()
+
+    run(body())
+
+
+def test_per_shard_metrics_sum_exactly():
+    """Aggregate gauges/counters equal the sum of their shard series."""
+
+    async def body():
+        registry = MetricsRegistry()
+        server = TransactionServer(
+            cluster_db(),
+            ServerConfig(port=0, shards=SHARDS),
+            registry=registry,
+        )
+        await server.start()
+        try:
+            client = await AsyncClient.connect("127.0.0.1", server.port)
+            a, b = cross_pair()
+            for _ in range(3):
+                txn = await client.define(updates=[a, b])
+                await client.validate(txn)
+                await client.write(txn, a, 2)
+                await client.write(txn, b, 3)
+                await client.commit(txn)
+            await client.close()
+            committed = registry.counter("server.txns.committed").value
+            per_shard = sum(
+                registry.counter(
+                    f"server.txns.committed.shard{index}"
+                ).value
+                for index in range(SHARDS)
+            )
+            assert committed == per_shard > 0
+            depth = registry.gauge("server.queue.depth").value
+            assert depth == sum(
+                registry.gauge(
+                    f"server.queue.depth.shard{index}"
+                ).value
+                for index in range(SHARDS)
+            )
+        finally:
+            await server.shutdown()
+
+    run(body())

@@ -89,6 +89,58 @@ class TestOltpWorkload:
         assert all(not s.predecessors for s in workload.scripts)
 
 
+class TestKeyDistribution:
+    @staticmethod
+    def _accesses(workload):
+        return [
+            access.entity
+            for script in workload.scripts
+            for access in script.flat_accesses()
+        ]
+
+    def test_uniform_is_the_historical_stream(self):
+        # ``key_dist="uniform"`` must be byte-identical to the default:
+        # old seeds keep replaying the exact same access sequence.
+        default = cad_workload(num_designers=6, seed=3)
+        explicit = cad_workload(
+            num_designers=6, seed=3, key_dist="uniform"
+        )
+        assert self._accesses(default) == self._accesses(explicit)
+        assert default.key_dist == explicit.key_dist == "uniform"
+
+    def test_zipf_concentrates_on_low_ranks(self):
+        zipf = cad_workload(
+            num_designers=12,
+            accesses_per_txn=8,
+            entities_per_module=6,
+            seed=3,
+            key_dist="zipf",
+        )
+        assert zipf.key_dist == "zipf"
+        counts = {}
+        for entity in self._accesses(zipf):
+            rank = int(entity.rpartition("_e")[2])
+            counts[rank] = counts.get(rank, 0) + 1
+        # rank 0 (the hot entity of every module) dominates the tail
+        assert counts[0] > counts[max(counts)]
+        assert counts[0] >= max(
+            count for rank, count in counts.items() if rank > 0
+        )
+
+    def test_zipf_is_seeded(self):
+        a = cad_workload(num_designers=5, seed=7, key_dist="zipf")
+        b = cad_workload(num_designers=5, seed=7, key_dist="zipf")
+        assert self._accesses(a) == self._accesses(b)
+
+    def test_oltp_passes_the_knob_through(self):
+        workload = oltp_workload(num_transactions=4, key_dist="zipf")
+        assert workload.key_dist == "zipf"
+
+    def test_unknown_distribution_rejected(self):
+        with pytest.raises(SimulationError, match="key distribution"):
+            cad_workload(num_designers=2, key_dist="pareto")
+
+
 class TestScriptProperties:
     def test_read_write_entity_sets(self):
         workload = cad_workload(num_designers=3, seed=6)

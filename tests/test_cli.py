@@ -209,12 +209,27 @@ class TestServeLoadgenParsers:
         assert args.clients == 8
         assert args.output == "BENCH_server.json"
 
+    def test_sharding_and_key_dist_flags(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            ["serve", "--shards", "4", "--key-dist", "zipf"]
+        )
+        assert args.shards == 4
+        assert args.key_dist == "zipf"
+        args = build_parser().parse_args(["loadgen", "--key-dist", "zipf"])
+        assert args.key_dist == "zipf"
+        assert build_parser().parse_args(["serve"]).shards == 1
+
     @pytest.mark.parametrize(
         "argv",
         [
             ["loadgen", "--clients", "0"],
             ["serve", "--queue-size", "0"],
             ["serve", "--workload", "tpcc"],
+            ["serve", "--shards", "0"],
+            ["serve", "--key-dist", "pareto"],
+            ["loadgen", "--key-dist", "pareto"],
         ],
     )
     def test_rejects_bad_values(self, argv):
@@ -363,6 +378,26 @@ class TestRecover:
         summary = json.loads(capsys.readouterr().out)
         assert summary["verified"] is False
         assert summary["violations"]
+
+    def test_sharded_layout_is_routed(self, tmp_path, capsys):
+        import json
+
+        base = tmp_path / "wal"
+        for index in (0, 1):
+            _seed_wal_dir(base / f"shard{index}")
+        code = main(["recover", "--wal-dir", str(base)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "(sharded)" in out
+        assert "shards:             2" in out
+        assert "in-doubt 2PC branches: none" in out
+        assert "verification:       VERIFIED" in out
+        code = main(["recover", "--wal-dir", str(base), "--json"])
+        assert code == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["verified"] is True
+        assert set(summary["shards"]) == {"0", "1"}
+        assert summary["resolutions"] == []
 
     def test_no_verify_skips_the_gate(self, tmp_path, capsys):
         wal_dir = tmp_path / "wal"
